@@ -1,0 +1,25 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunToyAndUnknown(t *testing.T) {
+	if err := run([]string{"-n", "150", "toy"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"nosuchexperiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunWithCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-n", "150", "-csv", dir, "fig8"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "fig8.csv")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqstore"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.smx")
+	if err := seqstore.SaveMatrix(path, seqstore.GeneratePhone(60)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompressSVDD(t *testing.T) {
+	in := writeDataset(t)
+	out := filepath.Join(t.TempDir(), "d.sqz")
+	err := run([]string{"-in", in, "-out", out, "-method", "svdd", "-budget", "0.1", "-verify"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := seqstore.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method() != seqstore.SVDD {
+		t.Errorf("method = %v", st.Method())
+	}
+	if st.SpaceRatio() > 0.1+1e-9 {
+		t.Errorf("over budget: %v", st.SpaceRatio())
+	}
+}
+
+func TestRunCompressDCTWithK(t *testing.T) {
+	in := writeDataset(t)
+	out := filepath.Join(t.TempDir(), "d.sqz")
+	if err := run([]string{"-in", in, "-out", out, "-method", "dct", "-k", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-in", "x"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.smx", "-out", "/tmp/x.sqz", "-budget", "0.1"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestRunCompressHalfRobustZeroFlags(t *testing.T) {
+	in := writeDataset(t)
+	dir := t.TempDir()
+	outHalf := filepath.Join(dir, "half.sqz")
+	if err := run([]string{"-in", in, "-out", outHalf, "-budget", "0.1", "-half", "-zero-flags"}); err != nil {
+		t.Fatal(err)
+	}
+	outFull := filepath.Join(dir, "full.sqz")
+	if err := run([]string{"-in", in, "-out", outFull, "-budget", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	hi, err := os.Stat(outHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(outFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Size() >= fi.Size() {
+		t.Errorf("half file %d not smaller than full %d", hi.Size(), fi.Size())
+	}
+	if err := run([]string{"-in", in, "-out", filepath.Join(dir, "r.sqz"), "-budget", "0.1", "-robust"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Command seqgen generates synthetic datasets in the .smx binary matrix
+// format used by the other tools.
+//
+//	seqgen -kind phone -n 2000 -out phone2000.smx
+//	seqgen -kind stocks -out stocks.smx
+//	seqgen -kind toy -out toy.smx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "seqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("seqgen", flag.ContinueOnError)
+	kind := fs.String("kind", "phone", "dataset kind: phone, stocks, toy")
+	n := fs.Int("n", 2000, "rows (phone only)")
+	m := fs.Int("m", 366, "columns (phone only)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("out", "", "output .smx path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var x *linalg.Matrix
+	switch *kind {
+	case "phone":
+		cfg := dataset.DefaultPhoneConfig(*n)
+		cfg.M = *m
+		cfg.Seed = *seed
+		// Stream straight to disk; the matrix is never materialized.
+		src := dataset.NewPhoneSource(cfg)
+		w, err := matio.Create(*out, cfg.N, cfg.M)
+		if err != nil {
+			return err
+		}
+		if err := src.ScanRows(func(i int, row []float64) error {
+			return w.WriteRow(row)
+		}); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: phone dataset, %d×%d\n", *out, cfg.N, cfg.M)
+		return nil
+	case "stocks":
+		cfg := dataset.DefaultStocksConfig()
+		cfg.Seed = *seed
+		x = dataset.GenerateStocks(cfg)
+	case "toy":
+		x = dataset.Toy()
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err := matio.WriteMatrix(*out, x); err != nil {
+		return err
+	}
+	r, c := x.Dims()
+	fmt.Printf("wrote %s: %s dataset, %d×%d\n", *out, *kind, r, c)
+	return nil
+}

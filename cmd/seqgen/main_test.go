@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"seqstore/internal/matio"
+)
+
+func TestRunPhone(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.smx")
+	if err := run([]string{"-kind", "phone", "-n", "25", "-m", "40", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := matio.ReadMatrix(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := m.Dims(); r != 25 || c != 40 {
+		t.Errorf("dims = (%d,%d)", r, c)
+	}
+}
+
+func TestRunStocksAndToy(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-kind", "stocks", "-out", filepath.Join(dir, "s.smx")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "toy", "-out", filepath.Join(dir, "t.smx")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := matio.ReadMatrix(filepath.Join(dir, "t.smx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := m.Dims(); r != 7 || c != 5 {
+		t.Errorf("toy dims = (%d,%d)", r, c)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-kind", "phone"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-kind", "nope", "-out", filepath.Join(t.TempDir(), "x.smx")}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command seqquery runs ad hoc queries against a compressed .sqz store —
+// the paper's two query classes:
+//
+//	seqquery -store phone.sqz cell 42 180
+//	seqquery -store phone.sqz -rows 0:1000 -cols 180:187 agg avg
+//	seqquery -store phone.sqz -rows 3,17,256 agg sum
+//	seqquery -store phone.sqz row 42
+//
+// Row/column selections accept comma-separated indices and lo:hi ranges
+// (hi exclusive), mixed freely; an omitted selection means "all". All flags
+// must precede the query words.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"seqstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "seqquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("seqquery", flag.ContinueOnError)
+	storePath := fs.String("store", "", "compressed .sqz store (required)")
+	rowSpec := fs.String("rows", "", "row selection for agg, e.g. 0:1000 or 3,17,256")
+	colSpec := fs.String("cols", "", "column selection for agg")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storePath == "" {
+		return fmt.Errorf("-store is required")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("need a query: cell I J | row I | agg FUNC")
+	}
+
+	st, err := seqstore.Open(*storePath)
+	if err != nil {
+		return err
+	}
+	n, m := st.Dims()
+
+	switch rest[0] {
+	case "cell":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: cell I J")
+		}
+		i, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad row %q: %w", rest[1], err)
+		}
+		j, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return fmt.Errorf("bad column %q: %w", rest[2], err)
+		}
+		v, err := st.Cell(i, j)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%g\n", v)
+		return nil
+
+	case "row":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: row I")
+		}
+		i, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad row %q: %w", rest[1], err)
+		}
+		row, err := st.Row(i)
+		if err != nil {
+			return err
+		}
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(out, " ")
+			}
+			fmt.Fprintf(out, "%g", v)
+		}
+		fmt.Fprintln(out)
+		return nil
+
+	case "agg":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: agg sum|avg|count|min|max|stddev -rows … -cols …")
+		}
+		rows, err := parseSelection(*rowSpec, n)
+		if err != nil {
+			return fmt.Errorf("-rows: %w", err)
+		}
+		cols, err := parseSelection(*colSpec, m)
+		if err != nil {
+			return fmt.Errorf("-cols: %w", err)
+		}
+		v, err := st.Aggregate(seqstore.Aggregate(rest[1]), rows, cols)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%g\n", v)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown query %q", rest[0])
+	}
+}
+
+// parseSelection parses "3,17,0:10" into indices; empty means all of [0,n).
+func parseSelection(spec string, n int) ([]int, error) {
+	return seqstore.ParseIndexSpec(spec, n)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"seqstore"
+)
+
+func TestParseSelection(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+		want []int
+	}{
+		{"", 3, []int{0, 1, 2}},
+		{"5", 10, []int{5}},
+		{"1,4,2", 10, []int{1, 4, 2}},
+		{"0:3", 10, []int{0, 1, 2}},
+		{"7,0:2", 10, []int{7, 0, 1}},
+		{" 3 , 5 ", 10, []int{3, 5}},
+	}
+	for _, c := range cases {
+		got, err := parseSelection(c.spec, c.n)
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseSelectionErrors(t *testing.T) {
+	for _, spec := range []string{"x", "1:y", "z:3", "5:2", "1,,2"} {
+		if _, err := parseSelection(spec, 10); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "toy.sqz")
+	x := seqstore.Toy()
+	st, err := seqstore.Compress(x, seqstore.Options{Method: seqstore.SVDD, Budget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(storePath); err != nil {
+		t.Fatal(err)
+	}
+
+	runOut := func(args ...string) (string, error) {
+		var buf bytes.Buffer
+		err := run(append([]string{"-store", storePath}, args...), &buf)
+		return strings.TrimSpace(buf.String()), err
+	}
+
+	// Cell: KLM Co. on Wednesday = 5.
+	out, err := runOut("cell", "3", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := strconv.ParseFloat(out, 64); math.Abs(v-5) > 1e-6 {
+		t.Errorf("cell = %q, want 5", out)
+	}
+
+	// Row: 5 values.
+	out, err = runOut("row", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Fields(out)) != 5 {
+		t.Errorf("row output = %q", out)
+	}
+
+	// Aggregate: business weekday total = 27.
+	var buf bytes.Buffer
+	if err := run([]string{"-store", storePath, "-rows", "0:4", "-cols", "0:3", "agg", "sum"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := strconv.ParseFloat(strings.TrimSpace(buf.String()), 64); math.Abs(v-27) > 1e-6 {
+		t.Errorf("agg = %q, want 27", buf.String())
+	}
+
+	// Errors.
+	if _, err := runOut("cell", "1"); err == nil {
+		t.Error("short cell args accepted")
+	}
+	if _, err := runOut("cell", "x", "y"); err == nil {
+		t.Error("non-numeric cell args accepted")
+	}
+	if _, err := runOut("row", "99"); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := runOut("frobnicate"); err == nil {
+		t.Error("unknown query accepted")
+	}
+	if err := run([]string{"cell", "0", "0"}, &buf); err == nil {
+		t.Error("missing -store accepted")
+	}
+	if err := run([]string{"-store", storePath}, &buf); err == nil {
+		t.Error("missing query accepted")
+	}
+}

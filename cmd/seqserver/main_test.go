@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"seqstore"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *seqstore.Matrix) {
+	t.Helper()
+	x := seqstore.GeneratePhone(120)
+	st, err := seqstore.Compress(x, seqstore.Options{Method: seqstore.SVDD, Budget: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(st))
+	t.Cleanup(srv.Close)
+	return srv, x
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]interface{} {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("%s: decode: %v", url, err)
+	}
+	return body
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := getJSON(t, srv.URL+"/info", http.StatusOK)
+	if body["method"] != "svdd" {
+		t.Errorf("method = %v", body["method"])
+	}
+	if body["rows"].(float64) != 120 || body["cols"].(float64) != 366 {
+		t.Errorf("dims = %v×%v", body["rows"], body["cols"])
+	}
+	if sr := body["spaceRatio"].(float64); sr <= 0 || sr > 0.12+1e-9 {
+		t.Errorf("spaceRatio = %v", sr)
+	}
+}
+
+func TestCellEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := getJSON(t, srv.URL+"/cell?i=5&j=100", http.StatusOK)
+	if body["i"].(float64) != 5 || body["j"].(float64) != 100 {
+		t.Errorf("echoed coords wrong: %v", body)
+	}
+	if _, ok := body["value"].(float64); !ok {
+		t.Error("no numeric value")
+	}
+	// Errors.
+	getJSON(t, srv.URL+"/cell?i=5", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/cell?i=abc&j=0", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/cell?i=99999&j=0", http.StatusBadRequest)
+}
+
+func TestRowEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := getJSON(t, srv.URL+"/row?i=7", http.StatusOK)
+	vals := body["values"].([]interface{})
+	if len(vals) != 366 {
+		t.Errorf("row length %d", len(vals))
+	}
+	getJSON(t, srv.URL+"/row?i=-1", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/row", http.StatusBadRequest)
+}
+
+func TestAggEndpoint(t *testing.T) {
+	srv, x := newTestServer(t)
+	body := getJSON(t, srv.URL+"/agg?f=avg&rows=0:50&cols=0:30", http.StatusOK)
+	got := body["value"].(float64)
+	want, err := seqstore.AggregateExact(x, seqstore.Avg, seqstore.Range(0, 50), seqstore.Range(0, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-want) / want; rel > 0.10 {
+		t.Errorf("agg value %.4f vs exact %.4f (%.1f%% off)", got, want, 100*rel)
+	}
+	if body["rows"].(float64) != 50 || body["cols"].(float64) != 30 {
+		t.Errorf("selection sizes echoed wrong: %v", body)
+	}
+	// Default f and default selections (all rows/cols).
+	all := getJSON(t, srv.URL+"/agg", http.StatusOK)
+	if all["f"] != "avg" {
+		t.Errorf("default f = %v", all["f"])
+	}
+	if all["rows"].(float64) != 120 || all["cols"].(float64) != 366 {
+		t.Errorf("default selection = %v×%v", all["rows"], all["cols"])
+	}
+	// Errors.
+	getJSON(t, srv.URL+"/agg?f=median", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/agg?rows=9:1", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/agg?cols=zzz", http.StatusBadRequest)
+}
+
+func TestCountAggExact(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := getJSON(t, fmt.Sprintf("%s/agg?f=count&rows=0:10&cols=0:10", srv.URL), http.StatusOK)
+	if body["value"].(float64) != 100 {
+		t.Errorf("count = %v", body["value"])
+	}
+}
+
+func TestCellByLabelEndpoint(t *testing.T) {
+	x := seqstore.Toy()
+	st, err := seqstore.Compress(x, seqstore.Options{Method: seqstore.SVDD, Budget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := seqstore.ToyLabels()
+	if err := st.SetLabels(rows, cols); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+	body := getJSON(t, srv.URL+"/cell?row=KLM+Co.&col=We", http.StatusOK)
+	if v := body["value"].(float64); math.Abs(v-5) > 1e-6 {
+		t.Errorf("KLM/We = %v, want 5", v)
+	}
+	getJSON(t, srv.URL+"/cell?row=Nobody&col=We", http.StatusBadRequest)
+}

@@ -1,0 +1,46 @@
+package seqstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"seqstore/internal/dataset"
+)
+
+// WriteCSV emits the dataset as comma-separated values (one sequence per
+// line), formatted so ReadCSV round-trips bit-exactly.
+func WriteCSV(w io.Writer, x *Matrix) error { return dataset.WriteCSV(w, x.m) }
+
+// ReadCSV parses a dataset from comma-separated values. Blank lines,
+// '#'-comments and a non-numeric header line are skipped.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	m, err := dataset.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{m: m}, nil
+}
+
+// SaveMatrixCSV writes the dataset to a CSV file.
+func SaveMatrixCSV(path string, x *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("seqstore: save csv: %w", err)
+	}
+	if err := WriteCSV(f, x); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadMatrixCSV reads a dataset from a CSV file.
+func LoadMatrixCSV(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("seqstore: load csv: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,31 @@
+package seqstore
+
+import (
+	"seqstore/internal/dataset"
+)
+
+// GeneratePhone synthesizes an n-customer × 366-day calling-volume dataset
+// with the structure of the paper's AT&T data: weekday/weekend customer
+// mixes, Zipf-skewed volumes, noise, sparse outlier spikes and a few
+// all-zero customers. Deterministic: the first rows of a larger dataset
+// equal a smaller one, so subsets are true prefixes (as in the paper's
+// phone1000 ⊂ phone2000 ⊂ … ⊂ phone100K).
+func GeneratePhone(n int) *Matrix {
+	return &Matrix{m: dataset.GeneratePhone(dataset.DefaultPhoneConfig(n))}
+}
+
+// GenerateStocks synthesizes the paper's 381-stock × 128-day closing-price
+// dataset as geometric random walks sharing a market factor.
+func GenerateStocks() *Matrix {
+	return &Matrix{m: dataset.GenerateStocks(dataset.DefaultStocksConfig())}
+}
+
+// Toy returns the 7×5 customer-day matrix of Table 1, whose SVD is worked
+// through in the paper (Eq. 5).
+func Toy() *Matrix { return &Matrix{m: dataset.Toy()} }
+
+// ToyLabels returns the row (customer) and column (day) labels of Toy.
+func ToyLabels() (rows, cols []string) {
+	return append([]string(nil), dataset.ToyRowLabels...),
+		append([]string(nil), dataset.ToyColLabels...)
+}

@@ -1,0 +1,80 @@
+package seqstore_test
+
+import (
+	"fmt"
+	"log"
+
+	"seqstore"
+)
+
+// The basic workflow: compress a dataset and query the compressed form.
+func Example() {
+	// The worked example of the paper (Table 1): 7 customers × 5 days.
+	x := seqstore.Toy()
+	st, err := seqstore.Compress(x, seqstore.Options{
+		Method: seqstore.SVDD,
+		Budget: 0.9, // generous budget: the toy matrix has rank 2
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// KLM Co. (row 3) spent 5 every weekday.
+	v, err := st.Cell(3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("KLM Co. on Wednesday: %.0f\n", v)
+	// Output:
+	// KLM Co. on Wednesday: 5
+}
+
+// Aggregate queries run directly on the compressed store.
+func ExampleStore_Aggregate() {
+	x := seqstore.Toy()
+	st, err := seqstore.Compress(x, seqstore.Options{Method: seqstore.SVDD, Budget: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Total weekday volume of the four business customers.
+	total, err := st.Aggregate(seqstore.Sum,
+		seqstore.Range(0, 4), // ABC, DEF, GHI, KLM
+		seqstore.Range(0, 3)) // We, Th, Fr
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("business weekday total: %.0f\n", total)
+	// Output:
+	// business weekday total: 27
+}
+
+// Labels let queries use the warehouse's own names.
+func ExampleStore_CellByLabel() {
+	x := seqstore.Toy()
+	st, err := seqstore.Compress(x, seqstore.Options{Method: seqstore.SVDD, Budget: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, cols := seqstore.ToyLabels()
+	if err := st.SetLabels(rows, cols); err != nil {
+		log.Fatal(err)
+	}
+	v, err := st.CellByLabel("Johnson", "Su")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Johnson on Sunday: %.0f\n", v)
+	// Output:
+	// Johnson on Sunday: 3
+}
+
+// ParseIndexSpec parses the selection syntax shared by the CLI and the
+// HTTP server.
+func ExampleParseIndexSpec() {
+	sel, err := seqstore.ParseIndexSpec("0:3,6", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sel)
+	// Output:
+	// [0 1 2 6]
+}

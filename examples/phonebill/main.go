@@ -1,0 +1,87 @@
+// Phonebill: the decision-support scenario from the paper's introduction.
+//
+// A telecom warehouse stores the daily call volume of every customer. The
+// dataset is too large to keep uncompressed, but analysts need ad hoc
+// answers: "what did GHI Inc. spend on July 10?", "total business-customer
+// volume for the week ending July 12" (§1). This example compresses the
+// warehouse 10:1 with SVDD and answers both query classes, comparing every
+// answer against the uncompressed truth. It also demonstrates the
+// worst-case guarantee: the largest single-cell error under SVDD vs the
+// same budget spent on plain SVD.
+//
+//	go run ./examples/phonebill
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"seqstore"
+)
+
+func main() {
+	const customers = 3000
+	x := seqstore.GeneratePhone(customers)
+
+	svdd, err := seqstore.Compress(x, seqstore.Options{Method: seqstore.SVDD, Budget: 0.10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := seqstore.Compress(x, seqstore.Options{Method: seqstore.SVD, Budget: 0.10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Query 1: a specific cell ("sales to GHI Inc. on July 10") -------
+	const customer, day = 1234, 191 // day 191 ≈ July 10 of a leap year
+	truth := x.At(customer, day)
+	got, err := svdd.Cell(customer, day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1 cell query: customer %d, day %d\n", customer, day)
+	fmt.Printf("   actual %.3f, reconstructed %.3f (%.2f%% off)\n\n",
+		truth, got, 100*math.Abs(got-truth)/math.Max(truth, 1e-9))
+
+	// --- Query 2: an aggregate over customers × a week --------------------
+	// "Total volume of customers 0-499 for the week ending day 193."
+	rows := seqstore.Range(0, 500)
+	week := seqstore.Range(187, 194)
+	exact, err := seqstore.AggregateExact(x, seqstore.Sum, rows, week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := svdd.Aggregate(seqstore.Sum, rows, week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q2 aggregate: sum over 500 customers × 7 days\n")
+	fmt.Printf("   exact %.1f, from 10%%-space store %.1f (%.4f%% off)\n\n",
+		exact, est, 100*math.Abs(est-exact)/exact)
+
+	// --- Worst-case guarantee: SVDD vs plain SVD --------------------------
+	repD, err := svdd.Evaluate(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repS, err := plain.Evaluate(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reconstruction quality at equal 10% space:")
+	fmt.Printf("   svdd:  RMSPE %5.2f%%   worst cell %7.2f (%6.1f%% of σ)\n",
+		100*repD.RMSPE, repD.WorstAbs, 100*repD.WorstNormalized)
+	fmt.Printf("   svd:   RMSPE %5.2f%%   worst cell %7.2f (%6.1f%% of σ)\n",
+		100*repS.RMSPE, repS.WorstAbs, 100*repS.WorstNormalized)
+	fmt.Println("\nthe SVDD deltas repair exactly the cells plain SVD gets badly wrong —")
+	fmt.Println("every individual answer is trustworthy, not just the average one.")
+
+	// --- Outlier audit: which bills changed the most? ---------------------
+	// The paper's Figure 8 shows only a handful of cells carry large
+	// errors. Those are precisely the cells SVDD pinned with deltas; an
+	// analyst can ask the store which customer-days were "unusual".
+	info, _ := svdd.SVDDInfo()
+	fmt.Printf("\nsvdd stored %d exact outlier cells (k_opt=%d of k_max=%d)\n",
+		info.Outliers, info.K, info.KMax)
+}

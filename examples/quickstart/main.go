@@ -1,0 +1,77 @@
+// Quickstart: compress a dataset of time sequences and query it.
+//
+// This walks the core workflow of the library in under a minute: generate
+// (or load) an N×M matrix of time sequences, compress it to 10% of its
+// size with SVDD, and issue the paper's two query classes — single cells
+// and aggregates — against the compressed form.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqstore"
+)
+
+func main() {
+	// 1. A dataset: 2,000 customers × 366 days of calling volumes.
+	//    (Use seqstore.LoadMatrix to read your own .smx file instead.)
+	x := seqstore.GeneratePhone(2000)
+	n, m := x.Dims()
+	fmt.Printf("dataset: %d customers × %d days (%d cells)\n", n, m, n*m)
+
+	// 2. Compress with SVDD at a 10% space budget (10:1 compression).
+	st, err := seqstore.Compress(x, seqstore.Options{
+		Method: seqstore.SVDD,
+		Budget: 0.10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := st.SVDDInfo()
+	fmt.Printf("compressed to %.2f%% of original: %d principal components + %d outlier deltas\n",
+		100*st.SpaceRatio(), info.K, info.Outliers)
+
+	// 3. Ad hoc cell query: "what was customer 42's volume on day 180?"
+	truth := x.At(42, 180)
+	got, err := st.Cell(42, 180)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cell (42, 180): actual %.3f, reconstructed %.3f\n", truth, got)
+
+	// 4. Aggregate query: "average volume of customers 0-999 over the
+	//    first week" — evaluated in factored form without touching the
+	//    individual cells.
+	rows := seqstore.Range(0, 1000)
+	week := seqstore.Range(0, 7)
+	est, err := st.Aggregate(seqstore.Avg, rows, week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := seqstore.AggregateExact(x, seqstore.Avg, rows, week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("avg(first 1000 customers × first week): exact %.4f, from store %.4f\n", exact, est)
+
+	// 5. How good is the whole reconstruction?
+	rep, err := st.Evaluate(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("report:", rep)
+
+	// 6. Persist and reopen.
+	if err := st.Save("phone2000.sqz"); err != nil {
+		log.Fatal(err)
+	}
+	again, err := seqstore.Open("phone2000.sqz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := again.Cell(42, 180)
+	fmt.Printf("reopened store agrees: %.3f\n", v)
+}

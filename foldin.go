@@ -1,0 +1,29 @@
+package seqstore
+
+import (
+	"fmt"
+
+	"seqstore/internal/core"
+	"seqstore/internal/svd"
+)
+
+// FoldIn appends a new sequence to an SVD- or SVDD-backed store without
+// recompressing, by projecting it onto the existing principal components
+// (the classic folding-in technique). For SVDD stores, up to maxDeltas of
+// the new row's worst-reconstructed cells are additionally pinned with
+// exact deltas; maxDeltas is ignored for plain SVD.
+//
+// Folding in trades accuracy for convenience: rows far outside the
+// subspace captured at compression time reconstruct poorly (except their
+// pinned cells). Recompress offline once enough rows have accumulated — the
+// paper's batched-updates assumption (§1). Returns the new row's index.
+func (st *Store) FoldIn(row []float64, maxDeltas int) (int, error) {
+	switch s := st.s.(type) {
+	case *core.Store:
+		return s.FoldIn(row, maxDeltas)
+	case *svd.Store:
+		return s.FoldIn(row)
+	default:
+		return 0, fmt.Errorf("seqstore: %s stores do not support fold-in", st.Method())
+	}
+}

@@ -1,0 +1,66 @@
+package seqstore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFoldInFacadeSVDD(t *testing.T) {
+	x := GeneratePhone(100)
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, m := st.Dims()
+	newCustomer := x.Row(5) // same pattern as an existing customer
+	idx, err := st.FoldIn(newCustomer, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != n0 {
+		t.Errorf("index = %d, want %d", idx, n0)
+	}
+	if n, _ := st.Dims(); n != n0+1 {
+		t.Errorf("rows = %d, want %d", n, n0+1)
+	}
+	got, err := st.Row(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != m {
+		t.Fatalf("row length %d", len(got))
+	}
+	// Reconstruction of a same-pattern customer should be about as good as
+	// the original row's reconstruction.
+	orig, _ := st.Row(5)
+	var dNew, dOld float64
+	for j := 0; j < m; j++ {
+		dNew += math.Abs(got[j] - newCustomer[j])
+		dOld += math.Abs(orig[j] - x.At(5, j))
+	}
+	if dNew > 3*dOld+1e-9 {
+		t.Errorf("fold-in reconstruction much worse than original: %v vs %v", dNew, dOld)
+	}
+}
+
+func TestFoldInFacadeSVD(t *testing.T) {
+	x := GeneratePhone(80)
+	st, err := Compress(x, Options{Method: SVD, Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.FoldIn(x.Row(3), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldInFacadeUnsupported(t *testing.T) {
+	x := GeneratePhone(80)
+	st, err := Compress(x, Options{Method: DCT, Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.FoldIn(x.Row(0), 0); err == nil {
+		t.Error("DCT fold-in accepted")
+	}
+}

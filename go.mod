@@ -1,0 +1,3 @@
+module seqstore
+
+go 1.24

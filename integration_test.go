@@ -1,0 +1,202 @@
+package seqstore
+
+import (
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"seqstore/internal/core"
+	"seqstore/internal/dataset"
+	"seqstore/internal/matio"
+	"seqstore/internal/svd"
+)
+
+// TestOutOfCoreEndToEnd exercises the full production flow across modules:
+// a dataset is streamed to disk (never fully in memory), compressed by
+// streaming the file (3 passes), the U matrix is written to its own disk
+// file, and cell queries are answered with exactly one disk access each.
+func TestOutOfCoreEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "phone.smx")
+	uPath := filepath.Join(dir, "u.smx")
+
+	// 1. Generate straight to disk via the streaming source.
+	cfg := dataset.DefaultPhoneConfig(500)
+	cfg.M = 120
+	src := dataset.NewPhoneSource(cfg)
+	w, err := matio.Create(dataPath, cfg.N, cfg.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ScanRows(func(i int, row []float64) error { return w.WriteRow(row) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Open the file and run SVDD's passes against it.
+	f, err := matio.Open(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	factors, err := svd.ComputeFactors(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.CompressWithFactors(f, factors, core.Options{Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Passes(); got != 3 {
+		t.Errorf("compression made %d passes over the data file, want 3", got)
+	}
+
+	// 3. Re-home U on disk: write the in-memory U out and rebuild the
+	//    plain-SVD core around the disk file.
+	k := st.K()
+	uw, err := matio.Create(uPath, cfg.N, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urow := make([]float64, k)
+	for i := 0; i < cfg.N; i++ {
+		if err := st.Base().URow(i, urow); err != nil {
+			t.Fatal(err)
+		}
+		if err := uw.WriteRow(urow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := uw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	uf, err := matio.Open(uPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uf.Close()
+	diskBase, err := svd.New(factors, k, uf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Query: one disk access per cell, values identical to the
+	//    memory-backed base.
+	before := uf.Stats().RowReads()
+	for _, cell := range [][2]int{{0, 0}, {250, 60}, {499, 119}} {
+		dv, err := diskBase.Cell(cell[0], cell[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, err := st.Base().Cell(cell[0], cell[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dv-mv) > 1e-12 {
+			t.Errorf("disk/memory disagree at %v: %v vs %v", cell, dv, mv)
+		}
+	}
+	if got := uf.Stats().RowReads() - before; got != 3 {
+		t.Errorf("3 cell queries used %d disk accesses, want 3", got)
+	}
+
+	// 5. Accuracy against the original stream.
+	var sse, dev float64
+	mean := 0.0
+	var count int
+	f2 := dataset.NewPhoneSource(cfg)
+	f2.ScanRows(func(i int, row []float64) error {
+		for _, v := range row {
+			mean += v
+			count++
+		}
+		return nil
+	})
+	mean /= float64(count)
+	buf := make([]float64, cfg.M)
+	err = dataset.NewPhoneSource(cfg).ScanRows(func(i int, row []float64) error {
+		got, err := st.Row(i, buf)
+		if err != nil {
+			return err
+		}
+		for j := range row {
+			d := got[j] - row[j]
+			sse += d * d
+			dv := row[j] - mean
+			dev += dv * dv
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmspe := math.Sqrt(sse / dev); rmspe > 0.25 {
+		t.Errorf("out-of-core RMSPE %.3f, expected < 0.25", rmspe)
+	}
+}
+
+// TestConcurrentQueries verifies that a compressed store answers cell and
+// aggregate queries correctly under concurrency (run with -race).
+func TestConcurrentQueries(t *testing.T) {
+	x := GeneratePhone(200)
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]float64{}
+	cells := [][2]int{{0, 0}, {50, 100}, {199, 365}, {120, 7}}
+	for _, c := range cells {
+		want[c], _ = st.Cell(c[0], c[1])
+	}
+	rows := Range(0, 100)
+	cols := Range(0, 50)
+	wantAgg, err := st.Aggregate(Sum, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				for _, c := range cells {
+					v, err := st.Cell(c[0], c[1])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if v != want[c] {
+						errs <- errValue
+						return
+					}
+				}
+				a, err := st.Aggregate(Sum, rows, cols)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if a != wantAgg {
+					errs <- errValue
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errValue = &valueError{}
+
+type valueError struct{}
+
+func (*valueError) Error() string { return "concurrent query returned a different value" }

@@ -1,0 +1,159 @@
+// Package bloom implements a Bloom filter over cell identifiers.
+//
+// The paper suggests (§4.2, §6.2) a main-memory Bloom filter in front of the
+// SVDD outlier hash table so that the overwhelmingly common case — "this
+// cell is not an outlier" — is answered without probing the table, and
+// similarly for flagging all-zero customers.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Filter is a standard Bloom filter keyed by uint64. It is not safe for
+// concurrent mutation; concurrent Contains calls are safe once building is
+// done.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	count  uint64 // inserted elements
+}
+
+// New creates a filter sized for n expected elements at the given
+// false-positive rate fp (0 < fp < 1). n must be ≥ 0; n = 0 allocates a
+// minimal filter.
+func New(n int, fp float64) (*Filter, error) {
+	if n < 0 {
+		return nil, errors.New("bloom: negative capacity")
+	}
+	if fp <= 0 || fp >= 1 {
+		return nil, errors.New("bloom: false-positive rate must be in (0,1)")
+	}
+	if n == 0 {
+		n = 1
+	}
+	// Optimal sizing: m = −n·ln(fp)/ln(2)², k = (m/n)·ln(2).
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), nbits: m, hashes: k}, nil
+}
+
+// MustNew is New but panics on invalid parameters; for use with constants.
+func MustNew(n int, fp float64) *Filter {
+	f, err := New(n, fp)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := mix(key)
+	for i := 0; i < f.hashes; i++ {
+		// Kirsch–Mitzenmacher double hashing.
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether key may have been added. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := mix(key)
+	for i := 0; i < f.hashes; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.count }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// SizeBytes returns the in-memory size of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// EstimatedFalsePositiveRate returns the theoretical false-positive
+// probability given the current fill: (1 − e^(−k·n/m))^k.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	if f.count == 0 {
+		return 0
+	}
+	k := float64(f.hashes)
+	return math.Pow(1-math.Exp(-k*float64(f.count)/float64(f.nbits)), k)
+}
+
+// Marshal serializes the filter to a compact binary form.
+func (f *Filter) Marshal() []byte {
+	buf := make([]byte, 8+8+8+len(f.bits)*8)
+	binary.LittleEndian.PutUint64(buf[0:], f.nbits)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(f.hashes))
+	binary.LittleEndian.PutUint64(buf[16:], f.count)
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(buf[24+i*8:], w)
+	}
+	return buf
+}
+
+// Unmarshal reconstructs a filter produced by Marshal.
+func Unmarshal(buf []byte) (*Filter, error) {
+	if len(buf) < 24 {
+		return nil, errors.New("bloom: truncated filter data")
+	}
+	nbits := binary.LittleEndian.Uint64(buf[0:])
+	hashes := int(binary.LittleEndian.Uint64(buf[8:]))
+	count := binary.LittleEndian.Uint64(buf[16:])
+	words := (nbits + 63) / 64
+	if uint64(len(buf)) != 24+words*8 {
+		return nil, errors.New("bloom: filter data length mismatch")
+	}
+	if hashes < 1 || hashes > 64 || nbits == 0 {
+		return nil, errors.New("bloom: corrupt filter header")
+	}
+	f := &Filter{bits: make([]uint64, words), nbits: nbits, hashes: hashes, count: count}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(buf[24+i*8:])
+	}
+	return f, nil
+}
+
+// mix derives two independent 64-bit hashes from key using a
+// SplitMix64-style finalizer.
+func mix(key uint64) (uint64, uint64) {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	h1 := z ^ (z >> 31)
+	z = h1 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	h2 := z ^ (z >> 31)
+	h2 |= 1 // ensure odd step for double hashing
+	return h1, h2
+}
+
+// CellKey packs a matrix cell (row, col) into the uint64 key used across the
+// store: row·M + col, the row-major cell order the paper specifies for the
+// outlier hash table.
+func CellKey(row, col, cols int) uint64 {
+	return uint64(row)*uint64(cols) + uint64(col)
+}

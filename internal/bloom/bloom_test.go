@@ -1,0 +1,211 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 0.01); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("fp=0 accepted")
+	}
+	if _, err := New(10, 1); err == nil {
+		t.Error("fp=1 accepted")
+	}
+	if _, err := New(0, 0.01); err != nil {
+		t.Errorf("n=0 should be allowed: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on bad input")
+		}
+	}()
+	MustNew(10, 2)
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := MustNew(1000, 0.01)
+	keys := make([]uint64, 1000)
+	r := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := MustNew(10000, 0.01)
+	r := rand.New(rand.NewSource(2))
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		k := r.Uint64()
+		seen[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		k := r.Uint64()
+		if seen[k] {
+			continue
+		}
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("observed false-positive rate %.4f, want ≲0.01", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := MustNew(100, 0.01)
+	for i := uint64(0); i < 100; i++ {
+		if f.Contains(i) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter should estimate 0 fp rate")
+	}
+}
+
+func TestCount(t *testing.T) {
+	f := MustNew(10, 0.01)
+	f.Add(1)
+	f.Add(2)
+	if f.Count() != 2 {
+		t.Errorf("Count = %d, want 2", f.Count())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := MustNew(500, 0.02)
+	r := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() || g.Bits() != f.Bits() {
+		t.Error("header not preserved")
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatalf("unmarshaled filter lost key %d", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil data accepted")
+	}
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("short data accepted")
+	}
+	f := MustNew(10, 0.1)
+	data := f.Marshal()
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestCellKey(t *testing.T) {
+	if CellKey(0, 0, 100) != 0 {
+		t.Error("CellKey(0,0) != 0")
+	}
+	if CellKey(2, 3, 100) != 203 {
+		t.Errorf("CellKey(2,3,100) = %d, want 203", CellKey(2, 3, 100))
+	}
+	// Distinct cells map to distinct keys within a matrix.
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 7; j++ {
+			k := CellKey(i, j, 7)
+			if seen[k] {
+				t.Fatalf("collision at (%d,%d)", i, j)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// Property: no false negatives for any key set.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		bf := MustNew(len(keys)+1, 0.01)
+		for _, k := range keys {
+			bf.Add(k)
+		}
+		for _, k := range keys {
+			if !bf.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marshal/unmarshal preserves membership for any key set.
+func TestMarshalPreservesMembershipProperty(t *testing.T) {
+	f := func(keys []uint64, probes []uint64) bool {
+		bf := MustNew(len(keys)+1, 0.05)
+		for _, k := range keys {
+			bf.Add(k)
+		}
+		g, err := Unmarshal(bf.Marshal())
+		if err != nil {
+			return false
+		}
+		for _, p := range probes {
+			if bf.Contains(p) != g.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := MustNew(1<<20, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := MustNew(1<<20, 0.01)
+	for i := 0; i < 1<<20; i++ {
+		f.Add(uint64(i * 3))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}

@@ -1,0 +1,309 @@
+// Package cluster implements the clustering baseline of the paper (§2.2):
+// agglomerative hierarchical clustering with the "maximum distance"
+// element-to-cluster rule (complete linkage) over Euclidean distances — the
+// same high-quality quadratic method the paper used from the 'S' package —
+// plus a vector-quantization Store whose representative rows reconstruct
+// the members of each cluster. A k-means alternative is provided for
+// reference.
+//
+// The hierarchy is built once (O(N²·M) distances + O(N²) nearest-neighbor
+// chain) and can then be cut at any number of clusters, which is how the
+// accuracy-vs-space sweep of Figure 6 evaluates many storage sizes without
+// re-clustering. As the paper observes, the quadratic cost is exactly why
+// clustering fails to scale past a few thousand rows (§5.3).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"seqstore/internal/linalg"
+)
+
+// Merge records one agglomeration step: the representative leaf indices of
+// the two clusters merged and the complete-linkage distance at which they
+// merged.
+type Merge struct {
+	A, B int
+	Dist float64
+}
+
+// Hierarchy is a full agglomerative dendrogram over n items.
+type Hierarchy struct {
+	n      int
+	merges []Merge // in nearest-neighbor-chain order
+}
+
+// ErrTooFewItems is returned when clustering fewer than one item.
+var ErrTooFewItems = errors.New("cluster: need at least one item")
+
+// Build computes the complete-linkage hierarchy of the rows of x using the
+// nearest-neighbor chain algorithm (complete linkage is reducible, so the
+// chain algorithm produces the exact dendrogram in O(N²) after the distance
+// matrix).
+func Build(x *linalg.Matrix) (*Hierarchy, error) {
+	n := x.Rows()
+	if n < 1 {
+		return nil, ErrTooFewItems
+	}
+	if n == 1 {
+		return &Hierarchy{n: 1}, nil
+	}
+
+	// Pairwise squared Euclidean distances via the norm/dot expansion.
+	norms := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		norms[i] = linalg.Dot(r, r)
+	}
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		ri := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			v := norms[i] + norms[j] - 2*linalg.Dot(ri, x.Row(j))
+			if v < 0 {
+				v = 0
+			}
+			d[i*n+j] = v
+			d[j*n+i] = v
+		}
+	}
+
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := n
+	chain := make([]int, 0, n)
+	merges := make([]Merge, 0, n-1)
+	scan := 0 // next index to try when the chain is empty
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for !active[scan] {
+				scan++
+			}
+			chain = append(chain, scan)
+		}
+		a := chain[len(chain)-1]
+		// Nearest active neighbor of a; prefer the chain predecessor on
+		// ties so reciprocal pairs are detected and the chain terminates.
+		best, bd := -1, math.Inf(1)
+		if len(chain) >= 2 {
+			best = chain[len(chain)-2]
+			bd = d[a*n+best]
+		}
+		arow := d[a*n : (a+1)*n]
+		for b := 0; b < n; b++ {
+			if b != a && active[b] && arow[b] < bd {
+				best, bd = b, arow[b]
+			}
+		}
+		if len(chain) >= 2 && best == chain[len(chain)-2] {
+			// Reciprocal nearest neighbors: merge best into a.
+			merges = append(merges, Merge{A: a, B: best, Dist: math.Sqrt(bd)})
+			brow := d[best*n : (best+1)*n]
+			for t := 0; t < n; t++ {
+				if t != a && t != best && active[t] {
+					// Complete linkage: D(a∪b, t) = max(D(a,t), D(b,t)).
+					if brow[t] > arow[t] {
+						arow[t] = brow[t]
+						d[t*n+a] = brow[t]
+					}
+				}
+			}
+			active[best] = false
+			remaining--
+			chain = chain[:len(chain)-2]
+		} else {
+			chain = append(chain, best)
+		}
+	}
+	return &Hierarchy{n: n, merges: merges}, nil
+}
+
+// N returns the number of clustered items.
+func (h *Hierarchy) N() int { return h.n }
+
+// Merges returns the merge list (a copy) in chain order.
+func (h *Hierarchy) Merges() []Merge {
+	out := make([]Merge, len(h.merges))
+	copy(out, h.merges)
+	return out
+}
+
+// Cut truncates the dendrogram at c clusters and returns a label per item
+// in [0, c). Labels are assigned in order of first appearance. c is clamped
+// to [1, n].
+func (h *Hierarchy) Cut(c int) []int32 {
+	if c < 1 {
+		c = 1
+	}
+	if c > h.n {
+		c = h.n
+	}
+	parent := make([]int32, h.n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(i int32) int32 {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	// Apply the n−c lowest merges (complete linkage heights are monotone
+	// along the tree, so this equals cutting at a height threshold).
+	sorted := make([]Merge, len(h.merges))
+	copy(sorted, h.merges)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Dist < sorted[j].Dist })
+	for t := 0; t < h.n-c; t++ {
+		ra, rb := find(int32(sorted[t].A)), find(int32(sorted[t].B))
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	labels := make([]int32, h.n)
+	next := int32(0)
+	seen := make(map[int32]int32, c)
+	for i := 0; i < h.n; i++ {
+		r := find(int32(i))
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			seen[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+// KMeans clusters the rows of x into c clusters with Lloyd's algorithm and
+// k-means++ seeding. It returns per-row labels in [0, c). Deterministic for
+// a given seed. Provided as the faster-but-approximate alternative the
+// paper mentions (§2.2).
+func KMeans(x *linalg.Matrix, c int, maxIter int, seed int64) ([]int32, error) {
+	n, m := x.Dims()
+	if n < 1 {
+		return nil, ErrTooFewItems
+	}
+	if c < 1 || c > n {
+		return nil, fmt.Errorf("cluster: k-means needs 1 ≤ c ≤ %d, got %d", n, c)
+	}
+	if maxIter < 1 {
+		maxIter = 50
+	}
+	rng := newSplitMix(uint64(seed))
+
+	// k-means++ seeding.
+	centers := linalg.NewMatrix(c, m)
+	first := int(rng.next() % uint64(n))
+	copy(centers.Row(0), x.Row(first))
+	dist2 := make([]float64, n)
+	for i := range dist2 {
+		dist2[i] = sqDist(x.Row(i), centers.Row(0))
+	}
+	for cc := 1; cc < c; cc++ {
+		var total float64
+		for _, v := range dist2 {
+			total += v
+		}
+		pick := 0
+		if total > 0 {
+			target := (float64(rng.next()%(1<<53)) / (1 << 53)) * total
+			acc := 0.0
+			for i, v := range dist2 {
+				acc += v
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = int(rng.next() % uint64(n))
+		}
+		copy(centers.Row(cc), x.Row(pick))
+		for i := range dist2 {
+			if v := sqDist(x.Row(i), centers.Row(cc)); v < dist2[i] {
+				dist2[i] = v
+			}
+		}
+	}
+
+	labels := make([]int32, n)
+	counts := make([]int, c)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bd := int32(0), math.Inf(1)
+			for cc := 0; cc < c; cc++ {
+				if v := sqDist(x.Row(i), centers.Row(cc)); v < bd {
+					best, bd = int32(cc), v
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers.
+		for cc := 0; cc < c; cc++ {
+			counts[cc] = 0
+			row := centers.Row(cc)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			counts[labels[i]]++
+			crow := centers.Row(int(labels[i]))
+			for j, v := range x.Row(i) {
+				crow[j] += v
+			}
+		}
+		for cc := 0; cc < c; cc++ {
+			if counts[cc] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers.Row(cc), x.Row(int(rng.next()%uint64(n))))
+				continue
+			}
+			row := centers.Row(cc)
+			inv := 1 / float64(counts[cc])
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	return labels, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// splitMix is a tiny deterministic RNG so k-means does not depend on global
+// rand state.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+
+	"seqstore/internal/linalg"
+	"seqstore/internal/store"
+)
+
+// Store is the vector-quantization representation (§2.2): c cluster
+// representatives of length M plus one cluster reference per row. Looking
+// up cell (i, j) returns entry j of row i's representative — O(1)
+// reconstruction, at the cost of every member of a cluster reconstructing
+// to the same sequence.
+type Store struct {
+	rows, cols int
+	assign     []int32        // per-row cluster label, len rows
+	centroids  *linalg.Matrix // c×cols representatives
+}
+
+// NewStore builds the VQ store for x under the given assignment into c
+// clusters; the representative of each cluster is the centroid of its
+// members.
+func NewStore(x *linalg.Matrix, assign []int32, c int) (*Store, error) {
+	n, m := x.Dims()
+	if len(assign) != n {
+		return nil, fmt.Errorf("cluster: %d labels for %d rows", len(assign), n)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 cluster, got %d", c)
+	}
+	centroids := linalg.NewMatrix(c, m)
+	counts := make([]int, c)
+	for i := 0; i < n; i++ {
+		l := assign[i]
+		if l < 0 || int(l) >= c {
+			return nil, fmt.Errorf("cluster: label %d out of range [0,%d)", l, c)
+		}
+		counts[l]++
+		crow := centroids.Row(int(l))
+		for j, v := range x.Row(i) {
+			crow[j] += v
+		}
+	}
+	for cc := 0; cc < c; cc++ {
+		if counts[cc] == 0 {
+			continue
+		}
+		row := centroids.Row(cc)
+		inv := 1 / float64(counts[cc])
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	labels := make([]int32, n)
+	copy(labels, assign)
+	return &Store{rows: n, cols: m, assign: labels, centroids: centroids}, nil
+}
+
+// Compress builds the hierarchy for x, cuts it at c clusters, and returns
+// the VQ store. When evaluating many cluster counts on the same data, build
+// the hierarchy once with Build and call Cut/NewStore per count instead.
+func Compress(x *linalg.Matrix, c int) (*Store, error) {
+	h, err := Build(x)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(x, h.Cut(c), clampC(c, x.Rows()))
+}
+
+// CForBudget returns the largest cluster count whose representation
+// (c·M + N stored numbers, §5.1) fits the given fraction of N·M.
+func CForBudget(n, m int, budget float64) int {
+	if n <= 0 || m <= 0 || budget <= 0 {
+		return 0
+	}
+	c := int((budget*float64(n)*float64(m) - float64(n)) / float64(m))
+	if c < 0 {
+		c = 0
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+func clampC(c, n int) int {
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// Dims returns the dimensions of the represented matrix.
+func (s *Store) Dims() (int, int) { return s.rows, s.cols }
+
+// Method returns store.MethodCluster.
+func (s *Store) Method() store.Method { return store.MethodCluster }
+
+// Clusters returns the number of representatives.
+func (s *Store) Clusters() int { return s.centroids.Rows() }
+
+// Assignment returns row i's cluster label.
+func (s *Store) Assignment(i int) (int, error) {
+	if i < 0 || i >= s.rows {
+		return 0, fmt.Errorf("cluster: row %d out of range %d", i, s.rows)
+	}
+	return int(s.assign[i]), nil
+}
+
+// Cell returns the j-th entry of row i's representative.
+func (s *Store) Cell(i, j int) (float64, error) {
+	if i < 0 || i >= s.rows {
+		return 0, fmt.Errorf("cluster: row %d out of range %d", i, s.rows)
+	}
+	if j < 0 || j >= s.cols {
+		return 0, fmt.Errorf("cluster: column %d out of range %d", j, s.cols)
+	}
+	return s.centroids.At(int(s.assign[i]), j), nil
+}
+
+// Row copies row i's representative into dst.
+func (s *Store) Row(i int, dst []float64) ([]float64, error) {
+	if i < 0 || i >= s.rows {
+		return nil, fmt.Errorf("cluster: row %d out of range %d", i, s.rows)
+	}
+	if cap(dst) < s.cols {
+		dst = make([]float64, s.cols)
+	}
+	dst = dst[:s.cols]
+	copy(dst, s.centroids.Row(int(s.assign[i])))
+	return dst, nil
+}
+
+// StoredNumbers returns c·M + N: the representatives plus one cluster
+// reference per row (each counted as one stored number, as in §5.1).
+func (s *Store) StoredNumbers() int64 {
+	return int64(s.centroids.Rows())*int64(s.cols) + int64(s.rows)
+}
+
+// EncodePayload serializes dims, assignments and centroids.
+func (s *Store) EncodePayload(w *store.Writer) error {
+	w.U64(uint64(s.rows))
+	w.U64(uint64(s.cols))
+	w.U64(uint64(s.centroids.Rows()))
+	w.I32Slice(s.assign)
+	w.F64Slice(s.centroids.Data())
+	return w.Err()
+}
+
+func decode(r *store.Reader) (store.Store, error) {
+	rows := int(r.U64())
+	cols := int(r.U64())
+	c := int(r.U64())
+	assign := r.I32Slice()
+	cdata := r.F64Slice()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if rows < 0 || cols < 0 || c < 1 || !store.DimsSane(rows, cols, c) ||
+		len(assign) != rows || len(cdata) != c*cols {
+		return nil, fmt.Errorf("%w: cluster header inconsistent", store.ErrCorrupt)
+	}
+	for _, l := range assign {
+		if l < 0 || int(l) >= c {
+			return nil, fmt.Errorf("%w: cluster label %d out of range", store.ErrCorrupt, l)
+		}
+	}
+	return &Store{rows: rows, cols: cols, assign: assign,
+		centroids: linalg.NewMatrixFrom(c, cols, cdata)}, nil
+}
+
+func init() {
+	store.RegisterCodec(store.MethodCluster, decode)
+}
+
+var _ store.Encoder = (*Store)(nil)

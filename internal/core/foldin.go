@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math"
+
+	"seqstore/internal/bloom"
+	"seqstore/internal/pqueue"
+)
+
+// FoldIn appends a new sequence to the SVDD store without recompressing:
+// the row is folded into the SVD part (see svd.Store.FoldIn), its
+// reconstruction error is measured cell by cell, and up to maxDeltas of the
+// worst cells are pinned with exact deltas — the same repair SVDD applies
+// during compression, done incrementally.
+//
+// Folded-in deltas grow the store beyond its original budget by 3·maxDeltas
+// numbers per call; recompress offline to re-optimize, as the paper's
+// batching assumption intends. Returns the index of the new row.
+func (s *Store) FoldIn(row []float64, maxDeltas int) (int, error) {
+	idx, err := s.base.FoldIn(row)
+	if err != nil {
+		return 0, err
+	}
+	if maxDeltas <= 0 {
+		return idx, nil
+	}
+	_, m := s.base.Dims()
+	recon := make([]float64, m)
+	if _, err := s.base.Row(idx, recon); err != nil {
+		return 0, err
+	}
+	q := pqueue.NewTopK(maxDeltas)
+	for j, xv := range row {
+		if d := xv - recon[j]; d != 0 {
+			q.Offer(pqueue.Item{Row: idx, Col: j, Delta: d})
+		}
+	}
+	for _, it := range q.Items() {
+		// Skip negligible corrections: a delta is only worth its 3 numbers
+		// when it repairs a real error.
+		if math.Abs(it.Delta) < 1e-12 {
+			continue
+		}
+		key := bloom.CellKey(it.Row, it.Col, m)
+		s.deltas[key] = it.Delta
+		if s.filter != nil {
+			s.filter.Add(key)
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/matio"
+)
+
+func TestFoldInWithDeltasRepairsWorstCells(t *testing.T) {
+	x := phoneSmall(60)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, m := s.Dims()
+
+	// A new customer whose pattern the components cannot express: a single
+	// giant spike.
+	newRow := make([]float64, m)
+	newRow[17] = 1e4
+	idx, err := s.FoldIn(newRow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != n0 {
+		t.Fatalf("fold-in index = %d, want %d", idx, n0)
+	}
+	// The spike cell must be pinned exactly by a delta.
+	v, err := s.Cell(idx, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1e4) > 1e-6 {
+		t.Errorf("spike cell = %v, want 10000 (delta-pinned)", v)
+	}
+}
+
+func TestFoldInZeroDeltas(t *testing.T) {
+	x := phoneSmall(40)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.NumOutliers()
+	_, m := s.Dims()
+	if _, err := s.FoldIn(make([]float64, m), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumOutliers() != before {
+		t.Error("maxDeltas=0 stored deltas anyway")
+	}
+}
+
+func TestFoldInPreservesExistingCells(t *testing.T) {
+	x := phoneSmall(40)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRow, err := s.Row(11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), wantRow...)
+	cfg := dataset.DefaultPhoneConfig(1)
+	cfg.M = x.Cols()
+	extra := dataset.GeneratePhone(cfg)
+	if _, err := s.FoldIn(extra.Row(0), 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Row(11, nil)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("existing row changed at col %d", j)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+)
+
+func TestPrecisionValidation(t *testing.T) {
+	x := phoneSmall(30)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPrecision(2); err == nil {
+		t.Error("precision 2 accepted")
+	}
+	if err := s.SetPrecision(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Precision() != 4 {
+		t.Errorf("Precision = %d", s.Precision())
+	}
+	if s.StoredBytes() != s.StoredNumbers()*4 {
+		t.Error("StoredBytes inconsistent with b=4")
+	}
+}
+
+func TestHalfPrecisionRoundTrip(t *testing.T) {
+	x := phoneSmall(60)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPrecision(4); err != nil {
+		t.Fatal(err)
+	}
+
+	var full, half bytes.Buffer
+	s8, _ := Compress(matio.NewMem(x), Options{Budget: 0.15})
+	if err := store.Write(&full, s8); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(&half, s); err != nil {
+		t.Fatal(err)
+	}
+	// Half precision serialization must be substantially smaller.
+	if half.Len() >= full.Len()*3/4 {
+		t.Errorf("half-precision file %d bytes vs full %d — not smaller", half.Len(), full.Len())
+	}
+
+	got, err := store.Read(&half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.(*Store)
+	if gs.Precision() != 4 {
+		t.Errorf("decoded precision = %d", gs.Precision())
+	}
+	// Values must match to float32 relative accuracy; reconstruction
+	// quality must be essentially unchanged.
+	var sseFull, sseHalf float64
+	rowF := make([]float64, x.Cols())
+	rowH := make([]float64, x.Cols())
+	for i := 0; i < x.Rows(); i++ {
+		a, err := s8.Row(i, rowF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gs.Row(i, rowH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			dF := a[j] - x.At(i, j)
+			dH := b[j] - x.At(i, j)
+			sseFull += dF * dF
+			sseHalf += dH * dH
+		}
+	}
+	if sseHalf > sseFull*1.01+1e-9 {
+		t.Errorf("half-precision SSE %.6g vs full %.6g — degradation > 1%%", sseHalf, sseFull)
+	}
+}
+
+func TestHalfPrecisionOutliersNearExact(t *testing.T) {
+	x := phoneSmall(50)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPrecision(4)
+	var buf bytes.Buffer
+	if err := store.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.(*Store)
+	if gs.NumOutliers() == 0 {
+		t.Skip("no outliers at this budget")
+	}
+	scale := x.MaxAbs()
+	gs.Deltas(func(row, col int, delta float64) {
+		v, err := gs.Cell(row, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// float32 rounding: within ~1e-6 of exact, relative to data scale.
+		if math.Abs(v-x.At(row, col)) > 1e-5*scale {
+			t.Errorf("outlier (%d,%d): %v vs %v", row, col, v, x.At(row, col))
+		}
+	})
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"seqstore/internal/bloom"
+	"seqstore/internal/pqueue"
+	"seqstore/internal/store"
+	"seqstore/internal/svd"
+)
+
+// Store is the SVDD representation: a plain-SVD store plus a hash table of
+// (row, col) → delta for the outlier cells, fronted by an optional Bloom
+// filter that short-circuits the common "not an outlier" case.
+type Store struct {
+	base        *svd.Store
+	deltas      map[uint64]float64
+	filter      *bloom.Filter // nil when disabled
+	outlierCost int
+	diag        Diagnostics
+
+	// §6.2 zero-row flags: rows that are entirely zero reconstruct to 0
+	// without any U access. zeroFilter screens zeroSet the way filter
+	// screens deltas. Both nil/empty when the feature is off.
+	zeroSet    map[int32]struct{}
+	zeroList   []int32 // sorted, for serialization and space accounting
+	zeroFilter *bloom.Filter
+
+	probes     atomic.Int64 // hash-table probes performed
+	bloomSaves atomic.Int64 // probes avoided by the Bloom filter
+	zeroHits   atomic.Int64 // cell lookups answered by the zero-row flags
+}
+
+// newStore assembles the SVDD store from the pass-3 base, the chosen
+// outlier items, and any flagged all-zero rows.
+func newStore(base *svd.Store, items []pqueue.Item, zeroRows []int32, opts Options, diag Diagnostics) (*Store, error) {
+	_, m := base.Dims()
+	deltas := make(map[uint64]float64, len(items))
+	var filter *bloom.Filter
+	if opts.BloomFP >= 0 {
+		fp := opts.BloomFP
+		if fp == 0 {
+			fp = DefaultBloomFP
+		}
+		var err error
+		filter, err = bloom.New(len(items)+1, fp)
+		if err != nil {
+			return nil, fmt.Errorf("core: bloom filter: %w", err)
+		}
+	}
+	for _, it := range items {
+		key := bloom.CellKey(it.Row, it.Col, m)
+		deltas[key] = it.Delta
+		if filter != nil {
+			filter.Add(key)
+		}
+	}
+	s := &Store{
+		base:        base,
+		deltas:      deltas,
+		filter:      filter,
+		outlierCost: opts.OutlierCost,
+		diag:        diag,
+	}
+	if len(zeroRows) > 0 {
+		if err := s.installZeroRows(zeroRows, opts.BloomFP); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// installZeroRows builds the zero-row structures from a sorted id list.
+func (s *Store) installZeroRows(zeroRows []int32, bloomFP float64) error {
+	s.zeroList = zeroRows
+	s.zeroSet = make(map[int32]struct{}, len(zeroRows))
+	for _, r := range zeroRows {
+		s.zeroSet[r] = struct{}{}
+	}
+	if bloomFP >= 0 {
+		fp := bloomFP
+		if fp == 0 {
+			fp = DefaultBloomFP
+		}
+		zf, err := bloom.New(len(zeroRows)+1, fp)
+		if err != nil {
+			return fmt.Errorf("core: zero-row bloom filter: %w", err)
+		}
+		for _, r := range zeroRows {
+			zf.Add(uint64(r))
+		}
+		s.zeroFilter = zf
+	}
+	return nil
+}
+
+// isZeroRow reports whether row i was flagged as all-zero.
+func (s *Store) isZeroRow(i int) bool {
+	if s.zeroSet == nil {
+		return false
+	}
+	if s.zeroFilter != nil && !s.zeroFilter.Contains(uint64(i)) {
+		return false
+	}
+	_, ok := s.zeroSet[int32(i)]
+	return ok
+}
+
+// Dims returns the dimensions of the represented matrix.
+func (s *Store) Dims() (int, int) { return s.base.Dims() }
+
+// Method returns store.MethodSVDD.
+func (s *Store) Method() store.Method { return store.MethodSVDD }
+
+// K returns the chosen cutoff k_opt.
+func (s *Store) K() int { return s.base.K() }
+
+// NumOutliers returns the number of stored deltas.
+func (s *Store) NumOutliers() int { return len(s.deltas) }
+
+// Diagnostics returns what the 3-pass algorithm decided.
+func (s *Store) Diagnostics() Diagnostics { return s.diag }
+
+// Base exposes the underlying plain-SVD store (shared, do not modify); the
+// query package uses it for factored aggregation.
+func (s *Store) Base() *svd.Store { return s.base }
+
+// Deltas iterates over all stored outliers in unspecified order.
+func (s *Store) Deltas(fn func(row, col int, delta float64)) {
+	_, m := s.base.Dims()
+	for key, d := range s.deltas {
+		fn(int(key/uint64(m)), int(key%uint64(m)), d)
+	}
+}
+
+// ProbeStats reports how many delta-table probes were performed and how many
+// were avoided by the Bloom filter, for the ablation bench.
+func (s *Store) ProbeStats() (probes, bloomSaves int64) {
+	return s.probes.Load(), s.bloomSaves.Load()
+}
+
+// delta returns the stored correction for cell (i, j), or 0.
+func (s *Store) delta(i, j int) float64 {
+	_, m := s.base.Dims()
+	key := bloom.CellKey(i, j, m)
+	if s.filter != nil && !s.filter.Contains(key) {
+		s.bloomSaves.Add(1)
+		return 0
+	}
+	s.probes.Add(1)
+	return s.deltas[key]
+}
+
+// Cell reconstructs x̂[i][j]: the plain-SVD value plus the delta when the
+// cell is a stored outlier (in which case the reconstruction is exact).
+// Cells of flagged zero rows return 0 with no U access at all (§6.2).
+func (s *Store) Cell(i, j int) (float64, error) {
+	if s.isZeroRow(i) {
+		_, m := s.base.Dims()
+		if j < 0 || j >= m {
+			return 0, fmt.Errorf("core: column %d out of range %d", j, m)
+		}
+		s.zeroHits.Add(1)
+		return 0, nil
+	}
+	v, err := s.base.Cell(i, j)
+	if err != nil {
+		return 0, err
+	}
+	return v + s.delta(i, j), nil
+}
+
+// Row reconstructs row i, applying any deltas that fall in it.
+func (s *Store) Row(i int, dst []float64) ([]float64, error) {
+	n, m := s.base.Dims()
+	if s.isZeroRow(i) {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("core: row %d out of range %d", i, n)
+		}
+		if cap(dst) < m {
+			dst = make([]float64, m)
+		}
+		dst = dst[:m]
+		for j := range dst {
+			dst[j] = 0
+		}
+		s.zeroHits.Add(1)
+		return dst, nil
+	}
+	dst, err := s.base.Row(i, dst)
+	if err != nil {
+		return nil, err
+	}
+	for j := range dst {
+		dst[j] += s.delta(i, j)
+	}
+	return dst, nil
+}
+
+// ZeroRows returns the flagged all-zero rows (sorted), or nil when the
+// feature is off.
+func (s *Store) ZeroRows() []int32 {
+	out := make([]int32, len(s.zeroList))
+	copy(out, s.zeroList)
+	return out
+}
+
+// ZeroHits reports how many lookups were answered by the zero-row flags.
+func (s *Store) ZeroHits() int64 { return s.zeroHits.Load() }
+
+// SetPrecision selects b, the bytes per stored number at serialization
+// time (4 or 8), for the SVD part and the delta values alike. Quantized
+// deltas repair outliers to float32 accuracy instead of exactly.
+func (s *Store) SetPrecision(bytes int) error { return s.base.SetPrecision(bytes) }
+
+// Precision returns b, the bytes per stored number.
+func (s *Store) Precision() int { return s.base.Precision() }
+
+// StoredBytes returns StoredNumbers()·b.
+func (s *Store) StoredBytes() int64 { return s.StoredNumbers() * int64(s.Precision()) }
+
+// StoredNumbers returns the plain-SVD cost plus OutlierCost numbers per
+// stored delta plus one number per flagged zero row. The optional Bloom
+// filters are main-memory acceleration structures and, as in the paper,
+// are not charged against the space budget.
+func (s *Store) StoredNumbers() int64 {
+	return s.base.StoredNumbers() +
+		int64(len(s.deltas))*int64(s.outlierCost) +
+		int64(len(s.zeroList))
+}
+
+// EncodePayload serializes the base store, the delta table (sorted by key
+// for determinism), the diagnostics, and the Bloom filter.
+func (s *Store) EncodePayload(w *store.Writer) error {
+	if err := s.base.EncodePayload(w); err != nil {
+		return err
+	}
+	w.U32(uint32(s.outlierCost))
+	keys := make([]uint64, 0, len(s.deltas))
+	for k := range s.deltas {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U64(uint64(len(keys)))
+	prec := s.base.Precision()
+	for _, k := range keys {
+		w.U64(k)
+		w.FP(s.deltas[k], prec)
+	}
+	// Diagnostics.
+	w.U32(uint32(s.diag.KMax))
+	w.U32(uint32(s.diag.ChosenK))
+	w.U64(uint64(s.diag.Gamma))
+	w.U64(uint64(len(s.diag.Candidates)))
+	for _, c := range s.diag.Candidates {
+		w.U32(uint32(c.K))
+		w.U64(uint64(c.Gamma))
+		w.F64(c.SSE)
+		w.F64(c.Eps)
+	}
+	// Bloom filter (presence flag + bytes).
+	if s.filter != nil {
+		w.U16(1)
+		w.ByteSlice(s.filter.Marshal())
+	} else {
+		w.U16(0)
+	}
+	// Zero-row flags (§6.2); the Bloom filter over them is rebuilt on load.
+	w.I32Slice(s.zeroList)
+	if s.zeroFilter != nil {
+		w.U16(1)
+	} else {
+		w.U16(0)
+	}
+	return w.Err()
+}
+
+func decode(r *store.Reader) (store.Store, error) {
+	baseStore, err := svd.DecodePayload(r)
+	if err != nil {
+		return nil, err
+	}
+	outlierCost := int(r.U32())
+	nd := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if outlierCost <= 0 {
+		return nil, fmt.Errorf("%w: outlier cost %d", store.ErrCorrupt, outlierCost)
+	}
+	n, m := baseStore.Dims()
+	maxKey := uint64(n) * uint64(m)
+	deltas := make(map[uint64]float64, nd)
+	prec := baseStore.Precision()
+	for i := 0; i < nd; i++ {
+		key := r.U64()
+		val := r.FP(prec)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if key >= maxKey {
+			return nil, fmt.Errorf("%w: delta key %d outside %d×%d", store.ErrCorrupt, key, n, m)
+		}
+		deltas[key] = val
+	}
+	var diag Diagnostics
+	diag.KMax = int(r.U32())
+	diag.ChosenK = int(r.U32())
+	diag.Gamma = int(r.U64())
+	nc := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nc; i++ {
+		diag.Candidates = append(diag.Candidates, CandidateStat{
+			K:     int(r.U32()),
+			Gamma: int(r.U64()),
+			SSE:   r.F64(),
+			Eps:   r.F64(),
+		})
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	var filter *bloom.Filter
+	if r.U16() == 1 {
+		raw := r.ByteSlice()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		filter, err = bloom.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode bloom: %w", err)
+		}
+	}
+	zeroRows := r.I32Slice()
+	zeroHadBloom := r.U16() == 1
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		base:        baseStore,
+		deltas:      deltas,
+		filter:      filter,
+		outlierCost: outlierCost,
+		diag:        diag,
+	}
+	if len(zeroRows) > 0 {
+		for _, zr := range zeroRows {
+			if zr < 0 || int(zr) >= n {
+				return nil, fmt.Errorf("%w: zero row %d outside %d rows", store.ErrCorrupt, zr, n)
+			}
+		}
+		fp := DefaultBloomFP
+		if !zeroHadBloom {
+			fp = -1
+		}
+		if err := s.installZeroRows(zeroRows, fp); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func init() {
+	store.RegisterCodec(store.MethodSVDD, decode)
+}
+
+var _ store.Encoder = (*Store)(nil)

@@ -1,0 +1,282 @@
+// Package core implements SVDD — "SVD with Deltas" — the paper's proposed
+// enhancement (§4.2): trade retained principal components against a budget
+// of per-cell outlier deltas so that the worst-reconstructed cells are
+// repaired exactly, bounding the worst-case error.
+//
+// Compression follows the 3-pass algorithm of Figure 5:
+//
+//	pass 1  stream X once to build C = XᵀX; eigendecompose for Λ and V,
+//	        keeping k_max components; size the outlier budgets γ_k.
+//	pass 2  stream X again; for every cell compute its reconstruction error
+//	        under every candidate cutoff k (incremental partial sums make
+//	        this O(k_max) per cell); feed one bounded priority queue per
+//	        candidate k; accumulate the total squared error SSE_k.
+//	        Choose k_opt = argmin_k ε_k where ε_k = SSE_k − Σ(top-γ_k
+//	        errors²), i.e. the residual error after the γ_k worst cells
+//	        are repaired.
+//	pass 3  stream X a final time to emit U truncated to k_opt.
+//
+// The resulting Store keeps Λ, V, the delta hash table and an optional
+// Bloom filter in memory, and reads U row-wise (possibly from disk): a cell
+// reconstruction costs one U-row access, O(k) arithmetic, and one hash
+// probe — usually avoided by the Bloom filter (§4.2 "Data structures").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"seqstore/internal/matio"
+	"seqstore/internal/pqueue"
+	"seqstore/internal/svd"
+)
+
+// DefaultOutlierCost is the space cost of one delta triplet
+// (row, column, delta) in stored numbers.
+const DefaultOutlierCost = 3
+
+// DefaultBloomFP is the default Bloom-filter false-positive rate.
+const DefaultBloomFP = 0.01
+
+// DefaultMaxQueueItems caps the total capacity of the pass-2 priority
+// queues. When evaluating every k in 1..k_max would exceed this, the
+// candidate set is thinned to an evenly spaced grid (the endpoints are
+// always kept). This is an engineering bound the paper does not discuss; it
+// keeps pass-2 memory proportional to the cap rather than to k_max·γ_1.
+const DefaultMaxQueueItems = 2 << 20
+
+// Options configures SVDD compression.
+type Options struct {
+	// Budget is the allowed space as a fraction of the raw N·M numbers.
+	// Required: must be in (0, 1].
+	Budget float64
+	// OutlierCost is the per-delta space cost in numbers (default 3).
+	OutlierCost int
+	// ForceK, when > 0, skips the k_opt search and uses this cutoff with
+	// whatever outlier budget remains. Used by the ablation experiments.
+	ForceK int
+	// CandidateKs, when non-empty, restricts the k_opt search to these
+	// cutoffs (clamped to [1, k_max]).
+	CandidateKs []int
+	// MaxQueueItems caps total pass-2 queue capacity (default
+	// DefaultMaxQueueItems).
+	MaxQueueItems int
+	// BloomFP is the Bloom-filter false-positive rate; set negative to
+	// disable the filter. Zero means DefaultBloomFP.
+	BloomFP float64
+	// FlagZeroRows enables the §6.2 "engineering solution": rows that are
+	// entirely zero (customers with no activity) are flagged — with their
+	// own Bloom filter — so reconstructing their cells needs no U access
+	// at all. Each flagged row costs one stored number, paid for out of
+	// the outlier budget.
+	FlagZeroRows bool
+}
+
+// CandidateStat records the pass-2 evaluation of one candidate cutoff.
+type CandidateStat struct {
+	K     int     // cutoff evaluated
+	Gamma int     // outliers affordable at this cutoff
+	SSE   float64 // total squared error with k components, no deltas
+	Eps   float64 // residual squared error after repairing the top-γ cells
+}
+
+// Diagnostics describes what the 3-pass algorithm decided.
+type Diagnostics struct {
+	KMax       int             // largest cutoff that fit the budget
+	ChosenK    int             // the selected k_opt
+	Gamma      int             // outliers stored
+	Candidates []CandidateStat // per-candidate evaluation, ascending K
+}
+
+// Compression errors.
+var (
+	ErrBadBudget      = errors.New("core: budget must be in (0, 1]")
+	ErrBudgetTooSmall = errors.New("core: budget cannot fit a single principal component")
+)
+
+// Compress runs the 3-pass SVDD algorithm over src.
+func Compress(src matio.RowSource, opts Options) (*Store, error) {
+	if opts.Budget <= 0 || opts.Budget > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, opts.Budget)
+	}
+	// ---- pass 1: factors -------------------------------------------------
+	f, err := svd.ComputeFactors(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompressWithFactors(src, f, opts)
+}
+
+// CompressWithFactors runs passes 2 and 3 with factors computed earlier.
+// When sweeping many budgets over the same dataset (as the experiments do),
+// computing the factors once and reusing them here avoids repeating pass 1.
+func CompressWithFactors(src matio.RowSource, f *svd.Factors, opts Options) (*Store, error) {
+	if opts.Budget <= 0 || opts.Budget > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, opts.Budget)
+	}
+	if opts.OutlierCost <= 0 {
+		opts.OutlierCost = DefaultOutlierCost
+	}
+	if opts.MaxQueueItems <= 0 {
+		opts.MaxQueueItems = DefaultMaxQueueItems
+	}
+	n, m := src.Dims()
+	budgetNums := opts.Budget * float64(n) * float64(m)
+	kmax := 0
+	for k := 1; k <= f.Rank(); k++ {
+		if float64(svd.StoredNumbers(n, m, k)) <= budgetNums {
+			kmax = k
+		} else {
+			break
+		}
+	}
+	if kmax == 0 {
+		return nil, fmt.Errorf("%w: budget %.4f of %d×%d", ErrBudgetTooSmall, opts.Budget, n, m)
+	}
+	gamma := func(k int) int {
+		g := int((budgetNums - float64(svd.StoredNumbers(n, m, k))) / float64(opts.OutlierCost))
+		if g < 0 {
+			g = 0
+		}
+		return g
+	}
+	candidates := chooseCandidates(opts, kmax, gamma)
+
+	// ---- pass 2: per-candidate error queues ------------------------------
+	queues := make(map[int]*pqueue.TopK, len(candidates))
+	for _, k := range candidates {
+		queues[k] = pqueue.NewTopK(gamma(k))
+	}
+	sse := make([]float64, kmax+1) // sse[k] for k = 1..kmax
+	proj := make([]float64, kmax)
+	var zeroRows []int32
+	err := src.ScanRows(func(i int, row []float64) error {
+		// Projections p_m = Σ_l x[l]·v[l][m]; note σ_m·u[i][m] = p_m, so
+		// the rank-k reconstruction of cell j is Σ_{m<k} p_m·v[j][m].
+		for mm := range proj {
+			proj[mm] = 0
+		}
+		allZero := true
+		for l, xv := range row {
+			if xv == 0 {
+				continue
+			}
+			allZero = false
+			vrow := f.V.Row(l)
+			for mm := 0; mm < kmax; mm++ {
+				proj[mm] += xv * vrow[mm]
+			}
+		}
+		if allZero {
+			// A zero row reconstructs exactly under any cutoff; nothing to
+			// queue. Flag it (§6.2) when requested.
+			if opts.FlagZeroRows {
+				zeroRows = append(zeroRows, int32(i))
+			}
+			return nil
+		}
+		for j, xv := range row {
+			vrow := f.V.Row(j)
+			partial := 0.0
+			for k := 1; k <= kmax; k++ {
+				partial += proj[k-1] * vrow[k-1]
+				e := xv - partial
+				sse[k] += e * e
+				if q, ok := queues[k]; ok && q.Cap() > 0 {
+					q.Offer(pqueue.Item{Row: i, Col: j, Delta: e})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: pass 2: %w", err)
+	}
+
+	diag := Diagnostics{KMax: kmax}
+	best := -1
+	bestEps := 0.0
+	for _, k := range candidates {
+		eps := sse[k] - queues[k].SumSquaredWeights()
+		if eps < 0 { // roundoff guard
+			eps = 0
+		}
+		diag.Candidates = append(diag.Candidates, CandidateStat{
+			K: k, Gamma: gamma(k), SSE: sse[k], Eps: eps,
+		})
+		if best < 0 || eps < bestEps {
+			best, bestEps = k, eps
+		}
+	}
+	diag.ChosenK = best
+	diag.Gamma = queues[best].Len()
+
+	// ---- pass 3: emit U at k_opt -----------------------------------------
+	base, err := svd.CompressWithFactors(src, f, best)
+	if err != nil {
+		return nil, fmt.Errorf("core: pass 3: %w", err)
+	}
+
+	items := queues[best].Items()
+	if opts.FlagZeroRows && len(zeroRows) > 0 {
+		// The flags are paid for out of the delta budget: drop the
+		// lightest deltas so the total store still fits.
+		leftover := budgetNums - float64(svd.StoredNumbers(n, m, best)) - float64(len(zeroRows))
+		maxItems := int(leftover / float64(opts.OutlierCost))
+		if maxItems < 0 {
+			maxItems = 0
+		}
+		if len(items) > maxItems {
+			items = items[:maxItems]
+		}
+		diag.Gamma = len(items)
+	}
+	return newStore(base, items, zeroRows, opts, diag)
+}
+
+// chooseCandidates returns the cutoffs pass 2 will evaluate, ascending.
+func chooseCandidates(opts Options, kmax int, gamma func(int) int) []int {
+	if opts.ForceK > 0 {
+		k := opts.ForceK
+		if k > kmax {
+			k = kmax
+		}
+		return []int{k}
+	}
+	var ks []int
+	if len(opts.CandidateKs) > 0 {
+		seen := map[int]bool{}
+		for _, k := range opts.CandidateKs {
+			if k < 1 {
+				k = 1
+			}
+			if k > kmax {
+				k = kmax
+			}
+			if !seen[k] {
+				seen[k] = true
+				ks = append(ks, k)
+			}
+		}
+		sort.Ints(ks)
+		return ks
+	}
+	// Default: all of 1..kmax, thinned if the summed queue capacities
+	// would exceed the cap.
+	var total int64
+	for k := 1; k <= kmax; k++ {
+		total += int64(gamma(k))
+	}
+	stride := 1
+	for total/int64(stride) > int64(opts.MaxQueueItems) {
+		stride++
+	}
+	for k := 1; k <= kmax; k += stride {
+		ks = append(ks, k)
+	}
+	if ks[len(ks)-1] != kmax {
+		ks = append(ks, kmax)
+	}
+	return ks
+}

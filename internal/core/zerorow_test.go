@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+	"seqstore/internal/svd"
+)
+
+// matrixWithZeroRows builds phone-like data (with natural zero customers
+// disabled) where exactly the listed rows are zero.
+func matrixWithZeroRows(t *testing.T) (*linalg.Matrix, []int) {
+	t.Helper()
+	cfg := dataset.DefaultPhoneConfig(80)
+	cfg.M = 60
+	cfg.ZeroFrac = 0
+	x := dataset.GeneratePhone(cfg)
+	zeros := []int{3, 17, 41, 79}
+	for _, i := range zeros {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	return x, zeros
+}
+
+func TestZeroRowsFlagged(t *testing.T) {
+	x, zeros := matrixWithZeroRows(t)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.10, FlagZeroRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.ZeroRows()
+	if len(got) != len(zeros) {
+		t.Fatalf("flagged %v, want %v", got, zeros)
+	}
+	for i, z := range zeros {
+		if int(got[i]) != z {
+			t.Errorf("ZeroRows[%d] = %d, want %d", i, got[i], z)
+		}
+	}
+}
+
+func TestZeroRowsReconstructWithoutUAccess(t *testing.T) {
+	x, zeros := matrixWithZeroRows(t)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.10, FlagZeroRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Base().UStats().RowReads()
+	for _, i := range zeros {
+		v, err := s.Cell(i, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Errorf("zero row %d cell = %v", i, v)
+		}
+		row, err := s.Row(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range row {
+			if row[j] != 0 {
+				t.Fatalf("zero row %d col %d = %v", i, j, row[j])
+			}
+		}
+	}
+	if got := s.Base().UStats().RowReads() - before; got != 0 {
+		t.Errorf("zero-row lookups performed %d U accesses, want 0", got)
+	}
+	if s.ZeroHits() == 0 {
+		t.Error("ZeroHits not counted")
+	}
+}
+
+func TestZeroRowsRangeChecks(t *testing.T) {
+	x, _ := matrixWithZeroRows(t)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.10, FlagZeroRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cell(3, 999); err == nil {
+		t.Error("column range not checked on zero row")
+	}
+}
+
+func TestZeroRowsBudgetStillRespected(t *testing.T) {
+	x, _ := matrixWithZeroRows(t)
+	for _, budget := range []float64{0.05, 0.10, 0.20} {
+		s, err := Compress(matio.NewMem(x), Options{Budget: budget, FlagZeroRows: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := store.SpaceRatio(s); got > budget+1e-9 {
+			t.Errorf("budget %.2f: space ratio %.4f with zero flags", budget, got)
+		}
+	}
+}
+
+func TestZeroRowsOffByDefault(t *testing.T) {
+	x, _ := matrixWithZeroRows(t)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ZeroRows()) != 0 {
+		t.Error("zero rows flagged without opt-in")
+	}
+	// Zero rows still reconstruct as (numerically) zero through plain SVD:
+	// their projections vanish.
+	v, _ := s.Cell(3, 10)
+	if v != 0 {
+		t.Errorf("zero row through base = %v, want exactly 0", v)
+	}
+}
+
+func TestZeroRowsSerializationRoundTrip(t *testing.T) {
+	x, zeros := matrixWithZeroRows(t)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.10, FlagZeroRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.(*Store)
+	if len(gs.ZeroRows()) != len(zeros) {
+		t.Fatalf("zero rows lost: %v", gs.ZeroRows())
+	}
+	if gs.StoredNumbers() != s.StoredNumbers() {
+		t.Error("StoredNumbers changed")
+	}
+	before := gs.Base().UStats().RowReads()
+	if v, _ := gs.Cell(17, 100); v != 0 {
+		t.Error("decoded zero row not zero")
+	}
+	if gs.Base().UStats().RowReads() != before {
+		t.Error("decoded zero row performed a U access")
+	}
+}
+
+func TestZeroRowsWithDisabledBloom(t *testing.T) {
+	x, zeros := matrixWithZeroRows(t)
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.10, FlagZeroRows: true, BloomFP: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ZeroRows()) != len(zeros) {
+		t.Fatal("zero rows not flagged without bloom")
+	}
+	if v, _ := s.Cell(41, 0); v != 0 {
+		t.Error("zero row lookup wrong without bloom")
+	}
+}
+
+func TestAllZeroMatrixWithFlags(t *testing.T) {
+	// Degenerate: an all-zero matrix has rank 0, so compression must fail
+	// cleanly (no components to keep).
+	x := linalg.NewMatrix(10, 8)
+	_, err := Compress(matio.NewMem(x), Options{Budget: 0.5, FlagZeroRows: true})
+	if err == nil {
+		t.Error("rank-0 matrix accepted")
+	}
+}
+
+func TestZeroFlagsDropLightestDeltas(t *testing.T) {
+	// With flags on, the number of deltas may shrink but never grow, and
+	// the surviving deltas are the heaviest ones.
+	x, _ := matrixWithZeroRows(t)
+	mem := matio.NewMem(x)
+	f, err := svd.ComputeFactors(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := CompressWithFactors(mem, f, Options{Budget: 0.10, FlagZeroRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := CompressWithFactors(mem, f, Options{Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.NumOutliers() > without.NumOutliers() {
+		t.Errorf("flags grew deltas: %d > %d", with.NumOutliers(), without.NumOutliers())
+	}
+}

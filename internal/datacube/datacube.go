@@ -1,0 +1,219 @@
+// Package datacube extends the compression machinery to multi-dimensional
+// data, following §6.1 of the paper: a 3-d array of sales figures
+// (productid × storeid × weekid) is flattened into a 2-d matrix by grouping
+// two of the dimensions, compressed with any Store method, and queried
+// cell-wise through the inverse index mapping. Because cells are
+// reconstructed individually, how dimensions are collapsed "makes no
+// difference to the availability of access".
+package datacube
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqstore/internal/linalg"
+	"seqstore/internal/store"
+)
+
+// Cube is a dense 3-dimensional array with axes (d1, d2, d3), e.g.
+// products × stores × weeks.
+type Cube struct {
+	d1, d2, d3 int
+	data       []float64
+}
+
+// NewCube allocates a zeroed d1×d2×d3 cube.
+func NewCube(d1, d2, d3 int) (*Cube, error) {
+	if d1 < 0 || d2 < 0 || d3 < 0 {
+		return nil, fmt.Errorf("datacube: negative dimension %d×%d×%d", d1, d2, d3)
+	}
+	return &Cube{d1: d1, d2: d2, d3: d3, data: make([]float64, d1*d2*d3)}, nil
+}
+
+// Dims returns (d1, d2, d3).
+func (c *Cube) Dims() (int, int, int) { return c.d1, c.d2, c.d3 }
+
+// At returns cube element (i, j, k).
+func (c *Cube) At(i, j, k int) float64 {
+	c.check(i, j, k)
+	return c.data[(i*c.d2+j)*c.d3+k]
+}
+
+// Set assigns cube element (i, j, k).
+func (c *Cube) Set(i, j, k int, v float64) {
+	c.check(i, j, k)
+	c.data[(i*c.d2+j)*c.d3+k] = v
+}
+
+func (c *Cube) check(i, j, k int) {
+	if i < 0 || i >= c.d1 || j < 0 || j >= c.d2 || k < 0 || k >= c.d3 {
+		panic(fmt.Sprintf("datacube: index (%d,%d,%d) out of range %d×%d×%d",
+			i, j, k, c.d1, c.d2, c.d3))
+	}
+}
+
+// Grouping selects which two dimensions are collapsed into matrix rows.
+type Grouping int
+
+// The two 3-mode groupings of §6.1.
+const (
+	// Group12 flattens to a (d1·d2) × d3 matrix: rows are (i, j) pairs.
+	Group12 Grouping = iota
+	// Group23 flattens to a d1 × (d2·d3) matrix: columns are (j, k) pairs.
+	Group23
+)
+
+// String names the grouping.
+func (g Grouping) String() string {
+	switch g {
+	case Group12:
+		return "(d1×d2)×d3"
+	case Group23:
+		return "d1×(d2×d3)"
+	default:
+		return fmt.Sprintf("grouping(%d)", int(g))
+	}
+}
+
+// MatrixDims returns the flattened matrix shape under g.
+func (c *Cube) MatrixDims(g Grouping) (rows, cols int) {
+	switch g {
+	case Group12:
+		return c.d1 * c.d2, c.d3
+	default:
+		return c.d1, c.d2 * c.d3
+	}
+}
+
+// ChooseGrouping implements the paper's guidance: prefer the more square
+// matrix (better compression) whose column count still fits the in-memory
+// C-matrix budget maxCols (since pass 1 holds an M×M matrix). maxCols ≤ 0
+// means unconstrained.
+func (c *Cube) ChooseGrouping(maxCols int) Grouping {
+	fits := func(cols int) bool { return maxCols <= 0 || cols <= maxCols }
+	r12, c12 := c.MatrixDims(Group12)
+	r23, c23 := c.MatrixDims(Group23)
+	sq := func(r, cc int) float64 {
+		if r == 0 || cc == 0 {
+			return math.Inf(1)
+		}
+		return math.Abs(math.Log(float64(r) / float64(cc)))
+	}
+	best := Group12
+	bestSq := math.Inf(1)
+	if fits(c12) {
+		best, bestSq = Group12, sq(r12, c12)
+	}
+	if fits(c23) && sq(r23, c23) < bestSq {
+		best = Group23
+	}
+	return best
+}
+
+// Flatten materializes the cube as a matrix under grouping g.
+func (c *Cube) Flatten(g Grouping) *linalg.Matrix {
+	rows, cols := c.MatrixDims(g)
+	m := linalg.NewMatrix(rows, cols)
+	for i := 0; i < c.d1; i++ {
+		for j := 0; j < c.d2; j++ {
+			for k := 0; k < c.d3; k++ {
+				r, cc := Index(g, c.d2, c.d3, i, j, k)
+				m.Set(r, cc, c.At(i, j, k))
+			}
+		}
+	}
+	return m
+}
+
+// Index maps cube coordinates to flattened (row, col) under grouping g.
+func Index(g Grouping, d2, d3, i, j, k int) (row, col int) {
+	switch g {
+	case Group12:
+		return i*d2 + j, k
+	default:
+		return i, j*d3 + k
+	}
+}
+
+// Store answers 3-d cell queries through a compressed 2-d store built over
+// a flattening of the cube.
+type Store struct {
+	inner      store.Store
+	g          Grouping
+	d1, d2, d3 int
+}
+
+// ErrDimsMismatch is returned when the inner store's shape does not match
+// the declared cube shape under the grouping.
+var ErrDimsMismatch = errors.New("datacube: store dimensions do not match cube flattening")
+
+// NewStore wraps a compressed store of the flattened cube.
+func NewStore(inner store.Store, g Grouping, d1, d2, d3 int) (*Store, error) {
+	c := Cube{d1: d1, d2: d2, d3: d3}
+	wr, wc := c.MatrixDims(g)
+	gr, gc := inner.Dims()
+	if gr != wr || gc != wc {
+		return nil, fmt.Errorf("%w: store %d×%d, cube %s is %d×%d",
+			ErrDimsMismatch, gr, gc, g, wr, wc)
+	}
+	return &Store{inner: inner, g: g, d1: d1, d2: d2, d3: d3}, nil
+}
+
+// Dims returns the cube dimensions.
+func (s *Store) Dims() (int, int, int) { return s.d1, s.d2, s.d3 }
+
+// Grouping returns the flattening in use.
+func (s *Store) Grouping() Grouping { return s.g }
+
+// Inner returns the wrapped 2-d store.
+func (s *Store) Inner() store.Store { return s.inner }
+
+// Cell reconstructs cube element (i, j, k).
+func (s *Store) Cell(i, j, k int) (float64, error) {
+	if i < 0 || i >= s.d1 || j < 0 || j >= s.d2 || k < 0 || k >= s.d3 {
+		return 0, fmt.Errorf("datacube: index (%d,%d,%d) out of range %d×%d×%d",
+			i, j, k, s.d1, s.d2, s.d3)
+	}
+	r, c := Index(s.g, s.d2, s.d3, i, j, k)
+	return s.inner.Cell(r, c)
+}
+
+// SalesConfig parameterizes the synthetic product×store×week sales cube
+// used by the DataCube example and experiment.
+type SalesConfig struct {
+	Products, Stores, Weeks int
+	Seed                    int64
+}
+
+// GenerateSales synthesizes a sales cube: each product has a seasonal
+// demand curve, each store a scale factor, plus noise — so the flattened
+// matrix has the low effective rank the compression exploits.
+func GenerateSales(cfg SalesConfig) (*Cube, error) {
+	c, err := NewCube(cfg.Products, cfg.Stores, cfg.Weeks)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	productAmp := make([]float64, cfg.Products)
+	productPhase := make([]float64, cfg.Products)
+	for p := range productAmp {
+		productAmp[p] = 5 * math.Pow(1-rng.Float64(), -1/1.3)
+		productPhase[p] = rng.Float64() * 2 * math.Pi
+	}
+	storeScale := make([]float64, cfg.Stores)
+	for s := range storeScale {
+		storeScale[s] = 0.3 + 2*rng.Float64()
+	}
+	for p := 0; p < cfg.Products; p++ {
+		for s := 0; s < cfg.Stores; s++ {
+			for w := 0; w < cfg.Weeks; w++ {
+				season := 1 + 0.5*math.Sin(2*math.Pi*float64(w)/52+productPhase[p])
+				v := productAmp[p] * storeScale[s] * season * math.Exp(rng.NormFloat64()*0.15)
+				c.Set(p, s, w, v)
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,188 @@
+package datacube
+
+import (
+	"math"
+	"testing"
+
+	"seqstore/internal/core"
+	"seqstore/internal/matio"
+)
+
+func TestNewCubeValidation(t *testing.T) {
+	if _, err := NewCube(-1, 2, 3); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	c, err := NewCube(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2, d3 := c.Dims(); d1 != 2 || d2 != 3 || d3 != 4 {
+		t.Errorf("Dims = %d,%d,%d", d1, d2, d3)
+	}
+}
+
+func TestCubeSetAt(t *testing.T) {
+	c, _ := NewCube(2, 3, 4)
+	c.Set(1, 2, 3, 42)
+	if c.At(1, 2, 3) != 42 {
+		t.Error("Set/At round trip failed")
+	}
+	if c.At(0, 0, 0) != 0 {
+		t.Error("fresh cube not zeroed")
+	}
+}
+
+func TestCubeOutOfRangePanics(t *testing.T) {
+	c, _ := NewCube(2, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	c.At(2, 0, 0)
+}
+
+func TestMatrixDims(t *testing.T) {
+	c, _ := NewCube(10, 20, 30)
+	if r, cc := c.MatrixDims(Group12); r != 200 || cc != 30 {
+		t.Errorf("Group12 dims = %d×%d", r, cc)
+	}
+	if r, cc := c.MatrixDims(Group23); r != 10 || cc != 600 {
+		t.Errorf("Group23 dims = %d×%d", r, cc)
+	}
+}
+
+func TestChooseGroupingPrefersSquare(t *testing.T) {
+	// 100×100×10: Group12 is 10000×10, Group23 is 100×1000. Group23 log
+	// ratio |log(0.1)| equals Group12's |log(1000)|... so compute: Group12
+	// ratio 10000/10=1000; Group23 100/1000=0.1 → |log| = log(1000) vs
+	// log(10): Group23 is squarer.
+	c, _ := NewCube(100, 100, 10)
+	if g := c.ChooseGrouping(0); g != Group23 {
+		t.Errorf("ChooseGrouping = %v, want Group23", g)
+	}
+	// With a cap that Group23's 1000 columns violate, fall back to Group12.
+	if g := c.ChooseGrouping(500); g != Group12 {
+		t.Errorf("capped ChooseGrouping = %v, want Group12", g)
+	}
+}
+
+func TestFlattenIndexConsistency(t *testing.T) {
+	c, _ := NewCube(3, 4, 5)
+	v := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				c.Set(i, j, k, v)
+				v++
+			}
+		}
+	}
+	for _, g := range []Grouping{Group12, Group23} {
+		m := c.Flatten(g)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				for k := 0; k < 5; k++ {
+					r, cc := Index(g, 4, 5, i, j, k)
+					if m.At(r, cc) != c.At(i, j, k) {
+						t.Fatalf("%v: flatten/index mismatch at (%d,%d,%d)", g, i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSalesDeterministic(t *testing.T) {
+	cfg := SalesConfig{Products: 5, Stores: 4, Weeks: 10, Seed: 1}
+	a, err := GenerateSales(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenerateSales(cfg)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 10; k++ {
+				if a.At(i, j, k) != b.At(i, j, k) {
+					t.Fatal("sales generation not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	cube, err := GenerateSales(SalesConfig{Products: 20, Stores: 8, Weeks: 26, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cube.ChooseGrouping(0)
+	flat := cube.Flatten(g)
+	inner, err := core.Compress(matio.NewMem(flat), core.Options{Budget: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewStore(inner, g, 20, 8, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction through the cube index must match reconstruction
+	// through the flat index.
+	for i := 0; i < 20; i += 3 {
+		for j := 0; j < 8; j += 2 {
+			for k := 0; k < 26; k += 5 {
+				got, err := cs.Cell(i, j, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, cc := Index(g, 8, 26, i, j, k)
+				want, _ := inner.Cell(r, cc)
+				if got != want {
+					t.Fatalf("cube/flat mismatch at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	// Error should be modest on this low-rank cube.
+	var sse, dev float64
+	mean := flat.Mean()
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 8; j++ {
+			for k := 0; k < 26; k++ {
+				got, _ := cs.Cell(i, j, k)
+				d := got - cube.At(i, j, k)
+				sse += d * d
+				dv := cube.At(i, j, k) - mean
+				dev += dv * dv
+			}
+		}
+	}
+	if rmspe := math.Sqrt(sse / dev); rmspe > 0.6 {
+		t.Errorf("cube RMSPE = %.3f, expected < 0.6", rmspe)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	cube, _ := GenerateSales(SalesConfig{Products: 4, Stores: 3, Weeks: 6, Seed: 3})
+	flat := cube.Flatten(Group12)
+	inner, err := core.Compress(matio.NewMem(flat), core.Options{Budget: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(inner, Group23, 4, 3, 6); err == nil {
+		t.Error("mismatched grouping accepted")
+	}
+	cs, err := NewStore(inner, Group12, 4, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Cell(4, 0, 0); err == nil {
+		t.Error("out-of-range cube cell accepted")
+	}
+	if cs.Grouping() != Group12 {
+		t.Error("Grouping accessor wrong")
+	}
+	if cs.Inner() != inner {
+		t.Error("Inner accessor wrong")
+	}
+}

@@ -1,0 +1,177 @@
+package datacube
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randCube(r *rand.Rand, d1, d2, d3 int) *Cube {
+	c, _ := NewCube(d1, d2, d3)
+	for i := range c.data {
+		c.data[i] = r.NormFloat64() * 5
+	}
+	return c
+}
+
+func cubeSSE(t *testing.T, c *Cube, tk *Tucker) float64 {
+	t.Helper()
+	var sse float64
+	d1, d2, d3 := c.Dims()
+	for i := 0; i < d1; i++ {
+		for j := 0; j < d2; j++ {
+			for k := 0; k < d3; k++ {
+				got, err := tk.Cell(i, j, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := got - c.At(i, j, k)
+				sse += d * d
+			}
+		}
+	}
+	return sse
+}
+
+func TestTuckerFullRankExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := randCube(r, 4, 5, 6)
+	tk, err := DecomposeTucker(c, 4, 5, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var energy float64
+	for _, v := range c.data {
+		energy += v * v
+	}
+	if sse := cubeSSE(t, c, tk); sse > 1e-8*energy {
+		t.Errorf("full-rank Tucker SSE = %g, want ≈0", sse)
+	}
+}
+
+func TestTuckerRankValidation(t *testing.T) {
+	c, _ := NewCube(3, 3, 3)
+	if _, err := DecomposeTucker(c, 0, 1, 1, 0); !errors.Is(err, ErrBadRank) {
+		t.Errorf("rank 0: %v", err)
+	}
+	if _, err := DecomposeTucker(c, 1, 4, 1, 0); !errors.Is(err, ErrBadRank) {
+		t.Errorf("rank > dim: %v", err)
+	}
+}
+
+func TestTuckerLowRankStructured(t *testing.T) {
+	// A rank-(1,1,1) cube: outer product of three vectors. Tucker at
+	// (1,1,1) must reconstruct it exactly.
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5}
+	cc := []float64{6, 7, 8, 9}
+	c, _ := NewCube(3, 2, 4)
+	for i := range a {
+		for j := range b {
+			for k := range cc {
+				c.Set(i, j, k, a[i]*b[j]*cc[k])
+			}
+		}
+	}
+	tk, err := DecomposeTucker(c, 1, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var energy float64
+	for _, v := range c.data {
+		energy += v * v
+	}
+	if sse := cubeSSE(t, c, tk); sse > 1e-8*energy {
+		t.Errorf("rank-1 cube SSE = %g", sse)
+	}
+	if tk.StoredNumbers() != 3+2+4+1 {
+		t.Errorf("StoredNumbers = %d", tk.StoredNumbers())
+	}
+}
+
+func TestTuckerHOOIImproves(t *testing.T) {
+	// HOOI refinement must never be worse than plain HOSVD (allowing
+	// tiny numerical slack).
+	cube, err := GenerateSales(SalesConfig{Products: 15, Stores: 6, Weeks: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, err := DecomposeTucker(cube, 4, 3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := DecomposeTucker(cube, 4, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := cubeSSE(t, cube, t0)
+	s2 := cubeSSE(t, cube, t2)
+	if s2 > s0*1.001 {
+		t.Errorf("HOOI made fit worse: %g vs %g", s2, s0)
+	}
+}
+
+func TestTuckerErrorMonotoneInRank(t *testing.T) {
+	cube, err := GenerateSales(SalesConfig{Products: 10, Stores: 5, Weeks: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for r := 1; r <= 5; r++ {
+		tk, err := DecomposeTucker(cube, r, min(r, 5), min(r, 8), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse := cubeSSE(t, cube, tk)
+		if sse > prev*1.01 {
+			t.Errorf("rank %d SSE %g above previous %g", r, sse, prev)
+		}
+		prev = sse
+	}
+}
+
+func TestTuckerCellRangeChecks(t *testing.T) {
+	cube, _ := GenerateSales(SalesConfig{Products: 4, Stores: 3, Weeks: 5, Seed: 5})
+	tk, err := DecomposeTucker(cube, 2, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Cell(4, 0, 0); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := tk.Cell(0, 0, -1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if d1, d2, d3 := tk.Dims(); d1 != 4 || d2 != 3 || d3 != 5 {
+		t.Error("Dims wrong")
+	}
+	if r1, r2, r3 := tk.Ranks(); r1 != 2 || r2 != 2 || r3 != 2 {
+		t.Error("Ranks wrong")
+	}
+}
+
+func TestTuckerRanksForBudget(t *testing.T) {
+	d1, d2, d3 := 100, 20, 50
+	for _, budget := range []float64{0.01, 0.05, 0.10, 0.5} {
+		r1, r2, r3 := TuckerRanksForBudget(d1, d2, d3, budget)
+		cost := float64(d1*r1+d2*r2+d3*r3) + float64(r1*r2*r3)
+		total := budget * float64(d1*d2*d3)
+		if r1 > 1 || r2 > 1 || r3 > 1 {
+			if cost > total {
+				t.Errorf("budget %.2f: cost %.0f exceeds %.0f (ranks %d,%d,%d)",
+					budget, cost, total, r1, r2, r3)
+			}
+		}
+		if r1 < 1 || r2 < 1 || r3 < 1 {
+			t.Errorf("budget %.2f: degenerate ranks", budget)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

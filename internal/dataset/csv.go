@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"seqstore/internal/linalg"
+)
+
+// WriteCSV emits the matrix as comma-separated values, one row per line.
+// Values are formatted with strconv 'g'/-1, so LoadCSV round-trips them
+// bit-exactly.
+func WriteCSV(w io.Writer, m *linalg.Matrix) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	rows, cols := m.Dims()
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := 0; j < cols; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return fmt.Errorf("dataset: write csv: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(row[j], 'g', -1, 64)); err != nil {
+				return fmt.Errorf("dataset: write csv: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: write csv: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: write csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a matrix from comma-separated values: one sequence per
+// line, all lines the same length. Blank lines and lines starting with '#'
+// are skipped; a non-numeric first line is treated as a header and skipped.
+func ReadCSV(r io.Reader) (*linalg.Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var data []float64
+	cols := -1
+	rows := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		vals := make([]float64, len(fields))
+		bad := false
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			vals[j] = v
+		}
+		if bad {
+			if rows == 0 && cols == -1 {
+				// Header line: skip.
+				continue
+			}
+			return nil, fmt.Errorf("dataset: csv line %d: non-numeric field", lineNo)
+		}
+		if cols == -1 {
+			cols = len(vals)
+		} else if len(vals) != cols {
+			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", lineNo, len(vals), cols)
+		}
+		data = append(data, vals...)
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if rows == 0 {
+		return linalg.NewMatrix(0, 0), nil
+	}
+	return linalg.NewMatrixFrom(rows, cols, data), nil
+}

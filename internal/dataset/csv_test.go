@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"seqstore/internal/linalg"
+)
+
+func TestCSVRoundTripBitExact(t *testing.T) {
+	x := GeneratePhone(DefaultPhoneConfig(20))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := got.Dims(); r != 20 || c != 366 {
+		t.Fatalf("dims = (%d,%d)", r, c)
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 366; j++ {
+			if math.Float64bits(got.At(i, j)) != math.Float64bits(x.At(i, j)) {
+				t.Fatalf("cell (%d,%d) not bit-exact", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVSpecialValues(t *testing.T) {
+	x := linalg.FromRows([][]float64{{0, -1e-300, 1e300, 0.1}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		if got.At(0, j) != x.At(0, j) {
+			t.Errorf("col %d: %v != %v", j, got.At(0, j), x.At(0, j))
+		}
+	}
+}
+
+func TestReadCSVHeaderAndComments(t *testing.T) {
+	in := "day1,day2,day3\n# a comment\n1,2,3\n\n4,5,6\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := got.Dims(); r != 2 || c != 3 {
+		t.Fatalf("dims = (%d,%d)", r, c)
+	}
+	if got.At(1, 2) != 6 {
+		t.Error("values wrong")
+	}
+}
+
+func TestReadCSVRaggedRejected(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Error("ragged csv accepted")
+	}
+}
+
+func TestReadCSVNonNumericMidFile(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\nfoo,bar\n")); err == nil {
+		t.Error("non-numeric row after data accepted")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := got.Dims(); r != 0 {
+		t.Error("empty csv should give empty matrix")
+	}
+}
+
+func TestReadCSVWhitespaceTolerant(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(" 1 , 2 \n 3 , 4 \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 0) != 3 {
+		t.Error("whitespace not trimmed")
+	}
+}

@@ -1,0 +1,217 @@
+// Package dataset synthesizes the evaluation datasets of the paper.
+//
+// The paper evaluates on two real datasets we cannot ship: AT&T customer
+// calling volumes ("phone100K": N=100,000 customers × M=366 days) and daily
+// stock closing prices ("stocks": N=381 × M=128). This package generates
+// structural stand-ins that preserve the properties the experiments depend
+// on (see DESIGN.md §3):
+//
+//   - phone: a mixture of weekday ("business") and weekend ("residential")
+//     calling patterns — the two "blobs" of Table 1 — with Zipf-skewed
+//     customer volumes, mild seasonality, multiplicative noise, sparse
+//     spike outliers, and a fraction of all-zero customers (§6.2).
+//   - stocks: geometric random walks sharing a strong market factor, so
+//     most sequences follow one dominant direction (Figure 11, right) and
+//     successive values are highly correlated (which is what makes DCT
+//     competitive on this dataset, §5.1).
+//
+// All generators are deterministic given their Seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"seqstore/internal/linalg"
+)
+
+// PhoneConfig parameterizes the synthetic calling-volume matrix.
+type PhoneConfig struct {
+	N, M int   // customers × days
+	Seed int64 // RNG seed; same seed ⇒ same matrix
+
+	// Customer-mix fractions; they should sum to ≤ 1, the remainder are
+	// "mixed" callers active all week.
+	BusinessFrac    float64
+	ResidentialFrac float64
+	// ZeroFrac is the fraction of customers with no activity at all
+	// (the paper's §6.2 practical issue).
+	ZeroFrac float64
+
+	// ParetoAlpha controls volume skew across customers (smaller = heavier
+	// tail). The paper's Figure 11 shows a Zipf-like distribution.
+	ParetoAlpha float64
+	// NoiseLevel is the std-dev of multiplicative log-normal noise.
+	NoiseLevel float64
+	// SpikeProb is the per-cell probability of an outlier spike; SpikeScale
+	// is the spike magnitude multiplier. These produce the few
+	// badly-reconstructed cells SVDD repairs (Figure 8).
+	SpikeProb  float64
+	SpikeScale float64
+	// SeasonAmp is the amplitude of an annual sinusoidal component.
+	SeasonAmp float64
+}
+
+// DefaultPhoneConfig returns the configuration used throughout the
+// experiments for an n-customer dataset with the paper's M=366 days.
+func DefaultPhoneConfig(n int) PhoneConfig {
+	return PhoneConfig{
+		N: n, M: 366, Seed: 42,
+		BusinessFrac:    0.45,
+		ResidentialFrac: 0.40,
+		ZeroFrac:        0.03,
+		ParetoAlpha:     2.0,
+		NoiseLevel:      0.15,
+		SpikeProb:       0.001,
+		SpikeScale:      25,
+		SeasonAmp:       0.3,
+	}
+}
+
+// GeneratePhone synthesizes the calling-volume matrix.
+//
+// Important for the scale-up experiment (Figure 10 / Table 4): the first n
+// rows of a larger configuration equal GeneratePhone of the smaller one, so
+// "phone2000" really is a prefix of "phone100K" as in the paper. This holds
+// because each row is generated from an RNG seeded per row.
+func GeneratePhone(cfg PhoneConfig) *linalg.Matrix {
+	x := linalg.NewMatrix(cfg.N, cfg.M)
+	for i := 0; i < cfg.N; i++ {
+		generatePhoneRow(cfg, i, x.Row(i))
+	}
+	return x
+}
+
+// generatePhoneRow fills row i deterministically from (Seed, i).
+func generatePhoneRow(cfg PhoneConfig, i int, row []float64) {
+	r := rand.New(rand.NewSource(cfg.Seed ^ (0x9e3779b9*int64(i) + 1)))
+
+	u := r.Float64()
+	switch {
+	case u < cfg.ZeroFrac:
+		for j := range row {
+			row[j] = 0
+		}
+		return
+	case u < cfg.ZeroFrac+cfg.BusinessFrac:
+		fillPhonePattern(cfg, r, row, businessWeek)
+	case u < cfg.ZeroFrac+cfg.BusinessFrac+cfg.ResidentialFrac:
+		fillPhonePattern(cfg, r, row, residentialWeek)
+	default:
+		fillPhonePattern(cfg, r, row, mixedWeek)
+	}
+}
+
+// Weekly base patterns (index = day mod 7, day 0 is a Monday).
+var (
+	businessWeek    = [7]float64{1.0, 1.05, 1.1, 1.05, 0.95, 0.08, 0.04}
+	residentialWeek = [7]float64{0.15, 0.12, 0.15, 0.2, 0.45, 1.0, 0.9}
+	mixedWeek       = [7]float64{0.6, 0.6, 0.65, 0.6, 0.7, 0.55, 0.5}
+)
+
+func fillPhonePattern(cfg PhoneConfig, r *rand.Rand, row []float64, week [7]float64) {
+	// Pareto-distributed customer volume (heavy tail ⇒ Zipf-like skew).
+	amp := 5 * math.Pow(1-r.Float64(), -1/cfg.ParetoAlpha)
+	// Small per-customer phase/strength variation keeps rank > 2 but low.
+	patternStrength := 0.85 + 0.3*r.Float64()
+	for j := range row {
+		season := 1 + cfg.SeasonAmp*math.Sin(2*math.Pi*float64(j)/366+r.Float64()*0.01)
+		base := amp * (week[j%7]*patternStrength + 0.02) * season
+		noise := math.Exp(r.NormFloat64() * cfg.NoiseLevel)
+		v := base * noise
+		if r.Float64() < cfg.SpikeProb {
+			v += amp * cfg.SpikeScale * (0.5 + r.Float64())
+		}
+		if v < 0 {
+			v = 0
+		}
+		row[j] = v
+	}
+}
+
+// StocksConfig parameterizes the synthetic stock-closing-price matrix.
+type StocksConfig struct {
+	N, M int
+	Seed int64
+	// MarketVol is the daily volatility of the shared market factor;
+	// IdioVol the stock-specific volatility. A high MarketVol/IdioVol
+	// ratio yields the single dominant SVD direction of Figure 11.
+	MarketVol float64
+	IdioVol   float64
+	// BetaSpread is the std-dev of the market loading across stocks.
+	BetaSpread float64
+}
+
+// DefaultStocksConfig returns the paper's stocks dimensions: 381 stocks ×
+// 128 trading days.
+func DefaultStocksConfig() StocksConfig {
+	return StocksConfig{
+		N: 381, M: 128, Seed: 7,
+		MarketVol:  0.012,
+		IdioVol:    0.009,
+		BetaSpread: 0.35,
+	}
+}
+
+// GenerateStocks synthesizes the price matrix as geometric random walks with
+// a common market factor.
+func GenerateStocks(cfg StocksConfig) *linalg.Matrix {
+	rm := rand.New(rand.NewSource(cfg.Seed))
+	market := make([]float64, cfg.M)
+	level := 0.0
+	for t := range market {
+		level += rm.NormFloat64()*cfg.MarketVol + 0.0004
+		market[t] = level
+	}
+	x := linalg.NewMatrix(cfg.N, cfg.M)
+	for i := 0; i < cfg.N; i++ {
+		r := rand.New(rand.NewSource(cfg.Seed ^ (0x51ed2701*int64(i) + 3)))
+		price := 10 + 90*r.Float64()
+		beta := 1 + r.NormFloat64()*cfg.BetaSpread
+		logp := math.Log(price)
+		prevMarket := 0.0
+		row := x.Row(i)
+		for t := 0; t < cfg.M; t++ {
+			mret := market[t] - prevMarket
+			prevMarket = market[t]
+			logp += beta*mret + r.NormFloat64()*cfg.IdioVol
+			row[t] = math.Exp(logp)
+		}
+	}
+	return x
+}
+
+// Toy returns the 7×5 customer-day matrix of Table 1 (the worked SVD example
+// of Eq. 5): four weekday business callers and three weekend residential
+// callers.
+func Toy() *linalg.Matrix {
+	return linalg.FromRows([][]float64{
+		{1, 1, 1, 0, 0},
+		{2, 2, 2, 0, 0},
+		{1, 1, 1, 0, 0},
+		{5, 5, 5, 0, 0},
+		{0, 0, 0, 2, 2},
+		{0, 0, 0, 3, 3},
+		{0, 0, 0, 1, 1},
+	})
+}
+
+// ToyRowLabels and ToyColLabels name the rows and columns of Toy, matching
+// Table 1 of the paper.
+var (
+	ToyRowLabels = []string{"ABC Inc.", "DEF Ltd.", "GHI Inc.", "KLM Co.", "Smith", "Johnson", "Thompson"}
+	ToyColLabels = []string{"We", "Th", "Fr", "Sa", "Su"}
+)
+
+// Subset returns a matrix view-copy of the first n rows of x, used to carve
+// phone1000, phone2000, … out of phone100K exactly as the paper does.
+func Subset(x *linalg.Matrix, n int) *linalg.Matrix {
+	if n > x.Rows() {
+		n = x.Rows()
+	}
+	out := linalg.NewMatrix(n, x.Cols())
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), x.Row(i))
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"seqstore/internal/linalg"
+)
+
+func TestGeneratePhoneDims(t *testing.T) {
+	cfg := DefaultPhoneConfig(100)
+	x := GeneratePhone(cfg)
+	if r, c := x.Dims(); r != 100 || c != 366 {
+		t.Fatalf("dims = (%d,%d), want (100,366)", r, c)
+	}
+}
+
+func TestGeneratePhoneDeterministic(t *testing.T) {
+	cfg := DefaultPhoneConfig(50)
+	a := GeneratePhone(cfg)
+	b := GeneratePhone(cfg)
+	if !linalg.Equal(a, b, 0) {
+		t.Error("same seed should generate identical matrices")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c := GeneratePhone(cfg2)
+	if linalg.Equal(a, c, 0) {
+		t.Error("different seeds should generate different matrices")
+	}
+}
+
+func TestGeneratePhonePrefixStability(t *testing.T) {
+	// phone2000 must be a prefix of phone100K (scale-up experiment).
+	small := GeneratePhone(DefaultPhoneConfig(20))
+	large := GeneratePhone(DefaultPhoneConfig(200))
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 366; j++ {
+			if small.At(i, j) != large.At(i, j) {
+				t.Fatalf("row %d differs between sizes", i)
+			}
+		}
+	}
+}
+
+func TestGeneratePhoneNonNegative(t *testing.T) {
+	x := GeneratePhone(DefaultPhoneConfig(200))
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			if x.At(i, j) < 0 {
+				t.Fatalf("negative call volume at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratePhoneHasZeroCustomers(t *testing.T) {
+	x := GeneratePhone(DefaultPhoneConfig(1000))
+	zeros := 0
+	for i := 0; i < x.Rows(); i++ {
+		allZero := true
+		for j := 0; j < x.Cols(); j++ {
+			if x.At(i, j) != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Error("expected some all-zero customers (§6.2)")
+	}
+	if zeros > 100 {
+		t.Errorf("too many zero customers: %d of 1000", zeros)
+	}
+}
+
+func TestGeneratePhoneSkewedVolumes(t *testing.T) {
+	// Customer totals should be heavily skewed (Zipf-like): the top 10%
+	// of customers should carry a disproportionate share of the volume.
+	x := GeneratePhone(DefaultPhoneConfig(500))
+	totals := make([]float64, x.Rows())
+	var grand float64
+	for i := range totals {
+		for _, v := range x.Row(i) {
+			totals[i] += v
+		}
+		grand += totals[i]
+	}
+	// Share of the single largest customer must dominate the average one.
+	var maxTotal float64
+	for _, v := range totals {
+		if v > maxTotal {
+			maxTotal = v
+		}
+	}
+	avg := grand / float64(len(totals))
+	if maxTotal < 5*avg {
+		t.Errorf("volume distribution not skewed: max %.1f vs avg %.1f", maxTotal, avg)
+	}
+}
+
+func TestGeneratePhoneLowEffectiveRank(t *testing.T) {
+	// A few principal components must capture most of the energy — this is
+	// the property that makes SVD compression work on calling data.
+	x := GeneratePhone(DefaultPhoneConfig(300))
+	s, err := linalg.ComputeSVD(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, top10 float64
+	for i, sg := range s.Sigma {
+		total += sg * sg
+		if i < 10 {
+			top10 += sg * sg
+		}
+	}
+	if frac := top10 / total; frac < 0.7 {
+		t.Errorf("top-10 components capture only %.1f%% of energy, want ≥70%%", 100*frac)
+	}
+}
+
+func TestGeneratePhoneWeekdayWeekendStructure(t *testing.T) {
+	// Business-heavy columns (weekdays) and weekend columns should show a
+	// visible difference in aggregate across many customers.
+	x := GeneratePhone(DefaultPhoneConfig(400))
+	var weekday, weekend float64
+	var nwd, nwe int
+	for j := 0; j < x.Cols(); j++ {
+		col := 0.0
+		for i := 0; i < x.Rows(); i++ {
+			col += x.At(i, j)
+		}
+		if j%7 < 5 {
+			weekday += col
+			nwd++
+		} else {
+			weekend += col
+			nwe++
+		}
+	}
+	if weekday/float64(nwd) == weekend/float64(nwe) {
+		t.Error("no weekday/weekend structure present")
+	}
+}
+
+func TestGenerateStocksDims(t *testing.T) {
+	x := GenerateStocks(DefaultStocksConfig())
+	if r, c := x.Dims(); r != 381 || c != 128 {
+		t.Fatalf("dims = (%d,%d), want (381,128)", r, c)
+	}
+}
+
+func TestGenerateStocksDeterministic(t *testing.T) {
+	a := GenerateStocks(DefaultStocksConfig())
+	b := GenerateStocks(DefaultStocksConfig())
+	if !linalg.Equal(a, b, 0) {
+		t.Error("stocks generation not deterministic")
+	}
+}
+
+func TestGenerateStocksPositivePrices(t *testing.T) {
+	x := GenerateStocks(DefaultStocksConfig())
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			v := x.At(i, j)
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bad price %v at (%d,%d)", v, i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateStocksSerialCorrelation(t *testing.T) {
+	// Successive prices must be highly correlated (random-walk property,
+	// the reason DCT does comparatively well on stocks, §5.1).
+	x := GenerateStocks(DefaultStocksConfig())
+	var num, d1, d2 float64
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		for t := 1; t < len(row); t++ {
+			num += (row[t] - mean) * (row[t-1] - mean)
+			d1 += (row[t] - mean) * (row[t] - mean)
+			d2 += (row[t-1] - mean) * (row[t-1] - mean)
+		}
+	}
+	corr := num / math.Sqrt(d1*d2)
+	if corr < 0.9 {
+		t.Errorf("lag-1 autocorrelation %.3f, want ≥0.9", corr)
+	}
+}
+
+func TestGenerateStocksDominantDirection(t *testing.T) {
+	// The first principal component should dominate (Figure 11, right).
+	x := GenerateStocks(DefaultStocksConfig())
+	s, err := linalg.ComputeSVD(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, sg := range s.Sigma {
+		total += sg * sg
+	}
+	if frac := s.Sigma[0] * s.Sigma[0] / total; frac < 0.9 {
+		t.Errorf("first component carries %.1f%% of energy, want ≥90%%", 100*frac)
+	}
+}
+
+func TestToyMatchesTable1(t *testing.T) {
+	x := Toy()
+	if r, c := x.Dims(); r != 7 || c != 5 {
+		t.Fatalf("toy dims = (%d,%d)", r, c)
+	}
+	if x.At(3, 0) != 5 {
+		t.Error("KLM Co. Wednesday should be 5")
+	}
+	if x.At(5, 4) != 3 {
+		t.Error("Johnson Sunday should be 3")
+	}
+	if len(ToyRowLabels) != 7 || len(ToyColLabels) != 5 {
+		t.Error("label lengths wrong")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	x := GeneratePhone(DefaultPhoneConfig(30))
+	s := Subset(x, 10)
+	if r, _ := s.Dims(); r != 10 {
+		t.Fatalf("subset rows = %d, want 10", r)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < x.Cols(); j++ {
+			if s.At(i, j) != x.At(i, j) {
+				t.Fatal("subset values differ")
+			}
+		}
+	}
+	// Clamping.
+	if r, _ := Subset(x, 100).Dims(); r != 30 {
+		t.Error("Subset should clamp n to available rows")
+	}
+	// Copy semantics.
+	s.Set(0, 0, -1)
+	if x.At(0, 0) == -1 {
+		t.Error("Subset must copy, not alias")
+	}
+}

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"fmt"
+
+	"seqstore/internal/matio"
+)
+
+// PhoneSource is an out-of-core view of a synthetic phone dataset: rows are
+// generated on demand from (Seed, row) instead of being materialized, so
+// the scale-up experiment (Figure 10: N up to 100,000) streams the "huge"
+// matrix exactly the way the paper's algorithms would read it from disk,
+// without holding N×M floats in memory.
+//
+// It implements matio.RowReader; row contents are identical to
+// GeneratePhone with the same configuration.
+type PhoneSource struct {
+	cfg   PhoneConfig
+	stats matio.Stats
+}
+
+// NewPhoneSource returns a deterministic streaming source for cfg.
+func NewPhoneSource(cfg PhoneConfig) *PhoneSource { return &PhoneSource{cfg: cfg} }
+
+// Dims returns (N, M).
+func (s *PhoneSource) Dims() (int, int) { return s.cfg.N, s.cfg.M }
+
+// Stats exposes simulated IO counters (each generated row counts as a row
+// read, matching the disk-backed implementations).
+func (s *PhoneSource) Stats() *matio.Stats { return &s.stats }
+
+// ReadRow synthesizes row i into dst.
+func (s *PhoneSource) ReadRow(i int, dst []float64) error {
+	if i < 0 || i >= s.cfg.N {
+		return fmt.Errorf("%w: %d of %d", matio.ErrRowRange, i, s.cfg.N)
+	}
+	if len(dst) != s.cfg.M {
+		return fmt.Errorf("%w: dst %d, want %d", matio.ErrRowMismatch, len(dst), s.cfg.M)
+	}
+	generatePhoneRow(s.cfg, i, dst)
+	s.stats.CountRead()
+	return nil
+}
+
+// ScanRows streams every row in order.
+func (s *PhoneSource) ScanRows(fn func(i int, row []float64) error) error {
+	s.stats.CountPass()
+	row := make([]float64, s.cfg.M)
+	for i := 0; i < s.cfg.N; i++ {
+		generatePhoneRow(s.cfg, i, row)
+		s.stats.CountRead()
+		if err := fn(i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ matio.RowReader = (*PhoneSource)(nil)

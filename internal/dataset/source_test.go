@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+
+	"seqstore/internal/matio"
+)
+
+func TestPhoneSourceMatchesGeneratePhone(t *testing.T) {
+	cfg := DefaultPhoneConfig(40)
+	cfg.M = 30
+	want := GeneratePhone(cfg)
+	src := NewPhoneSource(cfg)
+
+	if n, m := src.Dims(); n != 40 || m != 30 {
+		t.Fatalf("dims = (%d,%d)", n, m)
+	}
+	// Scan path.
+	err := src.ScanRows(func(i int, row []float64) error {
+		for j, v := range row {
+			if v != want.At(i, j) {
+				t.Fatalf("scan mismatch at (%d,%d)", i, j)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random-access path.
+	dst := make([]float64, 30)
+	for _, i := range []int{0, 17, 39, 5} {
+		if err := src.ReadRow(i, dst); err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range dst {
+			if v != want.At(i, j) {
+				t.Fatalf("read mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPhoneSourceErrors(t *testing.T) {
+	src := NewPhoneSource(DefaultPhoneConfig(5))
+	dst := make([]float64, 366)
+	if err := src.ReadRow(5, dst); !errors.Is(err, matio.ErrRowRange) {
+		t.Errorf("range: %v", err)
+	}
+	if err := src.ReadRow(0, make([]float64, 3)); !errors.Is(err, matio.ErrRowMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+}
+
+func TestPhoneSourceStats(t *testing.T) {
+	cfg := DefaultPhoneConfig(7)
+	cfg.M = 10
+	src := NewPhoneSource(cfg)
+	src.ScanRows(func(i int, row []float64) error { return nil })
+	if src.Stats().Passes() != 1 || src.Stats().RowReads() != 7 {
+		t.Errorf("stats = %d/%d", src.Stats().Passes(), src.Stats().RowReads())
+	}
+}

@@ -1,0 +1,206 @@
+// Package dct implements the spectral-method baseline of the paper (§2.3):
+// per-row Discrete Cosine Transform compression. Each M-long sequence is
+// transformed with the orthonormal DCT-II and only the k lowest-frequency
+// coefficients are retained, costing N·k stored numbers (the basis is
+// data-independent and recomputed at open time).
+//
+// The paper uses DCT as the representative spectral method because it is
+// near-optimal for highly correlated data — which is why it fares better on
+// the random-walk 'stocks' dataset than on calling volumes. Like SVD, it is
+// a linear transform; unlike SVD, the basis is fixed rather than fitted, so
+// its reconstruction error can never beat SVD's (§2.3).
+package dct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+)
+
+// ErrEmptyMatrix is returned when compressing an empty matrix.
+var ErrEmptyMatrix = errors.New("dct: empty matrix")
+
+// Basis returns the orthonormal DCT-II basis as a k×m matrix: row f is the
+// f-th cosine basis vector, basis[f][j] = c(f)·cos(π·(j+½)·f/m) with
+// c(0) = √(1/m) and c(f) = √(2/m).
+func Basis(k, m int) *linalg.Matrix {
+	b := linalg.NewMatrix(k, m)
+	for f := 0; f < k; f++ {
+		c := math.Sqrt(2 / float64(m))
+		if f == 0 {
+			c = math.Sqrt(1 / float64(m))
+		}
+		row := b.Row(f)
+		for j := 0; j < m; j++ {
+			row[j] = c * math.Cos(math.Pi*(float64(j)+0.5)*float64(f)/float64(m))
+		}
+	}
+	return b
+}
+
+// Transform computes the first k DCT-II coefficients of row into dst.
+func Transform(basis *linalg.Matrix, row, dst []float64) {
+	k := basis.Rows()
+	for f := 0; f < k; f++ {
+		dst[f] = linalg.Dot(basis.Row(f), row)
+	}
+}
+
+// Store is the DCT-compressed representation: the N×k coefficient matrix is
+// accessed row-wise (like U in the SVD store), and the k×M basis is
+// regenerated in memory.
+type Store struct {
+	rows, cols int
+	k          int
+	coeffs     matio.RowReader // N×k
+	basis      *linalg.Matrix  // k×cols
+}
+
+// KForBudget returns the largest k with N·k stored numbers within the given
+// fraction of N·M, i.e. k = ⌊budget·M⌋ clamped to [0, M].
+func KForBudget(m int, budget float64) int {
+	if budget <= 0 || m <= 0 {
+		return 0
+	}
+	k := int(budget * float64(m))
+	if k > m {
+		k = m
+	}
+	return k
+}
+
+// Compress builds a DCT store retaining k coefficients per row, in a single
+// pass over src.
+func Compress(src matio.RowSource, k int) (*Store, error) {
+	n, m := src.Dims()
+	if n == 0 || m == 0 {
+		return nil, ErrEmptyMatrix
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > m {
+		k = m
+	}
+	basis := Basis(k, m)
+	coeffs := linalg.NewMatrix(n, k)
+	err := src.ScanRows(func(i int, row []float64) error {
+		Transform(basis, row, coeffs.Row(i))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dct: transform pass: %w", err)
+	}
+	return &Store{rows: n, cols: m, k: k, coeffs: matio.NewMem(coeffs), basis: basis}, nil
+}
+
+// CompressBudget builds a DCT store within the given space fraction.
+func CompressBudget(src matio.RowSource, budget float64) (*Store, error) {
+	_, m := src.Dims()
+	return Compress(src, KForBudget(m, budget))
+}
+
+// Dims returns the dimensions of the represented matrix.
+func (s *Store) Dims() (int, int) { return s.rows, s.cols }
+
+// Method returns store.MethodDCT.
+func (s *Store) Method() store.Method { return store.MethodDCT }
+
+// K returns the number of retained coefficients per row.
+func (s *Store) K() int { return s.k }
+
+// Cell reconstructs x̂[i][j] = Σ_f coeff[i][f]·basis[f][j] in O(k) with one
+// coefficient-row access.
+func (s *Store) Cell(i, j int) (float64, error) {
+	if j < 0 || j >= s.cols {
+		return 0, fmt.Errorf("dct: column %d out of range %d", j, s.cols)
+	}
+	crow := make([]float64, s.k)
+	if err := s.coeffs.ReadRow(i, crow); err != nil {
+		return 0, err
+	}
+	var x float64
+	for f, c := range crow {
+		x += c * s.basis.At(f, j)
+	}
+	return x, nil
+}
+
+// Row reconstructs row i (inverse truncated DCT).
+func (s *Store) Row(i int, dst []float64) ([]float64, error) {
+	if cap(dst) < s.cols {
+		dst = make([]float64, s.cols)
+	}
+	dst = dst[:s.cols]
+	crow := make([]float64, s.k)
+	if err := s.coeffs.ReadRow(i, crow); err != nil {
+		return nil, err
+	}
+	for j := 0; j < s.cols; j++ {
+		dst[j] = 0
+	}
+	for f, c := range crow {
+		if c == 0 {
+			continue
+		}
+		brow := s.basis.Row(f)
+		for j := 0; j < s.cols; j++ {
+			dst[j] += c * brow[j]
+		}
+	}
+	return dst, nil
+}
+
+// StoredNumbers returns N·k (the basis is not data and is not charged).
+func (s *Store) StoredNumbers() int64 { return int64(s.rows) * int64(s.k) }
+
+// EncodePayload serializes rows, cols, k and the coefficient matrix.
+func (s *Store) EncodePayload(w *store.Writer) error {
+	w.U64(uint64(s.rows))
+	w.U64(uint64(s.cols))
+	w.U64(uint64(s.k))
+	crow := make([]float64, s.k)
+	for i := 0; i < s.rows; i++ {
+		if err := s.coeffs.ReadRow(i, crow); err != nil {
+			return fmt.Errorf("dct: encode row %d: %w", i, err)
+		}
+		for _, c := range crow {
+			w.F64(c)
+		}
+	}
+	return w.Err()
+}
+
+func decode(r *store.Reader) (store.Store, error) {
+	rows := int(r.U64())
+	cols := int(r.U64())
+	k := int(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if rows < 0 || cols <= 0 || k < 0 || k > cols || !store.DimsSane(rows, cols, k) {
+		return nil, fmt.Errorf("%w: dct header inconsistent", store.ErrCorrupt)
+	}
+	coeffs := linalg.NewMatrix(rows, k)
+	for i := 0; i < rows; i++ {
+		crow := coeffs.Row(i)
+		for f := range crow {
+			crow[f] = r.F64()
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	return &Store{rows: rows, cols: cols, k: k,
+		coeffs: matio.NewMem(coeffs), basis: Basis(k, cols)}, nil
+}
+
+func init() {
+	store.RegisterCodec(store.MethodDCT, decode)
+}
+
+var _ store.Encoder = (*Store)(nil)

@@ -1,0 +1,237 @@
+package dct
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasisOrthonormal(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 16, 33} {
+		b := Basis(m, m)
+		// Rows must be orthonormal: B·Bᵀ = I.
+		g := linalg.Mul(b, b.T())
+		if !linalg.Equal(g, linalg.Identity(m), 1e-10) {
+			t.Errorf("m=%d: basis not orthonormal", m)
+		}
+	}
+}
+
+func TestBasisDCValue(t *testing.T) {
+	b := Basis(1, 4)
+	for j := 0; j < 4; j++ {
+		if !almostEqual(b.At(0, j), 0.5, 1e-12) {
+			t.Errorf("DC basis[0][%d] = %v, want 0.5", j, b.At(0, j))
+		}
+	}
+}
+
+func TestFullRankRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := linalg.NewMatrix(10, 16)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 16; j++ {
+			x.Set(i, j, r.NormFloat64()*10)
+		}
+	}
+	s, err := Compress(matio.NewMem(x), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		row, err := s.Row(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range row {
+			if !almostEqual(row[j], x.At(i, j), 1e-9) {
+				t.Fatalf("full-rank DCT not invertible at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestConstantRowNeedsOneCoefficient(t *testing.T) {
+	x := linalg.FromRows([][]float64{{3, 3, 3, 3, 3, 3, 3, 3}})
+	s, err := Compress(matio.NewMem(x), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ := s.Row(0, nil)
+	for j := range row {
+		if !almostEqual(row[j], 3, 1e-10) {
+			t.Errorf("constant row not captured by DC coefficient: %v", row[j])
+		}
+	}
+}
+
+func TestKZero(t *testing.T) {
+	x := dataset.Toy()
+	s, err := Compress(matio.NewMem(x), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Cell(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("k=0 cell = %v, want 0", v)
+	}
+	if s.StoredNumbers() != 0 {
+		t.Error("k=0 should store nothing")
+	}
+}
+
+func TestKClamped(t *testing.T) {
+	x := dataset.Toy()
+	s, err := Compress(matio.NewMem(x), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 5 {
+		t.Errorf("K = %d, want clamped to 5", s.K())
+	}
+	s2, err := Compress(matio.NewMem(x), -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.K() != 0 {
+		t.Errorf("negative k should clamp to 0, got %d", s2.K())
+	}
+}
+
+func TestEmptyMatrixRejected(t *testing.T) {
+	if _, err := Compress(matio.NewMem(linalg.NewMatrix(0, 3)), 1); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestCellMatchesRow(t *testing.T) {
+	x := dataset.GenerateStocks(dataset.StocksConfig{N: 12, M: 32, Seed: 1, MarketVol: 0.01, IdioVol: 0.01, BetaSpread: 0.2})
+	s, err := Compress(matio.NewMem(x), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ := s.Row(5, nil)
+	for j := range row {
+		c, err := s.Cell(5, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(c, row[j], 1e-12) {
+			t.Fatalf("Cell/Row disagree at %d", j)
+		}
+	}
+	if _, err := s.Cell(5, 99); err == nil {
+		t.Error("column out of range accepted")
+	}
+}
+
+func TestKForBudget(t *testing.T) {
+	if got := KForBudget(100, 0.10); got != 10 {
+		t.Errorf("KForBudget(100, .1) = %d, want 10", got)
+	}
+	if KForBudget(100, 0) != 0 || KForBudget(0, 0.5) != 0 {
+		t.Error("degenerate budgets should give 0")
+	}
+	if got := KForBudget(10, 5); got != 10 {
+		t.Errorf("huge budget should clamp to m, got %d", got)
+	}
+}
+
+func TestStoredNumbers(t *testing.T) {
+	x := dataset.Toy()
+	s, _ := Compress(matio.NewMem(x), 2)
+	if s.StoredNumbers() != 7*2 {
+		t.Errorf("StoredNumbers = %d, want 14", s.StoredNumbers())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	x := dataset.GenerateStocks(dataset.StocksConfig{N: 9, M: 16, Seed: 2, MarketVol: 0.01, IdioVol: 0.01, BetaSpread: 0.2})
+	s, err := Compress(matio.NewMem(x), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method() != store.MethodDCT {
+		t.Errorf("method = %v", got.Method())
+	}
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 16; j++ {
+			a, _ := s.Cell(i, j)
+			b, err := got.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("cell (%d,%d) differs after round trip", i, j)
+			}
+		}
+	}
+}
+
+// Property: Parseval — the full coefficient vector has the same energy as
+// the row.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(30)
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = r.NormFloat64() * 10
+		}
+		basis := Basis(m, m)
+		coef := make([]float64, m)
+		Transform(basis, row, coef)
+		return almostEqual(linalg.Norm2(row), linalg.Norm2(coef), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reconstruction error is non-increasing in k.
+func TestErrorMonotoneInK(t *testing.T) {
+	x := dataset.GenerateStocks(dataset.StocksConfig{N: 6, M: 24, Seed: 3, MarketVol: 0.01, IdioVol: 0.01, BetaSpread: 0.2})
+	mem := matio.NewMem(x)
+	prev := math.Inf(1)
+	for k := 0; k <= 24; k++ {
+		s, err := Compress(mem, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sse float64
+		for i := 0; i < 6; i++ {
+			row, _ := s.Row(i, nil)
+			for j := range row {
+				d := row[j] - x.At(i, j)
+				sse += d * d
+			}
+		}
+		if sse > prev+1e-9 {
+			t.Fatalf("SSE increased at k=%d: %g > %g", k, sse, prev)
+		}
+		prev = sse
+	}
+	if prev > 1e-8 {
+		t.Errorf("full-k SSE = %g, want ≈0", prev)
+	}
+}

@@ -1,0 +1,79 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5, §6, Appendix A) on the synthetic stand-in datasets. Each
+// experiment returns structured results (consumed by the benchmarks and
+// tests) and renders a human-readable table to an io.Writer (consumed by
+// cmd/experiments). EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"seqstore/internal/core"
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/metrics"
+	"seqstore/internal/store"
+	"seqstore/internal/svd"
+)
+
+// Phone returns the synthetic phone dataset with n customers (M=366); the
+// paper's phoneN datasets are prefixes of each other and so are these.
+func Phone(n int) *linalg.Matrix {
+	return dataset.GeneratePhone(dataset.DefaultPhoneConfig(n))
+}
+
+// Stocks returns the synthetic 381×128 stock-price dataset.
+func Stocks() *linalg.Matrix {
+	return dataset.GenerateStocks(dataset.DefaultStocksConfig())
+}
+
+// PhoneStream returns an out-of-core streaming view of the n-customer phone
+// dataset, used by the scale-up experiments.
+func PhoneStream(n int) *dataset.PhoneSource {
+	return dataset.NewPhoneSource(dataset.DefaultPhoneConfig(n))
+}
+
+// Eval scans src once and accumulates reconstruction-error metrics of s
+// against it.
+func Eval(src matio.RowSource, s store.Store) (*metrics.Accumulator, error) {
+	var acc metrics.Accumulator
+	_, m := src.Dims()
+	buf := make([]float64, m)
+	err := src.ScanRows(func(i int, row []float64) error {
+		got, err := s.Row(i, buf)
+		if err != nil {
+			return err
+		}
+		acc.AddRow(i, row, got)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: eval: %w", err)
+	}
+	return &acc, nil
+}
+
+// buildSVDD compresses src at the given budget, reusing factors.
+func buildSVDD(src matio.RowSource, f *svd.Factors, budget float64) (*core.Store, error) {
+	return core.CompressWithFactors(src, f, core.Options{Budget: budget})
+}
+
+// buildSVD compresses src at the given budget, reusing factors.
+func buildSVD(src matio.RowSource, f *svd.Factors, budget float64) (*svd.Store, error) {
+	n, m := src.Dims()
+	return svd.CompressWithFactors(src, f, svd.KForBudget(n, m, budget))
+}
+
+// newTable starts a tabwriter over w (which may be nil for silent runs).
+func newTable(w io.Writer) *tabwriter.Writer {
+	if w == nil {
+		w = io.Discard
+	}
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }

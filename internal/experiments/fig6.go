@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"seqstore/internal/cluster"
+	"seqstore/internal/core"
+	"seqstore/internal/dct"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/svd"
+)
+
+// Fig6Row is one storage point of the accuracy-vs-space trade-off.
+type Fig6Row struct {
+	S       float64 // space budget, fraction of original
+	Cluster float64 // RMSPE; NaN when the budget cannot fit one centroid
+	DCT     float64
+	SVD     float64
+	SVDD    float64
+}
+
+// Fig6Result holds one dataset's curve set.
+type Fig6Result struct {
+	Dataset string
+	Rows    []Fig6Row
+}
+
+// DefaultFig6Budgets are the storage fractions swept in Figure 6.
+var DefaultFig6Budgets = []float64{0.01, 0.02, 0.03, 0.05, 0.075, 0.10, 0.15, 0.20, 0.25}
+
+// Fig6 reproduces Figure 6: reconstruction error (RMSPE) vs disk storage
+// (s%) for hierarchical clustering, DCT, plain SVD and SVDD on one dataset.
+// The clustering hierarchy and the SVD factors are each computed once and
+// reused across all storage points.
+func Fig6(x *linalg.Matrix, name string, budgets []float64, w io.Writer) (*Fig6Result, error) {
+	if len(budgets) == 0 {
+		budgets = DefaultFig6Budgets
+	}
+	mem := matio.NewMem(x)
+	n, m := x.Dims()
+
+	factors, err := svd.ComputeFactors(mem)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cluster.Build(x)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig6Result{Dataset: name}
+	tw := newTable(w)
+	fmt.Fprintf(tw, "Figure 6 (%s): RMSPE vs space\n", name)
+	fmt.Fprintln(tw, "s\thc\tdct\tsvd\tsvdd\t")
+	for _, b := range budgets {
+		row := Fig6Row{S: b, Cluster: math.NaN()}
+
+		if c := cluster.CForBudget(n, m, b); c >= 1 {
+			cs, err := cluster.NewStore(x, hier.Cut(c), c)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := Eval(mem, cs)
+			if err != nil {
+				return nil, err
+			}
+			row.Cluster = acc.RMSPE()
+		}
+
+		ds, err := dct.CompressBudget(mem, b)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := Eval(mem, ds)
+		if err != nil {
+			return nil, err
+		}
+		row.DCT = acc.RMSPE()
+
+		if svd.KForBudget(n, m, b) >= 1 {
+			ss, err := buildSVD(mem, factors, b)
+			if err != nil {
+				return nil, err
+			}
+			if acc, err = Eval(mem, ss); err != nil {
+				return nil, err
+			}
+			row.SVD = acc.RMSPE()
+		} else {
+			row.SVD = math.NaN()
+		}
+
+		sd, err := buildSVDD(mem, factors, b)
+		switch {
+		case errors.Is(err, core.ErrBudgetTooSmall):
+			// The budget cannot fit even one principal component at this
+			// dataset shape (can happen at 1% on stocks); skip the point.
+			row.SVDD = math.NaN()
+		case err != nil:
+			return nil, err
+		default:
+			if acc, err = Eval(mem, sd); err != nil {
+				return nil, err
+			}
+			row.SVDD = acc.RMSPE()
+		}
+
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t\n",
+			pct(b), fmtRMSPE(row.Cluster), fmtRMSPE(row.DCT),
+			fmtRMSPE(row.SVD), fmtRMSPE(row.SVDD))
+	}
+	tw.Flush()
+	return res, nil
+}
+
+func fmtRMSPE(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", 100*v)
+}

@@ -1,0 +1,68 @@
+package gzipref
+
+import (
+	"testing"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+)
+
+func TestRatioCompressesRedundantData(t *testing.T) {
+	// A constant matrix should compress extremely well.
+	x := linalg.NewMatrix(100, 50)
+	r, err := Ratio(matio.NewMem(x), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 0.05 {
+		t.Errorf("constant matrix ratio = %.3f, want tiny", r)
+	}
+}
+
+func TestRatioIncompressibleDoubles(t *testing.T) {
+	// Real-valued noisy doubles barely compress binary-wise.
+	x := dataset.GeneratePhone(dataset.DefaultPhoneConfig(100))
+	r, err := Ratio(matio.NewMem(x), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.3 || r > 1.1 {
+		t.Errorf("phone binary ratio = %.3f, expected in [0.3, 1.1]", r)
+	}
+}
+
+func TestRatioTextMoreFavorable(t *testing.T) {
+	x := dataset.GeneratePhone(dataset.DefaultPhoneConfig(100))
+	rb, err := Ratio(matio.NewMem(x), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := RatioText(matio.NewMem(x), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt >= rb {
+		t.Errorf("text ratio %.3f should beat binary ratio %.3f", rt, rb)
+	}
+	if rt <= 0 || rt > 1 {
+		t.Errorf("text ratio %.3f out of range", rt)
+	}
+}
+
+func TestRatioEmpty(t *testing.T) {
+	r, err := Ratio(matio.NewMem(linalg.NewMatrix(0, 5)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("empty ratio = %v, want 0", r)
+	}
+}
+
+func TestRatioBadLevel(t *testing.T) {
+	x := linalg.NewMatrix(1, 1)
+	if _, err := Ratio(matio.NewMem(x), 42); err == nil {
+		t.Error("invalid flate level accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition S = V·diag(values)·Vᵀ of a symmetric
+// matrix, with eigenvalues sorted in decreasing order and eigenvectors as the
+// columns of Vectors.
+type Eigen struct {
+	// Values are the eigenvalues in decreasing order.
+	Values []float64
+	// Vectors is the n×n column-orthonormal matrix whose j-th column is the
+	// eigenvector for Values[j].
+	Vectors *Matrix
+}
+
+// ErrNotSymmetric is returned by SymEigen when the input matrix is not
+// symmetric within a small tolerance.
+var ErrNotSymmetric = errors.New("linalg: matrix is not symmetric")
+
+// ErrNoConvergence is returned when the Jacobi iteration fails to converge
+// within its sweep limit (which, for real symmetric input, should not occur).
+var ErrNoConvergence = errors.New("linalg: eigensolver did not converge")
+
+const (
+	jacobiMaxSweeps = 64
+	symTolFactor    = 1e-9
+)
+
+// SymEigen computes the eigendecomposition of the symmetric matrix s using
+// the cyclic Jacobi method. The input is not modified.
+//
+// Jacobi is O(n³) per sweep and converges in a handful of sweeps; for the
+// paper's regime (n = M ≤ a few hundred) this is fast and — unlike faster
+// tridiagonalization approaches — delivers eigenvectors orthonormal to
+// machine precision, which the compression quality depends on.
+func SymEigen(s *Matrix) (*Eigen, error) {
+	n := s.rows
+	if n != s.cols {
+		return nil, fmt.Errorf("linalg: SymEigen needs a square matrix, got %d×%d", s.rows, s.cols)
+	}
+	if err := s.CheckFinite(); err != nil {
+		return nil, err
+	}
+	scale := s.MaxAbs()
+	tol := symTolFactor * scale
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(s.At(i, j)-s.At(j, i)) > tol {
+				return nil, fmt.Errorf("%w: |a[%d][%d]-a[%d][%d]| = %g", ErrNotSymmetric,
+					i, j, j, i, math.Abs(s.At(i, j)-s.At(j, i)))
+			}
+		}
+	}
+	if n == 0 {
+		return &Eigen{Values: nil, Vectors: NewMatrix(0, 0)}, nil
+	}
+
+	a := s.Clone()
+	v := Identity(n)
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off <= 1e-14*math.Max(scale, 1) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				// Skip rotations that cannot change anything at working
+				// precision: classic Golub & Van Loan threshold.
+				if math.Abs(apq) < 1e-18*scale {
+					a.Set(p, q, 0)
+					a.Set(q, p, 0)
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				// Compute the Jacobi rotation (c, s) that annihilates a[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				rotate(a, v, p, q, c, sn)
+			}
+		}
+	}
+	if offDiagNorm(a) > 1e-7*math.Max(scale, 1) {
+		return nil, ErrNoConvergence
+	}
+
+	// Extract and sort eigenpairs in decreasing eigenvalue order.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{a.At(i, i), i}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	eig := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	for j, p := range pairs {
+		eig.Values[j] = p.val
+		for i := 0; i < n; i++ {
+			eig.Vectors.Set(i, j, v.At(i, p.idx))
+		}
+	}
+	return eig, nil
+}
+
+// rotate applies the symmetric Jacobi rotation G(p,q,θ) on both sides of a
+// (a ← GᵀaG) and accumulates it into the eigenvector matrix v (v ← vG).
+// It works on the raw backing slices: this is the hot loop of the
+// eigensolver and runs O(M²) times per sweep.
+func rotate(a, v *Matrix, p, q int, c, s float64) {
+	n := a.rows
+	ad, vd := a.data, v.data
+	for ip, iq := p, q; ip < n*n; ip, iq = ip+n, iq+n {
+		aip, aiq := ad[ip], ad[iq]
+		ad[ip] = c*aip - s*aiq
+		ad[iq] = s*aip + c*aiq
+	}
+	prow := ad[p*n : (p+1)*n]
+	qrow := ad[q*n : (q+1)*n]
+	for j := 0; j < n; j++ {
+		apj, aqj := prow[j], qrow[j]
+		prow[j] = c*apj - s*aqj
+		qrow[j] = s*apj + c*aqj
+	}
+	for ip, iq := p, q; ip < n*n; ip, iq = ip+n, iq+n {
+		vip, viq := vd[ip], vd[iq]
+		vd[ip] = c*vip - s*viq
+		vd[iq] = s*vip + c*viq
+	}
+}
+
+// offDiagNorm returns the Frobenius norm of the off-diagonal part of a.
+func offDiagNorm(a *Matrix) float64 {
+	var s float64
+	n := a.rows
+	ad := a.data
+	for i := 0; i < n; i++ {
+		row := ad[i*n : (i+1)*n]
+		for j, v := range row {
+			if i != j {
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// OrthonormalityError returns max |VᵀV − I| over all entries, a measure of
+// how far the columns of v are from being orthonormal.
+func OrthonormalityError(v *Matrix) float64 {
+	g := Mul(v.T(), v)
+	n := g.rows
+	var mx float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if d := math.Abs(g.At(i, j) - want); d > mx {
+				mx = d
+			}
+		}
+	}
+	return mx
+}

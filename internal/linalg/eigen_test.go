@@ -1,0 +1,215 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randSymmetric builds a random symmetric n×n matrix.
+func randSymmetric(r *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64() * 5
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := Diag([]float64{3, 1, 2})
+	eig, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if !almostEqual(eig.Values[i], v, 1e-12) {
+			t.Errorf("Values[%d] = %v, want %v", i, eig.Values[i], v)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	eig, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(eig.Values[0], 3, 1e-12) || !almostEqual(eig.Values[1], 1, 1e-12) {
+		t.Errorf("Values = %v, want [3 1]", eig.Values)
+	}
+	// Eigenvector for 3 is (1,1)/√2 up to sign.
+	v0 := eig.Vectors.Col(0)
+	if !almostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-10) {
+		t.Errorf("first eigenvector = %v", v0)
+	}
+}
+
+func TestSymEigenRejectsNonSquare(t *testing.T) {
+	if _, err := SymEigen(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {0, 1}})
+	_, err := SymEigen(a)
+	if !errors.Is(err, ErrNotSymmetric) {
+		t.Errorf("err = %v, want ErrNotSymmetric", err)
+	}
+}
+
+func TestSymEigenRejectsNaN(t *testing.T) {
+	a := FromRows([][]float64{{1, math.NaN()}, {math.NaN(), 1}})
+	if _, err := SymEigen(a); !errors.Is(err, ErrNotFinite) {
+		t.Errorf("err = %v, want ErrNotFinite", err)
+	}
+}
+
+func TestSymEigenEmpty(t *testing.T) {
+	eig, err := SymEigen(NewMatrix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eig.Values) != 0 {
+		t.Error("empty matrix should yield no eigenvalues")
+	}
+}
+
+func TestSymEigenZeroMatrix(t *testing.T) {
+	eig, err := SymEigen(NewMatrix(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if v != 0 {
+			t.Errorf("zero matrix eigenvalue %v != 0", v)
+		}
+	}
+	if e := OrthonormalityError(eig.Vectors); e > 1e-12 {
+		t.Errorf("eigenvectors of zero matrix not orthonormal: %g", e)
+	}
+}
+
+// checkDecomposition verifies S ≈ V·diag(λ)·Vᵀ and column orthonormality.
+func checkDecomposition(t *testing.T, s *Matrix, eig *Eigen, tol float64) {
+	t.Helper()
+	if e := OrthonormalityError(eig.Vectors); e > tol {
+		t.Errorf("VᵀV deviates from I by %g", e)
+	}
+	recon := Mul(Mul(eig.Vectors, Diag(eig.Values)), eig.Vectors.T())
+	if !Equal(recon, s, tol*math.Max(s.MaxAbs(), 1)) {
+		t.Errorf("V·Λ·Vᵀ does not reconstruct S (max abs %g)", Sub(recon, s).MaxAbs())
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(eig.Values))) {
+		t.Errorf("eigenvalues not sorted descending: %v", eig.Values)
+	}
+}
+
+func TestSymEigenRandomDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 10, 40, 100} {
+		s := randSymmetric(rng, n)
+		eig, err := SymEigen(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkDecomposition(t, s, eig, 1e-8)
+	}
+}
+
+// Property: the trace equals the sum of eigenvalues.
+func TestSymEigenTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		s := randSymmetric(r, n)
+		eig, err := SymEigen(s)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += s.At(i, i)
+		}
+		for _, v := range eig.Values {
+			sum += v
+		}
+		return almostEqual(trace, sum, 1e-8*math.Max(math.Abs(trace), 1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for PSD matrices BᵀB all eigenvalues are ≥ 0 (up to roundoff).
+func TestSymEigenPSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m := 1+r.Intn(8), 1+r.Intn(8)
+		b := randMatrix(r, n, m)
+		s := Mul(b.T(), b)
+		eig, err := SymEigen(s)
+		if err != nil {
+			return false
+		}
+		for _, v := range eig.Values {
+			if v < -1e-7*math.Max(s.MaxAbs(), 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Eigen must satisfy the defining equation S·v = λ·v for each pair.
+func TestSymEigenDefiningEquation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randSymmetric(rng, 20)
+	eig, err := SymEigen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, lambda := range eig.Values {
+		v := eig.Vectors.Col(j)
+		sv := s.MulVec(v)
+		for i := range sv {
+			if !almostEqual(sv[i], lambda*v[i], 1e-7*math.Max(s.MaxAbs(), 1)) {
+				t.Fatalf("S·v != λ·v for pair %d at component %d: %g vs %g",
+					j, i, sv[i], lambda*v[i])
+			}
+		}
+	}
+}
+
+func TestSymEigenRepeatedEigenvalues(t *testing.T) {
+	// Identity-like matrix with repeated eigenvalues must still produce an
+	// orthonormal basis.
+	s := Identity(6).Scale(4)
+	eig, err := SymEigen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecomposition(t, s, eig, 1e-10)
+}
+
+func TestOrthonormalityErrorDetects(t *testing.T) {
+	bad := FromRows([][]float64{{1, 1}, {0, 1}})
+	if OrthonormalityError(bad) < 0.5 {
+		t.Error("OrthonormalityError failed to flag a non-orthonormal matrix")
+	}
+	if OrthonormalityError(Identity(4)) > 1e-15 {
+		t.Error("identity should be perfectly orthonormal")
+	}
+}

@@ -1,0 +1,330 @@
+// Package linalg provides the dense linear-algebra substrate used by the
+// compression methods: row-major matrices, basic vector operations, a cyclic
+// Jacobi eigensolver for symmetric matrices, and a thin SVD built on top of
+// the eigendecomposition of XᵀX (Lemma 3.2 of the paper).
+//
+// Everything here is deliberately self-contained (standard library only) and
+// sized for the paper's regime: N may be large (millions of rows, streamed
+// elsewhere), but M — the sequence length — is at most a few hundred, so
+// O(M³) eigen routines are perfectly adequate.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0×0 matrix. Data is stored in a single backing
+// slice so whole rows can be handed to IO layers without copying.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative matrix dimension %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a rows×cols matrix that wraps data (row-major, not
+// copied). It panics if len(data) != rows*cols.
+func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: data length %d does not match %d×%d", len(data), rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}
+}
+
+// FromRows builds a matrix by copying the given rows. All rows must have the
+// same length. An empty input yields a 0×0 matrix.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: length %d, want %d", i, len(r), m.cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Dims returns (rows, cols).
+func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns the i-th row as a slice aliasing the matrix storage. Mutating
+// the slice mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of the j-th column.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: column %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Data returns the backing row-major slice (not a copy).
+func (m *Matrix) Data() []float64 { return m.data }
+
+// AppendRow grows the matrix by one row (copied). On a 0×0 matrix the first
+// append fixes the column count.
+func (m *Matrix) AppendRow(row []float64) {
+	if m.rows == 0 && m.cols == 0 {
+		m.cols = len(row)
+	}
+	if len(row) != m.cols {
+		panic(fmt.Sprintf("linalg: appending row of length %d to %d-column matrix", len(row), m.cols))
+	}
+	m.data = append(m.data, row...)
+	m.rows++
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a×b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(l)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m×v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("linalg: vector length %d does not match %d columns", len(v), m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// Scale multiplies every element in place by s and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// Add returns a+b as a new matrix.
+func Add(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("linalg: dimension mismatch %d×%d + %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a−b as a new matrix.
+func Sub(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("linalg: dimension mismatch %d×%d - %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square diagonal matrix with the given diagonal entries.
+func Diag(d []float64) *Matrix {
+	m := NewMatrix(len(d), len(d))
+	for i, v := range d {
+		m.data[i*len(d)+i] = v
+	}
+	return m
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm of v.
+func Norm2(v []float64) float64 {
+	// Scaled accumulation avoids overflow for extreme values.
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 { return Norm2(m.data) }
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Mean returns the mean of all cells; 0 for an empty matrix.
+func (m *Matrix) Mean() float64 {
+	if len(m.data) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s / float64(len(m.data))
+}
+
+// Equal reports whether a and b have identical dimensions and all elements
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNotFinite is returned when an operation encounters NaN or ±Inf input.
+var ErrNotFinite = errors.New("linalg: non-finite value")
+
+// CheckFinite returns ErrNotFinite if any element of m is NaN or infinite.
+func (m *Matrix) CheckFinite() error {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ErrNotFinite
+		}
+	}
+	return nil
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (m *Matrix) String() string {
+	if m.rows*m.cols > 64 {
+		return fmt.Sprintf("Matrix(%d×%d)", m.rows, m.cols)
+	}
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		s += "["
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+		s += "]\n"
+	}
+	return s
+}

@@ -1,0 +1,332 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Dims() = (%d,%d), want (3,4)", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("fresh matrix not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(-1, 2) did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestNewMatrixFrom(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := NewMatrixFrom(2, 3, data)
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	// Aliasing: NewMatrixFrom wraps, does not copy.
+	data[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Error("NewMatrixFrom should alias the input slice")
+	}
+}
+
+func TestNewMatrixFromBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched data length did not panic")
+		}
+	}()
+	NewMatrixFrom(2, 3, []float64{1, 2})
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if r, c := m.Dims(); r != 3 || c != 2 {
+		t.Fatalf("Dims = (%d,%d), want (3,2)", r, c)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+	if got := FromRows(nil); got.Rows() != 0 || got.Cols() != 0 {
+		t.Error("FromRows(nil) should be 0×0")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 3.5)
+	if m.At(1, 0) != 3.5 {
+		t.Errorf("Set/At round trip failed: got %v", m.At(1, 0))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, c := range []struct{ i, j int }{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", c.i, c.j)
+				}
+			}()
+			m.At(c.i, c.j)
+		}()
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := NewMatrix(2, 3)
+	r := m.Row(1)
+	r[2] = 9
+	if m.At(1, 2) != 9 {
+		t.Error("Row should alias matrix storage")
+	}
+}
+
+func TestColCopies(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Col(1) = %v, want [2 4]", c)
+	}
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Error("Col should return a copy")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 10)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone should not share storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if r, c := tr.Dims(); r != 3 || c != 2 {
+		t.Fatalf("T dims = (%d,%d), want (3,2)", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equal(got, want, 0) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if !Equal(Mul(a, Identity(3)), a, 0) {
+		t.Error("a·I != a")
+	}
+	if !Equal(Mul(Identity(2), a), a, 0) {
+		t.Error("I·a != a")
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if !Equal(Add(a, b), FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Error("Add wrong")
+	}
+	if !Equal(Sub(a, b), FromRows([][]float64{{-3, -1}, {1, 3}}), 0) {
+		t.Error("Sub wrong")
+	}
+	if !Equal(a.Clone().Scale(2), FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{2, 3})
+	want := FromRows([][]float64{{2, 0}, {0, 3}})
+	if !Equal(d, want, 0) {
+		t.Errorf("Diag = %v", d)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+	// Scaled accumulation must survive values that would overflow x².
+	big := 1e200
+	if got := Norm2([]float64{big, big}); math.IsInf(got, 0) {
+		t.Error("Norm2 overflowed on large inputs")
+	}
+}
+
+func TestMeanAndMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-4, 2}, {1, 1}})
+	if got := m.Mean(); got != 0 {
+		t.Errorf("Mean = %v, want 0", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+	empty := NewMatrix(0, 0)
+	if empty.Mean() != 0 || empty.MaxAbs() != 0 {
+		t.Error("empty matrix Mean/MaxAbs should be 0")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	m := FromRows([][]float64{{1, math.NaN()}})
+	if err := m.CheckFinite(); err == nil {
+		t.Error("CheckFinite missed NaN")
+	}
+	m2 := FromRows([][]float64{{1, math.Inf(1)}})
+	if err := m2.CheckFinite(); err == nil {
+		t.Error("CheckFinite missed Inf")
+	}
+	if err := FromRows([][]float64{{1, 2}}).CheckFinite(); err != nil {
+		t.Errorf("CheckFinite false positive: %v", err)
+	}
+}
+
+func TestEqualDimsMismatch(t *testing.T) {
+	if Equal(NewMatrix(1, 2), NewMatrix(2, 1), 1) {
+		t.Error("Equal should be false for different dims")
+	}
+}
+
+func randMatrix(rng *rand.Rand, n, m int) *Matrix {
+	a := NewMatrix(n, m)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64() * 10
+	}
+	return a
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b := randMatrix(rng, n, k), randMatrix(rng, k, m)
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		return Equal(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMatrix(r, 1+r.Intn(8), 1+r.Intn(8))
+		return Equal(a.T().T(), a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Frobenius norm is invariant under transpose.
+func TestFrobeniusTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMatrix(r, 1+r.Intn(8), 1+r.Intn(8))
+		return almostEqual(a.FrobeniusNorm(), a.T().FrobeniusNorm(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy–Schwarz |⟨a,b⟩| ≤ ‖a‖·‖b‖.
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(16)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}})
+	if small.String() == "" {
+		t.Error("small String empty")
+	}
+	large := NewMatrix(20, 20)
+	if large.String() != "Matrix(20×20)" {
+		t.Errorf("large String = %q", large.String())
+	}
+}

@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTopKEigenValidation(t *testing.T) {
+	if _, err := TopKEigen(NewMatrix(2, 3), 1, 0); err == nil {
+		t.Error("non-square accepted")
+	}
+	s := Identity(4)
+	if _, err := TopKEigen(s, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopKEigen(s, 5, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := TopKEigen(FromRows([][]float64{{math.NaN()}}), 1, 0); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestTopKEigenMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// PSD matrix with a clear spectrum: BᵀB of a random tall matrix.
+	bm := randMatrix(rng, 60, 24)
+	s := Mul(bm.T(), bm)
+	ref, err := SymEigen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 6
+	got, err := TopKEigen(s, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != k {
+		t.Fatalf("got %d values", len(got.Values))
+	}
+	for i := 0; i < k; i++ {
+		if math.Abs(got.Values[i]-ref.Values[i]) > 1e-6*ref.Values[0] {
+			t.Errorf("λ[%d] = %v, want %v", i, got.Values[i], ref.Values[i])
+		}
+		// Eigenvector alignment up to sign.
+		dot := math.Abs(Dot(got.Vectors.Col(i), ref.Vectors.Col(i)))
+		if math.Abs(dot-1) > 1e-5 {
+			t.Errorf("vector %d alignment |dot| = %v", i, dot)
+		}
+	}
+	if e := OrthonormalityError(got.Vectors); e > 1e-8 {
+		t.Errorf("vectors not orthonormal: %g", e)
+	}
+}
+
+func TestTopKEigenDefiningEquation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bm := randMatrix(rng, 40, 16)
+	s := Mul(bm.T(), bm)
+	got, err := TopKEigen(s, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, lambda := range got.Values {
+		v := got.Vectors.Col(j)
+		sv := s.MulVec(v)
+		for i := range sv {
+			if math.Abs(sv[i]-lambda*v[i]) > 1e-6*math.Max(s.MaxAbs(), 1) {
+				t.Fatalf("S·v != λ·v for pair %d", j)
+			}
+		}
+	}
+}
+
+func TestTopKEigenFullK(t *testing.T) {
+	// k = n must still work (block = n).
+	rng := rand.New(rand.NewSource(3))
+	bm := randMatrix(rng, 12, 5)
+	s := Mul(bm.T(), bm)
+	ref, _ := SymEigen(s)
+	got, err := TopKEigen(s, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Values {
+		if math.Abs(got.Values[i]-ref.Values[i]) > 1e-6*math.Max(ref.Values[0], 1) {
+			t.Errorf("λ[%d] = %v vs %v", i, got.Values[i], ref.Values[i])
+		}
+	}
+}
+
+func TestTopKEigenDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bm := randMatrix(rng, 30, 12)
+	s := Mul(bm.T(), bm)
+	a, err := TopKEigen(s, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopKEigen(s, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("TopKEigen not deterministic")
+		}
+	}
+}
+
+func BenchmarkJacobiM366(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	bm := randMatrix(rng, 400, 366)
+	s := Mul(bm.T(), bm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigen(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubspaceTop30M366(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	bm := randMatrix(rng, 400, 366)
+	s := Mul(bm.T(), bm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopKEigen(s, 30, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVD is the thin singular value decomposition X = U·diag(Sigma)·Vᵀ where U
+// is N×r column-orthonormal, V is M×r column-orthonormal, and Sigma holds the
+// r = min(rank cutoff) singular values in decreasing order.
+type SVD struct {
+	U     *Matrix   // N×r row-to-pattern similarity (Observation 3.1)
+	Sigma []float64 // singular values, decreasing
+	V     *Matrix   // M×r column-to-pattern similarity (Observation 3.2)
+}
+
+// rankTolFactor mirrors the usual numerical-rank convention: singular values
+// below maxSigma·max(N,M)·eps are treated as zero.
+const rankTolFactor = 1e-12
+
+// ComputeSVD computes the thin SVD of x via the eigendecomposition of the
+// M×M column-similarity matrix C = XᵀX (Lemma 3.2 of the paper). This is the
+// in-memory counterpart of the two-pass out-of-core algorithm in
+// internal/svd; both produce the same factorization and are cross-checked in
+// tests.
+//
+// Singular values numerically indistinguishable from zero are dropped, so r
+// equals the numerical rank of x.
+func ComputeSVD(x *Matrix) (*SVD, error) {
+	if err := x.CheckFinite(); err != nil {
+		return nil, err
+	}
+	n, m := x.Dims()
+	if n == 0 || m == 0 {
+		return &SVD{U: NewMatrix(n, 0), Sigma: nil, V: NewMatrix(m, 0)}, nil
+	}
+
+	// C = XᵀX, accumulated row by row exactly like the out-of-core pass.
+	c := NewMatrix(m, m)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j, vj := range row {
+			if vj == 0 {
+				continue
+			}
+			crow := c.Row(j)
+			for l, vl := range row {
+				crow[l] += vj * vl
+			}
+		}
+	}
+
+	eig, err := SymEigen(c)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: SVD eigen step: %w", err)
+	}
+
+	// Eigenvalues of C are σ²; clamp tiny negatives from roundoff.
+	sigma := make([]float64, 0, m)
+	for _, ev := range eig.Values {
+		if ev < 0 {
+			ev = 0
+		}
+		sigma = append(sigma, math.Sqrt(ev))
+	}
+	// Determine numerical rank.
+	var tol float64
+	if len(sigma) > 0 {
+		tol = sigma[0] * float64(max(n, m)) * rankTolFactor
+	}
+	r := 0
+	for _, s := range sigma {
+		if s > tol && s > 0 {
+			r++
+		} else {
+			break
+		}
+	}
+
+	v := NewMatrix(m, r)
+	for i := 0; i < m; i++ {
+		for j := 0; j < r; j++ {
+			v.Set(i, j, eig.Vectors.At(i, j))
+		}
+	}
+
+	// U = X·V·Σ⁻¹ (Eq. 10/11 of the paper).
+	u := NewMatrix(n, r)
+	for i := 0; i < n; i++ {
+		xrow := x.Row(i)
+		urow := u.Row(i)
+		for j := 0; j < r; j++ {
+			var s float64
+			for l, xv := range xrow {
+				s += xv * v.At(l, j)
+			}
+			urow[j] = s / sigma[j]
+		}
+	}
+
+	return &SVD{U: u, Sigma: sigma[:r], V: v}, nil
+}
+
+// Truncate returns a copy of the decomposition keeping only the first k
+// principal components (k is clamped to [0, r]).
+func (s *SVD) Truncate(k int) *SVD {
+	r := len(s.Sigma)
+	if k > r {
+		k = r
+	}
+	if k < 0 {
+		k = 0
+	}
+	u := NewMatrix(s.U.Rows(), k)
+	v := NewMatrix(s.V.Rows(), k)
+	for i := 0; i < s.U.Rows(); i++ {
+		copy(u.Row(i), s.U.Row(i)[:k])
+	}
+	for i := 0; i < s.V.Rows(); i++ {
+		copy(v.Row(i), s.V.Row(i)[:k])
+	}
+	sig := make([]float64, k)
+	copy(sig, s.Sigma[:k])
+	return &SVD{U: u, Sigma: sig, V: v}
+}
+
+// Rank returns the number of retained components.
+func (s *SVD) Rank() int { return len(s.Sigma) }
+
+// ReconstructCell returns the rank-k approximation of cell (i, j):
+// Σ_m σ_m·u[i][m]·v[j][m] (Eq. 12 of the paper). It is O(k).
+func (s *SVD) ReconstructCell(i, j int) float64 {
+	urow := s.U.Row(i)
+	vrow := s.V.Row(j)
+	var x float64
+	for m, sig := range s.Sigma {
+		x += sig * urow[m] * vrow[m]
+	}
+	return x
+}
+
+// ReconstructRow appends the rank-k approximation of row i to dst and
+// returns it. dst may be nil.
+func (s *SVD) ReconstructRow(i int, dst []float64) []float64 {
+	m := s.V.Rows()
+	if cap(dst) < m {
+		dst = make([]float64, m)
+	}
+	dst = dst[:m]
+	urow := s.U.Row(i)
+	for j := 0; j < m; j++ {
+		vrow := s.V.Row(j)
+		var x float64
+		for c, sig := range s.Sigma {
+			x += sig * urow[c] * vrow[c]
+		}
+		dst[j] = x
+	}
+	return dst
+}
+
+// Reconstruct materializes the full rank-k approximation X̂ = U·Σ·Vᵀ.
+// Intended for tests and small matrices.
+func (s *SVD) Reconstruct() *Matrix {
+	n := s.U.Rows()
+	m := s.V.Rows()
+	out := NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		s.ReconstructRow(i, out.Row(i))
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

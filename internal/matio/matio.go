@@ -1,0 +1,386 @@
+// Package matio provides out-of-core storage for the N×M data matrix.
+//
+// The paper's setting is a matrix too large for memory: N is millions of
+// rows while M is a few hundred columns, data is read in row-sized blocks,
+// and the compression algorithms are judged by how many passes they make
+// over the file and how many disk accesses a reconstruction needs. This
+// package supplies:
+//
+//   - a simple binary row-major matrix file format (".smx"),
+//   - streaming one-pass row scans and random row access,
+//   - an in-memory implementation of the same interfaces, and
+//   - access counters so tests can assert IO complexity claims (e.g. "a
+//     single cell reconstruction touches exactly one U row").
+package matio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"seqstore/internal/linalg"
+)
+
+// Magic identifies a seqstore matrix file.
+const Magic = "SEQMATRX"
+
+// Version is the current file-format version.
+const Version = 1
+
+// headerSize is the fixed .smx header length in bytes:
+// magic(8) + version(4) + reserved(4) + rows(8) + cols(8).
+const headerSize = 32
+
+// Common errors.
+var (
+	ErrBadMagic    = errors.New("matio: not a seqstore matrix file")
+	ErrBadVersion  = errors.New("matio: unsupported matrix file version")
+	ErrRowRange    = errors.New("matio: row index out of range")
+	ErrShortFile   = errors.New("matio: file shorter than header declares")
+	ErrRowMismatch = errors.New("matio: row length does not match matrix width")
+	ErrRowCount    = errors.New("matio: wrong number of rows written")
+)
+
+// Stats counts simulated disk operations. Row granularity matches the
+// paper's cost model: one row per block, one block per access.
+type Stats struct {
+	rowReads  atomic.Int64
+	rowWrites atomic.Int64
+	passes    atomic.Int64
+}
+
+// RowReads returns the number of random or sequential row fetches.
+func (s *Stats) RowReads() int64 { return s.rowReads.Load() }
+
+// RowWrites returns the number of rows written.
+func (s *Stats) RowWrites() int64 { return s.rowWrites.Load() }
+
+// Passes returns the number of full sequential scans started.
+func (s *Stats) Passes() int64 { return s.passes.Load() }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.rowReads.Store(0)
+	s.rowWrites.Store(0)
+	s.passes.Store(0)
+}
+
+// CountRead records one row fetch. Exported for RowSource implementations
+// outside this package (e.g. synthetic streaming sources).
+func (s *Stats) CountRead() { s.rowReads.Add(1) }
+
+// CountPass records the start of one full sequential scan.
+func (s *Stats) CountPass() { s.passes.Add(1) }
+
+// RowSource is a matrix that can be scanned sequentially, one row at a time.
+// This is the only capability the one-pass and multi-pass compression
+// algorithms need, mirroring the tape/stream model of the paper.
+type RowSource interface {
+	// Dims returns (rows, cols).
+	Dims() (int, int)
+	// ScanRows calls fn for every row in order. The row slice is only valid
+	// during the call. Returning a non-nil error aborts the scan.
+	ScanRows(fn func(i int, row []float64) error) error
+}
+
+// RowReader is a matrix supporting random row access.
+type RowReader interface {
+	RowSource
+	// ReadRow fills dst (length = cols) with row i.
+	ReadRow(i int, dst []float64) error
+}
+
+// --- On-disk implementation ------------------------------------------------
+
+// Writer streams rows into a new .smx file.
+type Writer struct {
+	f       *os.File
+	w       *bufio.Writer
+	rows    int
+	cols    int
+	written int
+	buf     []byte
+	stats   *Stats
+	closed  bool
+}
+
+// Create starts a new matrix file with the given dimensions. The caller must
+// write exactly rows rows and then Close.
+func Create(path string, rows, cols int) (*Writer, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matio: invalid dimensions %d×%d", rows, cols)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("matio: create: %w", err)
+	}
+	w := &Writer{f: f, w: bufio.NewWriterSize(f, 1<<16), rows: rows, cols: cols,
+		buf: make([]byte, 8*cols), stats: &Stats{}}
+	hdr := make([]byte, headerSize)
+	copy(hdr, Magic)
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(rows))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(cols))
+	if _, err := w.w.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("matio: write header: %w", err)
+	}
+	return w, nil
+}
+
+// WriteRow appends one row. Rows must arrive in order.
+func (w *Writer) WriteRow(row []float64) error {
+	if w.closed {
+		return errors.New("matio: write after close")
+	}
+	if len(row) != w.cols {
+		return fmt.Errorf("%w: got %d, want %d", ErrRowMismatch, len(row), w.cols)
+	}
+	if w.written >= w.rows {
+		return fmt.Errorf("%w: already wrote %d rows", ErrRowCount, w.rows)
+	}
+	for j, v := range row {
+		binary.LittleEndian.PutUint64(w.buf[j*8:], math.Float64bits(v))
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("matio: write row: %w", err)
+	}
+	w.written++
+	w.stats.rowWrites.Add(1)
+	return nil
+}
+
+// Close flushes and closes the file, failing if the declared row count was
+// not met.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("matio: flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("matio: close: %w", err)
+	}
+	if w.written != w.rows {
+		return fmt.Errorf("%w: wrote %d of %d", ErrRowCount, w.written, w.rows)
+	}
+	return nil
+}
+
+// Stats exposes the writer's IO counters.
+func (w *Writer) Stats() *Stats { return w.stats }
+
+// File is an open on-disk matrix supporting sequential scans and random row
+// reads. Random reads (ReadRow) are safe for concurrent use — each uses
+// ReadAt with a pooled buffer; sequential scans hold the file's seek
+// position and must not run concurrently with each other.
+type File struct {
+	f     *os.File
+	rows  int
+	cols  int
+	stats *Stats
+	bufs  sync.Pool
+}
+
+// Open opens an existing .smx matrix file.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("matio: open: %w", err)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("matio: read header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		f.Close()
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
+		f.Close()
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	rows := int(binary.LittleEndian.Uint64(hdr[16:]))
+	cols := int(binary.LittleEndian.Uint64(hdr[24:]))
+	if rows < 0 || cols < 0 {
+		f.Close()
+		return nil, errors.New("matio: corrupt header dimensions")
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("matio: stat: %w", err)
+	}
+	want := int64(headerSize) + int64(rows)*int64(cols)*8
+	if fi.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("%w: have %d bytes, want %d", ErrShortFile, fi.Size(), want)
+	}
+	m := &File{f: f, rows: rows, cols: cols, stats: &Stats{}}
+	m.bufs.New = func() interface{} { return make([]byte, 8*cols) }
+	return m, nil
+}
+
+// Dims returns (rows, cols).
+func (m *File) Dims() (int, int) { return m.rows, m.cols }
+
+// Stats exposes the file's IO counters.
+func (m *File) Stats() *Stats { return m.stats }
+
+// Close closes the underlying file.
+func (m *File) Close() error { return m.f.Close() }
+
+// ReadRow reads row i into dst (one simulated disk access).
+func (m *File) ReadRow(i int, dst []float64) error {
+	if i < 0 || i >= m.rows {
+		return fmt.Errorf("%w: %d of %d", ErrRowRange, i, m.rows)
+	}
+	if len(dst) != m.cols {
+		return fmt.Errorf("%w: dst %d, want %d", ErrRowMismatch, len(dst), m.cols)
+	}
+	off := int64(headerSize) + int64(i)*int64(m.cols)*8
+	buf := m.bufs.Get().([]byte)
+	if _, err := m.f.ReadAt(buf, off); err != nil {
+		m.bufs.Put(buf)
+		return fmt.Errorf("matio: read row %d: %w", i, err)
+	}
+	decodeRow(buf, dst)
+	m.bufs.Put(buf)
+	m.stats.rowReads.Add(1)
+	return nil
+}
+
+// ScanRows streams all rows in order using buffered sequential IO. Each scan
+// counts as one pass and rows rowReads.
+func (m *File) ScanRows(fn func(i int, row []float64) error) error {
+	m.stats.passes.Add(1)
+	if _, err := m.f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("matio: seek: %w", err)
+	}
+	r := bufio.NewReaderSize(m.f, 1<<16)
+	row := make([]float64, m.cols)
+	raw := make([]byte, 8*m.cols)
+	for i := 0; i < m.rows; i++ {
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return fmt.Errorf("matio: scan row %d: %w", i, err)
+		}
+		decodeRow(raw, row)
+		m.stats.rowReads.Add(1)
+		if err := fn(i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeRow(raw []byte, dst []float64) {
+	for j := range dst {
+		dst[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[j*8:]))
+	}
+}
+
+// WriteMatrix writes an in-memory matrix to path in .smx format.
+func WriteMatrix(path string, m *linalg.Matrix) error {
+	w, err := Create(path, m.Rows(), m.Cols())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows(); i++ {
+		if err := w.WriteRow(m.Row(i)); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadMatrix loads an entire .smx file into memory. Intended for tests and
+// small datasets; large datasets should be streamed via Open.
+func ReadMatrix(path string) (*linalg.Matrix, error) {
+	f, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, cols := f.Dims()
+	out := linalg.NewMatrix(rows, cols)
+	err = f.ScanRows(func(i int, row []float64) error {
+		copy(out.Row(i), row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- In-memory implementation ----------------------------------------------
+
+// Mem adapts an in-memory linalg.Matrix to the RowReader interface, with the
+// same access accounting as the on-disk form so algorithms can be tested
+// against either.
+type Mem struct {
+	m     *linalg.Matrix
+	stats Stats
+}
+
+// NewMem wraps m. The matrix is not copied.
+func NewMem(m *linalg.Matrix) *Mem { return &Mem{m: m} }
+
+// Dims returns (rows, cols).
+func (s *Mem) Dims() (int, int) { return s.m.Dims() }
+
+// Stats exposes the IO counters.
+func (s *Mem) Stats() *Stats { return &s.stats }
+
+// Matrix returns the wrapped matrix.
+func (s *Mem) Matrix() *linalg.Matrix { return s.m }
+
+// ReadRow copies row i into dst.
+func (s *Mem) ReadRow(i int, dst []float64) error {
+	if i < 0 || i >= s.m.Rows() {
+		return fmt.Errorf("%w: %d of %d", ErrRowRange, i, s.m.Rows())
+	}
+	if len(dst) != s.m.Cols() {
+		return fmt.Errorf("%w: dst %d, want %d", ErrRowMismatch, len(dst), s.m.Cols())
+	}
+	copy(dst, s.m.Row(i))
+	s.stats.rowReads.Add(1)
+	return nil
+}
+
+// ScanRows streams all rows in order.
+func (s *Mem) ScanRows(fn func(i int, row []float64) error) error {
+	s.stats.passes.Add(1)
+	for i := 0; i < s.m.Rows(); i++ {
+		s.stats.rowReads.Add(1)
+		if err := fn(i, s.m.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendRow grows the in-memory matrix by one row and returns its index.
+// Only the memory-backed implementation supports appends; disk files are
+// immutable once written.
+func (s *Mem) AppendRow(row []float64) int {
+	s.m.AppendRow(row)
+	s.stats.rowWrites.Add(1)
+	return s.m.Rows() - 1
+}
+
+var (
+	_ RowReader = (*File)(nil)
+	_ RowReader = (*Mem)(nil)
+)

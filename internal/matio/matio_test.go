@@ -1,0 +1,419 @@
+package matio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"seqstore/internal/linalg"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "m.smx")
+}
+
+func randMatrix(r *rand.Rand, n, m int) *linalg.Matrix {
+	x := linalg.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			x.Set(i, j, r.NormFloat64()*100)
+		}
+	}
+	return x
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := randMatrix(r, 17, 9)
+	path := tmpPath(t)
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.Equal(got, x, 0) {
+		t.Error("round trip not bit-exact")
+	}
+}
+
+func TestSpecialValuesRoundTrip(t *testing.T) {
+	x := linalg.FromRows([][]float64{{0, -0.0, math.MaxFloat64, math.SmallestNonzeroFloat64, -1e-300}})
+	path := tmpPath(t)
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < x.Cols(); j++ {
+		if math.Float64bits(got.At(0, j)) != math.Float64bits(x.At(0, j)) {
+			t.Errorf("column %d not bit-identical", j)
+		}
+	}
+}
+
+func TestRandomRowAccess(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randMatrix(r, 25, 6)
+	path := tmpPath(t)
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dst := make([]float64, 6)
+	for _, i := range []int{24, 0, 13, 7, 13} {
+		if err := f.ReadRow(i, dst); err != nil {
+			t.Fatal(err)
+		}
+		for j := range dst {
+			if dst[j] != x.At(i, j) {
+				t.Fatalf("row %d col %d: got %v want %v", i, j, dst[j], x.At(i, j))
+			}
+		}
+	}
+	if got := f.Stats().RowReads(); got != 5 {
+		t.Errorf("RowReads = %d, want 5", got)
+	}
+}
+
+func TestReadRowErrors(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteMatrix(path, linalg.NewMatrix(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dst := make([]float64, 4)
+	if err := f.ReadRow(-1, dst); !errors.Is(err, ErrRowRange) {
+		t.Errorf("negative row: %v", err)
+	}
+	if err := f.ReadRow(3, dst); !errors.Is(err, ErrRowRange) {
+		t.Errorf("row past end: %v", err)
+	}
+	if err := f.ReadRow(0, make([]float64, 3)); !errors.Is(err, ErrRowMismatch) {
+		t.Errorf("short dst: %v", err)
+	}
+}
+
+func TestScanRowsOrderAndStats(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x := randMatrix(r, 10, 3)
+	path := tmpPath(t)
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	next := 0
+	err = f.ScanRows(func(i int, row []float64) error {
+		if i != next {
+			t.Fatalf("rows out of order: got %d want %d", i, next)
+		}
+		next++
+		for j := range row {
+			if row[j] != x.At(i, j) {
+				t.Fatalf("value mismatch at (%d,%d)", i, j)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 10 {
+		t.Fatalf("scanned %d rows, want 10", next)
+	}
+	if f.Stats().Passes() != 1 || f.Stats().RowReads() != 10 {
+		t.Errorf("stats = %d passes/%d reads, want 1/10",
+			f.Stats().Passes(), f.Stats().RowReads())
+	}
+}
+
+func TestScanRowsAbort(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteMatrix(path, linalg.NewMatrix(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Open(path)
+	defer f.Close()
+	boom := errors.New("boom")
+	err := f.ScanRows(func(i int, row []float64) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("abort error not propagated: %v", err)
+	}
+}
+
+func TestMultipleScans(t *testing.T) {
+	path := tmpPath(t)
+	x := linalg.FromRows([][]float64{{1, 2}, {3, 4}})
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Open(path)
+	defer f.Close()
+	for pass := 0; pass < 3; pass++ {
+		count := 0
+		if err := f.ScanRows(func(i int, row []float64) error { count++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if count != 2 {
+			t.Fatalf("pass %d scanned %d rows", pass, count)
+		}
+	}
+	if f.Stats().Passes() != 3 {
+		t.Errorf("Passes = %d, want 3", f.Stats().Passes())
+	}
+}
+
+func TestWriterRowValidation(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{1, 2}); !errors.Is(err, ErrRowMismatch) {
+		t.Errorf("short row: %v", err)
+	}
+	if err := w.WriteRow([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{7, 8, 9}); !errors.Is(err, ErrRowCount) {
+		t.Errorf("extra row: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterUnderfilledCloseFails(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteRow([]float64{1, 2})
+	if err := w.Close(); !errors.Is(err, ErrRowCount) {
+		t.Errorf("underfilled close: %v", err)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path, 0, 2)
+	w.Close()
+	if err := w.WriteRow([]float64{1, 2}); err == nil {
+		t.Error("write after close accepted")
+	}
+	// Double close is a no-op.
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("this is not a matrix file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("garbage file: %v", err)
+	}
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	short := filepath.Join(dir, "short")
+	os.WriteFile(short, []byte("SEQ"), 0o644)
+	if _, err := Open(short); err == nil {
+		t.Error("short file accepted")
+	}
+}
+
+func TestOpenRejectsTruncatedBody(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteMatrix(path, linalg.NewMatrix(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-8], 0o644)
+	if _, err := Open(path); !errors.Is(err, ErrShortFile) {
+		t.Errorf("truncated body: %v", err)
+	}
+}
+
+func TestOpenRejectsWrongVersion(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteMatrix(path, linalg.NewMatrix(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	data[8] = 99
+	os.WriteFile(path, data, 0o644)
+	if _, err := Open(path); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("wrong version: %v", err)
+	}
+}
+
+func TestEmptyMatrixRoundTrip(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteMatrix(path, linalg.NewMatrix(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := got.Dims(); r != 0 || c != 5 {
+		t.Errorf("dims = (%d,%d), want (0,5)", r, c)
+	}
+}
+
+func TestMemMatchesFile(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	x := randMatrix(r, 12, 5)
+	path := tmpPath(t)
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Open(path)
+	defer f.Close()
+	mem := NewMem(x)
+
+	fr, fc := f.Dims()
+	mr, mc := mem.Dims()
+	if fr != mr || fc != mc {
+		t.Fatal("dims differ")
+	}
+	dstF := make([]float64, fc)
+	dstM := make([]float64, fc)
+	for i := 0; i < fr; i++ {
+		if err := f.ReadRow(i, dstF); err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.ReadRow(i, dstM); err != nil {
+			t.Fatal(err)
+		}
+		for j := range dstF {
+			if dstF[j] != dstM[j] {
+				t.Fatalf("mem/file mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMemErrors(t *testing.T) {
+	mem := NewMem(linalg.NewMatrix(2, 2))
+	if err := mem.ReadRow(5, make([]float64, 2)); !errors.Is(err, ErrRowRange) {
+		t.Errorf("range error: %v", err)
+	}
+	if err := mem.ReadRow(0, make([]float64, 1)); !errors.Is(err, ErrRowMismatch) {
+		t.Errorf("mismatch error: %v", err)
+	}
+}
+
+func TestMemScanAbort(t *testing.T) {
+	mem := NewMem(linalg.NewMatrix(3, 1))
+	boom := errors.New("x")
+	if err := mem.ScanRows(func(i int, row []float64) error { return boom }); !errors.Is(err, boom) {
+		t.Error("abort not propagated")
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	mem := NewMem(linalg.NewMatrix(3, 1))
+	mem.ScanRows(func(i int, row []float64) error { return nil })
+	mem.Stats().Reset()
+	if mem.Stats().RowReads() != 0 || mem.Stats().Passes() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+// Property: any matrix round-trips bit-exactly through the file format.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m := r.Intn(20), 1+r.Intn(10)
+		x := randMatrix(r, n, m)
+		path := filepath.Join(t.TempDir(), "p.smx")
+		if err := WriteMatrix(path, x); err != nil {
+			return false
+		}
+		got, err := ReadMatrix(path)
+		if err != nil {
+			return false
+		}
+		return linalg.Equal(got, x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReadRow(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	x := randMatrix(r, 64, 8)
+	path := tmpPath(t)
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]float64, 8)
+			for it := 0; it < 200; it++ {
+				i := (g*31 + it*7) % 64
+				if err := f.ReadRow(i, dst); err != nil {
+					errs <- err
+					return
+				}
+				for j := range dst {
+					if dst[j] != x.At(i, j) {
+						errs <- fmt.Errorf("goroutine %d: row %d col %d mismatch", g, i, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

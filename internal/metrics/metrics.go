@@ -1,0 +1,175 @@
+// Package metrics implements the reconstruction-error measures of the
+// paper's §5: the RMSPE (Definition 5.1, root-mean-squared error normalized
+// by the standard deviation of the data), the worst-case single-cell error
+// in absolute and normalized form (Table 3), the aggregate-query error Q_err
+// (Eq. 14), and the rank-ordered error distribution of Figure 8.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator streams (actual, reconstructed) cell pairs and computes every
+// error measure in one pass. The zero value is ready to use.
+type Accumulator struct {
+	n     int64
+	sse   float64 // Σ(x̂−x)²
+	sumX  float64 // Σx
+	sumX2 float64 // Σx²
+
+	maxAbs         float64
+	maxRow, maxCol int
+}
+
+// Add records a single cell.
+func (a *Accumulator) Add(row, col int, actual, approx float64) {
+	d := approx - actual
+	a.sse += d * d
+	a.sumX += actual
+	a.sumX2 += actual * actual
+	a.n++
+	if ad := math.Abs(d); ad > a.maxAbs {
+		a.maxAbs = ad
+		a.maxRow, a.maxCol = row, col
+	}
+}
+
+// AddRow records a whole row of cells.
+func (a *Accumulator) AddRow(i int, actual, approx []float64) {
+	for j := range actual {
+		a.Add(i, j, actual[j], approx[j])
+	}
+}
+
+// N returns the number of cells recorded.
+func (a *Accumulator) N() int64 { return a.n }
+
+// SSE returns the sum of squared reconstruction errors.
+func (a *Accumulator) SSE() float64 { return a.sse }
+
+// Mean returns the mean of the actual data values.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumX / float64(a.n)
+}
+
+// StdDev returns the (population) standard deviation of the actual values —
+// the paper's normalization constant.
+func (a *Accumulator) StdDev() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumX2/float64(a.n) - m*m
+	if v < 0 { // guard against roundoff
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// RMSPE returns the root mean square percent error of Definition 5.1:
+// √Σ(x̂−x)² / √Σ(x−x̄)². It returns 0 for an empty accumulator and +Inf for
+// constant data with non-zero error (degenerate denominator).
+func (a *Accumulator) RMSPE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	denom := a.sumX2 - a.sumX*a.sumX/float64(a.n)
+	if denom <= 0 {
+		if a.sse == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(a.sse / denom)
+}
+
+// RMSE returns the plain (unnormalized) root-mean-squared error per cell.
+func (a *Accumulator) RMSE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.sse / float64(a.n))
+}
+
+// WorstAbs returns the largest absolute single-cell error and its position.
+func (a *Accumulator) WorstAbs() (err float64, row, col int) {
+	return a.maxAbs, a.maxRow, a.maxCol
+}
+
+// WorstNormalized returns the worst-case error divided by the standard
+// deviation of the data, the normalization of Table 3 and Table 4. Returns
+// +Inf for constant data with non-zero error.
+func (a *Accumulator) WorstNormalized() float64 {
+	sd := a.StdDev()
+	if sd == 0 {
+		if a.maxAbs == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return a.maxAbs / sd
+}
+
+// QueryError returns Q_err (Eq. 14): |f(X) − f(X̂)| / |f(X)|, the relative
+// error of an aggregate answer. A zero true answer with a non-zero estimate
+// yields +Inf; both zero yields 0.
+func QueryError(truth, estimate float64) float64 {
+	if truth == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(truth-estimate) / math.Abs(truth)
+}
+
+// Distribution collects absolute cell errors to reproduce Figure 8: the
+// cells rank-ordered by reconstruction error.
+type Distribution struct {
+	errs []float64
+}
+
+// Add records one absolute error.
+func (d *Distribution) Add(err float64) {
+	d.errs = append(d.errs, math.Abs(err))
+}
+
+// RankOrdered returns the absolute errors sorted in decreasing order.
+func (d *Distribution) RankOrdered() []float64 {
+	out := make([]float64, len(d.errs))
+	copy(out, d.errs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the absolute errors, e.g.
+// Quantile(0.5) is the median error the paper's §5.1 discussion refers to.
+func (d *Distribution) Quantile(q float64) float64 {
+	if len(d.errs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(d.errs))
+	copy(sorted, d.errs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Len returns the number of recorded errors.
+func (d *Distribution) Len() int { return len(d.errs) }

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEmptyAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.RMSPE() != 0 || a.RMSE() != 0 || a.StdDev() != 0 || a.Mean() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	if w, _, _ := a.WorstAbs(); w != 0 {
+		t.Error("empty worst-case should be 0")
+	}
+}
+
+func TestPerfectReconstruction(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 10; i++ {
+		a.Add(i, 0, float64(i), float64(i))
+	}
+	if a.RMSPE() != 0 {
+		t.Errorf("RMSPE = %v, want 0", a.RMSPE())
+	}
+	if a.WorstNormalized() != 0 {
+		t.Error("WorstNormalized should be 0 for perfect reconstruction")
+	}
+}
+
+func TestKnownRMSPE(t *testing.T) {
+	// Data {0, 2}: mean 1, Σ(x−x̄)² = 2. Approximations {1, 2}: SSE = 1.
+	var a Accumulator
+	a.Add(0, 0, 0, 1)
+	a.Add(0, 1, 2, 2)
+	want := math.Sqrt(1.0 / 2.0)
+	if !almostEqual(a.RMSPE(), want, 1e-12) {
+		t.Errorf("RMSPE = %v, want %v", a.RMSPE(), want)
+	}
+}
+
+func TestRMSEAndStdDev(t *testing.T) {
+	var a Accumulator
+	// Data {1,3}: mean 2, population variance 1 ⇒ stddev 1.
+	a.Add(0, 0, 1, 1.5)
+	a.Add(0, 1, 3, 3)
+	if !almostEqual(a.StdDev(), 1, 1e-12) {
+		t.Errorf("StdDev = %v, want 1", a.StdDev())
+	}
+	if !almostEqual(a.RMSE(), math.Sqrt(0.125), 1e-12) {
+		t.Errorf("RMSE = %v", a.RMSE())
+	}
+	if !almostEqual(a.Mean(), 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", a.Mean())
+	}
+}
+
+func TestConstantDataDegenerateRMSPE(t *testing.T) {
+	var a Accumulator
+	a.Add(0, 0, 5, 6)
+	a.Add(0, 1, 5, 5)
+	if !math.IsInf(a.RMSPE(), 1) {
+		t.Error("RMSPE on constant data with error should be +Inf")
+	}
+	if !math.IsInf(a.WorstNormalized(), 1) {
+		t.Error("WorstNormalized on constant data with error should be +Inf")
+	}
+	var b Accumulator
+	b.Add(0, 0, 5, 5)
+	if b.RMSPE() != 0 {
+		t.Error("RMSPE on perfectly reconstructed constant data should be 0")
+	}
+}
+
+func TestWorstAbsTracksPosition(t *testing.T) {
+	var a Accumulator
+	a.Add(0, 0, 1, 1.1)
+	a.Add(3, 7, 1, 5) // error 4
+	a.Add(9, 9, 1, 2)
+	err, r, c := a.WorstAbs()
+	if err != 4 || r != 3 || c != 7 {
+		t.Errorf("WorstAbs = (%v,%d,%d), want (4,3,7)", err, r, c)
+	}
+}
+
+func TestAddRow(t *testing.T) {
+	var a, b Accumulator
+	actual := []float64{1, 2, 3}
+	approx := []float64{1.5, 2, 2}
+	a.AddRow(4, actual, approx)
+	for j := range actual {
+		b.Add(4, j, actual[j], approx[j])
+	}
+	if a.RMSPE() != b.RMSPE() || a.SSE() != b.SSE() {
+		t.Error("AddRow and per-cell Add disagree")
+	}
+	if a.N() != 3 {
+		t.Errorf("N = %d, want 3", a.N())
+	}
+}
+
+func TestQueryError(t *testing.T) {
+	if QueryError(100, 99) != 0.01 {
+		t.Errorf("QueryError(100,99) = %v", QueryError(100, 99))
+	}
+	if QueryError(0, 0) != 0 {
+		t.Error("QueryError(0,0) should be 0")
+	}
+	if !math.IsInf(QueryError(0, 1), 1) {
+		t.Error("QueryError(0,1) should be +Inf")
+	}
+	if QueryError(-50, -45) != 0.1 {
+		t.Errorf("QueryError(-50,-45) = %v, want 0.1", QueryError(-50, -45))
+	}
+}
+
+func TestDistributionRankOrdered(t *testing.T) {
+	var d Distribution
+	for _, e := range []float64{0.5, -3, 1, 2} {
+		d.Add(e)
+	}
+	got := d.RankOrdered()
+	want := []float64{3, 2, 1, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RankOrdered[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if d.Len() != 4 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDistributionQuantile(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 5; i++ {
+		d.Add(float64(i))
+	}
+	if d.Quantile(0.5) != 3 {
+		t.Errorf("median = %v, want 3", d.Quantile(0.5))
+	}
+	if d.Quantile(0) != 1 || d.Quantile(1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if d.Quantile(0.25) != 2 {
+		t.Errorf("q25 = %v, want 2", d.Quantile(0.25))
+	}
+	var empty Distribution
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty distribution quantile should be 0")
+	}
+}
+
+// Property: RMSPE is scale-invariant — scaling both data and approximation
+// by any non-zero factor leaves it unchanged.
+func TestRMSPEScaleInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		scale := 0.5 + r.Float64()*10
+		var a, b Accumulator
+		for i := 0; i < 50; i++ {
+			x := r.NormFloat64() * 10
+			xh := x + r.NormFloat64()
+			a.Add(0, i, x, xh)
+			b.Add(0, i, x*scale, xh*scale)
+		}
+		return almostEqual(a.RMSPE(), b.RMSPE(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RMSPE is shift-invariant in the error sense: adding a constant
+// to both actual and approx leaves SSE unchanged and the denominator
+// unchanged (deviation from mean), hence the same RMSPE.
+func TestRMSPEShiftInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shift := r.NormFloat64() * 100
+		var a, b Accumulator
+		for i := 0; i < 50; i++ {
+			x := r.NormFloat64() * 10
+			xh := x + r.NormFloat64()
+			a.Add(0, i, x, xh)
+			b.Add(0, i, x+shift, xh+shift)
+		}
+		return almostEqual(a.RMSPE(), b.RMSPE(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: worst-case ≥ RMSE for any stream.
+func TestWorstDominatesRMSEProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var a Accumulator
+		for i := 0; i < 30; i++ {
+			x := r.NormFloat64()
+			a.Add(0, i, x, x+r.NormFloat64())
+		}
+		w, _, _ := a.WorstAbs()
+		return w >= a.RMSE()-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var d Distribution
+		for i := 0; i < 40; i++ {
+			d.Add(r.NormFloat64() * 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := d.Quantile(q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

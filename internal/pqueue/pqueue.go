@@ -1,0 +1,116 @@
+// Package pqueue implements the bounded "keep the γ largest" priority queues
+// used by the SVDD pass-2 algorithm (Figure 5 of the paper): one queue per
+// candidate cutoff k collects the γ_k cells with the largest reconstruction
+// errors while streaming over the data matrix.
+package pqueue
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Item is a candidate outlier cell: its position in the matrix and the delta
+// (actual − reconstructed) that would need to be stored to repair it.
+type Item struct {
+	Row, Col int
+	// Delta is the signed correction x[i][j] − x̂[i][j].
+	Delta float64
+}
+
+// Weight is the priority of an item: the magnitude of its error.
+func (it Item) Weight() float64 { return math.Abs(it.Delta) }
+
+// TopK keeps the k items with the largest |Delta| seen so far, using a
+// min-heap of size ≤ k so each Offer is O(log k) and streaming N·M cells
+// costs O(N·M·log k) total.
+//
+// The zero value is not usable; construct with NewTopK. A TopK with capacity
+// zero accepts nothing (γ = 0 means "no outlier storage").
+type TopK struct {
+	cap int
+	h   itemHeap
+}
+
+// NewTopK returns a queue retaining the capacity items of largest weight.
+func NewTopK(capacity int) *TopK {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &TopK{cap: capacity, h: make(itemHeap, 0, min(capacity, 1024))}
+}
+
+// Cap returns the maximum number of retained items (γ).
+func (q *TopK) Cap() int { return q.cap }
+
+// Len returns the number of currently retained items.
+func (q *TopK) Len() int { return len(q.h) }
+
+// MinWeight returns the smallest retained weight, or 0 when empty. When the
+// queue is full this is the admission threshold: anything lighter is
+// rejected without a heap operation.
+func (q *TopK) MinWeight() float64 {
+	if len(q.h) == 0 {
+		return 0
+	}
+	return q.h[0].Weight()
+}
+
+// Offer considers an item for retention and reports whether it was kept.
+func (q *TopK) Offer(it Item) bool {
+	if q.cap == 0 {
+		return false
+	}
+	if len(q.h) < q.cap {
+		heap.Push(&q.h, it)
+		return true
+	}
+	if it.Weight() <= q.h[0].Weight() {
+		return false
+	}
+	q.h[0] = it
+	heap.Fix(&q.h, 0)
+	return true
+}
+
+// Items returns the retained items sorted by decreasing weight. The queue is
+// left intact.
+func (q *TopK) Items() []Item {
+	out := make([]Item, len(q.h))
+	copy(out, q.h)
+	sort.Slice(out, func(i, j int) bool { return out[i].Weight() > out[j].Weight() })
+	return out
+}
+
+// SumSquaredWeights returns Σ delta² over retained items. SVDD uses this to
+// compute the residual error ε_k = SSE_k − Σ(top-γ_k errors²) without a
+// second pass.
+func (q *TopK) SumSquaredWeights() float64 {
+	var s float64
+	for _, it := range q.h {
+		s += it.Delta * it.Delta
+	}
+	return s
+}
+
+// itemHeap is a min-heap on Weight.
+type itemHeap []Item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i].Weight() < h[j].Weight() }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package pqueue
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := NewTopK(3)
+	if q.Len() != 0 {
+		t.Error("new queue not empty")
+	}
+	if q.MinWeight() != 0 {
+		t.Error("MinWeight of empty queue should be 0")
+	}
+	if len(q.Items()) != 0 {
+		t.Error("Items of empty queue should be empty")
+	}
+}
+
+func TestZeroCapacityRejectsAll(t *testing.T) {
+	q := NewTopK(0)
+	if q.Offer(Item{0, 0, 100}) {
+		t.Error("zero-capacity queue accepted an item")
+	}
+	if q.Len() != 0 {
+		t.Error("zero-capacity queue is not empty")
+	}
+}
+
+func TestNegativeCapacityClamped(t *testing.T) {
+	q := NewTopK(-5)
+	if q.Cap() != 0 {
+		t.Errorf("Cap = %d, want 0", q.Cap())
+	}
+}
+
+func TestKeepsLargest(t *testing.T) {
+	q := NewTopK(3)
+	for i, d := range []float64{1, 5, 3, 9, 2, 7} {
+		q.Offer(Item{Row: i, Delta: d})
+	}
+	items := q.Items()
+	if len(items) != 3 {
+		t.Fatalf("Len = %d, want 3", len(items))
+	}
+	got := []float64{items[0].Delta, items[1].Delta, items[2].Delta}
+	want := []float64{9, 7, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Items[%d].Delta = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNegativeDeltasRankedByMagnitude(t *testing.T) {
+	q := NewTopK(2)
+	q.Offer(Item{Delta: -10})
+	q.Offer(Item{Delta: 1})
+	q.Offer(Item{Delta: -5})
+	items := q.Items()
+	if items[0].Delta != -10 || items[1].Delta != -5 {
+		t.Errorf("Items = %v, want [-10 -5] by magnitude", items)
+	}
+}
+
+func TestOfferReportsAdmission(t *testing.T) {
+	q := NewTopK(1)
+	if !q.Offer(Item{Delta: 2}) {
+		t.Error("first offer should be accepted")
+	}
+	if q.Offer(Item{Delta: 1}) {
+		t.Error("lighter item accepted into full queue")
+	}
+	if !q.Offer(Item{Delta: 3}) {
+		t.Error("heavier item rejected")
+	}
+	if q.Items()[0].Delta != 3 {
+		t.Error("heavier item did not replace lighter one")
+	}
+}
+
+func TestTieNotAdmitted(t *testing.T) {
+	q := NewTopK(1)
+	q.Offer(Item{Row: 1, Delta: 5})
+	if q.Offer(Item{Row: 2, Delta: -5}) {
+		t.Error("equal-weight item should not evict (strictly-greater admission)")
+	}
+	if q.Items()[0].Row != 1 {
+		t.Error("original item was evicted by a tie")
+	}
+}
+
+func TestMinWeightIsThreshold(t *testing.T) {
+	q := NewTopK(2)
+	q.Offer(Item{Delta: 4})
+	q.Offer(Item{Delta: 8})
+	if q.MinWeight() != 4 {
+		t.Errorf("MinWeight = %v, want 4", q.MinWeight())
+	}
+	q.Offer(Item{Delta: 6})
+	if q.MinWeight() != 6 {
+		t.Errorf("MinWeight after eviction = %v, want 6", q.MinWeight())
+	}
+}
+
+func TestSumSquaredWeights(t *testing.T) {
+	q := NewTopK(3)
+	q.Offer(Item{Delta: 3})
+	q.Offer(Item{Delta: -4})
+	if got := q.SumSquaredWeights(); got != 25 {
+		t.Errorf("SumSquaredWeights = %v, want 25", got)
+	}
+}
+
+func TestItemsDoesNotDrain(t *testing.T) {
+	q := NewTopK(2)
+	q.Offer(Item{Delta: 1})
+	q.Offer(Item{Delta: 2})
+	_ = q.Items()
+	if q.Len() != 2 {
+		t.Error("Items drained the queue")
+	}
+}
+
+// Property: the queue retains exactly the top-k by |delta| of any stream.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200)
+		k := r.Intn(20)
+		q := NewTopK(k)
+		all := make([]float64, n)
+		for i := 0; i < n; i++ {
+			d := r.NormFloat64() * 100
+			all[i] = math.Abs(d)
+			q.Offer(Item{Row: i, Delta: d})
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+		items := q.Items()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(items) != wantLen {
+			return false
+		}
+		for i, it := range items {
+			// Weights must match the sorted top-k exactly (values are
+			// distinct with probability 1).
+			if it.Weight() != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinWeight equals the smallest retained weight.
+func TestMinWeightInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := NewTopK(1 + r.Intn(10))
+		for i := 0; i < 100; i++ {
+			q.Offer(Item{Row: i, Delta: r.NormFloat64() * 10})
+			items := q.Items()
+			if len(items) == 0 {
+				continue
+			}
+			minItem := items[len(items)-1].Weight()
+			if q.MinWeight() != minItem {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	q := NewTopK(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Offer(Item{Row: i, Delta: r.NormFloat64()})
+	}
+}

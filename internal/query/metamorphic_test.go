@@ -1,0 +1,160 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seqstore/internal/core"
+	"seqstore/internal/matio"
+)
+
+// Metamorphic properties of the aggregate engine: relations that must hold
+// between the answers of related queries, regardless of the data or the
+// compression error.
+
+func metamorphicStore(t *testing.T) *core.Store {
+	t.Helper()
+	x := testMatrix()
+	s, err := core.Compress(matio.NewMem(x), core.Options{Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Sum over a disjoint row partition equals the sum over the union.
+func TestSumAdditiveOverRowPartition(t *testing.T) {
+	s := metamorphicStore(t)
+	n, m := s.Dims()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		all := rng.Perm(n)[:2+rng.Intn(n-2)]
+		cut := 1 + rng.Intn(len(all)-1)
+		cols := sampleDistinct(rng, m, 1+rng.Intn(m))
+
+		whole, err := Evaluate(s, Sum, Selection{Rows: all, Cols: cols})
+		if err != nil {
+			return false
+		}
+		left, err := Evaluate(s, Sum, Selection{Rows: all[:cut], Cols: cols})
+		if err != nil {
+			return false
+		}
+		right, err := Evaluate(s, Sum, Selection{Rows: all[cut:], Cols: cols})
+		if err != nil {
+			return false
+		}
+		return math.Abs(whole-(left+right)) <= 1e-6*math.Max(math.Abs(whole), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Avg·Count = Sum for any selection.
+func TestAvgTimesCountIsSum(t *testing.T) {
+	s := metamorphicStore(t)
+	n, m := s.Dims()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sel := RandomSelection(rng, n, m, 0.01+0.3*rng.Float64())
+		sum, err := Evaluate(s, Sum, sel)
+		if err != nil {
+			return false
+		}
+		avg, err := Evaluate(s, Avg, sel)
+		if err != nil {
+			return false
+		}
+		cnt, err := Evaluate(s, Count, sel)
+		if err != nil {
+			return false
+		}
+		return math.Abs(avg*cnt-sum) <= 1e-6*math.Max(math.Abs(sum), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Min ≤ Avg ≤ Max, and StdDev ≥ 0, for any selection.
+func TestOrderingInvariants(t *testing.T) {
+	s := metamorphicStore(t)
+	n, m := s.Dims()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sel := RandomSelection(rng, n, m, 0.01+0.2*rng.Float64())
+		lo, err := Evaluate(s, Min, sel)
+		if err != nil {
+			return false
+		}
+		av, err := Evaluate(s, Avg, sel)
+		if err != nil {
+			return false
+		}
+		hi, err := Evaluate(s, Max, sel)
+		if err != nil {
+			return false
+		}
+		sd, err := Evaluate(s, StdDev, sel)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return lo <= av+eps && av <= hi+eps && sd >= -eps && sd <= (hi-lo)+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A single-cell selection's aggregates all equal the cell value.
+func TestSingletonSelection(t *testing.T) {
+	s := metamorphicStore(t)
+	n, m := s.Dims()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		i, j := rng.Intn(n), rng.Intn(m)
+		sel := Selection{Rows: []int{i}, Cols: []int{j}}
+		cell, err := s.Cell(i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, agg := range []Aggregate{Sum, Avg, Min, Max} {
+			v, err := Evaluate(s, agg, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(v-cell) > 1e-9*math.Max(math.Abs(cell), 1) {
+				t.Fatalf("%v of singleton (%d,%d) = %v, cell = %v", agg, i, j, v, cell)
+			}
+		}
+		sd, _ := Evaluate(s, StdDev, sel)
+		if sd != 0 {
+			t.Fatalf("stddev of singleton = %v", sd)
+		}
+	}
+}
+
+// Duplicated columns in a selection scale the Sum accordingly (the engine
+// treats the selection as a multiset, matching SQL semantics of listing a
+// column twice).
+func TestSumScalesWithDuplicateColumns(t *testing.T) {
+	s := metamorphicStore(t)
+	_, m := s.Dims()
+	rows := []int{1, 3, 5}
+	cols := []int{2, 4, m - 1}
+	once, err := Evaluate(s, Sum, Selection{Rows: rows, Cols: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := Evaluate(s, Sum, Selection{Rows: rows, Cols: append(append([]int{}, cols...), cols...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(doubled-2*once) > 1e-6*math.Max(math.Abs(once), 1) {
+		t.Errorf("doubled selection sum %v != 2×%v", doubled, once)
+	}
+}

@@ -1,0 +1,320 @@
+// Package query implements the two query classes of the paper's
+// experiments (§1, §5): single-cell lookups and aggregate queries over a
+// selected set of rows and columns ("find the total sales to business
+// customers for the week ending …").
+//
+// Aggregates over SVD-backed stores can be evaluated in factored form:
+// since x̂[i][j] = Σ_m σ_m·u[i][m]·v[j][m],
+//
+//	Σ_{i∈R} Σ_{j∈C} x̂[i][j] = Σ_m σ_m·(Σ_{i∈R} u[i][m])·(Σ_{j∈C} v[j][m]),
+//
+// which costs O(k·(|R|+|C|)) instead of O(k·|R|·|C|) — plus one pass over
+// the delta table for SVDD. The naive and factored paths are cross-checked
+// by property tests.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"seqstore/internal/core"
+	"seqstore/internal/linalg"
+	"seqstore/internal/store"
+	"seqstore/internal/svd"
+)
+
+// Aggregate identifies an aggregate function f() over the selected cells.
+type Aggregate int
+
+// Supported aggregate functions.
+const (
+	Sum Aggregate = iota
+	Avg
+	Count
+	Min
+	Max
+	StdDev
+)
+
+// String returns the SQL-ish name of the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case StdDev:
+		return "stddev"
+	default:
+		return fmt.Sprintf("aggregate(%d)", int(a))
+	}
+}
+
+// ParseAggregate converts a name into an Aggregate.
+func ParseAggregate(s string) (Aggregate, error) {
+	switch s {
+	case "sum":
+		return Sum, nil
+	case "avg", "mean":
+		return Avg, nil
+	case "count":
+		return Count, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "stddev", "std":
+		return StdDev, nil
+	}
+	return 0, fmt.Errorf("query: unknown aggregate %q", s)
+}
+
+// Selection is the cross product of a set of rows and a set of columns.
+type Selection struct {
+	Rows []int
+	Cols []int
+}
+
+// ErrEmptySelection is returned when a selection contains no cells.
+var ErrEmptySelection = errors.New("query: empty selection")
+
+// Validate checks that all indices are in range for an n×m matrix and that
+// the selection is non-empty.
+func (sel Selection) Validate(n, m int) error {
+	if len(sel.Rows) == 0 || len(sel.Cols) == 0 {
+		return ErrEmptySelection
+	}
+	for _, i := range sel.Rows {
+		if i < 0 || i >= n {
+			return fmt.Errorf("query: row %d out of range %d", i, n)
+		}
+	}
+	for _, j := range sel.Cols {
+		if j < 0 || j >= m {
+			return fmt.Errorf("query: column %d out of range %d", j, m)
+		}
+	}
+	return nil
+}
+
+// NumCells returns |Rows|·|Cols|.
+func (sel Selection) NumCells() int { return len(sel.Rows) * len(sel.Cols) }
+
+// RandomSelection draws a selection covering approximately frac of the
+// cells of an n×m matrix, with |Rows|/n ≈ |Cols|/m ≈ √frac as in the §5.2
+// experiment ("rows and columns tuned so that ~10% of the cells would be
+// included"). Deterministic for a given rng.
+func RandomSelection(rng *rand.Rand, n, m int, frac float64) Selection {
+	side := math.Sqrt(frac)
+	nr := clampCount(int(math.Round(side*float64(n))), n)
+	nc := clampCount(int(math.Round(side*float64(m))), m)
+	return Selection{
+		Rows: sampleDistinct(rng, n, nr),
+		Cols: sampleDistinct(rng, m, nc),
+	}
+}
+
+func clampCount(k, n int) int {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// sampleDistinct picks k distinct ints from [0, n) in sorted order.
+func sampleDistinct(rng *rand.Rand, n, k int) []int {
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	return perm
+}
+
+// accum folds cells into any aggregate.
+type accum struct {
+	n          int64
+	sum, sumSq float64
+	min, max   float64
+}
+
+func newAccum() *accum { return &accum{min: math.Inf(1), max: math.Inf(-1)} }
+
+func (a *accum) add(v float64) {
+	a.n++
+	a.sum += v
+	a.sumSq += v * v
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+}
+
+func (a *accum) result(agg Aggregate) (float64, error) {
+	if a.n == 0 {
+		return 0, ErrEmptySelection
+	}
+	switch agg {
+	case Sum:
+		return a.sum, nil
+	case Avg:
+		return a.sum / float64(a.n), nil
+	case Count:
+		return float64(a.n), nil
+	case Min:
+		return a.min, nil
+	case Max:
+		return a.max, nil
+	case StdDev:
+		mean := a.sum / float64(a.n)
+		v := a.sumSq/float64(a.n) - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v), nil
+	default:
+		return 0, fmt.Errorf("query: unsupported aggregate %v", agg)
+	}
+}
+
+// Evaluate computes the aggregate over the reconstructed cells of s,
+// reading each selected row once. Sum and Avg on SVD/SVDD stores take the
+// factored fast path automatically.
+func Evaluate(s store.Store, agg Aggregate, sel Selection) (float64, error) {
+	n, m := s.Dims()
+	if err := sel.Validate(n, m); err != nil {
+		return 0, err
+	}
+	if agg == Count {
+		return float64(sel.NumCells()), nil
+	}
+	if agg == Sum || agg == Avg {
+		if v, ok, err := factored(s, sel); ok || err != nil {
+			if err != nil {
+				return 0, err
+			}
+			if agg == Avg {
+				v /= float64(sel.NumCells())
+			}
+			return v, nil
+		}
+	}
+	return EvaluateNaive(s, agg, sel)
+}
+
+// EvaluateNaive computes the aggregate cell by cell (row-at-a-time). It is
+// the reference implementation and the only path for Min/Max/StdDev.
+func EvaluateNaive(s store.Store, agg Aggregate, sel Selection) (float64, error) {
+	n, m := s.Dims()
+	if err := sel.Validate(n, m); err != nil {
+		return 0, err
+	}
+	acc := newAccum()
+	row := make([]float64, m)
+	for _, i := range sel.Rows {
+		got, err := s.Row(i, row)
+		if err != nil {
+			return 0, fmt.Errorf("query: row %d: %w", i, err)
+		}
+		for _, j := range sel.Cols {
+			acc.add(got[j])
+		}
+	}
+	return acc.result(agg)
+}
+
+// EvaluateMatrix computes the exact aggregate over the raw matrix — the
+// ground truth f(X) of Eq. 14.
+func EvaluateMatrix(x *linalg.Matrix, agg Aggregate, sel Selection) (float64, error) {
+	n, m := x.Dims()
+	if err := sel.Validate(n, m); err != nil {
+		return 0, err
+	}
+	acc := newAccum()
+	for _, i := range sel.Rows {
+		row := x.Row(i)
+		for _, j := range sel.Cols {
+			acc.add(row[j])
+		}
+	}
+	return acc.result(agg)
+}
+
+// factored attempts the O(k·(|R|+|C|)) sum. The boolean reports whether the
+// store supported it.
+func factored(s store.Store, sel Selection) (float64, bool, error) {
+	switch t := s.(type) {
+	case *svd.Store:
+		v, err := FactoredSumSVD(t, sel)
+		return v, true, err
+	case *core.Store:
+		v, err := FactoredSumSVDD(t, sel)
+		return v, true, err
+	default:
+		return 0, false, nil
+	}
+}
+
+// FactoredSumSVD computes Σ_{i∈R,j∈C} x̂[i][j] over a plain-SVD store in
+// O(k·(|R|+|C|)) plus |R| U-row accesses.
+func FactoredSumSVD(s *svd.Store, sel Selection) (float64, error) {
+	k := s.K()
+	uacc := make([]float64, k)
+	urow := make([]float64, k)
+	for _, i := range sel.Rows {
+		if err := s.URow(i, urow); err != nil {
+			return 0, fmt.Errorf("query: factored U row %d: %w", i, err)
+		}
+		for mm := 0; mm < k; mm++ {
+			uacc[mm] += urow[mm]
+		}
+	}
+	vacc := make([]float64, k)
+	v := s.V()
+	for _, j := range sel.Cols {
+		vrow := v.Row(j)
+		for mm := 0; mm < k; mm++ {
+			vacc[mm] += vrow[mm]
+		}
+	}
+	var total float64
+	for mm, sig := range s.Sigma() {
+		total += sig * uacc[mm] * vacc[mm]
+	}
+	return total, nil
+}
+
+// FactoredSumSVDD is the SVDD version: the factored plain-SVD sum plus the
+// deltas of outlier cells inside the selection (one pass over the delta
+// table).
+func FactoredSumSVDD(s *core.Store, sel Selection) (float64, error) {
+	total, err := FactoredSumSVD(s.Base(), sel)
+	if err != nil {
+		return 0, err
+	}
+	rset := make(map[int]bool, len(sel.Rows))
+	for _, i := range sel.Rows {
+		rset[i] = true
+	}
+	cset := make(map[int]bool, len(sel.Cols))
+	for _, j := range sel.Cols {
+		cset[j] = true
+	}
+	s.Deltas(func(row, col int, delta float64) {
+		if rset[row] && cset[col] {
+			total += delta
+		}
+	})
+	return total, nil
+}

@@ -1,0 +1,170 @@
+package robust
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqstore/internal/core"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/svd"
+)
+
+// spikyLowRank builds a near-rank-2 matrix plus a few massive spikes that
+// tilt a plain SVD's axes.
+func spikyLowRank(r *rand.Rand, n, m, spikes int) *linalg.Matrix {
+	u1 := make([]float64, n)
+	u2 := make([]float64, n)
+	v1 := make([]float64, m)
+	v2 := make([]float64, m)
+	for i := 0; i < n; i++ {
+		u1[i], u2[i] = r.Float64()+0.5, r.Float64()
+	}
+	for j := 0; j < m; j++ {
+		v1[j], v2[j] = math.Sin(float64(j)/5)+2, math.Cos(float64(j)/3)
+	}
+	x := linalg.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := 0; j < m; j++ {
+			row[j] = 10*u1[i]*v1[j] + 4*u2[i]*v2[j] + r.NormFloat64()*0.1
+		}
+	}
+	for s := 0; s < spikes; s++ {
+		x.Set(r.Intn(n), r.Intn(m), 1e5)
+	}
+	return x
+}
+
+func TestOptionsValidation(t *testing.T) {
+	x := linalg.NewMatrix(4, 4)
+	if _, err := Factors(x, Options{K: 0}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("K=0: %v", err)
+	}
+	if _, err := Factors(x, Options{K: 1, TrimFrac: 1.5}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("TrimFrac=1.5: %v", err)
+	}
+	if _, err := Factors(linalg.NewMatrix(0, 4), Options{K: 1}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestCleanDataUnchanged(t *testing.T) {
+	// Without outliers the robust factors match the plain ones (same
+	// singular values within tolerance).
+	r := rand.New(rand.NewSource(1))
+	x := spikyLowRank(r, 60, 20, 0)
+	plain, err := svd.ComputeFactors(matio.NewMem(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob, err := Factors(x, Options{K: 2, TrimFrac: 0.005, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(rob.Sigma[i]-plain.Sigma[i]) > 0.02*plain.Sigma[0] {
+			t.Errorf("σ[%d]: robust %v vs plain %v", i, rob.Sigma[i], plain.Sigma[i])
+		}
+	}
+}
+
+func TestRobustResistsSpikes(t *testing.T) {
+	// With spikes, the robust subspace should describe the bulk of the
+	// data better: compare the rank-2 reconstruction error over the
+	// non-spike cells.
+	r := rand.New(rand.NewSource(2))
+	clean := spikyLowRank(r, 80, 25, 0)
+	spiked := clean.Clone()
+	spikeCells := map[[2]int]bool{}
+	rs := rand.New(rand.NewSource(3))
+	for s := 0; s < 6; s++ {
+		i, j := rs.Intn(80), rs.Intn(25)
+		spiked.Set(i, j, 1e5)
+		spikeCells[[2]int{i, j}] = true
+	}
+
+	bulkSSE := func(f *svd.Factors) float64 {
+		k := f.Clamp(2)
+		var sse float64
+		err := svd.ComputeU(matio.NewMem(spiked), f, k, func(i int, urow []float64) error {
+			for j := 0; j < 25; j++ {
+				if spikeCells[[2]int{i, j}] {
+					continue
+				}
+				vrow := f.V.Row(j)
+				var xh float64
+				for c := 0; c < k; c++ {
+					xh += f.Sigma[c] * urow[c] * vrow[c]
+				}
+				d := xh - clean.At(i, j)
+				sse += d * d
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sse
+	}
+
+	plain, err := svd.ComputeFactors(matio.NewMem(spiked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob, err := Factors(spiked, Options{K: 2, TrimFrac: 0.01, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSSE, rSSE := bulkSSE(plain), bulkSSE(rob)
+	if rSSE >= pSSE {
+		t.Errorf("robust bulk SSE %.4g not below plain %.4g", rSSE, pSSE)
+	}
+}
+
+func TestComposesWithSVDD(t *testing.T) {
+	// Robust factors + SVDD deltas on the original data: budget respected,
+	// outlier cells exact.
+	r := rand.New(rand.NewSource(4))
+	x := spikyLowRank(r, 80, 25, 4)
+	rob, err := Factors(x, Options{K: 4, TrimFrac: 0.01, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := matio.NewMem(x)
+	s, err := core.CompressWithFactors(mem, rob, core.Options{Budget: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(s.StoredNumbers()) / (80.0 * 25.0); got > 0.20+1e-9 {
+		t.Errorf("space %.4f over budget", got)
+	}
+	var worst float64
+	row := make([]float64, 25)
+	for i := 0; i < 80; i++ {
+		got, err := s.Row(i, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if d := math.Abs(got[j] - x.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	// The spikes are 1e5; with deltas they must be repaired, so the worst
+	// error must be tiny relative to them.
+	if worst > 1000 {
+		t.Errorf("worst error %.4g — spikes not repaired", worst)
+	}
+}
+
+func TestZeroIterationsDefaulted(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := spikyLowRank(r, 20, 10, 1)
+	if _, err := Factors(x, Options{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package sampling implements the uniform-sampling strawman of §5.2: keep a
+// uniform random sample of cells and estimate aggregate queries from the
+// sampled cells that fall inside the selection. As the paper notes,
+// sampling cannot answer individual-cell queries at all (a missing cell has
+// no estimate), and in their initial experiments it "performed poorly
+// compared with SVDD for aggregate queries".
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"seqstore/internal/matio"
+)
+
+// ErrNoSamples is returned when a query's selection contains no sampled
+// cells, leaving the estimator with nothing to extrapolate from.
+var ErrNoSamples = errors.New("sampling: no sampled cells inside selection")
+
+// Sample is a uniform random sample of matrix cells.
+type Sample struct {
+	rows, cols int
+	cells      map[uint64]float64
+}
+
+// New draws a uniform cell sample from src with the given space budget: the
+// number of sampled cells is budget·N·M/3, charging 3 stored numbers per
+// kept cell (row, column, value) — the same accounting as an SVDD delta.
+func New(src matio.RowSource, budget float64, seed int64) (*Sample, error) {
+	if budget <= 0 || budget > 1 {
+		return nil, fmt.Errorf("sampling: budget %v outside (0,1]", budget)
+	}
+	n, m := src.Dims()
+	total := float64(n) * float64(m)
+	target := budget * total / 3
+	p := target / total // per-cell keep probability
+	rng := rand.New(rand.NewSource(seed))
+	s := &Sample{rows: n, cols: m, cells: make(map[uint64]float64, int(target))}
+	err := src.ScanRows(func(i int, row []float64) error {
+		for j, v := range row {
+			if rng.Float64() < p {
+				s.cells[uint64(i)*uint64(m)+uint64(j)] = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sampling: scan: %w", err)
+	}
+	return s, nil
+}
+
+// Dims returns the sampled matrix dimensions.
+func (s *Sample) Dims() (int, int) { return s.rows, s.cols }
+
+// Size returns the number of sampled cells.
+func (s *Sample) Size() int { return len(s.cells) }
+
+// StoredNumbers returns 3 numbers per sampled cell.
+func (s *Sample) StoredNumbers() int64 { return int64(len(s.cells)) * 3 }
+
+// EstimateAvg estimates the average over the cross product rows×cols using
+// the sampled cells inside the selection.
+func (s *Sample) EstimateAvg(rows, cols []int) (float64, error) {
+	colSet := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		colSet[c] = true
+	}
+	var sum float64
+	var hit int
+	for _, i := range rows {
+		base := uint64(i) * uint64(s.cols)
+		for c := range colSet {
+			if v, ok := s.cells[base+uint64(c)]; ok {
+				sum += v
+				hit++
+			}
+		}
+	}
+	if hit == 0 {
+		return 0, ErrNoSamples
+	}
+	return sum / float64(hit), nil
+}
+
+// EstimateSum estimates the sum over the selection: the sample average
+// scaled by the selection size.
+func (s *Sample) EstimateSum(rows, cols []int) (float64, error) {
+	avg, err := s.EstimateAvg(rows, cols)
+	if err != nil {
+		return 0, err
+	}
+	return avg * float64(len(rows)) * float64(len(cols)), nil
+}

@@ -1,0 +1,130 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+)
+
+func TestNewValidation(t *testing.T) {
+	x := linalg.NewMatrix(5, 5)
+	if _, err := New(matio.NewMem(x), 0, 1); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := New(matio.NewMem(x), 2, 1); err == nil {
+		t.Error("budget 2 accepted")
+	}
+}
+
+func TestSampleSizeNearTarget(t *testing.T) {
+	x := dataset.GeneratePhone(dataset.DefaultPhoneConfig(200))
+	s, err := New(matio.NewMem(x), 0.10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.10 * float64(200*366) / 3
+	got := float64(s.Size())
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("sample size %v, want ≈%v", got, want)
+	}
+	if s.StoredNumbers() != int64(s.Size())*3 {
+		t.Error("StoredNumbers should be 3 per cell")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	x := dataset.GeneratePhone(dataset.DefaultPhoneConfig(50))
+	a, _ := New(matio.NewMem(x), 0.1, 7)
+	b, _ := New(matio.NewMem(x), 0.1, 7)
+	if a.Size() != b.Size() {
+		t.Error("same seed produced different samples")
+	}
+}
+
+func TestEstimateAvgOnConstantMatrix(t *testing.T) {
+	x := linalg.NewMatrix(50, 40)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 40; j++ {
+			x.Set(i, j, 3)
+		}
+	}
+	s, err := New(matio.NewMem(x), 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, 50)
+	cols := make([]int, 40)
+	for i := range rows {
+		rows[i] = i
+	}
+	for j := range cols {
+		cols[j] = j
+	}
+	avg, err := s.EstimateAvg(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 3 {
+		t.Errorf("avg = %v, want exactly 3", avg)
+	}
+	sum, err := s.EstimateSum(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3*50*40 {
+		t.Errorf("sum = %v, want %v", sum, 3*50*40)
+	}
+}
+
+func TestEstimateNoSamples(t *testing.T) {
+	x := linalg.NewMatrix(100, 100)
+	s, err := New(matio.NewMem(x), 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1×1 selection almost surely has no sample.
+	for i := 0; i < 100; i++ {
+		if _, err := s.EstimateAvg([]int{i}, []int{i}); err != nil {
+			if !errors.Is(err, ErrNoSamples) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+	}
+	t.Skip("all probed selections were sampled (unlikely)")
+}
+
+func TestEstimateReasonableOnSkewedData(t *testing.T) {
+	x := dataset.GeneratePhone(dataset.DefaultPhoneConfig(300))
+	s, err := New(matio.NewMem(x), 0.10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query: average over a large selection.
+	var rows, cols []int
+	for i := 0; i < 150; i++ {
+		rows = append(rows, i*2)
+	}
+	for j := 0; j < 100; j++ {
+		cols = append(cols, j*3)
+	}
+	est, err := s.EstimateAvg(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, i := range rows {
+		for _, j := range cols {
+			truth += x.At(i, j)
+		}
+	}
+	truth /= float64(len(rows) * len(cols))
+	rel := math.Abs(est-truth) / truth
+	if rel > 0.5 {
+		t.Errorf("sampling estimate off by %.1f%%, want <50%%", rel*100)
+	}
+}

@@ -1,0 +1,68 @@
+package store_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"seqstore/internal/core"
+	"seqstore/internal/dataset"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+)
+
+// TestDecodeNeverPanicsOnCorruption mutates serialized containers at random
+// and asserts the decoder fails cleanly (error, not panic, no runaway
+// allocation). This is the robustness property a store format must have:
+// a damaged file on disk must not take the process down.
+func TestDecodeNeverPanicsOnCorruption(t *testing.T) {
+	cfg := dataset.DefaultPhoneConfig(25)
+	cfg.M = 16
+	x := dataset.GeneratePhone(cfg)
+	s, err := core.Compress(matio.NewMem(x), core.Options{Budget: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		data := append([]byte(nil), pristine...)
+		switch trial % 3 {
+		case 0: // flip random bytes
+			for f := 0; f < 1+rng.Intn(4); f++ {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			data = data[:rng.Intn(len(data))]
+		case 2: // splice garbage into the middle
+			at := rng.Intn(len(data))
+			junk := make([]byte, 1+rng.Intn(32))
+			rng.Read(junk)
+			data = append(data[:at:at], append(junk, data[at:]...)...)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: decode panicked: %v", trial, r)
+				}
+			}()
+			got, err := store.Read(bytes.NewReader(data))
+			if err != nil {
+				return // clean failure: the desired outcome
+			}
+			// A mutation may leave a decodable container; whatever decodes
+			// must be usable without panicking.
+			n, m := got.Dims()
+			if n > 0 && m > 0 {
+				_, _ = got.Cell(0, 0)
+				_, _ = got.Row(n-1, nil)
+			}
+			_ = got.StoredNumbers()
+		}()
+	}
+}

@@ -1,0 +1,185 @@
+// Package store defines the common interface all compressed representations
+// implement — random-access cell/row reconstruction with explicit space
+// accounting — plus the serialized container format (".sqz") and a codec
+// registry that lets each method package register its own decoder.
+//
+// Space is accounted in the paper's unit, "stored numbers" (each occupying b
+// bytes on disk): plain SVD needs N·k + k + k·M numbers (Eq. 9), SVDD adds 3
+// numbers per outlier triplet, DCT needs N·k, clustering needs c·M + N.
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Method identifies a compression method in the .sqz container.
+type Method uint16
+
+// Known methods.
+const (
+	MethodNone    Method = 0
+	MethodSVD     Method = 1
+	MethodSVDD    Method = 2
+	MethodDCT     Method = 3
+	MethodCluster Method = 4
+	MethodWavelet Method = 5
+)
+
+// String returns the lower-case method name used in CLI flags and reports.
+func (m Method) String() string {
+	switch m {
+	case MethodSVD:
+		return "svd"
+	case MethodSVDD:
+		return "svdd"
+	case MethodDCT:
+		return "dct"
+	case MethodCluster:
+		return "cluster"
+	case MethodWavelet:
+		return "wavelet"
+	default:
+		return fmt.Sprintf("method(%d)", uint16(m))
+	}
+}
+
+// ParseMethod converts a CLI name into a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "svd":
+		return MethodSVD, nil
+	case "svdd":
+		return MethodSVDD, nil
+	case "dct":
+		return MethodDCT, nil
+	case "cluster", "hc":
+		return MethodCluster, nil
+	case "wavelet", "haar":
+		return MethodWavelet, nil
+	}
+	return MethodNone, fmt.Errorf("store: unknown method %q", s)
+}
+
+// Store is a compressed, random-access representation of an N×M matrix.
+// Implementations must support O(k)-time single-cell reconstruction
+// independent of N and M (the paper's "random access" requirement).
+type Store interface {
+	// Dims returns the dimensions (rows, cols) of the represented matrix.
+	Dims() (rows, cols int)
+	// Cell returns the reconstructed value x̂[i][j].
+	Cell(i, j int) (float64, error)
+	// Row reconstructs row i into dst (which may be nil or reused) and
+	// returns it.
+	Row(i int, dst []float64) ([]float64, error)
+	// StoredNumbers returns the size of the representation in stored
+	// numbers, the paper's space unit.
+	StoredNumbers() int64
+	// Method identifies the compression method.
+	Method() Method
+}
+
+// SpaceRatio returns the fraction s of the original N×M matrix the store
+// occupies (the paper's s%, as a fraction). An empty matrix yields 0.
+func SpaceRatio(s Store) float64 {
+	n, m := s.Dims()
+	if n == 0 || m == 0 {
+		return 0
+	}
+	return float64(s.StoredNumbers()) / (float64(n) * float64(m))
+}
+
+// Encoder is implemented by stores that can serialize themselves into the
+// method-specific payload section of a .sqz file.
+type Encoder interface {
+	Store
+	// EncodePayload writes the method payload (everything after the
+	// container header).
+	EncodePayload(w *Writer) error
+}
+
+// Decoder reconstructs a store from its payload.
+type Decoder func(r *Reader) (Store, error)
+
+var (
+	codecMu sync.RWMutex
+	codecs  = map[Method]Decoder{}
+)
+
+// RegisterCodec installs the decoder for a method. Method packages call this
+// from init; registering the same method twice panics.
+func RegisterCodec(m Method, d Decoder) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecs[m]; dup {
+		panic(fmt.Sprintf("store: duplicate codec for %v", m))
+	}
+	codecs[m] = d
+}
+
+// RegisteredMethods lists methods with an installed decoder, sorted.
+func RegisteredMethods() []Method {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	out := make([]Method, 0, len(codecs))
+	for m := range codecs {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Container format constants.
+const (
+	containerMagic   = "SEQSTORE"
+	containerVersion = 1
+)
+
+// Container errors.
+var (
+	ErrBadContainer = errors.New("store: not a seqstore container")
+	ErrBadVersion   = errors.New("store: unsupported container version")
+	ErrNoCodec      = errors.New("store: no codec registered for method")
+)
+
+// Write serializes s into w as a .sqz container with no axis labels.
+func Write(w io.Writer, s Encoder) error { return WriteLabeled(w, s, nil) }
+
+// Read deserializes a .sqz container using the registered codec, dropping
+// any stored axis labels (use ReadLabeled to keep them).
+func Read(r io.Reader) (Store, error) {
+	s, _, err := ReadLabeled(r)
+	return s, err
+}
+
+// Save writes s to a file at path.
+func Save(path string, s Encoder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := Write(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store from a .sqz file.
+func Load(path string) (Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	defer f.Close()
+	s, err := Read(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,356 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// fakeStore is a minimal Encoder for container-level tests.
+type fakeStore struct {
+	rows, cols int
+	fill       float64
+}
+
+const methodFake Method = 999
+
+func (f *fakeStore) Dims() (int, int) { return f.rows, f.cols }
+func (f *fakeStore) Cell(i, j int) (float64, error) {
+	return f.fill, nil
+}
+func (f *fakeStore) Row(i int, dst []float64) ([]float64, error) {
+	if cap(dst) < f.cols {
+		dst = make([]float64, f.cols)
+	}
+	dst = dst[:f.cols]
+	for j := range dst {
+		dst[j] = f.fill
+	}
+	return dst, nil
+}
+func (f *fakeStore) StoredNumbers() int64 { return 1 }
+func (f *fakeStore) Method() Method       { return methodFake }
+func (f *fakeStore) EncodePayload(w *Writer) error {
+	w.U64(uint64(f.rows))
+	w.U64(uint64(f.cols))
+	w.F64(f.fill)
+	return w.Err()
+}
+
+func decodeFake(r *Reader) (Store, error) {
+	f := &fakeStore{}
+	f.rows = int(r.U64())
+	f.cols = int(r.U64())
+	f.fill = r.F64()
+	return f, r.Err()
+}
+
+func init() { RegisterCodec(methodFake, decodeFake) }
+
+func TestMethodStringsAndParse(t *testing.T) {
+	cases := map[Method]string{
+		MethodSVD: "svd", MethodSVDD: "svdd", MethodDCT: "dct", MethodCluster: "cluster",
+	}
+	for m, s := range cases {
+		if m.String() != s {
+			t.Errorf("%v.String() = %q", m, m.String())
+		}
+		got, err := ParseMethod(s)
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMethod("nope"); err == nil {
+		t.Error("unknown method parsed")
+	}
+	if MethodNone.String() == "" {
+		t.Error("empty string for unknown method")
+	}
+	// "hc" aliases cluster.
+	if got, _ := ParseMethod("hc"); got != MethodCluster {
+		t.Error("hc alias broken")
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	f := &fakeStore{rows: 3, cols: 4, fill: 2.5}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*fakeStore)
+	if g.rows != 3 || g.cols != 4 || g.fill != 2.5 {
+		t.Errorf("decoded %+v", g)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a container at all....."))); !errors.Is(err, ErrBadContainer) {
+		t.Errorf("garbage: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadRejectsUnknownMethod(t *testing.T) {
+	f := &fakeStore{rows: 1, cols: 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[12] = 0x77 // clobber the method id
+	data[13] = 0x77
+	_, err := Read(bytes.NewReader(data))
+	if !errors.Is(err, ErrNoCodec) {
+		t.Errorf("unknown method: %v", err)
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	f := &fakeStore{rows: 1, cols: 1}
+	var buf bytes.Buffer
+	Write(&buf, f)
+	data := buf.Bytes()
+	data[8] = 0xFF
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("wrong version: %v", err)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.sqz")
+	if err := Save(path, &fakeStore{rows: 2, cols: 2, fill: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := got.Dims(); r != 2 || c != 2 {
+		t.Error("dims lost")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRegisterCodecDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterCodec(methodFake, decodeFake)
+}
+
+func TestRegisteredMethodsSorted(t *testing.T) {
+	ms := RegisteredMethods()
+	for i := 1; i < len(ms); i++ {
+		if ms[i] < ms[i-1] {
+			t.Error("methods not sorted")
+		}
+	}
+	found := false
+	for _, m := range ms {
+		if m == methodFake {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fake method not listed")
+	}
+}
+
+func TestSpaceRatio(t *testing.T) {
+	if got := SpaceRatio(&fakeStore{rows: 10, cols: 10}); got != 0.01 {
+		t.Errorf("SpaceRatio = %v, want 0.01", got)
+	}
+	if got := SpaceRatio(&fakeStore{rows: 0, cols: 10}); got != 0 {
+		t.Errorf("empty SpaceRatio = %v", got)
+	}
+}
+
+func TestWireScalars(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if r.U16() != 0xBEEF || r.U32() != 0xDEADBEEF || r.U64() != 1<<60 {
+		t.Error("unsigned round trip failed")
+	}
+	if r.I64() != -42 {
+		t.Error("I64 failed")
+	}
+	if r.F64() != math.Pi {
+		t.Error("F64 failed")
+	}
+	if !math.IsInf(r.F64(), -1) {
+		t.Error("-Inf failed")
+	}
+	if r.Err() != nil {
+		t.Error(r.Err())
+	}
+}
+
+func TestWireSlices(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64Slice([]float64{1, 2, 3})
+	w.I32Slice([]int32{-1, 0, 7})
+	w.ByteSlice([]byte("hello"))
+	w.F64Slice(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	fs := r.F64Slice()
+	if len(fs) != 3 || fs[2] != 3 {
+		t.Errorf("F64Slice = %v", fs)
+	}
+	is := r.I32Slice()
+	if len(is) != 3 || is[0] != -1 {
+		t.Errorf("I32Slice = %v", is)
+	}
+	bs := r.ByteSlice()
+	if string(bs) != "hello" {
+		t.Errorf("ByteSlice = %q", bs)
+	}
+	if got := r.F64Slice(); len(got) != 0 {
+		t.Errorf("nil slice = %v", got)
+	}
+	if r.Err() != nil {
+		t.Error(r.Err())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2}))
+	r.U64() // short read
+	if r.Err() == nil {
+		t.Fatal("short read not detected")
+	}
+	// Everything after stays zero without panicking.
+	if r.U64() != 0 || r.F64() != 0 || r.F64Slice() != nil {
+		t.Error("sticky error reads should be zero")
+	}
+}
+
+func TestReaderRejectsAbsurdLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1 << 40) // absurd length prefix
+	w.Flush()
+	r := NewReader(&buf)
+	if r.F64Slice() != nil || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("absurd length: %v", r.Err())
+	}
+}
+
+// Property: any float64 slice round-trips bit-exactly.
+func TestWireF64SliceProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.F64Slice(vals)
+		if w.Flush() != nil {
+			return false
+		}
+		got := NewReader(&buf).F64Slice()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabeledContainerRoundTrip(t *testing.T) {
+	f := &fakeStore{rows: 2, cols: 3, fill: 1}
+	labels := &Labels{Rows: []string{"a", "b"}, Cols: []string{"x", "y", "z"}}
+	var buf bytes.Buffer
+	if err := WriteLabeled(&buf, f, labels); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadLabeled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || len(got.Rows) != 2 || got.Rows[1] != "b" || got.Cols[2] != "z" {
+		t.Fatalf("labels = %+v", got)
+	}
+}
+
+func TestLabeledContainerNilLabels(t *testing.T) {
+	f := &fakeStore{rows: 1, cols: 1}
+	var buf bytes.Buffer
+	if err := WriteLabeled(&buf, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadLabeled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("labels = %+v, want nil", got)
+	}
+}
+
+func TestWriteLabeledValidates(t *testing.T) {
+	f := &fakeStore{rows: 2, cols: 2}
+	var buf bytes.Buffer
+	err := WriteLabeled(&buf, f, &Labels{Rows: []string{"only one"}})
+	if err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestReadLabeledRejectsMismatchedCounts(t *testing.T) {
+	// Craft a container whose labels disagree with the decoded dims.
+	f := &fakeStore{rows: 2, cols: 2}
+	labels := &Labels{Rows: []string{"a", "b"}}
+	var buf bytes.Buffer
+	if err := WriteLabeled(&buf, f, labels); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the payload's row count (first payload u64 after the label
+	// section) so it no longer matches the label count; the decoder must
+	// flag the inconsistency rather than mislabel rows.
+	// Find the payload: header(16) + flag(2) + rows section + cols section.
+	// Easier: decode-and-check path is exercised by flipping rows to 3.
+	// The fakeStore payload starts right after the label section; locate it
+	// by scanning for the known rows value (2 as little-endian u64).
+	for i := len(data) - 24; i >= 16; i-- {
+		if data[i] == 2 && data[i+1] == 0 && data[i+8] == 2 && data[i+16] == 0 {
+			data[i] = 3
+			break
+		}
+	}
+	if _, _, err := ReadLabeled(bytes.NewReader(data)); err == nil {
+		t.Error("label/dimension mismatch accepted")
+	}
+}

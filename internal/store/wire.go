@@ -1,0 +1,283 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrCorrupt reports structurally invalid payload data.
+var ErrCorrupt = errors.New("store: corrupt payload")
+
+// maxSliceLen bounds decoded slice lengths so a corrupt length prefix cannot
+// trigger a huge allocation. 1<<31 numbers = 16 GiB, far beyond any store we
+// produce.
+const maxSliceLen = 1 << 31
+
+// MaxDecodeElems bounds the element count of any matrix a codec
+// materializes while decoding (rows·k, cols·k, …). Codecs must validate
+// decoded dimension products against it before allocating, so a corrupt
+// header cannot trigger a makeslice panic or a runaway allocation.
+const MaxDecodeElems = 1 << 31
+
+// DimsSane reports whether every pairwise product of the given non-negative
+// dimension values stays within MaxDecodeElems.
+func DimsSane(dims ...int) bool {
+	for _, d := range dims {
+		if d < 0 || int64(d) > MaxDecodeElems {
+			return false
+		}
+	}
+	for i := range dims {
+		for j := i + 1; j < len(dims); j++ {
+			if int64(dims[i])*int64(dims[j]) > MaxDecodeElems {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Writer is a little-endian binary writer with sticky error handling, so
+// encode paths can chain calls and check the error once.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return &Writer{w: bw}
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Bytes writes raw bytes.
+func (w *Writer) Bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// U16 writes a uint16.
+func (w *Writer) U16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.Bytes(b[:])
+}
+
+// U32 writes a uint32.
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Bytes(b[:])
+}
+
+// U64 writes a uint64.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Bytes(b[:])
+}
+
+// I64 writes an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes a float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// F32 writes v rounded to float32 (the paper's b=4 bytes-per-number
+// setting).
+func (w *Writer) F32(v float64) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(v)))
+	w.Bytes(b[:])
+}
+
+// FP writes v at the given precision (4 or 8 bytes). Invalid precisions
+// poison the writer.
+func (w *Writer) FP(v float64, prec int) {
+	switch prec {
+	case 8:
+		w.F64(v)
+	case 4:
+		w.F32(v)
+	default:
+		if w.err == nil {
+			w.err = fmt.Errorf("store: unsupported precision %d", prec)
+		}
+	}
+}
+
+// F64Slice writes a length-prefixed []float64.
+func (w *Writer) F64Slice(v []float64) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.F64(x)
+	}
+}
+
+// I32Slice writes a length-prefixed []int32.
+func (w *Writer) I32Slice(v []int32) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.U32(uint32(x))
+	}
+}
+
+// ByteSlice writes a length-prefixed []byte.
+func (w *Writer) ByteSlice(v []byte) {
+	w.U64(uint64(len(v)))
+	w.Bytes(v)
+}
+
+// Reader is the matching little-endian binary reader with sticky errors.
+type Reader struct {
+	r   io.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// ReadFull fills b.
+func (r *Reader) ReadFull(b []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, b)
+}
+
+// U16 reads a uint16.
+func (r *Reader) U16() uint16 {
+	var b [2]byte
+	r.ReadFull(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	var b [4]byte
+	r.ReadFull(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	var b [8]byte
+	r.ReadFull(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// F32 reads a float32 written by Writer.F32, widened to float64.
+func (r *Reader) F32() float64 {
+	return float64(math.Float32frombits(r.U32()))
+}
+
+// FP reads a value at the given precision (4 or 8 bytes).
+func (r *Reader) FP(prec int) float64 {
+	switch prec {
+	case 8:
+		return r.F64()
+	case 4:
+		return r.F32()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("store: unsupported precision %d", prec)
+		}
+		return 0
+	}
+}
+
+// Len reads a length prefix and validates it against maxSliceLen.
+func (r *Reader) Len() int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if n > maxSliceLen {
+		r.err = fmt.Errorf("%w: absurd length %d", ErrCorrupt, n)
+		return 0
+	}
+	return int(n)
+}
+
+// F64Slice reads a length-prefixed []float64.
+func (r *Reader) F64Slice() []float64 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// I32Slice reads a length-prefixed []int32.
+func (r *Reader) I32Slice() []int32 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.U32())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// ByteSlice reads a length-prefixed []byte.
+func (r *Reader) ByteSlice() []byte {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	r.ReadFull(out)
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

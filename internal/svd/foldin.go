@@ -1,0 +1,54 @@
+package svd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotAppendable is returned by FoldIn when the store's U backing cannot
+// grow (e.g. it is a read-only disk file).
+var ErrNotAppendable = errors.New("svd: store's U backing is not appendable")
+
+// rowAppender is satisfied by U backings that can grow (matio.Mem).
+type rowAppender interface {
+	AppendRow(row []float64) int
+}
+
+// FoldIn appends a new sequence to the store without recomputing the
+// factorization, using the classic folding-in technique: the new row is
+// projected onto the existing principal components, u = x·V·Σ⁻¹ — exactly
+// the pass-2 projection (Eq. 11), applied to one row.
+//
+// This addresses the paper's batching assumption (§1: updates "can be
+// batched and performed off-line"): new customers can be absorbed online
+// between offline recompressions. The approximation is as good as the
+// existing components' ability to express the new row; rows far outside
+// the original subspace reconstruct poorly until the next recompression
+// (SVDD's FoldIn can pin their worst cells with deltas).
+//
+// It returns the index of the new row. The store must be memory-backed.
+func (s *Store) FoldIn(row []float64) (int, error) {
+	if len(row) != s.cols {
+		return 0, fmt.Errorf("svd: folding in row of length %d, want %d", len(row), s.cols)
+	}
+	app, ok := s.u.(rowAppender)
+	if !ok {
+		return 0, ErrNotAppendable
+	}
+	urow := make([]float64, len(s.sigma))
+	for j, xv := range row {
+		if xv == 0 {
+			continue
+		}
+		vrow := s.v.Row(j)
+		for mm := range urow {
+			urow[mm] += xv * vrow[mm]
+		}
+	}
+	for mm := range urow {
+		urow[mm] /= s.sigma[mm]
+	}
+	idx := app.AppendRow(urow)
+	s.rows++
+	return idx, nil
+}

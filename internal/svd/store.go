@@ -1,0 +1,244 @@
+package svd
+
+import (
+	"fmt"
+
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+)
+
+// Store is the plain-SVD compressed representation: the k singular values
+// and V are pinned in memory (k + k·M numbers, small), while the N×k matrix
+// U is accessed row-wise through a matio.RowReader so it can live on disk.
+// Reconstructing a cell costs one U-row access plus O(k) arithmetic
+// (Eq. 12), independent of N and M — the paper's random-access property.
+type Store struct {
+	rows, cols int
+	sigma      []float64
+	v          *linalg.Matrix // cols×k
+	u          matio.RowReader
+	// prec is b, the bytes stored per number (§5.1 parameterizes space as
+	// b bytes per stored number): 8 (float64, default) or 4 (float32,
+	// lossy on serialization).
+	prec int
+}
+
+// Compress builds a plain-SVD store with cutoff k from src, making exactly
+// two passes. k is clamped to the numerical rank.
+func Compress(src matio.RowSource, k int) (*Store, error) {
+	f, err := ComputeFactors(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompressWithFactors(src, f, k)
+}
+
+// CompressBudget builds a plain-SVD store that fits within the given space
+// budget (fraction of the raw matrix).
+func CompressBudget(src matio.RowSource, budget float64) (*Store, error) {
+	n, m := src.Dims()
+	return Compress(src, KForBudget(n, m, budget))
+}
+
+// CompressWithFactors runs only pass 2, reusing factors computed earlier
+// (e.g. shared between several cutoffs, or with SVDD's pass 1).
+func CompressWithFactors(src matio.RowSource, f *Factors, k int) (*Store, error) {
+	k = f.Clamp(k)
+	n, _ := src.Dims()
+	u := linalg.NewMatrix(n, k)
+	err := ComputeU(src, f, k, func(i int, urow []float64) error {
+		copy(u.Row(i), urow)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return New(f, k, matio.NewMem(u))
+}
+
+// New assembles a store from factors truncated to k and a U-row provider
+// with dimensions N×k. Use matio.NewMem for in-memory U or a matio.File for
+// a disk-resident U.
+func New(f *Factors, k int, u matio.RowReader) (*Store, error) {
+	k = f.Clamp(k)
+	un, uk := u.Dims()
+	if uk != k {
+		return nil, fmt.Errorf("svd: U has %d columns, want k=%d", uk, k)
+	}
+	v := linalg.NewMatrix(f.Cols, k)
+	for i := 0; i < f.Cols; i++ {
+		copy(v.Row(i), f.V.Row(i)[:k])
+	}
+	sigma := make([]float64, k)
+	copy(sigma, f.Sigma[:k])
+	return &Store{rows: un, cols: f.Cols, sigma: sigma, v: v, u: u, prec: 8}, nil
+}
+
+// Dims returns the dimensions of the represented matrix.
+func (s *Store) Dims() (int, int) { return s.rows, s.cols }
+
+// SetPrecision selects b, the bytes per stored number used when the store
+// is serialized: 8 (exact) or 4 (float32; values round-trip with ~1e-7
+// relative rounding). The in-memory store always computes in float64.
+func (s *Store) SetPrecision(bytes int) error {
+	if bytes != 4 && bytes != 8 {
+		return fmt.Errorf("svd: precision must be 4 or 8 bytes, got %d", bytes)
+	}
+	s.prec = bytes
+	return nil
+}
+
+// Precision returns b, the bytes per stored number (4 or 8).
+func (s *Store) Precision() int { return s.prec }
+
+// StoredBytes returns the serialized size of the numeric payload:
+// StoredNumbers()·b.
+func (s *Store) StoredBytes() int64 { return s.StoredNumbers() * int64(s.prec) }
+
+// Method returns store.MethodSVD.
+func (s *Store) Method() store.Method { return store.MethodSVD }
+
+// K returns the number of retained principal components.
+func (s *Store) K() int { return len(s.sigma) }
+
+// Sigma returns the retained singular values (shared slice; do not modify).
+func (s *Store) Sigma() []float64 { return s.sigma }
+
+// V returns the cols×k right-singular-vector matrix (shared; do not modify).
+func (s *Store) V() *linalg.Matrix { return s.v }
+
+// URow reads row i of U into dst (length k), costing one row access.
+func (s *Store) URow(i int, dst []float64) error { return s.u.ReadRow(i, dst) }
+
+// UStats exposes the access counters of the U backing, so tests can assert
+// the single-access reconstruction property.
+func (s *Store) UStats() *matio.Stats {
+	type statser interface{ Stats() *matio.Stats }
+	if st, ok := s.u.(statser); ok {
+		return st.Stats()
+	}
+	return nil
+}
+
+// Cell reconstructs x̂[i][j] = Σ_m σ_m·u[i][m]·v[j][m].
+func (s *Store) Cell(i, j int) (float64, error) {
+	if j < 0 || j >= s.cols {
+		return 0, fmt.Errorf("svd: column %d out of range %d", j, s.cols)
+	}
+	urow := make([]float64, len(s.sigma))
+	if err := s.u.ReadRow(i, urow); err != nil {
+		return 0, err
+	}
+	return s.cellFromURow(urow, j), nil
+}
+
+func (s *Store) cellFromURow(urow []float64, j int) float64 {
+	vrow := s.v.Row(j)
+	var x float64
+	for m, sig := range s.sigma {
+		x += sig * urow[m] * vrow[m]
+	}
+	return x
+}
+
+// Row reconstructs row i with a single U access plus O(k·M) arithmetic.
+func (s *Store) Row(i int, dst []float64) ([]float64, error) {
+	if cap(dst) < s.cols {
+		dst = make([]float64, s.cols)
+	}
+	dst = dst[:s.cols]
+	urow := make([]float64, len(s.sigma))
+	if err := s.u.ReadRow(i, urow); err != nil {
+		return nil, err
+	}
+	// Pre-scale by σ so the inner loop is a plain dot product.
+	for m := range urow {
+		urow[m] *= s.sigma[m]
+	}
+	for j := 0; j < s.cols; j++ {
+		dst[j] = linalg.Dot(urow, s.v.Row(j))
+	}
+	return dst, nil
+}
+
+// StoredNumbers returns N·k + k + k·M (Eq. 9).
+func (s *Store) StoredNumbers() int64 {
+	return StoredNumbers(s.rows, s.cols, len(s.sigma))
+}
+
+// EncodePayload serializes the store (precision, rows, cols, k, Σ, V, then
+// U row-major), at the configured bytes-per-number.
+func (s *Store) EncodePayload(w *store.Writer) error {
+	w.U16(uint16(s.prec))
+	w.U64(uint64(s.rows))
+	w.U64(uint64(s.cols))
+	w.U64(uint64(len(s.sigma)))
+	for _, x := range s.sigma {
+		w.FP(x, s.prec)
+	}
+	for _, x := range s.v.Data() {
+		w.FP(x, s.prec)
+	}
+	urow := make([]float64, len(s.sigma))
+	for i := 0; i < s.rows; i++ {
+		if err := s.u.ReadRow(i, urow); err != nil {
+			return fmt.Errorf("svd: encode U row %d: %w", i, err)
+		}
+		for _, x := range urow {
+			w.FP(x, s.prec)
+		}
+	}
+	return w.Err()
+}
+
+// DecodePayload reads the svd payload section written by EncodePayload. It
+// is exported so the SVDD codec (whose payload embeds an svd payload) can
+// reuse it.
+func DecodePayload(r *store.Reader) (*Store, error) {
+	prec := int(r.U16())
+	rows := int(r.U64())
+	cols := int(r.U64())
+	k := int(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if (prec != 4 && prec != 8) || rows < 0 || cols < 0 || k < 0 || k > cols ||
+		!store.DimsSane(rows, cols, k) {
+		return nil, fmt.Errorf("%w: svd header inconsistent", store.ErrCorrupt)
+	}
+	sigma := make([]float64, k)
+	for i := range sigma {
+		sigma[i] = r.FP(prec)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	vdata := make([]float64, cols*k)
+	for i := range vdata {
+		vdata[i] = r.FP(prec)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	v := linalg.NewMatrixFrom(cols, k, vdata)
+	u := linalg.NewMatrix(rows, k)
+	for i := 0; i < rows; i++ {
+		urow := u.Row(i)
+		for j := range urow {
+			urow[j] = r.FP(prec)
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	return &Store{rows: rows, cols: cols, sigma: sigma, v: v, u: matio.NewMem(u), prec: prec}, nil
+}
+
+func init() {
+	store.RegisterCodec(store.MethodSVD, func(r *store.Reader) (store.Store, error) {
+		return DecodePayload(r)
+	})
+}
+
+var _ store.Encoder = (*Store)(nil)

@@ -1,0 +1,228 @@
+// Package svd implements the paper's "plain SVD" compression method
+// (§4.1): a two-pass, out-of-core computation of the truncated singular
+// value decomposition of the data matrix, and a Store that reconstructs any
+// cell in O(k) time with a single row access to U.
+//
+// Pass 1 (Figure 2) streams the rows of X once to accumulate the M×M
+// column-to-column similarity matrix C = XᵀX, whose eigenvectors are V and
+// whose eigenvalues are the squared singular values (Lemma 3.2). Pass 2
+// (Figure 3) streams X again, emitting each row of U = X·V·Λ⁻¹ as it goes —
+// row i of U depends only on row i of X, which is what makes the algorithm
+// two-pass.
+package svd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+)
+
+// ErrEmptyMatrix is returned when compressing a matrix with no rows or
+// columns.
+var ErrEmptyMatrix = errors.New("svd: empty matrix")
+
+// Factors is the output of pass 1: the singular values and right singular
+// vectors of the data matrix, at full numerical rank.
+type Factors struct {
+	Rows, Cols int
+	// Sigma holds the singular values in decreasing order (length r, the
+	// numerical rank).
+	Sigma []float64
+	// V is the Cols×r matrix of right singular vectors (the "day-to-pattern
+	// similarity matrix", Observation 3.2).
+	V *linalg.Matrix
+}
+
+// Rank returns the numerical rank r.
+func (f *Factors) Rank() int { return len(f.Sigma) }
+
+// Clamp returns k limited to [0, r].
+func (f *Factors) Clamp(k int) int {
+	if k < 0 {
+		k = 0
+	}
+	if k > f.Rank() {
+		k = f.Rank()
+	}
+	return k
+}
+
+// AccumulateC computes the column-to-column similarity matrix C = XᵀX in a
+// single pass over the rows of src (Figure 2 of the paper).
+func AccumulateC(src matio.RowSource) (*linalg.Matrix, error) {
+	_, m := src.Dims()
+	c := linalg.NewMatrix(m, m)
+	err := src.ScanRows(func(i int, row []float64) error {
+		for j, vj := range row {
+			if vj == 0 {
+				continue
+			}
+			crow := c.Row(j)
+			for l, vl := range row {
+				crow[l] += vj * vl
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("svd: pass 1: %w", err)
+	}
+	return c, nil
+}
+
+// ComputeFactors runs pass 1: it accumulates C and eigendecomposes it
+// in memory, returning the full-rank singular values and V.
+func ComputeFactors(src matio.RowSource) (*Factors, error) {
+	n, m := src.Dims()
+	if n == 0 || m == 0 {
+		return nil, ErrEmptyMatrix
+	}
+	c, err := AccumulateC(src)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := linalg.SymEigen(c)
+	if err != nil {
+		return nil, fmt.Errorf("svd: eigendecomposition of C: %w", err)
+	}
+	// Eigenvalues of C are σ²; drop numerically-zero components so that
+	// U = X·V·Λ⁻¹ never divides by (near-)zero.
+	sigma := make([]float64, 0, m)
+	for _, ev := range eig.Values {
+		if ev < 0 {
+			ev = 0
+		}
+		sigma = append(sigma, math.Sqrt(ev))
+	}
+	tol := 0.0
+	if len(sigma) > 0 {
+		tol = sigma[0] * 1e-10
+	}
+	r := 0
+	for _, s := range sigma {
+		if s > tol && s > 0 {
+			r++
+		} else {
+			break
+		}
+	}
+	v := linalg.NewMatrix(m, r)
+	for i := 0; i < m; i++ {
+		copy(v.Row(i), eig.Vectors.Row(i)[:r])
+	}
+	return &Factors{Rows: n, Cols: m, Sigma: sigma[:r], V: v}, nil
+}
+
+// ComputeFactorsK runs pass 1 but extracts only the top k principal
+// components via blocked subspace iteration — O(M²·k) eigen work instead of
+// Jacobi's O(M³), a large win when M is in the thousands and k ≪ M. The
+// returned Factors have rank ≤ k, so they can serve plain-SVD compression
+// with cutoff ≤ k or SVDD with k_max ≤ k.
+func ComputeFactorsK(src matio.RowSource, k int) (*Factors, error) {
+	n, m := src.Dims()
+	if n == 0 || m == 0 {
+		return nil, ErrEmptyMatrix
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("svd: ComputeFactorsK needs k ≥ 1, got %d", k)
+	}
+	if k > m {
+		k = m
+	}
+	c, err := AccumulateC(src)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := linalg.TopKEigen(c, k, 0)
+	if err != nil {
+		return nil, fmt.Errorf("svd: subspace eigendecomposition of C: %w", err)
+	}
+	sigma := make([]float64, 0, k)
+	for _, ev := range eig.Values {
+		if ev < 0 {
+			ev = 0
+		}
+		sigma = append(sigma, math.Sqrt(ev))
+	}
+	tol := 0.0
+	if len(sigma) > 0 {
+		tol = sigma[0] * 1e-10
+	}
+	r := 0
+	for _, s := range sigma {
+		if s > tol && s > 0 {
+			r++
+		} else {
+			break
+		}
+	}
+	v := linalg.NewMatrix(m, r)
+	for i := 0; i < m; i++ {
+		copy(v.Row(i), eig.Vectors.Row(i)[:r])
+	}
+	return &Factors{Rows: n, Cols: m, Sigma: sigma[:r], V: v}, nil
+}
+
+// ComputeU runs pass 2 (Figure 3): it streams the rows of src and calls
+// sink with each row of the N×k matrix U, computed as
+// u[i][j] = Σ_l x[i][l]·v[l][j] / σ_j (Eq. 11). The urow slice passed to
+// sink is reused between calls.
+func ComputeU(src matio.RowSource, f *Factors, k int, sink func(i int, urow []float64) error) error {
+	k = f.Clamp(k)
+	urow := make([]float64, k)
+	err := src.ScanRows(func(i int, row []float64) error {
+		projectRow(row, f, k, urow)
+		return sink(i, urow)
+	})
+	if err != nil {
+		return fmt.Errorf("svd: pass 2: %w", err)
+	}
+	return nil
+}
+
+// projectRow fills urow[0:k] with the U-row for the given data row.
+func projectRow(row []float64, f *Factors, k int, urow []float64) {
+	for j := 0; j < k; j++ {
+		urow[j] = 0
+	}
+	for l, xv := range row {
+		if xv == 0 {
+			continue
+		}
+		vrow := f.V.Row(l)
+		for j := 0; j < k; j++ {
+			urow[j] += xv * vrow[j]
+		}
+	}
+	for j := 0; j < k; j++ {
+		urow[j] /= f.Sigma[j]
+	}
+}
+
+// KForBudget returns the largest cutoff k whose plain-SVD representation
+// (N·k + k + k·M stored numbers, Eq. 9) fits within the given fraction of
+// the raw N·M numbers. The result may be 0 when the budget is too small for
+// even one component.
+func KForBudget(n, m int, budget float64) int {
+	if n <= 0 || m <= 0 || budget <= 0 {
+		return 0
+	}
+	total := budget * float64(n) * float64(m)
+	k := int(total / float64(n+1+m))
+	if k < 0 {
+		k = 0
+	}
+	if k > m {
+		k = m
+	}
+	return k
+}
+
+// StoredNumbers returns the paper's space cost of a plain-SVD representation
+// with the given dimensions and cutoff.
+func StoredNumbers(n, m, k int) int64 {
+	return int64(n)*int64(k) + int64(k) + int64(k)*int64(m)
+}

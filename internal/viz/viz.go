@@ -1,0 +1,174 @@
+// Package viz implements the visualization of Appendix A: every time
+// sequence is mapped to a point in the 2-dimensional SVD space (the first
+// two columns of U·Λ), giving a scatter plot of the dataset's density and
+// structure "essentially for free". The package renders an ASCII scatter
+// plot and exports CSV for external plotting.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"seqstore/internal/matio"
+	"seqstore/internal/svd"
+)
+
+// Point is one sequence projected into SVD space.
+type Point struct {
+	X, Y float64 // coordinates along the 1st and 2nd principal components
+	Row  int     // original row index
+}
+
+// ErrTooFewComponents is returned when the data has rank < 1.
+var ErrTooFewComponents = errors.New("viz: data has no principal components")
+
+// Project computes the 2-d SVD-space coordinates of every row of src. When
+// the matrix has rank 1 the Y coordinates are all zero.
+func Project(src matio.RowSource) ([]Point, error) {
+	f, err := svd.ComputeFactors(src)
+	if err != nil {
+		return nil, err
+	}
+	if f.Rank() < 1 {
+		return nil, ErrTooFewComponents
+	}
+	k := 2
+	if f.Rank() < 2 {
+		k = 1
+	}
+	n, _ := src.Dims()
+	pts := make([]Point, n)
+	err = svd.ComputeU(src, f, k, func(i int, urow []float64) error {
+		// Coordinates are rows of U·Λ (Observation 3.4).
+		p := Point{Row: i, X: urow[0] * f.Sigma[0]}
+		if k == 2 {
+			p.Y = urow[1] * f.Sigma[1]
+		}
+		pts[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// Scatter renders the points as a width×height ASCII plot. Density is shown
+// with the characters · : * # from sparse to dense; axes pass through zero
+// when zero is inside the range.
+func Scatter(pts []Point, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(pts) == 0 {
+		return "(no points)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	counts := make([]int, width*height)
+	for _, p := range pts {
+		cx := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+		cy := int(float64(height-1) * (p.Y - minY) / (maxY - minY))
+		counts[(height-1-cy)*width+cx]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pc2 ∈ [%.3g, %.3g]\n", minY, maxY)
+	for r := 0; r < height; r++ {
+		for c := 0; c < width; c++ {
+			b.WriteByte(densityChar(counts[r*width+c]))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "pc1 ∈ [%.3g, %.3g], %d points\n", minX, maxX, len(pts))
+	return b.String()
+}
+
+func densityChar(n int) byte {
+	switch {
+	case n == 0:
+		return ' '
+	case n == 1:
+		return '.'
+	case n <= 3:
+		return ':'
+	case n <= 9:
+		return '*'
+	default:
+		return '#'
+	}
+}
+
+// WriteCSV emits "row,pc1,pc2" lines for external plotting tools.
+func WriteCSV(w io.Writer, pts []Point) error {
+	if _, err := fmt.Fprintln(w, "row,pc1,pc2"); err != nil {
+		return fmt.Errorf("viz: write csv: %w", err)
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g\n", p.Row, p.X, p.Y); err != nil {
+			return fmt.Errorf("viz: write csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Outliers returns the indices of the no points with the largest distance
+// from the centroid of the projection — Appendix A suggests an analyst
+// examine exactly these exceptional sequences.
+func Outliers(pts []Point, no int) []int {
+	if no > len(pts) {
+		no = len(pts)
+	}
+	if no <= 0 {
+		return nil
+	}
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= float64(len(pts))
+	cy /= float64(len(pts))
+	type scored struct {
+		row  int
+		dist float64
+	}
+	all := make([]scored, len(pts))
+	for i, p := range pts {
+		dx, dy := p.X-cx, p.Y-cy
+		all[i] = scored{row: p.Row, dist: dx*dx + dy*dy}
+	}
+	// Partial selection sort for the top `no`.
+	out := make([]int, 0, no)
+	for len(out) < no {
+		best := -1
+		for i := range all {
+			if all[i].dist < 0 {
+				continue
+			}
+			if best < 0 || all[i].dist > all[best].dist {
+				best = i
+			}
+		}
+		out = append(out, all[best].row)
+		all[best].dist = -1
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+)
+
+func TestProjectToyMatrix(t *testing.T) {
+	pts, err := Project(matio.NewMem(dataset.Toy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("got %d points, want 7", len(pts))
+	}
+	// Business customers (rows 0-3) live on one axis, residential (4-6) on
+	// the other: each point should have one near-zero coordinate.
+	for i, p := range pts {
+		if p.Row != i {
+			t.Errorf("point %d has Row %d", i, p.Row)
+		}
+		ax, ay := abs(p.X), abs(p.Y)
+		if ax > 1e-9 && ay > 1e-9 {
+			t.Errorf("point %d = (%g,%g), expected one zero coordinate", i, p.X, p.Y)
+		}
+	}
+	// KLM (row 3, volume 5/day) must be the farthest business point.
+	if abs(pts[3].X)+abs(pts[3].Y) <= abs(pts[0].X)+abs(pts[0].Y) {
+		t.Error("largest customer is not farthest from origin")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestProjectRank1(t *testing.T) {
+	// Rank-1 data: all Y coordinates must be zero.
+	x := linalg.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	pts, err := Project(matio.NewMem(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Y != 0 {
+			t.Errorf("rank-1 projection has non-zero Y: %v", p.Y)
+		}
+	}
+}
+
+func TestProjectZeroMatrix(t *testing.T) {
+	if _, err := Project(matio.NewMem(linalg.NewMatrix(3, 3))); err == nil {
+		t.Error("rank-0 matrix accepted")
+	}
+}
+
+func TestScatterRendering(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	out := Scatter(pts, 20, 10)
+	if !strings.Contains(out, "3 points") {
+		t.Errorf("missing point count in:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// header + 10 rows + footer + trailing empty
+	if len(lines) != 13 {
+		t.Errorf("got %d lines, want 13", len(lines))
+	}
+	if !strings.ContainsAny(out, ".:*#") {
+		t.Error("no density glyphs rendered")
+	}
+}
+
+func TestScatterEmptyAndDegenerate(t *testing.T) {
+	if out := Scatter(nil, 10, 5); !strings.Contains(out, "no points") {
+		t.Error("empty scatter should say so")
+	}
+	// Single point: ranges degenerate, must not panic or divide by zero.
+	out := Scatter([]Point{{X: 5, Y: 5}}, 10, 5)
+	if !strings.Contains(out, "1 points") {
+		t.Error("single-point scatter failed")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []Point{{Row: 0, X: 1.5, Y: -2}, {Row: 1, X: 0, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "row,pc1,pc2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1.5,-2" {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestOutliers(t *testing.T) {
+	pts := []Point{
+		{Row: 0, X: 0, Y: 0},
+		{Row: 1, X: 0.1, Y: 0},
+		{Row: 2, X: 100, Y: 0}, // the outlier
+		{Row: 3, X: 0, Y: 0.1},
+	}
+	out := Outliers(pts, 1)
+	if len(out) != 1 || out[0] != 2 {
+		t.Errorf("Outliers = %v, want [2]", out)
+	}
+	if got := Outliers(pts, 10); len(got) != 4 {
+		t.Errorf("Outliers should clamp to len(pts), got %d", len(got))
+	}
+	if got := Outliers(pts, 0); got != nil {
+		t.Errorf("Outliers(0) = %v, want nil", got)
+	}
+	// Ordering: farthest first.
+	two := Outliers(pts, 2)
+	if two[0] != 2 {
+		t.Errorf("first outlier = %d, want 2", two[0])
+	}
+}
+
+func TestProjectPhoneSkew(t *testing.T) {
+	// Figure 11 (left): most phone points concentrate near the origin with
+	// a few far-out exceptions.
+	x := dataset.GeneratePhone(dataset.DefaultPhoneConfig(400))
+	pts, err := Project(matio.NewMem(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxD, sumD float64
+	for _, p := range pts {
+		d := p.X*p.X + p.Y*p.Y
+		sumD += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	avg := sumD / float64(len(pts))
+	if maxD < 10*avg {
+		t.Errorf("expected skewed projection: max %g vs avg %g", maxD, avg)
+	}
+}

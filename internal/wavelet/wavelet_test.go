@@ -1,0 +1,298 @@
+package wavelet
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, m := range []int{1, 2, 3, 7, 8, 16, 33, 100} {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = r.NormFloat64() * 10
+		}
+		got := Inverse(Forward(row), m)
+		for j := range row {
+			if !almostEqual(got[j], row[j], 1e-10) {
+				t.Fatalf("m=%d: round trip failed at %d: %v vs %v", m, j, got[j], row[j])
+			}
+		}
+	}
+}
+
+func TestForwardParseval(t *testing.T) {
+	// The orthonormal Haar transform preserves energy of the padded
+	// signal (zero padding adds none).
+	r := rand.New(rand.NewSource(2))
+	row := make([]float64, 24)
+	for j := range row {
+		row[j] = r.NormFloat64()
+	}
+	coef := Forward(row)
+	if !almostEqual(linalg.Norm2(row), linalg.Norm2(coef), 1e-10) {
+		t.Errorf("energy not preserved: %v vs %v", linalg.Norm2(row), linalg.Norm2(coef))
+	}
+}
+
+func TestBasisValueMatchesTransform(t *testing.T) {
+	// Reconstructing cell j via basisValue over all coefficients must
+	// equal the inverse transform.
+	r := rand.New(rand.NewSource(3))
+	const m = 16
+	row := make([]float64, m)
+	for j := range row {
+		row[j] = r.NormFloat64() * 5
+	}
+	coef := Forward(row)
+	for j := 0; j < m; j++ {
+		var x float64
+		for c := range coef {
+			x += coef[c] * basisValue(c, j, m)
+		}
+		if !almostEqual(x, row[j], 1e-9) {
+			t.Fatalf("cell %d: basis sum %v != %v", j, x, row[j])
+		}
+	}
+}
+
+func TestCoefIndicesCoverExactlySupports(t *testing.T) {
+	const p = 32
+	for j := 0; j < p; j++ {
+		indices := map[int]bool{}
+		for _, c := range coefIndicesFor(j, p) {
+			indices[c] = true
+		}
+		for c := 0; c < p; c++ {
+			nz := basisValue(c, j, p) != 0
+			if nz && !indices[c] {
+				t.Fatalf("j=%d: coefficient %d non-zero but not listed", j, c)
+			}
+			if !nz && indices[c] {
+				t.Fatalf("j=%d: coefficient %d listed but zero", j, c)
+			}
+		}
+	}
+}
+
+func TestCompressFullTExact(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	x := linalg.NewMatrix(10, 20)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 20; j++ {
+			x.Set(i, j, r.NormFloat64()*10)
+		}
+	}
+	s, err := Compress(matio.NewMem(x), 32) // padded length
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		row, err := s.Row(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range row {
+			if !almostEqual(row[j], x.At(i, j), 1e-9) {
+				t.Fatalf("full-t reconstruction not exact at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCellMatchesRow(t *testing.T) {
+	x := dataset.GeneratePhone(dataset.PhoneConfig{
+		N: 15, M: 50, Seed: 5, BusinessFrac: 0.5, ResidentialFrac: 0.4,
+		ParetoAlpha: 2, NoiseLevel: 0.2, SeasonAmp: 0.2,
+	})
+	s, err := Compress(matio.NewMem(x), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i += 3 {
+		row, err := s.Row(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 50; j += 7 {
+			c, err := s.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(c, row[j], 1e-10) {
+				t.Fatalf("Cell/Row disagree at (%d,%d): %v vs %v", i, j, c, row[j])
+			}
+		}
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	x := linalg.NewMatrix(3, 4)
+	x.Set(0, 0, 1)
+	s, err := Compress(matio.NewMem(x), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cell(3, 0); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := s.Cell(0, 4); err == nil {
+		t.Error("col out of range accepted")
+	}
+	if _, err := s.Row(-1, nil); err == nil {
+		t.Error("negative row accepted")
+	}
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := Compress(matio.NewMem(linalg.NewMatrix(0, 4)), 2); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestTForBudget(t *testing.T) {
+	// Each kept coefficient costs 2 numbers, so budget·M/2 per row.
+	if got := TForBudget(100, 0.10); got != 5 {
+		t.Errorf("TForBudget = %d, want 5", got)
+	}
+	if TForBudget(100, 0) != 0 {
+		t.Error("zero budget")
+	}
+	if got := TForBudget(100, 10); got != 128 {
+		t.Errorf("huge budget should clamp to padded length, got %d", got)
+	}
+}
+
+func TestStoredNumbers(t *testing.T) {
+	x := linalg.NewMatrix(4, 8)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			x.Set(i, j, float64(i+j+1))
+		}
+	}
+	s, _ := Compress(matio.NewMem(x), 3)
+	if s.StoredNumbers() != 4*3*2 {
+		t.Errorf("StoredNumbers = %d, want 24", s.StoredNumbers())
+	}
+}
+
+func TestErrorMonotoneInT(t *testing.T) {
+	x := dataset.GenerateStocks(dataset.StocksConfig{N: 8, M: 30, Seed: 6, MarketVol: 0.01, IdioVol: 0.01, BetaSpread: 0.2})
+	mem := matio.NewMem(x)
+	prev := math.Inf(1)
+	for tt := 0; tt <= 32; tt += 4 {
+		s, err := Compress(mem, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sse float64
+		for i := 0; i < 8; i++ {
+			row, _ := s.Row(i, nil)
+			for j := range row {
+				d := row[j] - x.At(i, j)
+				sse += d * d
+			}
+		}
+		if sse > prev+1e-9 {
+			t.Fatalf("SSE increased at t=%d", tt)
+		}
+		prev = sse
+	}
+}
+
+func TestLargestCoefficientsBeatFirstK(t *testing.T) {
+	// On spiky data with localized features, keep-largest (wavelet)
+	// should beat keep-first-k of the same transform. Verify the kept set
+	// is actually the largest by magnitude.
+	r := rand.New(rand.NewSource(7))
+	row := make([]float64, 64)
+	for j := range row {
+		row[j] = r.NormFloat64()
+	}
+	row[37] = 100 // a localized spike
+	x := linalg.NewMatrixFrom(1, 64, row)
+	s, err := Compress(matio.NewMem(x), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coef := Forward(row)
+	kept := map[uint32]bool{}
+	for _, c := range s.idx[0] {
+		kept[c] = true
+	}
+	// Every kept coefficient must be ≥ every dropped one in magnitude.
+	minKept := math.Inf(1)
+	for _, c := range s.idx[0] {
+		if v := math.Abs(coef[c]); v < minKept {
+			minKept = v
+		}
+	}
+	for c, v := range coef {
+		if !kept[uint32(c)] && math.Abs(v) > minKept+1e-12 {
+			t.Fatalf("dropped coefficient %d (%v) larger than kept minimum %v", c, v, minKept)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	x := dataset.GenerateStocks(dataset.StocksConfig{N: 6, M: 20, Seed: 8, MarketVol: 0.01, IdioVol: 0.01, BetaSpread: 0.2})
+	s, err := Compress(matio.NewMem(x), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method() != store.MethodWavelet {
+		t.Errorf("method = %v", got.Method())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 20; j++ {
+			a, _ := s.Cell(i, j)
+			b, err := got.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatal("cell differs after round trip")
+			}
+		}
+	}
+}
+
+// Property: forward/inverse round-trips any row.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(50)
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = r.NormFloat64() * 100
+		}
+		got := Inverse(Forward(row), m)
+		for j := range row {
+			if !almostEqual(got[j], row[j], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package seqstore
+
+import (
+	"fmt"
+
+	"seqstore/internal/store"
+)
+
+// SetLabels attaches human-readable names to the store's rows (customers,
+// stocks, patients …) and/or columns (days, terms …). Either slice may be
+// nil to leave an axis unlabeled; a non-nil slice must match the dimension.
+// Labels persist through Save/Open and enable the *ByLabel query methods.
+func (st *Store) SetLabels(rowLabels, colLabels []string) error {
+	l := &store.Labels{Rows: rowLabels, Cols: colLabels}
+	rows, cols := st.Dims()
+	if err := l.Validate(rows, cols); err != nil {
+		return err
+	}
+	st.labels = l
+	st.rowIndex, st.colIndex = nil, nil
+	return nil
+}
+
+// RowLabels returns a copy of the row labels, or nil when unlabeled.
+func (st *Store) RowLabels() []string { return copyLabels(st.labelRows()) }
+
+// ColLabels returns a copy of the column labels, or nil when unlabeled.
+func (st *Store) ColLabels() []string { return copyLabels(st.labelCols()) }
+
+func (st *Store) labelRows() []string {
+	if st.labels == nil {
+		return nil
+	}
+	return st.labels.Rows
+}
+
+func (st *Store) labelCols() []string {
+	if st.labels == nil {
+		return nil
+	}
+	return st.labels.Cols
+}
+
+func copyLabels(ss []string) []string {
+	if ss == nil {
+		return nil
+	}
+	out := make([]string, len(ss))
+	copy(out, ss)
+	return out
+}
+
+// RowIndex resolves a row label to its index.
+func (st *Store) RowIndex(label string) (int, error) {
+	if st.rowIndex == nil {
+		st.rowIndex = indexLabels(st.labelRows())
+	}
+	i, ok := st.rowIndex[label]
+	if !ok {
+		return 0, fmt.Errorf("seqstore: unknown row label %q", label)
+	}
+	return i, nil
+}
+
+// ColIndex resolves a column label to its index.
+func (st *Store) ColIndex(label string) (int, error) {
+	if st.colIndex == nil {
+		st.colIndex = indexLabels(st.labelCols())
+	}
+	j, ok := st.colIndex[label]
+	if !ok {
+		return 0, fmt.Errorf("seqstore: unknown column label %q", label)
+	}
+	return j, nil
+}
+
+func indexLabels(ss []string) map[string]int {
+	m := make(map[string]int, len(ss))
+	for i, s := range ss {
+		// First occurrence wins for duplicate labels.
+		if _, dup := m[s]; !dup {
+			m[s] = i
+		}
+	}
+	return m
+}
+
+// CellByLabel reconstructs the cell named by a row label and a column
+// label — the paper's "what was the amount of sales to GHI Inc. on July
+// 10?" phrased directly.
+func (st *Store) CellByLabel(rowLabel, colLabel string) (float64, error) {
+	i, err := st.RowIndex(rowLabel)
+	if err != nil {
+		return 0, err
+	}
+	j, err := st.ColIndex(colLabel)
+	if err != nil {
+		return 0, err
+	}
+	return st.Cell(i, j)
+}
+
+// AggregateByLabel evaluates an aggregate over labeled selections.
+func (st *Store) AggregateByLabel(agg Aggregate, rowLabels, colLabels []string) (float64, error) {
+	rows := make([]int, len(rowLabels))
+	for k, l := range rowLabels {
+		i, err := st.RowIndex(l)
+		if err != nil {
+			return 0, err
+		}
+		rows[k] = i
+	}
+	cols := make([]int, len(colLabels))
+	for k, l := range colLabels {
+		j, err := st.ColIndex(l)
+		if err != nil {
+			return 0, err
+		}
+		cols[k] = j
+	}
+	return st.Aggregate(agg, rows, cols)
+}

@@ -1,0 +1,129 @@
+package seqstore
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func labeledToyStore(t *testing.T) (*Store, *Matrix) {
+	t.Helper()
+	x := Toy()
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := ToyLabels()
+	if err := st.SetLabels(rows, cols); err != nil {
+		t.Fatal(err)
+	}
+	return st, x
+}
+
+func TestSetLabelsValidation(t *testing.T) {
+	st, _ := labeledToyStore(t)
+	if err := st.SetLabels([]string{"just one"}, nil); err == nil {
+		t.Error("wrong row label count accepted")
+	}
+	if err := st.SetLabels(nil, []string{"a", "b"}); err == nil {
+		t.Error("wrong col label count accepted")
+	}
+	// nil axes are fine.
+	if err := st.SetLabels(nil, nil); err != nil {
+		t.Errorf("nil labels rejected: %v", err)
+	}
+}
+
+func TestCellByLabel(t *testing.T) {
+	st, x := labeledToyStore(t)
+	// The paper's query: "sales to GHI Inc. on …" — GHI is row 2.
+	got, err := st.CellByLabel("GHI Inc.", "Fr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-x.At(2, 2)) > 1e-9 {
+		t.Errorf("CellByLabel = %v, want %v", got, x.At(2, 2))
+	}
+	if _, err := st.CellByLabel("Nobody Corp.", "Fr"); err == nil {
+		t.Error("unknown row label accepted")
+	}
+	if _, err := st.CellByLabel("GHI Inc.", "Mo"); err == nil {
+		t.Error("unknown column label accepted")
+	}
+}
+
+func TestAggregateByLabel(t *testing.T) {
+	st, x := labeledToyStore(t)
+	// Total weekday volume of the business customers (paper's example
+	// aggregate query phrased with labels).
+	got, err := st.AggregateByLabel(Sum,
+		[]string{"ABC Inc.", "DEF Ltd.", "GHI Inc.", "KLM Co."},
+		[]string{"We", "Th", "Fr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AggregateExact(x, Sum, Range(0, 4), Range(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("AggregateByLabel = %v, want %v", got, want)
+	}
+	if _, err := st.AggregateByLabel(Sum, []string{"nope"}, []string{"We"}); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestLabelsPersist(t *testing.T) {
+	st, x := labeledToyStore(t)
+	path := filepath.Join(t.TempDir(), "labeled.sqz")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := got.RowLabels()
+	if len(rows) != 7 || rows[3] != "KLM Co." {
+		t.Fatalf("row labels lost: %v", rows)
+	}
+	v, err := got.CellByLabel("KLM Co.", "We")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-x.At(3, 0)) > 1e-9 {
+		t.Errorf("reopened CellByLabel = %v", v)
+	}
+	// Mutating returned labels must not affect the store.
+	rows[0] = "hacked"
+	if got.RowLabels()[0] == "hacked" {
+		t.Error("RowLabels must return a copy")
+	}
+}
+
+func TestUnlabeledStoreLabelQueries(t *testing.T) {
+	x := Toy()
+	st, err := Compress(x, Options{Method: SVD, Budget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowLabels() != nil || st.ColLabels() != nil {
+		t.Error("unlabeled store reports labels")
+	}
+	if _, err := st.CellByLabel("a", "b"); err == nil {
+		t.Error("label query on unlabeled store accepted")
+	}
+	// Round trip keeps it unlabeled.
+	path := filepath.Join(t.TempDir(), "plain.sqz")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowLabels() != nil {
+		t.Error("labels appeared from nowhere")
+	}
+}

@@ -1,0 +1,109 @@
+package seqstore
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"seqstore/internal/query"
+)
+
+// Aggregate names an aggregate function for Store.Aggregate.
+type Aggregate string
+
+// Supported aggregates.
+const (
+	Sum    Aggregate = "sum"
+	Avg    Aggregate = "avg"
+	Count  Aggregate = "count"
+	Min    Aggregate = "min"
+	Max    Aggregate = "max"
+	StdDev Aggregate = "stddev"
+)
+
+// Aggregate evaluates f over the cross product of the selected rows and
+// columns on the reconstructed data — e.g. "total sales to these customers
+// over these days". Sum and Avg on SVD/SVDD stores use the factored
+// O(k·(|rows|+|cols|)) evaluation.
+func (st *Store) Aggregate(agg Aggregate, rows, cols []int) (float64, error) {
+	a, err := query.ParseAggregate(string(agg))
+	if err != nil {
+		return 0, err
+	}
+	return query.Evaluate(st.s, a, query.Selection{Rows: rows, Cols: cols})
+}
+
+// AggregateExact evaluates the same aggregate on the original uncompressed
+// dataset, for measuring query error.
+func AggregateExact(x *Matrix, agg Aggregate, rows, cols []int) (float64, error) {
+	a, err := query.ParseAggregate(string(agg))
+	if err != nil {
+		return 0, err
+	}
+	return query.EvaluateMatrix(x.m, a, query.Selection{Rows: rows, Cols: cols})
+}
+
+// RandomSelection draws a row set and column set jointly covering
+// approximately frac of the cells of an n×m dataset, as in the paper's
+// aggregate-query experiment. Deterministic for a given seed.
+func RandomSelection(n, m int, frac float64, seed int64) (rows, cols []int) {
+	sel := query.RandomSelection(rand.New(rand.NewSource(seed)), n, m, frac)
+	return sel.Rows, sel.Cols
+}
+
+// AllRows returns [0, 1, …, n−1], a convenience for whole-dataset
+// aggregates.
+func AllRows(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Range returns [lo, lo+1, …, hi−1]. It panics if hi < lo.
+func Range(lo, hi int) []int {
+	if hi < lo {
+		panic(fmt.Sprintf("seqstore: Range(%d, %d) is inverted", lo, hi))
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// ParseIndexSpec parses a human-friendly index selection — comma-separated
+// indices and half-open lo:hi ranges, mixed freely ("3,17,0:10") — used by
+// the CLI and HTTP query front ends. An empty spec selects all of [0, n).
+func ParseIndexSpec(spec string, n int) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return AllRows(n), nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, ":"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return nil, fmt.Errorf("seqstore: bad range start %q: %w", lo, err)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("seqstore: bad range end %q: %w", hi, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("seqstore: inverted range %q", part)
+			}
+			out = append(out, Range(a, b)...)
+		} else {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("seqstore: bad index %q: %w", part, err)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package seqstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRobustCompression(t *testing.T) {
+	x := GeneratePhone(150)
+	// Inject giant spikes.
+	for _, c := range [][2]int{{3, 10}, {77, 200}, {120, 5}} {
+		x.Set(c[0], c[1], 1e6)
+	}
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.10, Robust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpaceRatio() > 0.10+1e-9 {
+		t.Errorf("robust store over budget: %.4f", st.SpaceRatio())
+	}
+	// Spikes must be delta-pinned: the worst error stays far below 1e6.
+	rep, err := st.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstAbs > 1e5 {
+		t.Errorf("worst error %.4g — spikes unrepaired", rep.WorstAbs)
+	}
+	// Plain method also accepts Robust.
+	if _, err := Compress(x, Options{Method: SVD, Budget: 0.10, Robust: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRobustRejectsOtherMethods(t *testing.T) {
+	x := GeneratePhone(50)
+	if _, err := Compress(x, Options{Method: DCT, Budget: 0.1, Robust: true}); err == nil {
+		t.Error("robust DCT accepted")
+	}
+}
+
+func TestRobustFromFile(t *testing.T) {
+	x := GeneratePhone(60)
+	path := filepath.Join(t.TempDir(), "d.smx")
+	if err := SaveMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompressFile(path, Options{Method: SVDD, Budget: 0.1, Robust: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagZeroRowsFacade(t *testing.T) {
+	x := GeneratePhone(200) // includes natural zero customers
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.10, FlagZeroRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpaceRatio() > 0.10+1e-9 {
+		t.Errorf("space over budget with zero flags: %.4f", st.SpaceRatio())
+	}
+	// Find a zero customer and verify exact zero reconstruction.
+	n, m := x.Dims()
+	for i := 0; i < n; i++ {
+		zero := true
+		for j := 0; j < m; j++ {
+			if x.At(i, j) != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			v, err := st.Cell(i, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 0 {
+				t.Errorf("zero customer %d reconstructs to %v", i, v)
+			}
+			return
+		}
+	}
+	t.Skip("no zero customer in this dataset slice")
+}
+
+func TestHalfPrecisionFacade(t *testing.T) {
+	x := GeneratePhone(80)
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.1, HalfPrecision: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Compress(x, Options{Method: SVDD, Budget: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p4 := filepath.Join(dir, "half.sqz")
+	p8 := filepath.Join(dir, "full.sqz")
+	if err := st.Save(p4); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Save(p8); err != nil {
+		t.Fatal(err)
+	}
+	s4, _ := os.Stat(p4)
+	s8, _ := os.Stat(p8)
+	if s4.Size() >= s8.Size()*3/4 {
+		t.Errorf("half-precision file %d not smaller than full %d", s4.Size(), s8.Size())
+	}
+	got, err := Open(p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := got.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repFull, _ := full.Evaluate(x)
+	if rep.RMSPE > repFull.RMSPE*1.01 {
+		t.Errorf("half-precision RMSPE %.5f vs full %.5f", rep.RMSPE, repFull.RMSPE)
+	}
+	// DCT does not support it.
+	if _, err := Compress(x, Options{Method: DCT, Budget: 0.1, HalfPrecision: true}); err == nil {
+		t.Error("half-precision DCT accepted")
+	}
+}

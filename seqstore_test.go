@@ -1,0 +1,353 @@
+package seqstore
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	x := NewMatrix(3, 4)
+	x.Set(1, 2, 7)
+	if x.At(1, 2) != 7 {
+		t.Error("Set/At failed")
+	}
+	if r, c := x.Dims(); r != 3 || c != 4 {
+		t.Errorf("Dims = (%d,%d)", r, c)
+	}
+	x.SetRow(0, []float64{1, 2, 3, 4})
+	row := x.Row(0)
+	if row[3] != 4 {
+		t.Errorf("Row = %v", row)
+	}
+	row[0] = 99
+	if x.At(0, 0) == 99 {
+		t.Error("Row must return a copy")
+	}
+}
+
+func TestFromRowsAndHead(t *testing.T) {
+	x := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	h := x.Head(2)
+	if r, _ := h.Dims(); r != 2 {
+		t.Errorf("Head rows = %d", r)
+	}
+	if h.At(1, 1) != 4 {
+		t.Error("Head content wrong")
+	}
+	if r, _ := x.Head(10).Dims(); r != 3 {
+		t.Error("Head should clamp")
+	}
+}
+
+func TestCompressRequiresBudgetOrK(t *testing.T) {
+	x := Toy()
+	if _, err := Compress(x, Options{Method: SVD}); !errors.Is(err, ErrNoBudget) {
+		t.Errorf("err = %v, want ErrNoBudget", err)
+	}
+}
+
+func TestCompressUnknownMethod(t *testing.T) {
+	if _, err := Compress(Toy(), Options{Method: "fourier", Budget: 0.5}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestCompressDefaultsToSVDD(t *testing.T) {
+	x := GeneratePhone(100)
+	st, err := Compress(x, Options{Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method() != SVDD {
+		t.Errorf("default method = %v, want svdd", st.Method())
+	}
+	if _, ok := st.SVDDInfo(); !ok {
+		t.Error("SVDDInfo unavailable for an SVDD store")
+	}
+}
+
+func TestAllMethodsCompressAndReconstruct(t *testing.T) {
+	x := GeneratePhone(120)
+	for _, m := range []Method{SVDD, SVD, DCT, Cluster, Wavelet} {
+		st, err := Compress(x, Options{Method: m, Budget: 0.15})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if st.Method() != m {
+			t.Errorf("method = %v, want %v", st.Method(), m)
+		}
+		if m == Wavelet {
+			// Persistence works for every method; spot-check the newest.
+			path := filepath.Join(t.TempDir(), "w.sqz")
+			if err := st.Save(path); err != nil {
+				t.Fatalf("wavelet save: %v", err)
+			}
+			if _, err := Open(path); err != nil {
+				t.Fatalf("wavelet open: %v", err)
+			}
+		}
+		if got := st.SpaceRatio(); got > 0.15+1e-9 {
+			t.Errorf("%v: space ratio %.4f over budget", m, got)
+		}
+		if _, err := st.Cell(5, 100); err != nil {
+			t.Errorf("%v: Cell: %v", m, err)
+		}
+		row, err := st.Row(7)
+		if err != nil {
+			t.Errorf("%v: Row: %v", m, err)
+		}
+		if len(row) != 366 {
+			t.Errorf("%v: row length %d", m, len(row))
+		}
+		rep, err := st.Evaluate(x)
+		if err != nil {
+			t.Errorf("%v: Evaluate: %v", m, err)
+		}
+		if rep.RMSPE <= 0 || rep.RMSPE > 1.5 {
+			t.Errorf("%v: implausible RMSPE %v", m, rep.RMSPE)
+		}
+		if rep.String() == "" {
+			t.Error("empty report string")
+		}
+	}
+}
+
+func TestCompressWithExplicitK(t *testing.T) {
+	x := GeneratePhone(80)
+	st, err := Compress(x, Options{Method: SVD, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N·k + k + k·M = 80·5 + 5 + 5·366
+	if got := st.StoredNumbers(); got != 80*5+5+5*366 {
+		t.Errorf("StoredNumbers = %d", got)
+	}
+}
+
+func TestSVDDInfoOnlyForSVDD(t *testing.T) {
+	x := GeneratePhone(60)
+	st, err := Compress(x, Options{Method: DCT, Budget: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.SVDDInfo(); ok {
+		t.Error("SVDDInfo should be unavailable for DCT")
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	x := GeneratePhone(60)
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.sqz")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method() != SVDD {
+		t.Errorf("method = %v", got.Method())
+	}
+	for _, cell := range [][2]int{{0, 0}, {30, 200}, {59, 365}} {
+		a, _ := st.Cell(cell[0], cell[1])
+		b, err := got.Cell(cell[0], cell[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("cell %v differs after save/open", cell)
+		}
+	}
+}
+
+func TestMatrixFileRoundTripAndCompressFile(t *testing.T) {
+	x := GeneratePhone(50)
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "data.smx")
+	if err := SaveMatrix(mpath, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadMatrix(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(10, 100) != x.At(10, 100) {
+		t.Error("matrix round trip failed")
+	}
+	st, err := CompressFile(mpath, Options{Method: SVDD, Budget: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stMem, err := Compress(x, Options{Method: SVDD, Budget: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := st.Cell(20, 50)
+	b, _ := stMem.Cell(20, 50)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("file and memory compression disagree: %v vs %v", a, b)
+	}
+	// Cluster via file needs full read; just ensure it works.
+	if _, err := CompressFile(mpath, Options{Method: Cluster, Budget: 0.2}); err != nil {
+		t.Fatalf("cluster from file: %v", err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	x := GeneratePhone(100)
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Range(0, 50)
+	cols := Range(0, 30)
+	truth, err := AggregateExact(x, Avg, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := st.Aggregate(Avg, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est-truth) / truth; rel > 0.05 {
+		t.Errorf("aggregate error %.3f, want under 5%%", rel)
+	}
+	// Unknown aggregate.
+	if _, err := st.Aggregate("median", rows, cols); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+	// Count is exact.
+	cnt, _ := st.Aggregate(Count, rows, cols)
+	if cnt != 1500 {
+		t.Errorf("Count = %v", cnt)
+	}
+}
+
+func TestRandomSelectionHelper(t *testing.T) {
+	rows, cols := RandomSelection(100, 50, 0.1, 42)
+	frac := float64(len(rows)*len(cols)) / 5000
+	if frac < 0.05 || frac > 0.2 {
+		t.Errorf("selection fraction %.3f", frac)
+	}
+	r2, c2 := RandomSelection(100, 50, 0.1, 42)
+	if len(r2) != len(rows) || len(c2) != len(cols) {
+		t.Error("RandomSelection not deterministic")
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	if got := Range(2, 5); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("Range = %v", got)
+	}
+	if got := AllRows(3); len(got) != 3 || got[2] != 2 {
+		t.Errorf("AllRows = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted Range did not panic")
+		}
+	}()
+	Range(5, 2)
+}
+
+func TestEvaluateDimsMismatch(t *testing.T) {
+	x := GeneratePhone(50)
+	st, _ := Compress(x, Options{Method: SVD, Budget: 0.1})
+	if _, err := st.Evaluate(GeneratePhone(60)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestProjectionAPI(t *testing.T) {
+	x := GeneratePhone(150)
+	pts, err := Project(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 150 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	plot := ScatterPlot(pts, 40, 12)
+	if !strings.Contains(plot, "150 points") {
+		t.Error("scatter plot missing point count")
+	}
+	var buf bytes.Buffer
+	if err := WriteProjectionCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "row,pc1,pc2") {
+		t.Error("CSV header missing")
+	}
+	out := ProjectionOutliers(pts, 5)
+	if len(out) != 5 {
+		t.Errorf("outliers = %v", out)
+	}
+}
+
+func TestToyLabels(t *testing.T) {
+	rows, cols := ToyLabels()
+	if len(rows) != 7 || len(cols) != 5 {
+		t.Error("label lengths wrong")
+	}
+	rows[0] = "mutated"
+	r2, _ := ToyLabels()
+	if r2[0] == "mutated" {
+		t.Error("ToyLabels must return copies")
+	}
+}
+
+func TestStocksGenerator(t *testing.T) {
+	x := GenerateStocks()
+	if r, c := x.Dims(); r != 381 || c != 128 {
+		t.Errorf("stocks dims = (%d,%d)", r, c)
+	}
+}
+
+func TestCSVFacade(t *testing.T) {
+	x := GeneratePhone(10)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	if err := SaveMatrixCSV(path, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrixCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(5, 100) != x.At(5, 100) {
+		t.Error("csv round trip failed")
+	}
+	if _, err := LoadMatrixCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestKMeansMethod(t *testing.T) {
+	x := GeneratePhone(150)
+	st, err := Compress(x, Options{Method: KMeans, Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KMeans produces a cluster-shaped store.
+	if st.Method() != Cluster {
+		t.Errorf("method = %v, want cluster-shaped store", st.Method())
+	}
+	if st.SpaceRatio() > 0.15+1e-9 {
+		t.Errorf("over budget: %v", st.SpaceRatio())
+	}
+	rep, err := st.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSPE <= 0 || rep.RMSPE > 1 {
+		t.Errorf("implausible RMSPE %v", rep.RMSPE)
+	}
+}

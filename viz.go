@@ -1,0 +1,55 @@
+package seqstore
+
+import (
+	"io"
+
+	"seqstore/internal/matio"
+	"seqstore/internal/viz"
+)
+
+// Point2 is a time sequence projected into the 2-dimensional SVD space of
+// Appendix A: X and Y are the coordinates along the first and second
+// principal components, Row the original sequence index.
+type Point2 struct {
+	X, Y float64
+	Row  int
+}
+
+// Project maps every sequence of x into 2-d SVD space. Plotting the points
+// reveals dataset density, structure and outliers (Figure 11).
+func Project(x *Matrix) ([]Point2, error) {
+	pts, err := viz.Project(matio.NewMem(x.m))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point2, len(pts))
+	for i, p := range pts {
+		out[i] = Point2{X: p.X, Y: p.Y, Row: p.Row}
+	}
+	return out, nil
+}
+
+// ScatterPlot renders the projected points as a width×height ASCII plot.
+func ScatterPlot(pts []Point2, width, height int) string {
+	return viz.Scatter(toInternal(pts), width, height)
+}
+
+// WriteProjectionCSV emits "row,pc1,pc2" lines for external plotting.
+func WriteProjectionCSV(w io.Writer, pts []Point2) error {
+	return viz.WriteCSV(w, toInternal(pts))
+}
+
+// ProjectionOutliers returns the rows of the n points farthest from the
+// projection centroid — the "exceptional sequences an analyst should
+// examine" of Appendix A.
+func ProjectionOutliers(pts []Point2, n int) []int {
+	return viz.Outliers(toInternal(pts), n)
+}
+
+func toInternal(pts []Point2) []viz.Point {
+	out := make([]viz.Point, len(pts))
+	for i, p := range pts {
+		out[i] = viz.Point{X: p.X, Y: p.Y, Row: p.Row}
+	}
+	return out
+}
