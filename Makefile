@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test vet race check bench-parallel experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; the concurrent matio
+# range-scan tests (TestConcurrentRangeScanStats, TestConcurrentScansAndReads)
+# and the worker-sharded svd/core equivalence tests exercise the shared
+# Stats counters and the parallel compression pipeline under it. The race
+# detector is ~5-10x slower, so give packages more than the default 10m.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+check: vet race
+
+# bench-parallel runs the worker-count sub-benchmarks for the three sharded
+# hot loops. The cmd/experiments "parallel" harness records the same loops
+# to results/bench_parallel.json for cross-PR tracking.
+bench-parallel:
+	$(GO) test -bench 'Parallel' -run '^$$' -benchtime 1x ./internal/svd ./internal/core
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -2,15 +2,19 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel]
 //
 // Flags:
 //
-//	-n int      customers in the "phone" dataset (default 2000, as in the
-//	            paper's phone2000)
-//	-large      run the full paper-scale sweep (N up to 100,000) for the
-//	            scale-up experiments
-//	-csv dir    also write raw experiment data as CSV files into dir
+//	-n int            customers in the "phone" dataset (default 2000, as in
+//	                  the paper's phone2000)
+//	-large            run the full paper-scale sweep (N up to 100,000) for
+//	                  the scale-up experiments
+//	-csv dir          also write raw experiment data as CSV files into dir
+//	-workers int      worker goroutines for the compression passes
+//	                  (0 = all CPUs, 1 = serial)
+//	-parallel-out p   where the "parallel" harness writes its JSON speedup
+//	                  record (default results/bench_parallel.json)
 package main
 
 import (
@@ -37,16 +41,21 @@ func run(args []string) error {
 	phoneN := fs.Int("n", 2000, "customers in the phone dataset")
 	large := fs.Bool("large", false, "paper-scale scale-up sweep (N up to 100,000)")
 	csvDir := fs.String("csv", "", "directory to write raw CSV data (optional)")
+	workers := fs.Int("workers", 0, "worker goroutines for the compression passes: 0 = all CPUs, 1 = serial")
+	parallelOut := fs.String("parallel-out", filepath.Join("results", "bench_parallel.json"),
+		"output path for the 'parallel' speedup harness")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.DefaultWorkers = *workers
 	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
-			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust", "cube"}
+			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
+			"cube", "parallel"}
 	}
 
-	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir}
+	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir, parallelOut: *parallelOut}
 	for _, name := range names {
 		start := time.Now()
 		if err := r.runOne(name); err != nil {
@@ -58,9 +67,10 @@ func run(args []string) error {
 }
 
 type runner struct {
-	phoneN int
-	large  bool
-	csvDir string
+	phoneN      int
+	large       bool
+	csvDir      string
+	parallelOut string
 
 	phone  *linalg.Matrix // lazily built
 	stocks *linalg.Matrix
@@ -236,6 +246,17 @@ func (r *runner) runOne(name string) error {
 			Products: 100, Stores: 16, Weeks: 52, Seed: 1,
 		}, 0.10, out)
 		return err
+
+	case "parallel":
+		res, err := experiments.BenchParallel(experiments.DefaultParallelConfig(), out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.parallelOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.parallelOut)
+		return nil
 
 	default:
 		return fmt.Errorf("unknown experiment %q", name)

@@ -36,6 +36,7 @@ func run(args []string) error {
 	half := fs.Bool("half", false, "store numbers as float32 (b=4): half the file, ~1e-7 rounding")
 	robust := fs.Bool("robust", false, "outlier-resistant factors (svd/svdd; loads the matrix into memory)")
 	zeroFlags := fs.Bool("zero-flags", false, "flag all-zero rows for instant reconstruction (svdd)")
+	workers := fs.Int("workers", 0, "worker goroutines for the compression passes (svd/svdd): 0 = all CPUs, 1 = serial")
 	verify := fs.Bool("verify", false, "report reconstruction error against the input")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +53,7 @@ func run(args []string) error {
 		HalfPrecision: *half,
 		Robust:        *robust,
 		FlagZeroRows:  *zeroFlags,
+		Workers:       *workers,
 	}
 	start := time.Now()
 	st, err := seqstore.CompressFile(*in, opts)

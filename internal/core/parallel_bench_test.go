@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"seqstore/internal/matio"
+	"seqstore/internal/svd"
+)
+
+// BenchmarkCompressSVDDParallel times the sharded passes 2+3 (candidate
+// scan + U emission) on the acceptance matrix (N=20000, M=128, budget 10%),
+// with pass-1 factors precomputed so every sub-benchmark scores the same
+// candidate set.
+func BenchmarkCompressSVDDParallel(b *testing.B) {
+	const n, m = 20000, 128
+	src := matio.NewMem(parallelPhone(n, m, 1))
+	f, err := svd.ComputeFactors(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(m) * 8)
+			for i := 0; i < b.N; i++ {
+				_, err := CompressWithFactors(src, f, Options{Budget: 0.10, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

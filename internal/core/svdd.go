@@ -28,7 +28,6 @@ import (
 	"sort"
 
 	"seqstore/internal/matio"
-	"seqstore/internal/pqueue"
 	"seqstore/internal/svd"
 )
 
@@ -71,6 +70,12 @@ type Options struct {
 	// at all. Each flagged row costs one stored number, paid for out of
 	// the outlier budget.
 	FlagZeroRows bool
+	// Workers shards the row scans of all three passes: 0 means
+	// runtime.NumCPU(), 1 runs the exact serial algorithm. Results are
+	// deterministic for a given worker count; across worker counts the
+	// chosen k_opt and outlier set are unchanged (per-cell errors are
+	// bit-identical) while SSE totals agree to reduction-order tolerance.
+	Workers int
 }
 
 // CandidateStat records the pass-2 evaluation of one candidate cutoff.
@@ -101,7 +106,7 @@ func Compress(src matio.RowSource, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadBudget, opts.Budget)
 	}
 	// ---- pass 1: factors -------------------------------------------------
-	f, err := svd.ComputeFactors(src)
+	f, err := svd.ComputeFactorsWorkers(src, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -144,55 +149,11 @@ func CompressWithFactors(src matio.RowSource, f *svd.Factors, opts Options) (*St
 	candidates := chooseCandidates(opts, kmax, gamma)
 
 	// ---- pass 2: per-candidate error queues ------------------------------
-	queues := make(map[int]*pqueue.TopK, len(candidates))
-	for _, k := range candidates {
-		queues[k] = pqueue.NewTopK(gamma(k))
-	}
-	sse := make([]float64, kmax+1) // sse[k] for k = 1..kmax
-	proj := make([]float64, kmax)
-	var zeroRows []int32
-	err := src.ScanRows(func(i int, row []float64) error {
-		// Projections p_m = Σ_l x[l]·v[l][m]; note σ_m·u[i][m] = p_m, so
-		// the rank-k reconstruction of cell j is Σ_{m<k} p_m·v[j][m].
-		for mm := range proj {
-			proj[mm] = 0
-		}
-		allZero := true
-		for l, xv := range row {
-			if xv == 0 {
-				continue
-			}
-			allZero = false
-			vrow := f.V.Row(l)
-			for mm := 0; mm < kmax; mm++ {
-				proj[mm] += xv * vrow[mm]
-			}
-		}
-		if allZero {
-			// A zero row reconstructs exactly under any cutoff; nothing to
-			// queue. Flag it (§6.2) when requested.
-			if opts.FlagZeroRows {
-				zeroRows = append(zeroRows, int32(i))
-			}
-			return nil
-		}
-		for j, xv := range row {
-			vrow := f.V.Row(j)
-			partial := 0.0
-			for k := 1; k <= kmax; k++ {
-				partial += proj[k-1] * vrow[k-1]
-				e := xv - partial
-				sse[k] += e * e
-				if q, ok := queues[k]; ok && q.Cap() > 0 {
-					q.Offer(pqueue.Item{Row: i, Col: j, Delta: e})
-				}
-			}
-		}
-		return nil
-	})
+	st, zeroRows, err := runPass2(src, f, opts, kmax, candidates, gamma)
 	if err != nil {
 		return nil, fmt.Errorf("core: pass 2: %w", err)
 	}
+	sse, queues := st.sse, st.queues
 
 	diag := Diagnostics{KMax: kmax}
 	best := -1
@@ -213,7 +174,7 @@ func CompressWithFactors(src matio.RowSource, f *svd.Factors, opts Options) (*St
 	diag.Gamma = queues[best].Len()
 
 	// ---- pass 3: emit U at k_opt -----------------------------------------
-	base, err := svd.CompressWithFactors(src, f, best)
+	base, err := svd.CompressWithFactorsWorkers(src, f, best, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: pass 3: %w", err)
 	}

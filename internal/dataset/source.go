@@ -45,8 +45,18 @@ func (s *PhoneSource) ReadRow(i int, dst []float64) error {
 // ScanRows streams every row in order.
 func (s *PhoneSource) ScanRows(fn func(i int, row []float64) error) error {
 	s.stats.CountPass()
+	return s.ScanRowsRange(0, s.cfg.N, fn)
+}
+
+// ScanRowsRange streams rows [start, end) in order. Rows are synthesized
+// independently, so any number of range scans may run concurrently; each row
+// counts one read and no pass (see matio.StartPass).
+func (s *PhoneSource) ScanRowsRange(start, end int, fn func(i int, row []float64) error) error {
+	if start < 0 || end > s.cfg.N || start > end {
+		return fmt.Errorf("%w: range [%d, %d) of %d", matio.ErrRowRange, start, end, s.cfg.N)
+	}
 	row := make([]float64, s.cfg.M)
-	for i := 0; i < s.cfg.N; i++ {
+	for i := start; i < end; i++ {
 		generatePhoneRow(s.cfg, i, row)
 		s.stats.CountRead()
 		if err := fn(i, row); err != nil {
@@ -56,4 +66,7 @@ func (s *PhoneSource) ScanRows(fn func(i int, row []float64) error) error {
 	return nil
 }
 
-var _ matio.RowReader = (*PhoneSource)(nil)
+var (
+	_ matio.RowReader    = (*PhoneSource)(nil)
+	_ matio.RangeScanner = (*PhoneSource)(nil)
+)

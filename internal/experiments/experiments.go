@@ -56,15 +56,20 @@ func Eval(src matio.RowSource, s store.Store) (*metrics.Accumulator, error) {
 	return &acc, nil
 }
 
+// DefaultWorkers is the worker count the experiment helpers pass to the
+// compression pipeline: 0 (all CPUs) unless cmd/experiments -workers
+// overrides it, e.g. to force a reproducible serial run.
+var DefaultWorkers = 0
+
 // buildSVDD compresses src at the given budget, reusing factors.
 func buildSVDD(src matio.RowSource, f *svd.Factors, budget float64) (*core.Store, error) {
-	return core.CompressWithFactors(src, f, core.Options{Budget: budget})
+	return core.CompressWithFactors(src, f, core.Options{Budget: budget, Workers: DefaultWorkers})
 }
 
 // buildSVD compresses src at the given budget, reusing factors.
 func buildSVD(src matio.RowSource, f *svd.Factors, budget float64) (*svd.Store, error) {
 	n, m := src.Dims()
-	return svd.CompressWithFactors(src, f, svd.KForBudget(n, m, budget))
+	return svd.CompressWithFactorsWorkers(src, f, svd.KForBudget(n, m, budget), DefaultWorkers)
 }
 
 // newTable starts a tabwriter over w (which may be nil for silent runs).

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"seqstore/internal/core"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/svd"
+)
+
+// ParallelConfig sizes the parallel-speedup harness: it times the three
+// sharded hot loops (pass-1 C accumulation, the full 3-pass SVDD
+// compression, and the pass-3 U projection) on one synthetic N×M matrix at
+// each worker count, so successive PRs can track the perf trajectory from
+// results/bench_parallel.json.
+type ParallelConfig struct {
+	N, M    int
+	Budget  float64
+	Workers []int
+	Seed    int64
+}
+
+// DefaultParallelConfig matches the acceptance benchmark: a synthetic
+// N=20000, M=128 matrix at a 10% budget, worker counts 1/2/4/8.
+func DefaultParallelConfig() ParallelConfig {
+	return ParallelConfig{N: 20000, M: 128, Budget: 0.10, Workers: []int{1, 2, 4, 8}, Seed: 1}
+}
+
+// ParallelBench is one timed (loop, worker count) cell.
+type ParallelBench struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"` // over workers=1 of the same loop
+}
+
+// ParallelResult is the harness output; serialized as
+// results/bench_parallel.json by cmd/experiments.
+type ParallelResult struct {
+	N          int             `json:"n"`
+	M          int             `json:"m"`
+	Budget     float64         `json:"budget"`
+	NumCPU     int             `json:"num_cpu"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Benches    []ParallelBench `json:"benches"`
+}
+
+// ParallelMatrix returns the deterministic synthetic matrix the harness
+// (and the package benchmarks) time against: dense standard-normal noise
+// plus a few strong components so the k_opt search has structure to find.
+func ParallelMatrix(n, m int, seed int64) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	x := linalg.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		a, b := rng.Float64(), rng.Float64()
+		for j := range row {
+			row[j] = 4*a*float64(j%7) + 2*b*float64(j%13) + rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+// BenchParallel times the three parallel hot loops at each configured
+// worker count and renders a table to w.
+func BenchParallel(cfg ParallelConfig, w io.Writer) (*ParallelResult, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	src := matio.NewMem(ParallelMatrix(cfg.N, cfg.M, cfg.Seed))
+	f, err := svd.ComputeFactors(src)
+	if err != nil {
+		return nil, err
+	}
+	k := svd.KForBudget(cfg.N, cfg.M, cfg.Budget)
+	if k < 1 {
+		k = 1
+	}
+
+	loops := []struct {
+		name string
+		run  func(workers int) error
+	}{
+		{"AccumulateC", func(workers int) error {
+			_, err := svd.AccumulateCWorkers(src, workers)
+			return err
+		}},
+		{"ComputeU", func(workers int) error {
+			return svd.ComputeUWorkers(src, f, k, workers, func(int, []float64) error { return nil })
+		}},
+		{"CompressSVDD", func(workers int) error {
+			_, err := core.CompressWithFactors(src, f, core.Options{Budget: cfg.Budget, Workers: workers})
+			return err
+		}},
+	}
+
+	res := &ParallelResult{
+		N: cfg.N, M: cfg.M, Budget: cfg.Budget,
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "loop\tworkers\tns/op\tspeedup")
+	for _, loop := range loops {
+		var base int64
+		for _, workers := range cfg.Workers {
+			start := time.Now()
+			if err := loop.run(workers); err != nil {
+				return nil, fmt.Errorf("experiments: parallel %s workers=%d: %w", loop.name, workers, err)
+			}
+			ns := time.Since(start).Nanoseconds()
+			if workers == 1 || base == 0 {
+				base = ns
+			}
+			b := ParallelBench{
+				Name: loop.name, Workers: workers, NsPerOp: ns,
+				Speedup: float64(base) / float64(ns),
+			}
+			res.Benches = append(res.Benches, b)
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.2fx\n", b.Name, b.Workers, b.NsPerOp, b.Speedup)
+		}
+	}
+	return res, tw.Flush()
+}
+
+// WriteJSON writes the result to path, creating parent directories.
+func (r *ParallelResult) WriteJSON(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchParallelSmall(t *testing.T) {
+	cfg := ParallelConfig{N: 600, M: 16, Budget: 0.20, Workers: []int{1, 2}, Seed: 1}
+	res, err := BenchParallel(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(cfg.Workers); len(res.Benches) != want {
+		t.Fatalf("%d bench cells, want %d", len(res.Benches), want)
+	}
+	for _, bench := range res.Benches {
+		if bench.NsPerOp <= 0 {
+			t.Errorf("%s workers=%d: ns/op = %d", bench.Name, bench.Workers, bench.NsPerOp)
+		}
+		if bench.Workers == 1 && bench.Speedup != 1 {
+			t.Errorf("%s workers=1: speedup = %v, want 1", bench.Name, bench.Speedup)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "out", "bench_parallel.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.N != cfg.N || len(back.Benches) != len(res.Benches) {
+		t.Error("JSON round-trip lost data")
+	}
+}

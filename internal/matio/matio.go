@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -94,6 +95,71 @@ type RowReader interface {
 	RowSource
 	// ReadRow fills dst (length = cols) with row i.
 	ReadRow(i int, dst []float64) error
+}
+
+// RangeScanner is a RowSource whose rows can also be scanned over a
+// half-open row interval. Range scans are safe for concurrent use, which is
+// what lets the compression passes shard one logical pass over the file
+// across workers: each worker streams its own row ranges with its own
+// buffer. A range scan does not count as a pass; a sharded driver calls
+// StartPass once for the whole logical pass instead.
+type RangeScanner interface {
+	RowSource
+	// ScanRowsRange calls fn for every row i in [start, end) in order. The
+	// row slice is only valid during the call. Returning a non-nil error
+	// aborts the scan.
+	ScanRowsRange(start, end int, fn func(i int, row []float64) error) error
+}
+
+// StartPass records one full sequential pass on sources that expose Stats.
+// Sharded scans use it so that W workers covering [0,N) between them still
+// count as a single pass, like the serial ScanRows they replace.
+func StartPass(src RowSource) {
+	type statser interface{ Stats() *Stats }
+	if st, ok := src.(statser); ok {
+		st.Stats().CountPass()
+	}
+}
+
+// Range is a half-open row interval [Start, End).
+type Range struct{ Start, End int }
+
+// Len returns the number of rows in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// DefaultChunkRows is the chunk height used by Chunks when chunkRows <= 0.
+const DefaultChunkRows = 1024
+
+// Chunks splits [0, n) into fixed-height chunks. The chunk boundaries
+// depend only on n and chunkRows — never on the worker count — so a
+// parallel reduction that combines per-chunk results in chunk order is
+// deterministic for any given worker count. chunkRows <= 0 selects
+// DefaultChunkRows.
+func Chunks(n, chunkRows int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	out := make([]Range, 0, (n+chunkRows-1)/chunkRows)
+	for start := 0; start < n; start += chunkRows {
+		end := start + chunkRows
+		if end > n {
+			end = n
+		}
+		out = append(out, Range{Start: start, End: end})
+	}
+	return out
+}
+
+// NumWorkers resolves a Workers option: w <= 0 means runtime.NumCPU(),
+// otherwise w itself.
+func NumWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
 }
 
 // --- On-disk implementation ------------------------------------------------
@@ -180,9 +246,10 @@ func (w *Writer) Close() error {
 func (w *Writer) Stats() *Stats { return w.stats }
 
 // File is an open on-disk matrix supporting sequential scans and random row
-// reads. Random reads (ReadRow) are safe for concurrent use — each uses
-// ReadAt with a pooled buffer; sequential scans hold the file's seek
-// position and must not run concurrently with each other.
+// reads. All access is safe for concurrent use: random reads (ReadRow) use
+// ReadAt with a pooled buffer, and sequential scans (ScanRows,
+// ScanRowsRange) read through a SectionReader so they never share a seek
+// position.
 type File struct {
 	f     *os.File
 	rows  int
@@ -264,13 +331,23 @@ func (m *File) ReadRow(i int, dst []float64) error {
 // counts as one pass and rows rowReads.
 func (m *File) ScanRows(fn func(i int, row []float64) error) error {
 	m.stats.passes.Add(1)
-	if _, err := m.f.Seek(headerSize, io.SeekStart); err != nil {
-		return fmt.Errorf("matio: seek: %w", err)
+	return m.ScanRowsRange(0, m.rows, fn)
+}
+
+// ScanRowsRange streams rows [start, end) in order using buffered sequential
+// IO over a private section reader, so any number of range scans (and random
+// reads) may run concurrently. Each row costs one rowRead; no pass is
+// counted — see StartPass.
+func (m *File) ScanRowsRange(start, end int, fn func(i int, row []float64) error) error {
+	if start < 0 || end > m.rows || start > end {
+		return fmt.Errorf("%w: range [%d, %d) of %d", ErrRowRange, start, end, m.rows)
 	}
-	r := bufio.NewReaderSize(m.f, 1<<16)
+	off := int64(headerSize) + int64(start)*int64(m.cols)*8
+	r := bufio.NewReaderSize(
+		io.NewSectionReader(m.f, off, int64(end-start)*int64(m.cols)*8), 1<<16)
 	row := make([]float64, m.cols)
 	raw := make([]byte, 8*m.cols)
-	for i := 0; i < m.rows; i++ {
+	for i := start; i < end; i++ {
 		if _, err := io.ReadFull(r, raw); err != nil {
 			return fmt.Errorf("matio: scan row %d: %w", i, err)
 		}
@@ -362,7 +439,17 @@ func (s *Mem) ReadRow(i int, dst []float64) error {
 // ScanRows streams all rows in order.
 func (s *Mem) ScanRows(fn func(i int, row []float64) error) error {
 	s.stats.passes.Add(1)
-	for i := 0; i < s.m.Rows(); i++ {
+	return s.ScanRowsRange(0, s.m.Rows(), fn)
+}
+
+// ScanRowsRange streams rows [start, end) in order. Safe for concurrent use
+// as long as the underlying matrix is not being resized; counts one rowRead
+// per row and no pass.
+func (s *Mem) ScanRowsRange(start, end int, fn func(i int, row []float64) error) error {
+	if start < 0 || end > s.m.Rows() || start > end {
+		return fmt.Errorf("%w: range [%d, %d) of %d", ErrRowRange, start, end, s.m.Rows())
+	}
+	for i := start; i < end; i++ {
 		s.stats.rowReads.Add(1)
 		if err := fn(i, s.m.Row(i)); err != nil {
 			return err
@@ -381,6 +468,8 @@ func (s *Mem) AppendRow(row []float64) int {
 }
 
 var (
-	_ RowReader = (*File)(nil)
-	_ RowReader = (*Mem)(nil)
+	_ RowReader    = (*File)(nil)
+	_ RowReader    = (*Mem)(nil)
+	_ RangeScanner = (*File)(nil)
+	_ RangeScanner = (*Mem)(nil)
 )

@@ -1,0 +1,135 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func itemKeys(items []Item) []Item {
+	out := make([]Item, len(items))
+	copy(out, items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Row != out[j].Row {
+			return out[i].Row < out[j].Row
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+func sameItems(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a, b = itemKeys(a), itemKeys(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeEqualsOfferAll is the invariant the parallel SVDD scan relies
+// on: sharding a stream across queues of the same capacity and merging
+// retains exactly the items a single queue offered everything would.
+func TestMergeEqualsOfferAll(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		capacity := 1 + r.Intn(20)
+		nItems := r.Intn(200)
+		items := make([]Item, nItems)
+		for i := range items {
+			// NormFloat64 makes ties measure-zero, so the top-γ set is unique.
+			items[i] = Item{Row: i / 7, Col: i % 7, Delta: r.NormFloat64()}
+		}
+		single := NewTopK(capacity)
+		shards := []*TopK{NewTopK(capacity), NewTopK(capacity), NewTopK(capacity)}
+		for i, it := range items {
+			single.Offer(it)
+			shards[i%len(shards)].Offer(it)
+		}
+		merged := shards[0]
+		merged.Merge(shards[1])
+		merged.Merge(shards[2])
+		if !sameItems(merged.Items(), single.Items()) {
+			t.Fatalf("trial %d (cap %d, %d items): merged set differs from offer-all set",
+				trial, capacity, nItems)
+		}
+		// Same retained set, but heap order (and so summation order) may
+		// differ — allow reduction-order roundoff only.
+		ms, ss := merged.SumSquaredWeights(), single.SumSquaredWeights()
+		if d := ms - ss; d > 1e-12*ss || d < -1e-12*ss {
+			t.Fatalf("trial %d: SumSquaredWeights %v vs %v", trial, ms, ss)
+		}
+	}
+}
+
+func TestMergeCapacityZero(t *testing.T) {
+	full := NewTopK(3)
+	for i := 0; i < 5; i++ {
+		full.Offer(Item{Row: i, Col: 0, Delta: float64(i + 1)})
+	}
+	zero := NewTopK(0)
+	if kept := zero.Merge(full); kept != 0 {
+		t.Errorf("capacity-0 queue kept %d merged items", kept)
+	}
+	if zero.Len() != 0 {
+		t.Errorf("capacity-0 queue has %d items after merge", zero.Len())
+	}
+	before := full.Len()
+	if kept := full.Merge(zero); kept != 0 {
+		t.Errorf("merging an empty queue kept %d items", kept)
+	}
+	if full.Len() != before {
+		t.Errorf("merging an empty queue changed Len from %d to %d", before, full.Len())
+	}
+	if kept := full.Merge(nil); kept != 0 {
+		t.Errorf("merging nil kept %d items", kept)
+	}
+}
+
+// TestMergeTiesAtCutoff: with ties at the cutoff weight, which equal-weight
+// item survives depends on offer order (exactly as for a single queue), but
+// the retained count and the multiset of weights are still exact.
+func TestMergeTiesAtCutoff(t *testing.T) {
+	a := NewTopK(2)
+	b := NewTopK(2)
+	a.Offer(Item{Row: 0, Col: 0, Delta: 5})
+	a.Offer(Item{Row: 0, Col: 1, Delta: 1})  // tied at the cutoff
+	b.Offer(Item{Row: 1, Col: 0, Delta: -1}) // tied (weight = |Delta|)
+	b.Offer(Item{Row: 1, Col: 1, Delta: 3})
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+	items := a.Items()
+	if items[0].Weight() != 5 || items[1].Weight() != 3 {
+		t.Errorf("retained weights %v, %v; want 5, 3", items[0].Weight(), items[1].Weight())
+	}
+	// An incoming item tied with the current minimum must not displace it.
+	c := NewTopK(1)
+	c.Offer(Item{Row: 9, Col: 9, Delta: 3})
+	d := NewTopK(1)
+	d.Offer(Item{Row: 8, Col: 8, Delta: -3})
+	if kept := c.Merge(d); kept != 0 {
+		t.Errorf("tie displaced the retained item (kept = %d)", kept)
+	}
+	if got := c.Items()[0]; got.Row != 9 {
+		t.Errorf("tie changed retained item to %+v", got)
+	}
+}
+
+func TestMergeReturnsKeptCount(t *testing.T) {
+	a := NewTopK(3)
+	for i := 0; i < 3; i++ {
+		a.Offer(Item{Row: i, Col: 0, Delta: 10 + float64(i)})
+	}
+	b := NewTopK(3)
+	b.Offer(Item{Row: 7, Col: 0, Delta: 100}) // beats everything
+	b.Offer(Item{Row: 8, Col: 0, Delta: 1})   // beats nothing
+	if kept := a.Merge(b); kept != 1 {
+		t.Errorf("Merge kept %d, want 1", kept)
+	}
+}

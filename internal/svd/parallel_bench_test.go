@@ -1,0 +1,54 @@
+package svd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"seqstore/internal/matio"
+)
+
+// benchWorkerCounts are the sub-benchmark worker counts; workers=1 is the
+// exact serial path the speedups are measured against.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+func benchSource(b *testing.B, n, m int) *matio.Mem {
+	b.Helper()
+	return matio.NewMem(randMatrix(rand.New(rand.NewSource(1)), n, m))
+}
+
+func BenchmarkAccumulateCParallel(b *testing.B) {
+	const n, m = 20000, 128
+	src := benchSource(b, n, m)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(m) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := AccumulateCWorkers(src, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComputeUParallel(b *testing.B) {
+	const n, m = 20000, 128
+	src := benchSource(b, n, m)
+	f, err := ComputeFactors(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := f.Clamp(KForBudget(n, m, 0.10))
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(m) * 8)
+			for i := 0; i < b.N; i++ {
+				err := ComputeUWorkers(src, f, k, workers, func(int, []float64) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

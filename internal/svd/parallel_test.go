@@ -1,0 +1,249 @@
+package svd
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+)
+
+// plainSource hides the RangeScanner capability of a Mem source, forcing
+// the serial fallback path.
+type plainSource struct{ mem *matio.Mem }
+
+func (p *plainSource) Dims() (int, int) { return p.mem.Dims() }
+func (p *plainSource) ScanRows(fn func(i int, row []float64) error) error {
+	return p.mem.ScanRows(fn)
+}
+
+func frobenius(m *linalg.Matrix) float64 {
+	var s float64
+	for _, v := range m.Data() {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// parallelTestSources returns Mem- and File-backed views of one random
+// matrix large enough to span several scan chunks.
+func parallelTestSources(t *testing.T, n, m int) map[string]matio.RowSource {
+	t.Helper()
+	x := randMatrix(rand.New(rand.NewSource(11)), n, m)
+	path := filepath.Join(t.TempDir(), "x.smx")
+	if err := matio.WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	f, err := matio.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return map[string]matio.RowSource{"mem": matio.NewMem(x), "file": f}
+}
+
+func TestAccumulateCSymmetricAndMatchesNaive(t *testing.T) {
+	const n, m = 200, 9
+	x := randMatrix(rand.New(rand.NewSource(5)), n, m)
+	c, err := AccumulateC(matio.NewMem(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive full accumulation in the same row-major order: the upper
+	// triangle + mirror must reproduce it bit-for-bit, since x_j·x_l and
+	// x_l·x_j are the same product added in the same row order.
+	naive := linalg.NewMatrix(m, m)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j, vj := range row {
+			if vj == 0 {
+				continue
+			}
+			nrow := naive.Row(j)
+			for l, vl := range row {
+				nrow[l] += vj * vl
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		for l := 0; l < m; l++ {
+			if c.At(j, l) != naive.At(j, l) {
+				t.Fatalf("C[%d][%d] = %v, naive %v", j, l, c.At(j, l), naive.At(j, l))
+			}
+			if c.At(j, l) != c.At(l, j) {
+				t.Fatalf("C not symmetric at (%d, %d)", j, l)
+			}
+		}
+	}
+}
+
+func TestAccumulateCWorkersEquivalence(t *testing.T) {
+	const n, m = 5000, 12
+	for name, src := range parallelTestSources(t, n, m) {
+		serial, err := AccumulateCWorkers(src, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := frobenius(serial)
+		for _, workers := range []int{2, 3, 8} {
+			par, err := AccumulateCWorkers(src, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			var diff float64
+			sd, pd := serial.Data(), par.Data()
+			for i := range sd {
+				d := sd[i] - pd[i]
+				diff += d * d
+			}
+			if math.Sqrt(diff) > 1e-12*norm {
+				t.Errorf("%s workers=%d: ‖C_par − C_serial‖ = %g > 1e-12·‖C‖ (%g)",
+					name, workers, math.Sqrt(diff), 1e-12*norm)
+			}
+		}
+	}
+}
+
+func TestAccumulateCWorkersCountsOnePass(t *testing.T) {
+	const n, m = 3000, 6
+	x := randMatrix(rand.New(rand.NewSource(2)), n, m)
+	src := matio.NewMem(x)
+	for _, workers := range []int{1, 4} {
+		src.Stats().Reset()
+		if _, err := AccumulateCWorkers(src, workers); err != nil {
+			t.Fatal(err)
+		}
+		if got := src.Stats().Passes(); got != 1 {
+			t.Errorf("workers=%d: Passes = %d, want 1", workers, got)
+		}
+		if got := src.Stats().RowReads(); got != int64(n) {
+			t.Errorf("workers=%d: RowReads = %d, want %d", workers, got, n)
+		}
+	}
+}
+
+// TestComputeUWorkersByteIdenticalFiles streams pass 2/3 output into
+// matio.Writer files at several worker counts; the sequencer must deliver
+// U rows in order, so the files are byte-identical.
+func TestComputeUWorkersByteIdenticalFiles(t *testing.T) {
+	const n, m, k = 5000, 12, 5
+	dir := t.TempDir()
+	for name, src := range parallelTestSources(t, n, m) {
+		f, err := ComputeFactors(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uFile := func(workers int) []byte {
+			t.Helper()
+			path := filepath.Join(dir, name+"-u.smx")
+			w, err := matio.Create(path, n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = ComputeUWorkers(src, f, k, workers, func(i int, urow []float64) error {
+				return w.WriteRow(urow)
+			})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return raw
+		}
+		want := uFile(1)
+		for _, workers := range []int{2, 3, 8} {
+			if got := uFile(workers); !bytes.Equal(got, want) {
+				t.Errorf("%s: U file at workers=%d differs from serial", name, workers)
+			}
+		}
+	}
+}
+
+func TestComputeUWorkersSerialFallback(t *testing.T) {
+	const n, m = 3000, 8
+	x := randMatrix(rand.New(rand.NewSource(9)), n, m)
+	mem := matio.NewMem(x)
+	f, err := ComputeFactors(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := f.Clamp(3)
+	want := linalg.NewMatrix(n, k)
+	if err := ComputeU(mem, f, k, func(i int, urow []float64) error {
+		copy(want.Row(i), urow)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A source without ScanRowsRange must still work at any worker count.
+	got := linalg.NewMatrix(n, k)
+	err = ComputeUWorkers(&plainSource{mem}, f, k, 8, func(i int, urow []float64) error {
+		copy(got.Row(i), urow)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.Equal(got, want, 0) {
+		t.Error("fallback path differs from ComputeU")
+	}
+}
+
+func TestComputeUWorkersSinkErrorAborts(t *testing.T) {
+	const n, m = 5000, 8
+	x := randMatrix(rand.New(rand.NewSource(4)), n, m)
+	mem := matio.NewMem(x)
+	f, err := ComputeFactors(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("sink full")
+	err = ComputeUWorkers(mem, f, 3, 4, func(i int, urow []float64) error {
+		if i == 1500 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the sink error", err)
+	}
+}
+
+func TestCompressWorkersMatchesSerial(t *testing.T) {
+	const n, m, k = 5000, 10, 4
+	x := randMatrix(rand.New(rand.NewSource(6)), n, m)
+	src := matio.NewMem(x)
+	serial, err := CompressWorkers(src, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompressWorkers(src, k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 999, n - 1} {
+		for j := 0; j < m; j++ {
+			a, err := serial.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(a - b); d > 1e-9*(1+math.Abs(a)) {
+				t.Errorf("cell (%d,%d): serial %v vs parallel %v", i, j, a, b)
+			}
+		}
+	}
+}

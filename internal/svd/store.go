@@ -44,17 +44,7 @@ func CompressBudget(src matio.RowSource, budget float64) (*Store, error) {
 // CompressWithFactors runs only pass 2, reusing factors computed earlier
 // (e.g. shared between several cutoffs, or with SVDD's pass 1).
 func CompressWithFactors(src matio.RowSource, f *Factors, k int) (*Store, error) {
-	k = f.Clamp(k)
-	n, _ := src.Dims()
-	u := linalg.NewMatrix(n, k)
-	err := ComputeU(src, f, k, func(i int, urow []float64) error {
-		copy(u.Row(i), urow)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return New(f, k, matio.NewMem(u))
+	return CompressWithFactorsWorkers(src, f, k, 1)
 }
 
 // New assembles a store from factors truncated to k and a U-row provider

@@ -51,36 +51,64 @@ func (f *Factors) Clamp(k int) int {
 }
 
 // AccumulateC computes the column-to-column similarity matrix C = XᵀX in a
-// single pass over the rows of src (Figure 2 of the paper).
+// single pass over the rows of src (Figure 2 of the paper). C is symmetric,
+// so only the upper triangle is accumulated — halving the pass-1 flops —
+// and mirrored once at the end; because x_j·x_l and x_l·x_j are the same
+// product and rows are added in the same order, the result is bit-identical
+// to the full accumulation. Use AccumulateCWorkers to shard the pass.
 func AccumulateC(src matio.RowSource) (*linalg.Matrix, error) {
 	_, m := src.Dims()
 	c := linalg.NewMatrix(m, m)
 	err := src.ScanRows(func(i int, row []float64) error {
-		for j, vj := range row {
-			if vj == 0 {
-				continue
-			}
-			crow := c.Row(j)
-			for l, vl := range row {
-				crow[l] += vj * vl
-			}
-		}
+		accumulateRowUpper(c, row)
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("svd: pass 1: %w", err)
 	}
+	mirrorUpper(c)
 	return c, nil
+}
+
+// accumulateRowUpper adds the outer product row·rowᵀ into the upper
+// triangle of c.
+func accumulateRowUpper(c *linalg.Matrix, row []float64) {
+	for j, vj := range row {
+		if vj == 0 {
+			continue
+		}
+		crow := c.Row(j)
+		for l := j; l < len(row); l++ {
+			crow[l] += vj * row[l]
+		}
+	}
+}
+
+// mirrorUpper copies the strict upper triangle of c onto the lower.
+func mirrorUpper(c *linalg.Matrix) {
+	m := c.Rows()
+	for j := 0; j < m; j++ {
+		crow := c.Row(j)
+		for l := j + 1; l < m; l++ {
+			c.Row(l)[j] = crow[l]
+		}
+	}
 }
 
 // ComputeFactors runs pass 1: it accumulates C and eigendecomposes it
 // in memory, returning the full-rank singular values and V.
 func ComputeFactors(src matio.RowSource) (*Factors, error) {
+	return ComputeFactorsWorkers(src, 1)
+}
+
+// ComputeFactorsWorkers is ComputeFactors with the C accumulation sharded
+// across workers (0 ⇒ NumCPU, 1 ⇒ the serial path).
+func ComputeFactorsWorkers(src matio.RowSource, workers int) (*Factors, error) {
 	n, m := src.Dims()
 	if n == 0 || m == 0 {
 		return nil, ErrEmptyMatrix
 	}
-	c, err := AccumulateC(src)
+	c, err := AccumulateCWorkers(src, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -88,10 +116,15 @@ func ComputeFactors(src matio.RowSource) (*Factors, error) {
 	if err != nil {
 		return nil, fmt.Errorf("svd: eigendecomposition of C: %w", err)
 	}
-	// Eigenvalues of C are σ²; drop numerically-zero components so that
-	// U = X·V·Λ⁻¹ never divides by (near-)zero.
-	sigma := make([]float64, 0, m)
-	for _, ev := range eig.Values {
+	return factorsFromEigen(n, m, eig.Values, eig.Vectors), nil
+}
+
+// factorsFromEigen converts an eigendecomposition of C into Factors.
+// Eigenvalues of C are σ²; numerically-zero components are dropped so that
+// U = X·V·Λ⁻¹ never divides by (near-)zero.
+func factorsFromEigen(n, m int, values []float64, vectors *linalg.Matrix) *Factors {
+	sigma := make([]float64, 0, len(values))
+	for _, ev := range values {
 		if ev < 0 {
 			ev = 0
 		}
@@ -111,9 +144,9 @@ func ComputeFactors(src matio.RowSource) (*Factors, error) {
 	}
 	v := linalg.NewMatrix(m, r)
 	for i := 0; i < m; i++ {
-		copy(v.Row(i), eig.Vectors.Row(i)[:r])
+		copy(v.Row(i), vectors.Row(i)[:r])
 	}
-	return &Factors{Rows: n, Cols: m, Sigma: sigma[:r], V: v}, nil
+	return &Factors{Rows: n, Cols: m, Sigma: sigma[:r], V: v}
 }
 
 // ComputeFactorsK runs pass 1 but extracts only the top k principal
@@ -122,6 +155,12 @@ func ComputeFactors(src matio.RowSource) (*Factors, error) {
 // returned Factors have rank ≤ k, so they can serve plain-SVD compression
 // with cutoff ≤ k or SVDD with k_max ≤ k.
 func ComputeFactorsK(src matio.RowSource, k int) (*Factors, error) {
+	return ComputeFactorsKWorkers(src, k, 1)
+}
+
+// ComputeFactorsKWorkers is ComputeFactorsK with the C accumulation sharded
+// across workers (0 ⇒ NumCPU, 1 ⇒ the serial path).
+func ComputeFactorsKWorkers(src matio.RowSource, k, workers int) (*Factors, error) {
 	n, m := src.Dims()
 	if n == 0 || m == 0 {
 		return nil, ErrEmptyMatrix
@@ -132,7 +171,7 @@ func ComputeFactorsK(src matio.RowSource, k int) (*Factors, error) {
 	if k > m {
 		k = m
 	}
-	c, err := AccumulateC(src)
+	c, err := AccumulateCWorkers(src, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -140,30 +179,7 @@ func ComputeFactorsK(src matio.RowSource, k int) (*Factors, error) {
 	if err != nil {
 		return nil, fmt.Errorf("svd: subspace eigendecomposition of C: %w", err)
 	}
-	sigma := make([]float64, 0, k)
-	for _, ev := range eig.Values {
-		if ev < 0 {
-			ev = 0
-		}
-		sigma = append(sigma, math.Sqrt(ev))
-	}
-	tol := 0.0
-	if len(sigma) > 0 {
-		tol = sigma[0] * 1e-10
-	}
-	r := 0
-	for _, s := range sigma {
-		if s > tol && s > 0 {
-			r++
-		} else {
-			break
-		}
-	}
-	v := linalg.NewMatrix(m, r)
-	for i := 0; i < m; i++ {
-		copy(v.Row(i), eig.Vectors.Row(i)[:r])
-	}
-	return &Factors{Rows: n, Cols: m, Sigma: sigma[:r], V: v}, nil
+	return factorsFromEigen(n, m, eig.Values, eig.Vectors), nil
 }
 
 // ComputeU runs pass 2 (Figure 3): it streams the rows of src and calls

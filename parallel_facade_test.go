@@ -1,0 +1,51 @@
+package seqstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCompressWorkersFacade checks the Workers option end to end: the
+// sharded pipeline must produce the same store shape as the serial one and
+// reconstruct cells within floating-point reduction tolerance, for both
+// SVDD and plain SVD.
+func TestCompressWorkersFacade(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const n, m = 3000, 16
+	x := NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		a := r.NormFloat64()
+		for j := 0; j < m; j++ {
+			x.Set(i, j, 2*a*float64(j%5)+r.NormFloat64())
+		}
+	}
+	for _, method := range []Method{SVDD, SVD} {
+		serial, err := Compress(x, Options{Method: method, Budget: 0.20, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", method, err)
+		}
+		par, err := Compress(x, Options{Method: method, Budget: 0.20, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", method, err)
+		}
+		if sn, pn := serial.StoredNumbers(), par.StoredNumbers(); sn != pn {
+			t.Errorf("%s: stored numbers %d (serial) vs %d (workers=4)", method, sn, pn)
+		}
+		for _, i := range []int{0, 1234, n - 1} {
+			for j := 0; j < m; j++ {
+				a, err := serial.Cell(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := par.Cell(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := math.Abs(a - b); d > 1e-6*(1+math.Abs(a)) {
+					t.Errorf("%s cell (%d,%d): %v vs %v", method, i, j, a, b)
+				}
+			}
+		}
+	}
+}

@@ -90,6 +90,12 @@ type Options struct {
 	// (the paper's b parameter set to 4 bytes instead of 8), halving the
 	// on-disk size at a ~1e-7 relative rounding cost. SVD/SVDD only.
 	HalfPrecision bool
+	// Workers shards the compression passes (SVD/SVDD) across this many
+	// concurrent workers: 0 means runtime.NumCPU(), 1 forces the serial
+	// algorithm. The compressed store is the same for every worker count
+	// up to floating-point reduction order (U is byte-identical; see
+	// DESIGN.md "Parallel compression pipeline"). Other methods ignore it.
+	Workers int
 }
 
 // ErrNoBudget is returned when neither Budget nor K is provided.
@@ -235,6 +241,7 @@ func compress(src matio.RowSource, full *linalg.Matrix, opts Options) (*Store, e
 			ForceK:       0,
 			CandidateKs:  opts.CandidateKs,
 			FlagZeroRows: opts.FlagZeroRows,
+			Workers:      opts.Workers,
 		}
 		if opts.K > 0 && opts.Budget > 0 {
 			o.ForceK = opts.K
@@ -253,9 +260,9 @@ func compress(src matio.RowSource, full *linalg.Matrix, opts Options) (*Store, e
 			k = svd.KForBudget(n, m, opts.Budget)
 		}
 		if robustFactors != nil {
-			s, err = svd.CompressWithFactors(src, robustFactors, k)
+			s, err = svd.CompressWithFactorsWorkers(src, robustFactors, k, opts.Workers)
 		} else {
-			s, err = svd.Compress(src, k)
+			s, err = svd.CompressWorkers(src, k, opts.Workers)
 		}
 	case DCT:
 		k := opts.K
