@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-parallel experiments
+.PHONY: build test vet race check bench-parallel serve-bench experiments
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,13 @@ vet:
 	$(GO) vet ./...
 
 # race runs the full suite under the race detector; the concurrent matio
-# range-scan tests (TestConcurrentRangeScanStats, TestConcurrentScansAndReads)
-# and the worker-sharded svd/core equivalence tests exercise the shared
-# Stats counters and the parallel compression pipeline under it. The race
-# detector is ~5-10x slower, so give packages more than the default 10m.
+# range-scan tests (TestConcurrentRangeScanStats, TestConcurrentScansAndReads),
+# the worker-sharded svd/core equivalence tests, and the internal/server
+# concurrency tests (TestConcurrentQueriesFileBacked hammering the sharded
+# row cache + telemetry over a File-backed U, and the graceful-shutdown
+# drain test) exercise the shared counters and both parallel pipelines
+# under it. The race detector is ~5-10x slower, so give packages more than
+# the default 10m.
 race:
 	$(GO) test -race -timeout 30m ./...
 
@@ -26,6 +29,13 @@ check: vet race
 # to results/bench_parallel.json for cross-PR tracking.
 bench-parallel:
 	$(GO) test -bench 'Parallel' -run '^$$' -benchtime 1x ./internal/svd ./internal/core
+
+# serve-bench drives the HTTP serving stack (8 Zipf-skewed clients against
+# an SVDD-compressed phone2000) with and without the row cache, recording
+# throughput, latency quantiles, cache hit rate and U-row disk reads to
+# results/bench_server.json for cross-PR tracking.
+serve-bench:
+	$(GO) run ./cmd/experiments server
 
 experiments:
 	$(GO) run ./cmd/experiments

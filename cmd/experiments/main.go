@@ -2,7 +2,7 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server]
 //
 // Flags:
 //
@@ -15,6 +15,8 @@
 //	                  (0 = all CPUs, 1 = serial)
 //	-parallel-out p   where the "parallel" harness writes its JSON speedup
 //	                  record (default results/bench_parallel.json)
+//	-server-out p     where the "server" harness writes its JSON throughput/
+//	                  latency record (default results/bench_server.json)
 package main
 
 import (
@@ -44,6 +46,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "worker goroutines for the compression passes: 0 = all CPUs, 1 = serial")
 	parallelOut := fs.String("parallel-out", filepath.Join("results", "bench_parallel.json"),
 		"output path for the 'parallel' speedup harness")
+	serverOut := fs.String("server-out", filepath.Join("results", "bench_server.json"),
+		"output path for the 'server' serving-layer harness")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,10 +56,11 @@ func run(args []string) error {
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
 			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
-			"cube", "parallel"}
+			"cube", "parallel", "server"}
 	}
 
-	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir, parallelOut: *parallelOut}
+	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir,
+		parallelOut: *parallelOut, serverOut: *serverOut}
 	for _, name := range names {
 		start := time.Now()
 		if err := r.runOne(name); err != nil {
@@ -71,6 +76,7 @@ type runner struct {
 	large       bool
 	csvDir      string
 	parallelOut string
+	serverOut   string
 
 	phone  *linalg.Matrix // lazily built
 	stocks *linalg.Matrix
@@ -256,6 +262,19 @@ func (r *runner) runOne(name string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", r.parallelOut)
+		return nil
+
+	case "server":
+		cfg := experiments.DefaultServerConfig()
+		cfg.N = r.phoneN
+		res, err := experiments.BenchServer(cfg, out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.serverOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.serverOut)
 		return nil
 
 	default:

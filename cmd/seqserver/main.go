@@ -3,141 +3,82 @@
 // implies: analysts issue cell and aggregate queries against the
 // compressed data without ever reconstituting the original matrix.
 //
-//	seqserver -store phone2000.sqz -addr :8080
+//	seqserver -store phone2000.sqz -addr :8080 -cache-rows 4096
 //
-// Endpoints (all GET):
+// Endpoints (all GET; non-GET verbs get 405 with an Allow header):
 //
 //	/info                         store metadata
 //	/cell?i=42&j=180              one reconstructed cell
 //	/cell?row=GHI+Inc.&col=We     the same, by axis labels (when stored)
+//	/cells?at=42:180,42:181       batch cell lookups
 //	/row?i=42                     one reconstructed sequence
+//	/rows?i=0:8,17                batch row reconstruction
 //	/agg?f=avg&rows=0:1000&cols=180:187
 //	                              aggregate over a row/column selection;
 //	                              rows/cols accept "3,17,0:10" specs and
 //	                              default to "all"
+//	/metrics                      per-endpoint latency histograms, row-cache
+//	                              hit rate, disk-access counters
+//	/healthz                      liveness probe
+//
+// The serving layer (timeouts, graceful shutdown, row cache, telemetry)
+// lives in internal/server; this command only parses flags and wires up
+// signal handling. SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"strconv"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"seqstore"
+	"seqstore/internal/server"
+	"seqstore/internal/store"
 )
 
 func main() {
 	fs := flag.NewFlagSet("seqserver", flag.ExitOnError)
 	storePath := fs.String("store", "", "compressed .sqz store (required)")
 	addr := fs.String("addr", ":8080", "listen address")
+	cacheRows := fs.Int("cache-rows", 4096, "LRU row-cache capacity in rows (0 disables)")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "request read timeout")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "response write timeout")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
+		"max time to drain in-flight requests on SIGINT/SIGTERM")
 	fs.Parse(os.Args[1:])
 	if *storePath == "" {
 		fmt.Fprintln(os.Stderr, "seqserver: -store is required")
 		os.Exit(1)
 	}
-	st, err := seqstore.Open(*storePath)
+	st, labels, err := server.Open(*storePath)
+	if err != nil {
+		log.Fatalf("seqserver: %v", err)
+	}
+	srv := server.New(st, labels, server.Config{
+		Addr:            *addr,
+		CacheRows:       *cacheRows,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		IdleTimeout:     *idleTimeout,
+		ShutdownTimeout: *shutdownTimeout,
+	})
+	l, err := srv.Listen()
 	if err != nil {
 		log.Fatalf("seqserver: %v", err)
 	}
 	rows, cols := st.Dims()
-	log.Printf("serving %s store (%d×%d, %.2f%% of original) on %s",
-		st.Method(), rows, cols, 100*st.SpaceRatio(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, NewHandler(st)))
-}
+	log.Printf("serving %s store (%d×%d, %.2f%% of original) on %s (cache %d rows)",
+		st.Method(), rows, cols, 100*store.SpaceRatio(st), l.Addr(), *cacheRows)
 
-// NewHandler builds the HTTP API around an open store. Exposed for tests.
-func NewHandler(st *seqstore.Store) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
-		rows, cols := st.Dims()
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"method":        string(st.Method()),
-			"rows":          rows,
-			"cols":          cols,
-			"spaceRatio":    st.SpaceRatio(),
-			"storedNumbers": st.StoredNumbers(),
-		})
-	})
-	mux.HandleFunc("/cell", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		// Label-addressed form: /cell?row=GHI+Inc.&col=We
-		if rl, cl := q.Get("row"), q.Get("col"); rl != "" || cl != "" {
-			v, err := st.CellByLabel(rl, cl)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]interface{}{
-				"row": rl, "col": cl, "value": v,
-			})
-			return
-		}
-		i, err1 := strconv.Atoi(q.Get("i"))
-		j, err2 := strconv.Atoi(q.Get("j"))
-		if err1 != nil || err2 != nil {
-			writeError(w, http.StatusBadRequest, "cell needs integer i and j (or label row and col) parameters")
-			return
-		}
-		v, err := st.Cell(i, j)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"i": i, "j": j, "value": v})
-	})
-	mux.HandleFunc("/row", func(w http.ResponseWriter, r *http.Request) {
-		i, err := strconv.Atoi(r.URL.Query().Get("i"))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "row needs an integer i parameter")
-			return
-		}
-		row, err := st.Row(i)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"i": i, "values": row})
-	})
-	mux.HandleFunc("/agg", func(w http.ResponseWriter, r *http.Request) {
-		n, m := st.Dims()
-		q := r.URL.Query()
-		f := q.Get("f")
-		if f == "" {
-			f = "avg"
-		}
-		rows, err := seqstore.ParseIndexSpec(q.Get("rows"), n)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "rows: "+err.Error())
-			return
-		}
-		cols, err := seqstore.ParseIndexSpec(q.Get("cols"), m)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "cols: "+err.Error())
-			return
-		}
-		v, err := st.Aggregate(seqstore.Aggregate(f), rows, cols)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"f": f, "rows": len(rows), "cols": len(cols), "value": v,
-		})
-	})
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, body interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(body); err != nil {
-		log.Printf("seqserver: encode response: %v", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, l); err != nil {
+		log.Fatalf("seqserver: %v", err)
 	}
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	log.Printf("seqserver: drained in-flight requests, exiting")
 }

@@ -65,6 +65,24 @@ func (s *Stats) RowWrites() int64 { return s.rowWrites.Load() }
 // Passes returns the number of full sequential scans started.
 func (s *Stats) Passes() int64 { return s.passes.Load() }
 
+// StatsSnapshot is a point-in-time copy of the counters, JSON-tagged so
+// the serving layer's /metrics endpoint can expose the disk-access
+// accounting directly.
+type StatsSnapshot struct {
+	RowReads  int64 `json:"row_reads"`
+	RowWrites int64 `json:"row_writes"`
+	Passes    int64 `json:"passes"`
+}
+
+// Snapshot captures the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		RowReads:  s.rowReads.Load(),
+		RowWrites: s.rowWrites.Load(),
+		Passes:    s.passes.Load(),
+	}
+}
+
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	s.rowReads.Store(0)

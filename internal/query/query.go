@@ -19,9 +19,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"seqstore/internal/core"
 	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
 )
@@ -108,6 +111,76 @@ func (sel Selection) Validate(n, m int) error {
 
 // NumCells returns |Rows|·|Cols|.
 func (sel Selection) NumCells() int { return len(sel.Rows) * len(sel.Cols) }
+
+// All returns [0, 1, …, n−1], the full selection along one axis.
+func All(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ParseIndexSpec parses a human-friendly index selection — comma-separated
+// indices and half-open lo:hi ranges, mixed freely ("3,17,0:10") — used by
+// the CLI and HTTP query front ends. An empty spec selects all of [0, n).
+// Negative indices and inverted ranges are rejected here, at parse time,
+// so callers get a clear message instead of a downstream validation error.
+//
+// A selection is a multiset: duplicate indices ("3,3" or overlapping
+// ranges) are deliberately kept, so the duplicated rows/columns weight
+// their cells multiply in aggregates over the selection cross product.
+func ParseIndexSpec(spec string, n int) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return All(n), nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, ":"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return nil, fmt.Errorf("query: bad range start %q: %w", lo, err)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("query: bad range end %q: %w", hi, err)
+			}
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("query: negative index in range %q", part)
+			}
+			if b < a {
+				return nil, fmt.Errorf("query: inverted range %q", part)
+			}
+			for i := a; i < b; i++ {
+				out = append(out, i)
+			}
+		} else {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad index %q: %w", part, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("query: negative index %d", v)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// UStats returns the disk-access counters of the U backing of an SVD-family
+// store (the matrix whose row reads are the paper's "one disk access per
+// cell"), or nil for methods without a U backing or stats support.
+func UStats(s store.Store) *matio.Stats {
+	switch t := s.(type) {
+	case *svd.Store:
+		return t.UStats()
+	case *core.Store:
+		return t.Base().UStats()
+	}
+	return nil
+}
 
 // RandomSelection draws a selection covering approximately frac of the
 // cells of an n×m matrix, with |Rows|/n ≈ |Cols|/m ≈ √frac as in the §5.2

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheShards is the number of independently locked LRU shards. Sixteen
+// shards keep lock contention negligible at typical serving concurrency
+// while the per-shard maps stay dense.
+const cacheShards = 16
+
+// rowCache is a sharded LRU cache of reconstructed rows, fronting
+// Store.Row/Store.Cell in the serving hot path. Each row is reconstructed
+// once per residency (one U access + O(k·M) arithmetic) and then served
+// from memory, which is exactly where arbitrary-range workloads — many
+// cells and sub-ranges of the same recently-touched sequences — win.
+//
+// Rows are sharded by index modulo cacheShards, so sequential scans spread
+// across shards. Cached slices are shared read-only between goroutines;
+// callers must never modify a returned row.
+type rowCache struct {
+	perShard int
+	shards   [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[int]*list.Element
+}
+
+type cacheEntry struct {
+	i   int
+	row []float64
+}
+
+// newRowCache builds a cache holding approximately capacity rows
+// (rounded up to a multiple of the shard count).
+func newRowCache(capacity int) *rowCache {
+	per := (capacity + cacheShards - 1) / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &rowCache{perShard: per}
+	for s := range c.shards {
+		c.shards[s].ll = list.New()
+		c.shards[s].items = make(map[int]*list.Element)
+	}
+	return c
+}
+
+func (c *rowCache) shard(i int) *cacheShard {
+	return &c.shards[uint(i)%cacheShards]
+}
+
+// get returns the cached row and marks it most recently used.
+func (c *rowCache) get(i int) ([]float64, bool) {
+	s := c.shard(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[i]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).row, true
+}
+
+// put inserts (or refreshes) row i, evicting the shard's least recently
+// used entry when over capacity. The cache takes ownership of row.
+func (c *rowCache) put(i int, row []float64) {
+	s := c.shard(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[i]; ok {
+		el.Value.(*cacheEntry).row = row
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[i] = s.ll.PushFront(&cacheEntry{i: i, row: row})
+	if s.ll.Len() > c.perShard {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*cacheEntry).i)
+	}
+}
+
+// len returns the number of cached rows across all shards.
+func (c *rowCache) len() int {
+	var n int
+	for s := range c.shards {
+		c.shards[s].mu.Lock()
+		n += c.shards[s].ll.Len()
+		c.shards[s].mu.Unlock()
+	}
+	return n
+}
+
+// capacity returns the total row capacity after shard rounding.
+func (c *rowCache) capacity() int { return c.perShard * cacheShards }

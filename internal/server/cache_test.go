@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRowCacheGetPut(t *testing.T) {
+	c := newRowCache(64)
+	if _, ok := c.get(3); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(3, []float64{1, 2, 3})
+	row, ok := c.get(3)
+	if !ok || len(row) != 3 || row[1] != 2 {
+		t.Fatalf("get(3) = %v, %v", row, ok)
+	}
+	// Refreshing an existing key replaces its value without growing.
+	c.put(3, []float64{9})
+	row, _ = c.get(3)
+	if len(row) != 1 || row[0] != 9 {
+		t.Fatalf("refreshed row = %v", row)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d after refresh", c.len())
+	}
+}
+
+func TestRowCacheCapacityRounding(t *testing.T) {
+	// Capacity rounds up to a multiple of the shard count, minimum one row
+	// per shard.
+	if got := newRowCache(1).capacity(); got != cacheShards {
+		t.Errorf("capacity(1) = %d, want %d", got, cacheShards)
+	}
+	if got := newRowCache(100).capacity(); got != 112 { // ceil(100/16)*16
+		t.Errorf("capacity(100) = %d, want 112", got)
+	}
+	if got := newRowCache(64).capacity(); got != 64 {
+		t.Errorf("capacity(64) = %d, want 64", got)
+	}
+}
+
+func TestRowCacheLRUEviction(t *testing.T) {
+	// One row per shard: keys 0 and 16 collide on shard 0.
+	c := newRowCache(cacheShards)
+	c.put(0, []float64{0})
+	c.put(16, []float64{16})
+	if _, ok := c.get(0); ok {
+		t.Error("LRU entry 0 should have been evicted by 16")
+	}
+	if row, ok := c.get(16); !ok || row[0] != 16 {
+		t.Error("entry 16 missing after eviction of 0")
+	}
+
+	// Two per shard: touching the older entry saves it from eviction.
+	c2 := newRowCache(2 * cacheShards)
+	c2.put(0, []float64{0})
+	c2.put(16, []float64{16})
+	c2.get(0) // 0 now most recently used; 16 is LRU
+	c2.put(32, []float64{32})
+	if _, ok := c2.get(16); ok {
+		t.Error("16 should have been evicted as LRU")
+	}
+	if _, ok := c2.get(0); !ok {
+		t.Error("0 was touched and must survive")
+	}
+	if _, ok := c2.get(32); !ok {
+		t.Error("32 was just inserted and must be present")
+	}
+}
+
+func TestRowCacheSharding(t *testing.T) {
+	c := newRowCache(cacheShards) // one row per shard
+	// Keys 0..15 land on distinct shards: all must fit despite per-shard
+	// capacity of one.
+	for i := 0; i < cacheShards; i++ {
+		c.put(i, []float64{float64(i)})
+	}
+	if c.len() != cacheShards {
+		t.Fatalf("len = %d, want %d", c.len(), cacheShards)
+	}
+	for i := 0; i < cacheShards; i++ {
+		if row, ok := c.get(i); !ok || row[0] != float64(i) {
+			t.Errorf("key %d lost", i)
+		}
+	}
+}
+
+func TestRowCacheConcurrent(t *testing.T) {
+	c := newRowCache(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				i := (g*31 + n) % 256
+				if row, ok := c.get(i); ok && row[0] != float64(i) {
+					t.Errorf("key %d holds value %v", i, row[0])
+					return
+				}
+				c.put(i, []float64{float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > c.capacity() {
+		t.Errorf("len %d exceeds capacity %d", c.len(), c.capacity())
+	}
+}

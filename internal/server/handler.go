@@ -1,0 +1,540 @@
+// Package server is the production HTTP serving layer over a compressed
+// store: the decision-support front end of the paper's warehouse setting,
+// hardened for real traffic. It hosts the JSON query API (single and batch
+// cell/row endpoints, aggregates over index-spec selections, axis-label
+// addressing), a sharded LRU row cache in front of reconstruction, and a
+// /metrics endpoint exposing per-endpoint latency histograms together with
+// the matio disk-access counters — so the paper's one-access-per-cell
+// claim is verifiable live under load.
+//
+// The package works on the internal store interfaces (store.Store +
+// store.Labels) rather than the public facade, so the experiments harness
+// can drive it without an import cycle through the root package.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"seqstore/internal/core"
+	"seqstore/internal/matio"
+	"seqstore/internal/query"
+	"seqstore/internal/store"
+	"seqstore/internal/telemetry"
+)
+
+// Default batch-endpoint bounds; see Options.
+const (
+	DefaultMaxBatchCells = 10000
+	DefaultMaxBatchRows  = 1024
+)
+
+// Options configures a Handler.
+type Options struct {
+	// CacheRows is the capacity, in rows, of the LRU reconstruction cache
+	// fronting /cell, /row and the batch endpoints. 0 disables the cache
+	// (every request reconstructs from the compressed form).
+	CacheRows int
+	// MaxBatchCells bounds one /cells request; 0 means
+	// DefaultMaxBatchCells.
+	MaxBatchCells int
+	// MaxBatchRows bounds one /rows request; 0 means DefaultMaxBatchRows.
+	MaxBatchRows int
+}
+
+// Handler is the HTTP query API over one open store. It is safe for
+// concurrent use. Create it with NewHandler.
+type Handler struct {
+	st     store.Store
+	labels *store.Labels
+	opts   Options
+
+	rowIndex, colIndex map[string]int // label → index; nil when unlabeled
+
+	cache        *rowCache // nil when disabled
+	hits, misses *telemetry.Counter
+
+	tel *telemetry.Registry
+	mux *http.ServeMux
+}
+
+// NewHandler builds the HTTP API around an open store and optional axis
+// labels.
+func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
+	if opts.MaxBatchCells <= 0 {
+		opts.MaxBatchCells = DefaultMaxBatchCells
+	}
+	if opts.MaxBatchRows <= 0 {
+		opts.MaxBatchRows = DefaultMaxBatchRows
+	}
+	h := &Handler{
+		st:     st,
+		labels: labels,
+		opts:   opts,
+		tel:    telemetry.NewRegistry(),
+		mux:    http.NewServeMux(),
+	}
+	if labels != nil {
+		h.rowIndex = indexLabels(labels.Rows)
+		h.colIndex = indexLabels(labels.Cols)
+	}
+	h.hits = h.tel.Counter("cache_hits")
+	h.misses = h.tel.Counter("cache_misses")
+	if opts.CacheRows > 0 {
+		h.cache = newRowCache(opts.CacheRows)
+	}
+	h.handle("/info", h.handleInfo)
+	h.handle("/cell", h.handleCell)
+	h.handle("/cells", h.handleCells)
+	h.handle("/row", h.handleRow)
+	h.handle("/rows", h.handleRows)
+	h.handle("/agg", h.handleAgg)
+	h.handle("/metrics", h.handleMetrics)
+	h.handle("/healthz", h.handleHealthz)
+	return h
+}
+
+// ServeHTTP dispatches to the instrumented endpoint handlers.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Telemetry exposes the handler's metrics registry (shared with /metrics).
+func (h *Handler) Telemetry() *telemetry.Registry { return h.tel }
+
+// CacheStats reports row-cache hit/miss counters and current size.
+func (h *Handler) CacheStats() (hits, misses int64, size, capacity int) {
+	if h.cache == nil {
+		return h.hits.Load(), h.misses.Load(), 0, 0
+	}
+	return h.hits.Load(), h.misses.Load(), h.cache.len(), h.cache.capacity()
+}
+
+// handle registers an instrumented GET-only endpoint: every request is
+// counted and timed; non-GET verbs get 405 with an Allow header; responses
+// with status ≥ 400 count as errors.
+func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
+	ep := h.tel.Endpoint(pattern)
+	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ep.Requests.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		if r.Method != http.MethodGet {
+			sw.Header().Set("Allow", http.MethodGet)
+			writeError(sw, http.StatusMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed; use GET", r.Method))
+		} else {
+			fn(sw, r)
+		}
+		ep.Latency.Observe(time.Since(start))
+		if sw.status >= http.StatusBadRequest {
+			ep.Errors.Inc()
+		}
+	})
+}
+
+// statusWriter records the status code written by a handler so the
+// instrumentation can classify the response after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// --- Read paths (row cache) ------------------------------------------------
+
+// row returns a reconstruction of row i, serving from the LRU cache when
+// enabled. The returned slice is shared; callers must not modify it.
+func (h *Handler) row(i int) ([]float64, error) {
+	if h.cache == nil {
+		return h.st.Row(i, nil)
+	}
+	if row, ok := h.cache.get(i); ok {
+		h.hits.Inc()
+		return row, nil
+	}
+	h.misses.Inc()
+	row, err := h.st.Row(i, nil)
+	if err != nil {
+		return nil, err
+	}
+	h.cache.put(i, row)
+	return row, nil
+}
+
+// cell reconstructs cell (i, j). With the cache enabled a miss
+// reconstructs and caches the whole row — one U access either way — so
+// subsequent cells of the same sequence are free.
+func (h *Handler) cell(i, j int) (float64, error) {
+	if h.cache == nil {
+		return h.st.Cell(i, j)
+	}
+	_, m := h.st.Dims()
+	if j < 0 || j >= m {
+		return 0, fmt.Errorf("server: column %d out of range %d", j, m)
+	}
+	row, err := h.row(i)
+	if err != nil {
+		return 0, err
+	}
+	return row[j], nil
+}
+
+// --- Endpoints -------------------------------------------------------------
+
+func (h *Handler) handleInfo(w http.ResponseWriter, r *http.Request) {
+	rows, cols := h.st.Dims()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"method":        h.st.Method().String(),
+		"rows":          rows,
+		"cols":          cols,
+		"spaceRatio":    store.SpaceRatio(h.st),
+		"storedNumbers": h.st.StoredNumbers(),
+		"rowLabels":     h.rowIndex != nil,
+		"colLabels":     h.colIndex != nil,
+		"cacheRows":     h.opts.CacheRows,
+	})
+}
+
+func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	// Label-addressed form: /cell?row=GHI+Inc.&col=We
+	if rl, cl := q.Get("row"), q.Get("col"); rl != "" || cl != "" {
+		i, j, err := h.resolveLabels(rl, cl)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		v, err := h.cell(i, j)
+		if err != nil {
+			writeError(w, storeStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, withValue(map[string]interface{}{
+			"row": rl, "col": cl, "i": i, "j": j,
+		}, v))
+		return
+	}
+	i, err1 := strconv.Atoi(q.Get("i"))
+	j, err2 := strconv.Atoi(q.Get("j"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest,
+			"cell needs integer i and j (or label row and col) parameters")
+		return
+	}
+	v, err := h.cell(i, j)
+	if err != nil {
+		writeError(w, storeStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, withValue(map[string]interface{}{"i": i, "j": j}, v))
+}
+
+// handleCells answers a batch of cell lookups in one request:
+// /cells?at=5:100,7:200 (repeated at= parameters also accepted), amortizing
+// per-request HTTP overhead across many reconstructions.
+func (h *Handler) handleCells(w http.ResponseWriter, r *http.Request) {
+	specs := r.URL.Query()["at"]
+	var coords [][2]int
+	for _, spec := range specs {
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			is, js, ok := strings.Cut(part, ":")
+			if !ok {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("bad cell %q: want i:j", part))
+				return
+			}
+			i, err1 := strconv.Atoi(strings.TrimSpace(is))
+			j, err2 := strconv.Atoi(strings.TrimSpace(js))
+			if err1 != nil || err2 != nil {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("bad cell %q: want integer i:j", part))
+				return
+			}
+			coords = append(coords, [2]int{i, j})
+		}
+	}
+	if len(coords) == 0 {
+		writeError(w, http.StatusBadRequest, "cells needs at=i:j[,i:j...] parameters")
+		return
+	}
+	if len(coords) > h.opts.MaxBatchCells {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d cells exceeds limit %d", len(coords), h.opts.MaxBatchCells))
+		return
+	}
+	cells := make([]map[string]interface{}, 0, len(coords))
+	for _, c := range coords {
+		v, err := h.cell(c[0], c[1])
+		if err != nil {
+			writeError(w, storeStatus(err),
+				fmt.Sprintf("cell %d:%d: %v", c[0], c[1], err))
+			return
+		}
+		cells = append(cells, withValue(map[string]interface{}{"i": c[0], "j": c[1]}, v))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count": len(cells), "cells": cells,
+	})
+}
+
+func (h *Handler) handleRow(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.URL.Query().Get("i"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "row needs an integer i parameter")
+		return
+	}
+	row, err := h.row(i)
+	if err != nil {
+		writeError(w, storeStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rowBody(i, row))
+}
+
+// handleRows reconstructs a batch of rows: /rows?i=0:8,17 with the same
+// index-spec syntax as /agg selections (the spec must be non-empty — an
+// unbounded "all rows" response is refused).
+func (h *Handler) handleRows(w http.ResponseWriter, r *http.Request) {
+	n, _ := h.st.Dims()
+	spec := r.URL.Query().Get("i")
+	if strings.TrimSpace(spec) == "" {
+		writeError(w, http.StatusBadRequest, "rows needs an i index spec, e.g. i=0:8,17")
+		return
+	}
+	idx, err := query.ParseIndexSpec(spec, n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(idx) == 0 {
+		writeError(w, http.StatusBadRequest, "rows selection is empty")
+		return
+	}
+	if len(idx) > h.opts.MaxBatchRows {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d rows exceeds limit %d", len(idx), h.opts.MaxBatchRows))
+		return
+	}
+	rows := make([]map[string]interface{}, 0, len(idx))
+	for _, i := range idx {
+		row, err := h.row(i)
+		if err != nil {
+			writeError(w, storeStatus(err), fmt.Sprintf("row %d: %v", i, err))
+			return
+		}
+		rows = append(rows, rowBody(i, row))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count": len(rows), "rows": rows,
+	})
+}
+
+func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
+	n, m := h.st.Dims()
+	q := r.URL.Query()
+	f := q.Get("f")
+	if f == "" {
+		f = "avg"
+	}
+	agg, err := query.ParseAggregate(f)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rows, err := query.ParseIndexSpec(q.Get("rows"), n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "rows: "+err.Error())
+		return
+	}
+	cols, err := query.ParseIndexSpec(q.Get("cols"), m)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "cols: "+err.Error())
+		return
+	}
+	v, err := query.Evaluate(h.st, agg, query.Selection{Rows: rows, Cols: cols})
+	if err != nil {
+		status := http.StatusBadRequest
+		if !errors.Is(err, query.ErrEmptySelection) {
+			status = storeStatus(err)
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, withValue(map[string]interface{}{
+		"f": f, "rows": len(rows), "cols": len(cols),
+	}, v))
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := h.tel.Snapshot()
+	rows, cols := h.st.Dims()
+	hits, misses := h.hits.Load(), h.misses.Load()
+	cache := map[string]interface{}{
+		"enabled": h.cache != nil,
+		"hits":    hits,
+		"misses":  misses,
+	}
+	if h.cache != nil {
+		cache["capacity"] = h.cache.capacity()
+		cache["size"] = h.cache.len()
+		cache["hit_rate"] = telemetry.Rate(hits, misses)
+	}
+	body := map[string]interface{}{
+		"uptime_seconds": snap.UptimeSeconds,
+		"endpoints":      snap.Endpoints,
+		"cache":          cache,
+		"store": map[string]interface{}{
+			"method":         h.st.Method().String(),
+			"rows":           rows,
+			"cols":           cols,
+			"stored_numbers": h.st.StoredNumbers(),
+			"space_ratio":    store.SpaceRatio(h.st),
+		},
+	}
+	// The paper's cost model, live: U-row reads per reconstruction.
+	if us := query.UStats(h.st); us != nil {
+		body["io"] = us.Snapshot()
+	}
+	if c, ok := h.st.(*core.Store); ok {
+		probes, saves := c.ProbeStats()
+		body["svdd"] = map[string]interface{}{
+			"delta_probes": probes,
+			"bloom_saves":  saves,
+			"zero_hits":    c.ZeroHits(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// --- Helpers ---------------------------------------------------------------
+
+// resolveLabels maps a (row label, column label) pair to indices.
+func (h *Handler) resolveLabels(rowLabel, colLabel string) (i, j int, err error) {
+	if h.rowIndex == nil && h.colIndex == nil {
+		return 0, 0, errors.New("store has no axis labels")
+	}
+	i, ok := h.rowIndex[rowLabel]
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown row label %q", rowLabel)
+	}
+	j, ok = h.colIndex[colLabel]
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown column label %q", colLabel)
+	}
+	return i, j, nil
+}
+
+// indexLabels builds a label → index map; first occurrence wins for
+// duplicates, matching the facade's label resolution.
+func indexLabels(ss []string) map[string]int {
+	if ss == nil {
+		return nil
+	}
+	m := make(map[string]int, len(ss))
+	for i, s := range ss {
+		if _, dup := m[s]; !dup {
+			m[s] = i
+		}
+	}
+	return m
+}
+
+// storeStatus classifies a reconstruction error: index errors are the
+// client's fault (400); anything else — a failing disk read under a
+// File-backed U, a corrupt payload — is an internal failure (500).
+func storeStatus(err error) int {
+	if errors.Is(err, matio.ErrRowRange) || strings.Contains(err.Error(), "out of range") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// jsonValue maps a float to a JSON-encodable value: finite numbers pass
+// through; NaN/±Inf (which encoding/json rejects) become nil — rendered as
+// JSON null — plus a marker naming the non-finite class.
+func jsonValue(v float64) (val interface{}, marker string) {
+	switch {
+	case math.IsNaN(v):
+		return nil, "NaN"
+	case math.IsInf(v, 1):
+		return nil, "+Inf"
+	case math.IsInf(v, -1):
+		return nil, "-Inf"
+	}
+	return v, ""
+}
+
+// withValue sets body["value"] to the JSON-safe form of v, adding a
+// "nonfinite" marker when v is NaN or ±Inf.
+func withValue(body map[string]interface{}, v float64) map[string]interface{} {
+	val, marker := jsonValue(v)
+	body["value"] = val
+	if marker != "" {
+		body["nonfinite"] = marker
+	}
+	return body
+}
+
+// rowBody renders one reconstructed row, mapping non-finite cells to null
+// and counting them in a "nonfinite" field.
+func rowBody(i int, row []float64) map[string]interface{} {
+	vals := make([]interface{}, len(row))
+	nonfinite := 0
+	for j, v := range row {
+		val, marker := jsonValue(v)
+		vals[j] = val
+		if marker != "" {
+			nonfinite++
+		}
+	}
+	body := map[string]interface{}{"i": i, "values": vals}
+	if nonfinite > 0 {
+		body["nonfinite"] = nonfinite
+	}
+	return body
+}
+
+// writeJSON encodes body to a buffer first and only then commits the
+// status line, so an encoding failure yields a clean 500 instead of a
+// truncated 200 (the prototype's bug).
+func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"internal: response encoding failed"}`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

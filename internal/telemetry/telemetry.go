@@ -1,0 +1,276 @@
+// Package telemetry provides the serving layer's observability primitives —
+// request/error counters and latency histograms — using only the standard
+// library. Everything is safe for concurrent use: counters and histogram
+// buckets are atomics, so the hot path never takes a lock.
+//
+// A Registry groups per-endpoint metrics plus free-form named counters
+// (cache hits/misses, …) and renders a point-in-time Snapshot that
+// marshals directly to the /metrics JSON schema documented in README.md.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// numBuckets covers 1µs·2^i for i in [0, numBuckets): ~1µs to ~2199s,
+// which brackets any plausible HTTP request latency.
+const numBuckets = 32
+
+// bucketBound returns the inclusive upper bound of bucket i in nanoseconds.
+func bucketBound(i int) int64 { return int64(time.Microsecond) << uint(i) }
+
+// Histogram is a fixed-bucket exponential latency histogram. Buckets have
+// upper bounds 1µs·2^i, so two observations land in the same bucket only
+// when they are within 2× of each other — ample resolution for latency
+// percentiles while keeping the histogram a small flat array of atomics.
+// The zero value is ready to use.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; 0 means "unset" (no observations yet)
+	max    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := sort.Search(numBuckets-1, func(b int) bool { return ns <= bucketBound(b) })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= ns {
+			break
+		}
+		// Store ns+1 so a genuine 0ns observation is distinguishable from
+		// the unset sentinel; Snapshot subtracts the 1 back off.
+		if h.min.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	LeMs  float64 `json:"le_ms"` // inclusive upper bound, milliseconds
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram. All times are
+// milliseconds. Quantiles are estimated by linear interpolation inside the
+// containing bucket (exact to within the bucket's 2× resolution).
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	MeanMs  float64  `json:"mean_ms"`
+	MinMs   float64  `json:"min_ms"`
+	MaxMs   float64  `json:"max_ms"`
+	P50Ms   float64  `json:"p50_ms"`
+	P90Ms   float64  `json:"p90_ms"`
+	P99Ms   float64  `json:"p99_ms"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram. Concurrent Observe calls may or may not
+// be included; totals are internally consistent to within in-flight updates.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	sum := h.sum.Load()
+	s.MeanMs = float64(sum) / float64(s.Count) / 1e6
+	if mn := h.min.Load(); mn > 0 {
+		s.MinMs = float64(mn-1) / 1e6
+	}
+	s.MaxMs = float64(h.max.Load()) / 1e6
+	counts := make([]int64, numBuckets)
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{
+				LeMs:  float64(bucketBound(i)) / 1e6,
+				Count: counts[i],
+			})
+		}
+	}
+	s.P50Ms = quantile(counts, total, 0.50)
+	s.P90Ms = quantile(counts, total, 0.90)
+	s.P99Ms = quantile(counts, total, 0.99)
+	if s.P50Ms < s.MinMs {
+		s.P50Ms = s.MinMs
+	}
+	if s.P99Ms > s.MaxMs && s.MaxMs > 0 {
+		s.P99Ms = s.MaxMs
+	}
+	return s
+}
+
+// quantile estimates the q-quantile in milliseconds from bucket counts,
+// interpolating linearly within the containing bucket.
+func quantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(seen+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(bucketBound(i - 1))
+			}
+			hi := float64(bucketBound(i))
+			frac := (rank - float64(seen)) / float64(c)
+			return (lo + frac*(hi-lo)) / 1e6
+		}
+		seen += c
+	}
+	return float64(bucketBound(numBuckets-1)) / 1e6
+}
+
+// Endpoint aggregates the metrics of one HTTP endpoint.
+type Endpoint struct {
+	Requests Counter
+	Errors   Counter
+	Latency  Histogram
+}
+
+// EndpointSnapshot is the JSON view of an Endpoint.
+type EndpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	Errors   int64             `json:"errors"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// Registry holds all metrics of one server: per-endpoint request metrics
+// plus named counters for everything else (cache hits, …). Endpoint and
+// Counter return stable pointers, so callers resolve them once and then
+// update lock-free.
+type Registry struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	counters  map[string]*Counter
+}
+
+// NewRegistry creates an empty registry; uptime is measured from now.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:     time.Now(),
+		endpoints: make(map[string]*Endpoint),
+		counters:  make(map[string]*Counter),
+	}
+}
+
+// Endpoint returns (creating on first use) the metrics of the named
+// endpoint.
+func (r *Registry) Endpoint(name string) *Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.endpoints[name]
+	if !ok {
+		e = &Endpoint{}
+		r.endpoints[name] = e
+	}
+	return e
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot is the JSON view of a Registry.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Counters      map[string]int64            `json:"counters,omitempty"`
+}
+
+// Snapshot captures every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	eps := make(map[string]*Endpoint, len(r.endpoints))
+	for k, v := range r.endpoints {
+		eps[k] = v
+	}
+	ctrs := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		ctrs[k] = v
+	}
+	start := r.start
+	r.mu.Unlock()
+
+	s := Snapshot{
+		UptimeSeconds: time.Since(start).Seconds(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(eps)),
+	}
+	for name, e := range eps {
+		s.Endpoints[name] = EndpointSnapshot{
+			Requests: e.Requests.Load(),
+			Errors:   e.Errors.Load(),
+			Latency:  e.Latency.Snapshot(),
+		}
+	}
+	if len(ctrs) > 0 {
+		s.Counters = make(map[string]int64, len(ctrs))
+		for name, c := range ctrs {
+			s.Counters[name] = c.Load()
+		}
+	}
+	return s
+}
+
+// Rate returns a/(a+b), or 0 when both are zero — the hit-rate convenience
+// used for cache metrics.
+func Rate(a, b int64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}

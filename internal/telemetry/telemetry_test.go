@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P50Ms != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	h.Observe(1 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.MinMs > 1.0+1e-9 || s.MinMs <= 0 {
+		t.Errorf("min = %v ms, want ~1", s.MinMs)
+	}
+	if s.MaxMs < 4.0-1e-9 {
+		t.Errorf("max = %v ms, want ~4", s.MaxMs)
+	}
+	wantMean := (1.0 + 2.0 + 4.0) / 3
+	if diff := s.MeanMs - wantMean; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("mean = %v ms, want %v", s.MeanMs, wantMean)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1ms, 10 at ~100ms: p50 must sit near 1ms, p99
+	// near 100ms (within the 2x bucket resolution).
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.P50Ms > 2.0 {
+		t.Errorf("p50 = %v ms, want <= 2ms bucket", s.P50Ms)
+	}
+	if s.P99Ms < 50 || s.P99Ms > 150 {
+		t.Errorf("p99 = %v ms, want within 2x of 100ms", s.P99Ms)
+	}
+	if s.P50Ms > s.P90Ms || s.P90Ms > s.P99Ms {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", s.P50Ms, s.P90Ms, s.P99Ms)
+	}
+}
+
+func TestHistogramZeroDuration(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Count != 1 || s.MinMs != 0 || s.MaxMs != 0 {
+		t.Fatalf("zero-duration snapshot: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var inBuckets int64
+	for _, b := range s.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, s.Count)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	ep := r.Endpoint("/cell")
+	if r.Endpoint("/cell") != ep {
+		t.Fatal("Endpoint not stable across calls")
+	}
+	ep.Requests.Inc()
+	ep.Errors.Inc()
+	ep.Latency.Observe(time.Millisecond)
+	r.Counter("cache_hits").Add(7)
+
+	s := r.Snapshot()
+	if s.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", s.UptimeSeconds)
+	}
+	cell := s.Endpoints["/cell"]
+	if cell.Requests != 1 || cell.Errors != 1 || cell.Latency.Count != 1 {
+		t.Errorf("endpoint snapshot: %+v", cell)
+	}
+	if s.Counters["cache_hits"] != 7 {
+		t.Errorf("counters: %+v", s.Counters)
+	}
+	// The snapshot must be JSON-marshalable (it backs /metrics).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(0, 0) != 0 {
+		t.Error("Rate(0,0) != 0")
+	}
+	if got := Rate(3, 1); got != 0.75 {
+		t.Errorf("Rate(3,1) = %v", got)
+	}
+}

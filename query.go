@@ -3,8 +3,6 @@ package seqstore
 import (
 	"fmt"
 	"math/rand"
-	"strconv"
-	"strings"
 
 	"seqstore/internal/query"
 )
@@ -54,13 +52,7 @@ func RandomSelection(n, m int, frac float64, seed int64) (rows, cols []int) {
 
 // AllRows returns [0, 1, …, n−1], a convenience for whole-dataset
 // aggregates.
-func AllRows(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
+func AllRows(n int) []int { return query.All(n) }
 
 // Range returns [lo, lo+1, …, hi−1]. It panics if hi < lo.
 func Range(lo, hi int) []int {
@@ -77,33 +69,13 @@ func Range(lo, hi int) []int {
 // ParseIndexSpec parses a human-friendly index selection — comma-separated
 // indices and half-open lo:hi ranges, mixed freely ("3,17,0:10") — used by
 // the CLI and HTTP query front ends. An empty spec selects all of [0, n).
+// Negative indices and inverted ranges are rejected at parse time with a
+// clear error rather than surfacing later as validation failures.
+//
+// Duplicate indices (explicit repeats or overlapping ranges) are
+// intentionally preserved: a selection is a multiset, so a duplicated row
+// or column weights its cells multiply in aggregates over the selection
+// cross product.
 func ParseIndexSpec(spec string, n int) ([]int, error) {
-	if strings.TrimSpace(spec) == "" {
-		return AllRows(n), nil
-	}
-	var out []int
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if lo, hi, ok := strings.Cut(part, ":"); ok {
-			a, err := strconv.Atoi(strings.TrimSpace(lo))
-			if err != nil {
-				return nil, fmt.Errorf("seqstore: bad range start %q: %w", lo, err)
-			}
-			b, err := strconv.Atoi(strings.TrimSpace(hi))
-			if err != nil {
-				return nil, fmt.Errorf("seqstore: bad range end %q: %w", hi, err)
-			}
-			if b < a {
-				return nil, fmt.Errorf("seqstore: inverted range %q", part)
-			}
-			out = append(out, Range(a, b)...)
-		} else {
-			v, err := strconv.Atoi(part)
-			if err != nil {
-				return nil, fmt.Errorf("seqstore: bad index %q: %w", part, err)
-			}
-			out = append(out, v)
-		}
-	}
-	return out, nil
+	return query.ParseIndexSpec(spec, n)
 }

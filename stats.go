@@ -1,0 +1,43 @@
+package seqstore
+
+import "seqstore/internal/query"
+
+// IOStats is a snapshot of the simulated disk-access counters of a store's
+// U backing — the matrix whose row reads realize the paper's
+// "one disk access per cell reconstruction" claim. Counters accumulate
+// across all queries since the store was opened (or last ResetIOStats).
+type IOStats struct {
+	// RowReads is the number of U-row fetches (random or sequential).
+	RowReads int64
+	// RowWrites is the number of U rows written (fold-in appends).
+	RowWrites int64
+	// Passes is the number of full sequential scans started.
+	Passes int64
+}
+
+// IOStats reports the disk-access counters of the store's U backing. Only
+// the SVD-family methods (svd, svdd) have a U backing; for other methods
+// ok is false. The serving layer's /metrics endpoint exposes the same
+// counters, so the single-access property can be verified live under
+// traffic.
+func (st *Store) IOStats() (s IOStats, ok bool) {
+	u := query.UStats(st.s)
+	if u == nil {
+		return IOStats{}, false
+	}
+	snap := u.Snapshot()
+	return IOStats{
+		RowReads:  snap.RowReads,
+		RowWrites: snap.RowWrites,
+		Passes:    snap.Passes,
+	}, true
+}
+
+// ResetIOStats zeroes the U-backing access counters, so a caller can
+// meter the cost of a specific query batch. No-op for methods without a
+// U backing.
+func (st *Store) ResetIOStats() {
+	if u := query.UStats(st.s); u != nil {
+		u.Reset()
+	}
+}

@@ -1,0 +1,69 @@
+package seqstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIOStatsFacade(t *testing.T) {
+	x := GeneratePhone(64)
+	st, err := Compress(x, Options{Method: SVDD, Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.IOStats(); !ok {
+		t.Fatal("IOStats not supported on svdd store")
+	}
+	st.ResetIOStats()
+	if _, err := st.Cell(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := st.IOStats()
+	if !ok {
+		t.Fatal("IOStats lost support after reset")
+	}
+	if s.RowReads != 1 {
+		t.Errorf("one cell reconstruction cost %d U-row reads, want exactly 1", s.RowReads)
+	}
+
+	// Methods without a U backing report ok=false.
+	dct, err := Compress(x, Options{Method: DCT, Budget: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dct.IOStats(); ok {
+		t.Error("IOStats unexpectedly supported on dct store")
+	}
+	dct.ResetIOStats() // must be a safe no-op
+}
+
+func TestParseIndexSpecRejectsNegatives(t *testing.T) {
+	for _, spec := range []string{"-1", "0,-5", "-2:3", "1:-1"} {
+		if _, err := ParseIndexSpec(spec, 10); err == nil {
+			t.Errorf("ParseIndexSpec(%q): expected error", spec)
+		} else if !strings.Contains(err.Error(), "negative") {
+			t.Errorf("ParseIndexSpec(%q) error = %q, want mention of negative index", spec, err)
+		}
+	}
+}
+
+// TestAggregateDuplicateWeighting pins the facade-level multiset semantics
+// documented on ParseIndexSpec: "0,0" weights row 0 twice.
+func TestAggregateDuplicateWeighting(t *testing.T) {
+	x := Toy()
+	rows, err := ParseIndexSpec("0,0", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := AggregateExact(x, Sum, []int{0}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := AggregateExact(x, Sum, rows, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := double - 2*single; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("duplicated row sum = %v, want 2x single %v", double, single)
+	}
+}
