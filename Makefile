@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-parallel serve-bench experiments
+.PHONY: build test vet race check bench-parallel serve-bench query-bench experiments
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ bench-parallel:
 # results/bench_server.json for cross-PR tracking.
 serve-bench:
 	$(GO) run ./cmd/experiments server
+
+# query-bench times the aggregate query engine (naive vs projected vs
+# factored paths, worker counts 1-8) over a file-backed SVD store and
+# records the speedups to results/bench_query.json for cross-PR tracking.
+query-bench:
+	$(GO) run ./cmd/experiments query
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -2,7 +2,7 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query]
 //
 // Flags:
 //
@@ -17,6 +17,8 @@
 //	                  record (default results/bench_parallel.json)
 //	-server-out p     where the "server" harness writes its JSON throughput/
 //	                  latency record (default results/bench_server.json)
+//	-query-out p      where the "query" harness writes its JSON engine
+//	                  speedup record (default results/bench_query.json)
 package main
 
 import (
@@ -48,6 +50,8 @@ func run(args []string) error {
 		"output path for the 'parallel' speedup harness")
 	serverOut := fs.String("server-out", filepath.Join("results", "bench_server.json"),
 		"output path for the 'server' serving-layer harness")
+	queryOut := fs.String("query-out", filepath.Join("results", "bench_query.json"),
+		"output path for the 'query' engine harness")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,11 +60,11 @@ func run(args []string) error {
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
 			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
-			"cube", "parallel", "server"}
+			"cube", "parallel", "server", "query"}
 	}
 
 	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir,
-		parallelOut: *parallelOut, serverOut: *serverOut}
+		parallelOut: *parallelOut, serverOut: *serverOut, queryOut: *queryOut}
 	for _, name := range names {
 		start := time.Now()
 		if err := r.runOne(name); err != nil {
@@ -77,6 +81,7 @@ type runner struct {
 	csvDir      string
 	parallelOut string
 	serverOut   string
+	queryOut    string
 
 	phone  *linalg.Matrix // lazily built
 	stocks *linalg.Matrix
@@ -275,6 +280,17 @@ func (r *runner) runOne(name string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", r.serverOut)
+		return nil
+
+	case "query":
+		res, err := experiments.BenchQuery(experiments.DefaultQueryConfig(), out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.queryOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.queryOut)
 		return nil
 
 	default:

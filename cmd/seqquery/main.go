@@ -8,7 +8,8 @@
 //
 // Row/column selections accept comma-separated indices and lo:hi ranges
 // (hi exclusive), mixed freely; an omitted selection means "all". All flags
-// must precede the query words.
+// must precede the query words. -workers N shards aggregate evaluation
+// across N goroutines (0 = one per CPU; default 1, serial).
 package main
 
 import (
@@ -33,6 +34,7 @@ func run(args []string, out io.Writer) error {
 	storePath := fs.String("store", "", "compressed .sqz store (required)")
 	rowSpec := fs.String("rows", "", "row selection for agg, e.g. 0:1000 or 3,17,256")
 	colSpec := fs.String("cols", "", "column selection for agg")
+	workers := fs.Int("workers", 1, "agg evaluation goroutines (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,7 +105,8 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-cols: %w", err)
 		}
-		v, err := st.Aggregate(seqstore.Aggregate(rest[1]), rows, cols)
+		v, err := st.AggregateOpts(seqstore.Aggregate(rest[1]), rows, cols,
+			seqstore.AggOptions{Workers: *workers})
 		if err != nil {
 			return err
 		}

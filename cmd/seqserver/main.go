@@ -45,6 +45,8 @@ func main() {
 	storePath := fs.String("store", "", "compressed .sqz store (required)")
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheRows := fs.Int("cache-rows", 4096, "LRU row-cache capacity in rows (0 disables)")
+	queryWorkers := fs.Int("query-workers", 1,
+		"goroutines per /agg evaluation (0 = one per CPU)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "request read timeout")
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "response write timeout")
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle timeout")
@@ -62,6 +64,7 @@ func main() {
 	srv := server.New(st, labels, server.Config{
 		Addr:            *addr,
 		CacheRows:       *cacheRows,
+		QueryWorkers:    *queryWorkers,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
 		IdleTimeout:     *idleTimeout,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"seqstore/internal/bloom"
 	"seqstore/internal/pqueue"
@@ -43,9 +44,14 @@ func (s *Store) FoldIn(row []float64, maxDeltas int) (int, error) {
 		}
 		key := bloom.CellKey(it.Row, it.Col, m)
 		s.deltas[key] = it.Delta
+		s.rowIdx[int32(it.Row)] = append(s.rowIdx[int32(it.Row)], rowDelta{col: int32(it.Col), delta: it.Delta})
 		if s.filter != nil {
 			s.filter.Add(key)
 		}
 	}
+	// Restore the bucket's ascending-column invariant (the top-γ queue
+	// yields cells in error order, not column order).
+	bucket := s.rowIdx[int32(idx)]
+	sort.Slice(bucket, func(a, b int) bool { return bucket[a].col < bucket[b].col })
 	return idx, nil
 }

@@ -11,6 +11,7 @@ package core
 import (
 	"sync"
 
+	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
 	"seqstore/internal/pqueue"
 	"seqstore/internal/svd"
@@ -58,10 +59,7 @@ func (st *pass2State) row(i int, row []float64) bool {
 			continue
 		}
 		allZero = false
-		vrow := st.f.V.Row(l)
-		for mm := 0; mm < kmax; mm++ {
-			proj[mm] += xv * vrow[mm]
-		}
+		linalg.Axpy(xv, st.f.V.Row(l)[:kmax], proj)
 	}
 	if allZero {
 		return true

@@ -13,13 +13,21 @@ import (
 
 // Store is the SVDD representation: a plain-SVD store plus a hash table of
 // (row, col) → delta for the outlier cells, fronted by an optional Bloom
-// filter that short-circuits the common "not an outlier" case.
+// filter that short-circuits the common "not an outlier" case. A per-row
+// bucket index over the same deltas serves row-shaped access (row
+// reconstruction, selection-restricted aggregates) without probing the
+// hash table once per cell.
 type Store struct {
 	base        *svd.Store
 	deltas      map[uint64]float64
 	filter      *bloom.Filter // nil when disabled
 	outlierCost int
 	diag        Diagnostics
+
+	// rowIdx buckets the deltas by row, each bucket in ascending column
+	// order. Like the Bloom filter it is a main-memory acceleration
+	// structure rebuilt at load time and not charged to the space budget.
+	rowIdx map[int32][]rowDelta
 
 	// §6.2 zero-row flags: rows that are entirely zero reconstruct to 0
 	// without any U access. zeroFilter screens zeroSet the way filter
@@ -30,7 +38,14 @@ type Store struct {
 
 	probes     atomic.Int64 // hash-table probes performed
 	bloomSaves atomic.Int64 // probes avoided by the Bloom filter
+	rowProbes  atomic.Int64 // per-row bucket lookups served by rowIdx
 	zeroHits   atomic.Int64 // cell lookups answered by the zero-row flags
+}
+
+// rowDelta is one outlier correction within a row bucket.
+type rowDelta struct {
+	col   int32
+	delta float64
 }
 
 // newStore assembles the SVDD store from the pass-3 base, the chosen
@@ -64,12 +79,28 @@ func newStore(base *svd.Store, items []pqueue.Item, zeroRows []int32, opts Optio
 		outlierCost: opts.OutlierCost,
 		diag:        diag,
 	}
+	s.buildRowIndex()
 	if len(zeroRows) > 0 {
 		if err := s.installZeroRows(zeroRows, opts.BloomFP); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// buildRowIndex derives the per-row delta buckets from the hash table,
+// each bucket sorted by column for deterministic iteration.
+func (s *Store) buildRowIndex() {
+	_, m := s.base.Dims()
+	idx := make(map[int32][]rowDelta)
+	for key, d := range s.deltas {
+		row := int32(key / uint64(m))
+		idx[row] = append(idx[row], rowDelta{col: int32(key % uint64(m)), delta: d})
+	}
+	for _, bucket := range idx {
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i].col < bucket[j].col })
+	}
+	s.rowIdx = idx
 }
 
 // installZeroRows builds the zero-row structures from a sorted id list.
@@ -135,11 +166,26 @@ func (s *Store) Deltas(fn func(row, col int, delta float64)) {
 	}
 }
 
+// RowDeltas calls fn for every stored outlier of row i in ascending column
+// order, probing only that row's bucket — the query engine's
+// selection-restricted aggregates visit exactly the buckets of selected
+// rows instead of scanning the whole delta table.
+func (s *Store) RowDeltas(i int, fn func(col int, delta float64)) {
+	s.rowProbes.Add(1)
+	for _, rd := range s.rowIdx[int32(i)] {
+		fn(int(rd.col), rd.delta)
+	}
+}
+
 // ProbeStats reports how many delta-table probes were performed and how many
 // were avoided by the Bloom filter, for the ablation bench.
 func (s *Store) ProbeStats() (probes, bloomSaves int64) {
 	return s.probes.Load(), s.bloomSaves.Load()
 }
+
+// RowProbes reports how many per-row bucket lookups the row index served
+// (row reconstructions and selection-restricted aggregate corrections).
+func (s *Store) RowProbes() int64 { return s.rowProbes.Load() }
 
 // delta returns the stored correction for cell (i, j), or 0.
 func (s *Store) delta(i, j int) float64 {
@@ -172,7 +218,9 @@ func (s *Store) Cell(i, j int) (float64, error) {
 	return v + s.delta(i, j), nil
 }
 
-// Row reconstructs row i, applying any deltas that fall in it.
+// Row reconstructs row i, applying any deltas that fall in it. Deltas come
+// from the per-row bucket index — O(outliers-in-row) instead of M hash
+// probes per row — with values identical to the per-cell path.
 func (s *Store) Row(i int, dst []float64) ([]float64, error) {
 	n, m := s.base.Dims()
 	if s.isZeroRow(i) {
@@ -193,11 +241,15 @@ func (s *Store) Row(i int, dst []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	for j := range dst {
-		dst[j] += s.delta(i, j)
-	}
+	s.RowDeltas(i, func(col int, delta float64) {
+		dst[col] += delta
+	})
 	return dst, nil
 }
+
+// IsZeroRow reports whether row i was flagged as all-zero (§6.2); such rows
+// reconstruct to 0 with no U access and hold no deltas.
+func (s *Store) IsZeroRow(i int) bool { return s.isZeroRow(i) }
 
 // ZeroRows returns the flagged all-zero rows (sorted), or nil when the
 // feature is off.
@@ -347,6 +399,7 @@ func decode(r *store.Reader) (store.Store, error) {
 		outlierCost: outlierCost,
 		diag:        diag,
 	}
+	s.buildRowIndex()
 	if len(zeroRows) > 0 {
 		for _, zr := range zeroRows {
 			if zr < 0 || int(zr) >= n {

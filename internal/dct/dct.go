@@ -147,10 +147,7 @@ func (s *Store) Row(i int, dst []float64) ([]float64, error) {
 		if c == 0 {
 			continue
 		}
-		brow := s.basis.Row(f)
-		for j := 0; j < s.cols; j++ {
-			dst[j] += c * brow[j]
-		}
+		linalg.Axpy(c, s.basis.Row(f), dst)
 	}
 	return dst, nil
 }

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"seqstore/internal/matio"
+	"seqstore/internal/query"
+	"seqstore/internal/svd"
+)
+
+// QueryConfig sizes the query-engine benchmark: aggregate queries over a
+// file-backed SVD store (U on disk — the paper's operating point) across
+// selection shapes and worker counts, comparing the naive full-row
+// evaluation against the projected engine and the factored moment forms.
+type QueryConfig struct {
+	N, M    int
+	Budget  float64
+	Workers []int
+	Reps    int // timed evaluations per cell; the fastest is reported
+	Seed    int64
+}
+
+// DefaultQueryConfig matches results/bench_query.json: the synthetic
+// 12000×128 matrix at a 10% budget, worker counts 1/2/4/8.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{N: 12000, M: 128, Budget: 0.10, Workers: []int{1, 2, 4, 8}, Reps: 3, Seed: 1}
+}
+
+// QueryBench is one timed (shape, path, workers) cell.
+type QueryBench struct {
+	Shape   string `json:"shape"`
+	Path    string `json:"path"` // naive | projected | factored
+	Agg     string `json:"agg"`
+	Workers int    `json:"workers"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// SpeedupVsW1 is against workers=1 of the same shape/path/agg.
+	SpeedupVsW1 float64 `json:"speedup_vs_w1"`
+	// SpeedupVsNaive is against the naive full-row evaluation of the same
+	// shape and aggregate — the algorithmic win, independent of cores.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+// QueryResult is the harness output; serialized as
+// results/bench_query.json by cmd/experiments.
+type QueryResult struct {
+	N          int          `json:"n"`
+	M          int          `json:"m"`
+	K          int          `json:"k"`
+	Budget     float64      `json:"budget"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Benches    []QueryBench `json:"benches"`
+}
+
+// BenchQuery builds the file-backed store once, then times each selection
+// shape through every evaluation path and renders a table to w.
+func BenchQuery(cfg QueryConfig, w io.Writer) (*QueryResult, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	st, cleanup, err := queryStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	shapes := []struct {
+		name string
+		sel  query.Selection
+	}{
+		// ≤10% of the columns, every row: the projected kernel's best case
+		// (O(k·|C|) per row versus the naive O(k·M) full reconstruction).
+		{"narrow-col", query.Selection{Rows: query.All(cfg.N), Cols: query.All(cfg.M / 10)}},
+		// Everything: the dense case worker sharding targets.
+		{"dense", query.Selection{Rows: query.All(cfg.N), Cols: query.All(cfg.M)}},
+	}
+
+	res := &QueryResult{
+		N: cfg.N, M: cfg.M, K: st.K(), Budget: cfg.Budget,
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "shape\tpath\tagg\tworkers\tns/op\tvs w1\tvs naive")
+	record := func(b QueryBench) {
+		res.Benches = append(res.Benches, b)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.2fx\t%.2fx\n",
+			b.Shape, b.Path, b.Agg, b.Workers, b.NsPerOp, b.SpeedupVsW1, b.SpeedupVsNaive)
+	}
+
+	for _, shape := range shapes {
+		// Min never factors, so it isolates naive vs projected engines.
+		naiveMin, err := timeEval(cfg.Reps, func() error {
+			_, err := query.EvaluateNaive(st, query.Min, shape.sel)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: query naive %s: %w", shape.name, err)
+		}
+		record(QueryBench{Shape: shape.name, Path: "naive", Agg: "min", Workers: 1,
+			NsPerOp: naiveMin, SpeedupVsW1: 1, SpeedupVsNaive: 1})
+		var base int64
+		for _, workers := range cfg.Workers {
+			ns, err := timeEval(cfg.Reps, func() error {
+				_, err := query.EvaluateOpts(st, query.Min, shape.sel, query.Options{Workers: workers})
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: query projected %s workers=%d: %w",
+					shape.name, workers, err)
+			}
+			if base == 0 {
+				base = ns
+			}
+			record(QueryBench{Shape: shape.name, Path: "projected", Agg: "min", Workers: workers,
+				NsPerOp:        ns,
+				SpeedupVsW1:    float64(base) / float64(ns),
+				SpeedupVsNaive: float64(naiveMin) / float64(ns)})
+		}
+
+		// StdDev factors; naive vs the O(k²·(|R|+|C|)) moment form.
+		naiveSd, err := timeEval(cfg.Reps, func() error {
+			_, err := query.EvaluateNaive(st, query.StdDev, shape.sel)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: query naive stddev %s: %w", shape.name, err)
+		}
+		record(QueryBench{Shape: shape.name, Path: "naive", Agg: "stddev", Workers: 1,
+			NsPerOp: naiveSd, SpeedupVsW1: 1, SpeedupVsNaive: 1})
+		ns, err := timeEval(cfg.Reps, func() error {
+			_, err := query.EvaluateOpts(st, query.StdDev, shape.sel, query.Options{Workers: 1})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: query factored stddev %s: %w", shape.name, err)
+		}
+		record(QueryBench{Shape: shape.name, Path: "factored", Agg: "stddev", Workers: 1,
+			NsPerOp: ns, SpeedupVsW1: 1, SpeedupVsNaive: float64(naiveSd) / float64(ns)})
+	}
+	return res, tw.Flush()
+}
+
+// queryStore builds the benchmark store: the synthetic parallel matrix,
+// SVD-compressed with U written to an .smx file in a temp dir so every row
+// access is a real disk (page-cache) read.
+func queryStore(cfg QueryConfig) (*svd.Store, func(), error) {
+	src := matio.NewMem(ParallelMatrix(cfg.N, cfg.M, cfg.Seed))
+	f, err := svd.ComputeFactors(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := f.Clamp(svd.KForBudget(cfg.N, cfg.M, cfg.Budget))
+	if k < 1 {
+		k = 1
+	}
+	dir, err := os.MkdirTemp("", "seqstore-bench-query")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	path := filepath.Join(dir, "u.smx")
+	uw, err := matio.Create(path, cfg.N, k)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if err := svd.ComputeU(src, f, k, func(i int, urow []float64) error {
+		return uw.WriteRow(urow)
+	}); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if err := uw.Close(); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	uf, err := matio.Open(path)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	st, err := svd.New(f, k, uf)
+	if err != nil {
+		uf.Close()
+		cleanup()
+		return nil, nil, err
+	}
+	return st, func() { uf.Close(); cleanup() }, nil
+}
+
+// timeEval runs fn reps times and returns the fastest wall-clock ns — the
+// usual benchmarking guard against one-off scheduling noise.
+func timeEval(reps int, fn func() error) (int64, error) {
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// WriteJSON writes the result to path, creating parent directories.
+func (r *QueryResult) WriteJSON(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchQuerySmall(t *testing.T) {
+	cfg := QueryConfig{N: 400, M: 32, Budget: 0.20, Workers: []int{1, 2}, Reps: 1, Seed: 1}
+	res, err := BenchQuery(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per shape: naive min, |Workers| projected cells, naive stddev,
+	// factored stddev.
+	if want := 2 * (1 + len(cfg.Workers) + 2); len(res.Benches) != want {
+		t.Fatalf("%d bench cells, want %d", len(res.Benches), want)
+	}
+	for _, bench := range res.Benches {
+		if bench.NsPerOp <= 0 {
+			t.Errorf("%s/%s workers=%d: ns/op = %d",
+				bench.Shape, bench.Path, bench.Workers, bench.NsPerOp)
+		}
+		if bench.Path == "naive" && (bench.SpeedupVsW1 != 1 || bench.SpeedupVsNaive != 1) {
+			t.Errorf("naive baseline has non-unit speedups: %+v", bench)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "out", "bench_query.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QueryResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.N != cfg.N || len(back.Benches) != len(res.Benches) {
+		t.Error("JSON round-trip lost data")
+	}
+}

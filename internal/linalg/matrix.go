@@ -224,16 +224,48 @@ func Diag(d []float64) *Matrix {
 	return m
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b. The loop is 4-way unrolled
+// with independent partial sums, which roughly doubles throughput on the
+// reconstruction hot paths (row rebuilds and the query engine's projected
+// kernels dot k- and M-length vectors millions of times). The partials are
+// combined pairwise, so the summation order — hence the bit pattern of the
+// result — is fixed and identical wherever Dot is used.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
+}
+
+// Axpy accumulates y += alpha·x, 4-way unrolled like Dot. Each y element
+// receives exactly one fused update, so the result is bit-identical to the
+// plain loop regardless of unrolling.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
 }
 
 // Norm2 returns the Euclidean (L2) norm of v.

@@ -208,6 +208,61 @@ func TestDot(t *testing.T) {
 	}
 }
 
+// The unrolled Dot must agree with the plain loop at every length,
+// including the 0–3 remainder lanes, to within reassociation error.
+func TestDotUnrolledMatchesPlainLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n <= 17; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		got := Dot(a, b)
+		if !almostEqual(got, want, 1e-12*math.Max(math.Abs(want), 1)) {
+			t.Errorf("n=%d: Dot = %v, plain loop = %v", n, got, want)
+		}
+	}
+}
+
+// Axpy applies exactly one fused update per element, so it must be
+// bit-identical to the plain loop at every length.
+func TestAxpyMatchesPlainLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for n := 0; n <= 17; n++ {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		want := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+			want[i] = y[i]
+		}
+		alpha := rng.NormFloat64()
+		for i := range want {
+			want[i] += alpha * x[i]
+		}
+		Axpy(alpha, x, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("n=%d: Axpy[%d] = %v, want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotAxpyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Axpy length mismatch did not panic")
+		}
+	}()
+	Axpy(1, []float64{1, 2}, []float64{1})
+}
+
 func TestNorm2(t *testing.T) {
 	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
 		t.Errorf("Norm2 = %v, want 5", got)

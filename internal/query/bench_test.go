@@ -1,0 +1,81 @@
+package query
+
+import (
+	"testing"
+
+	"seqstore/internal/core"
+	"seqstore/internal/matio"
+)
+
+// Benchmarks referenced by EXPERIMENTS.md: naive full-row evaluation
+// versus the projected engine versus the factored forms, over selection
+// shapes that favor each path. Run with
+//
+//	go test -bench BenchmarkEvaluate -benchmem ./internal/query/
+//
+// Narrow-column selections are where projection wins (O(k·|C|) per row
+// beats O(k·M)); dense selections are where worker sharding and factored
+// moments win.
+func benchStore(b *testing.B) *core.Store {
+	b.Helper()
+	x := testMatrix()
+	s, err := core.Compress(matio.NewMem(x), core.Options{Budget: 0.15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchSelections(s *core.Store) map[string]Selection {
+	n, m := s.Dims()
+	return map[string]Selection{
+		// ≤10% of columns, every row: the projected kernel's best case.
+		"narrow-col": {Rows: All(n), Cols: []int{2, 17, m - 1}},
+		// A few rows, every column: dominated by per-row setup.
+		"narrow-row": {Rows: []int{1, 7, n / 2, n - 2}, Cols: All(m)},
+		// Everything: the dense case workers and factoring target.
+		"dense": {Rows: All(n), Cols: All(m)},
+	}
+}
+
+func BenchmarkEvaluateNaive(b *testing.B) {
+	s := benchStore(b)
+	for name, sel := range benchSelections(s) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvaluateNaive(s, Min, sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvaluateProjected(b *testing.B) {
+	s := benchStore(b)
+	for name, sel := range benchSelections(s) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Min never factors, so this times the projected engine.
+				if _, err := EvaluateOpts(s, Min, sel, Options{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvaluateFactored(b *testing.B) {
+	s := benchStore(b)
+	for name, sel := range benchSelections(s) {
+		for _, agg := range []Aggregate{Sum, StdDev} {
+			b.Run(name+"/"+agg.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := EvaluateOpts(s, agg, sel, Options{Workers: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"seqstore/internal/core"
+	"seqstore/internal/linalg"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+	"seqstore/internal/svd"
+)
+
+// Options tunes EvaluateOpts.
+type Options struct {
+	// Workers is the number of goroutines sharding the selected rows:
+	// 0 means one per CPU, 1 evaluates serially. Count/Min/Max results are
+	// bit-identical across worker counts; Sum/Avg/StdDev vary only by
+	// floating-point summation order (deterministic for a fixed count,
+	// since chunk boundaries and the reduction order never depend on
+	// scheduling).
+	Workers int
+}
+
+// evalChunkRows is the number of selection positions per work chunk. Like
+// matio.Chunks, boundaries depend only on the selection length — never the
+// worker count — so per-worker partials merged in worker order reduce
+// deterministically.
+const evalChunkRows = 256
+
+// minScanRun is the shortest contiguous ascending run of selected rows
+// worth a sequential range scan instead of per-row random reads.
+const minScanRun = 4
+
+// EvaluateOpts computes the aggregate over the reconstructed cells of s.
+//
+// Dispatch, in order:
+//   - Count needs no data at all.
+//   - Sum/Avg/StdDev on SVD/SVDD stores use the factored forms
+//     (factored.go), O(k·(|R|+|C|)) or O(k²·(|R|+|C|)) plus the selected
+//     rows' delta buckets — with the |R| U-row reads sharded across
+//     workers.
+//   - Everything else runs the projected row engine: selected rows are
+//     split into fixed chunks handed round-robin to workers, contiguous
+//     row runs coalesce into sequential U scans, and each row costs
+//     O(k·|C|) against a per-query V panel instead of the O(k·M) full
+//     reconstruction.
+func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (float64, error) {
+	n, m := s.Dims()
+	if err := sel.Validate(n, m); err != nil {
+		return 0, err
+	}
+	if agg == Count {
+		return float64(sel.NumCells()), nil
+	}
+	workers := matio.NumWorkers(opts.Workers)
+	switch agg {
+	case Sum, Avg:
+		if v, ok, err := factoredSum(s, sel, workers); ok || err != nil {
+			if err != nil {
+				return 0, err
+			}
+			if agg == Avg {
+				v /= float64(sel.NumCells())
+			}
+			return v, nil
+		}
+	case StdDev:
+		if v, ok, err := factoredStdDev(s, sel, workers); ok || err != nil {
+			return v, err
+		}
+	}
+	acc, err := evaluateCells(s, sel, workers)
+	if err != nil {
+		return 0, err
+	}
+	return acc.result(agg)
+}
+
+// runSharded splits [0, n) into evalChunkRows-sized chunks and hands them
+// round-robin to workers goroutines, calling run(worker, lo, hi) per chunk.
+// Worker w always receives chunks w, w+workers, … in order, so per-worker
+// state accumulates deterministically. With one worker (or one chunk) it
+// runs inline, spawning nothing — the serial reference path.
+func runSharded(n, workers int, run func(w, lo, hi int) error) error {
+	chunks := matio.Chunks(n, evalChunkRows)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		return run(0, 0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < len(chunks); ci += workers {
+				if err := run(w, chunks[ci].Start, chunks[ci].End); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evaluateCells runs the row engine over the selection and returns the
+// merged accumulator. Per-worker accumulators are merged in worker order,
+// so the result depends only on the worker count, not on scheduling.
+func evaluateCells(s store.Store, sel Selection, workers int) (*accum, error) {
+	e := newRowEngine(s, sel)
+	if workers < 1 {
+		workers = 1
+	}
+	accs := make([]*accum, workers)
+	scratch := make([]*engineScratch, workers)
+	err := runSharded(len(sel.Rows), workers, func(w, lo, hi int) error {
+		if accs[w] == nil {
+			accs[w] = newAccum()
+			scratch[w] = e.newScratch()
+		}
+		return e.evalRange(lo, hi, scratch[w], accs[w])
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := newAccum()
+	for _, a := range accs {
+		if a != nil {
+			total.Merge(a)
+		}
+	}
+	return total, nil
+}
+
+// rowEngine evaluates a selection row by row, reconstructing only the
+// selected columns. For SVD-family stores it projects each σ-scaled U row
+// onto a panel of the selected V rows — O(k·|C|) per row instead of the
+// O(k·M) full reconstruction — with SVDD deltas applied from the per-row
+// bucket index. Other store types fall back to full-row reconstruction
+// with selected-column accumulation. The engine itself is immutable after
+// construction; all mutable state lives in per-worker engineScratch, so
+// one engine serves all workers concurrently.
+type rowEngine struct {
+	s   store.Store
+	sel Selection
+	m   int // matrix width
+
+	base   *svd.Store  // non-nil on the projected path
+	svdd   *core.Store // additionally non-nil for delta/zero-row handling
+	sigma  []float64
+	panel  *linalg.Matrix // |C|×k: V rows of the selected columns
+	colPos map[int][]int  // selected col → its positions in sel.Cols (multiset)
+}
+
+func newRowEngine(s store.Store, sel Selection) *rowEngine {
+	e := &rowEngine{s: s, sel: sel}
+	_, e.m = s.Dims()
+	switch t := s.(type) {
+	case *svd.Store:
+		e.base = t
+	case *core.Store:
+		e.base = t.Base()
+		e.svdd = t
+	default:
+		return e
+	}
+	k := e.base.K()
+	e.sigma = e.base.Sigma()
+	v := e.base.V()
+	e.panel = linalg.NewMatrix(len(sel.Cols), k)
+	for p, j := range sel.Cols {
+		copy(e.panel.Row(p), v.Row(j))
+	}
+	if e.svdd != nil {
+		e.colPos = make(map[int][]int, len(sel.Cols))
+		for p, j := range sel.Cols {
+			e.colPos[j] = append(e.colPos[j], p)
+		}
+	}
+	return e
+}
+
+// engineScratch is one worker's private buffers.
+type engineScratch struct {
+	urow []float64 // k: U row, pre-scaled by σ before projection
+	vals []float64 // |C|: projected cell values of the current row
+	row  []float64 // m: full-row buffer for the generic path
+}
+
+func (e *rowEngine) newScratch() *engineScratch {
+	sc := &engineScratch{}
+	if e.base != nil {
+		sc.urow = make([]float64, len(e.sigma))
+		sc.vals = make([]float64, len(e.sel.Cols))
+	} else {
+		sc.row = make([]float64, e.m)
+	}
+	return sc
+}
+
+// evalRange folds selection positions [lo, hi) into acc, coalescing
+// contiguous ascending row runs into sequential U scans.
+func (e *rowEngine) evalRange(lo, hi int, sc *engineScratch, acc *accum) error {
+	if e.base == nil {
+		return e.evalGeneric(lo, hi, sc, acc)
+	}
+	rows := e.sel.Rows
+	for p := lo; p < hi; {
+		q := p + 1
+		for q < hi && rows[q] == rows[q-1]+1 {
+			q++
+		}
+		if q-p >= minScanRun {
+			if err := e.evalRun(rows[p], rows[p]+(q-p), sc, acc); err != nil {
+				return err
+			}
+		} else {
+			for i := p; i < q; i++ {
+				if err := e.evalOne(rows[i], sc, acc); err != nil {
+					return err
+				}
+			}
+		}
+		p = q
+	}
+	return nil
+}
+
+// evalOne handles one isolated selected row with a random U access.
+func (e *rowEngine) evalOne(i int, sc *engineScratch, acc *accum) error {
+	if e.svdd != nil && e.svdd.IsZeroRow(i) {
+		e.accumZeroRow(acc)
+		return nil
+	}
+	if err := e.base.URow(i, sc.urow); err != nil {
+		return fmt.Errorf("query: U row %d: %w", i, err)
+	}
+	e.accumURow(i, sc.urow, sc, acc)
+	return nil
+}
+
+// evalRun streams U rows [start, end) through one sequential scan. Rows
+// flagged zero by SVDD (§6.2) have all-zero U rows, so projecting the
+// scanned row yields the same zeros the flag shortcut would — no branch
+// needed, and skipping mid-scan would cost more than it saves.
+func (e *rowEngine) evalRun(start, end int, sc *engineScratch, acc *accum) error {
+	return e.base.ScanURows(start, end, func(i int, urow []float64) error {
+		// The scanned slice may alias the backing matrix; copy before the
+		// in-place σ scaling.
+		copy(sc.urow, urow)
+		e.accumURow(i, sc.urow, sc, acc)
+		return nil
+	})
+}
+
+// accumURow projects one U row onto the column panel and folds the
+// selected cells into acc. urow must be sc.urow (it is scaled in place).
+func (e *rowEngine) accumURow(i int, urow []float64, sc *engineScratch, acc *accum) {
+	// Pre-scale by σ so each projected cell is the same dot product the
+	// full-row reconstruction computes — values are bit-identical to
+	// store.Row, so Min/Max agree exactly with the naive path.
+	for m := range urow {
+		urow[m] *= e.sigma[m]
+	}
+	vals := sc.vals
+	for p := range vals {
+		vals[p] = linalg.Dot(urow, e.panel.Row(p))
+	}
+	if e.svdd != nil {
+		e.svdd.RowDeltas(i, func(col int, delta float64) {
+			for _, p := range e.colPos[col] {
+				vals[p] += delta
+			}
+		})
+	}
+	for _, v := range vals {
+		acc.add(v)
+	}
+}
+
+// accumZeroRow folds a §6.2 zero-flagged row: every selected cell is 0.
+func (e *rowEngine) accumZeroRow(acc *accum) {
+	for range e.sel.Cols {
+		acc.add(0)
+	}
+}
+
+// evalGeneric is the fallback for stores without a U/V factorization:
+// reconstruct each selected row in full and pick the selected columns.
+func (e *rowEngine) evalGeneric(lo, hi int, sc *engineScratch, acc *accum) error {
+	for _, i := range e.sel.Rows[lo:hi] {
+		got, err := e.s.Row(i, sc.row)
+		if err != nil {
+			return fmt.Errorf("query: row %d: %w", i, err)
+		}
+		for _, j := range e.sel.Cols {
+			acc.add(got[j])
+		}
+	}
+	return nil
+}

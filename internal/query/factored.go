@@ -1,0 +1,323 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seqstore/internal/core"
+	"seqstore/internal/linalg"
+	"seqstore/internal/store"
+	"seqstore/internal/svd"
+)
+
+// This file holds the factored aggregate paths. With x̂ = U·Σ·Vᵀ, the first
+// moment over a selection R×C factors as
+//
+//	Σ_{i∈R,j∈C} x̂[i][j] = Σ_m σ_m·(Σ_{i∈R} u[i][m])·(Σ_{j∈C} v[j][m])
+//
+// (O(k·(|R|+|C|))), and the second moment through the per-selection Gram
+// matrices Gu[m][m′] = Σ_{i∈R} u[i][m]·u[i][m′], Gv likewise over C:
+//
+//	Σ_{i∈R,j∈C} x̂[i][j]² = Σ_{m,m′} σ_m·σ_m′·Gu[m][m′]·Gv[m][m′]
+//
+// (O(k²·(|R|+|C|))), which gives StdDev without touching any of the
+// |R|·|C| cells. SVDD stores add corrections from the outlier deltas of
+// the selected rows, visited through the per-row bucket index.
+
+// factoredSum attempts the factored Σ over R×C. The boolean reports
+// whether the store supports factoring.
+func factoredSum(s store.Store, sel Selection, workers int) (float64, bool, error) {
+	switch t := s.(type) {
+	case *svd.Store:
+		v, err := factoredSumSVD(t, sel, workers)
+		return v, true, err
+	case *core.Store:
+		v, err := factoredSumSVDD(t, sel, workers)
+		return v, true, err
+	default:
+		return 0, false, nil
+	}
+}
+
+// FactoredSumSVD computes Σ_{i∈R,j∈C} x̂[i][j] over a plain-SVD store in
+// O(k·(|R|+|C|)) plus |R| U-row accesses (contiguous runs coalesced into
+// sequential scans).
+func FactoredSumSVD(s *svd.Store, sel Selection) (float64, error) {
+	return factoredSumSVD(s, sel, 1)
+}
+
+func factoredSumSVD(s *svd.Store, sel Selection, workers int) (float64, error) {
+	um, err := rowMoments(s, sel.Rows, workers, false)
+	if err != nil {
+		return 0, err
+	}
+	vm := colMoments(s.V(), sel.Cols, s.K(), false)
+	var total float64
+	for m, sig := range s.Sigma() {
+		total += sig * um.acc[m] * vm.acc[m]
+	}
+	return total, nil
+}
+
+// FactoredSumSVDD is the SVDD version: the factored plain-SVD sum plus the
+// outlier deltas inside the selection, visited through the per-row bucket
+// index so only the selected rows' deltas are touched.
+//
+// Selections are multisets (see ParseIndexSpec): a cell whose row appears
+// r times in sel.Rows and whose column appears c times in sel.Cols lies in
+// the cross product r·c times, so its delta is weighted r·c — exactly as
+// the naive cell-by-cell evaluation counts it.
+func FactoredSumSVDD(s *core.Store, sel Selection) (float64, error) {
+	return factoredSumSVDD(s, sel, 1)
+}
+
+func factoredSumSVDD(s *core.Store, sel Selection, workers int) (float64, error) {
+	total, err := factoredSumSVD(s.Base(), sel, workers)
+	if err != nil {
+		return 0, err
+	}
+	corr, err := deltaCorrections(s, sel, false)
+	if err != nil {
+		return 0, err
+	}
+	return total + corr.sum, nil
+}
+
+// FactoredStdDev computes the standard deviation over the selection from
+// the factored first and second moments — O(k²·(|R|+|C|)) plus the
+// selected rows' delta buckets for SVDD, never materializing a cell. The
+// boolean reports whether the store supports factoring. Accuracy is
+// limited by cancellation in Σx²−(Σx)²/n; property tests pin it within
+// 1e-6 relative of the naive evaluation.
+func FactoredStdDev(s store.Store, sel Selection) (float64, bool, error) {
+	return factoredStdDev(s, sel, 1)
+}
+
+func factoredStdDev(s store.Store, sel Selection, workers int) (float64, bool, error) {
+	var base *svd.Store
+	var svdd *core.Store
+	switch t := s.(type) {
+	case *svd.Store:
+		base = t
+	case *core.Store:
+		base = t.Base()
+		svdd = t
+	default:
+		return 0, false, nil
+	}
+	um, err := rowMoments(base, sel.Rows, workers, true)
+	if err != nil {
+		return 0, true, err
+	}
+	vm := colMoments(base.V(), sel.Cols, base.K(), true)
+	sigma := base.Sigma()
+	k := base.K()
+	var sum, sumSq float64
+	for a := 0; a < k; a++ {
+		sum += sigma[a] * um.acc[a] * vm.acc[a]
+		sumSq += sigma[a] * sigma[a] * um.g[a*k+a] * vm.g[a*k+a]
+		for b := a + 1; b < k; b++ {
+			// Off-diagonal terms appear twice ((a,b) and (b,a)); both Gram
+			// matrices are symmetric, so fold the lower triangle in here.
+			sumSq += 2 * sigma[a] * sigma[b] * um.g[a*k+b] * vm.g[a*k+b]
+		}
+	}
+	if svdd != nil {
+		corr, err := deltaCorrections(svdd, sel, true)
+		if err != nil {
+			return 0, true, err
+		}
+		sum += corr.sum
+		sumSq += corr.sumSq
+	}
+	nc := float64(sel.NumCells())
+	mean := sum / nc
+	variance := sumSq/nc - mean*mean
+	// Cancellation floor: the subtraction cannot resolve a variance below
+	// ~machine-ε of the magnitudes being subtracted (the factored Σx̂² sums
+	// k² products, so the residual of a constant selection is not exactly
+	// zero the way the naive per-cell accumulator's is). Anything under the
+	// floor is noise — report 0, as a singleton selection must.
+	if floor := 1e-12 * (sumSq/nc + mean*mean); variance < floor {
+		variance = 0
+	}
+	return math.Sqrt(variance), true, nil
+}
+
+// uMoments accumulates the row-side (or column-side) factors: acc[m] is
+// the plain component sum over the index set and, when wantSq, g holds the
+// k×k Gram matrix of the set's factor rows (upper triangle filled; the
+// matrix is symmetric).
+type uMoments struct {
+	k      int
+	wantSq bool
+	acc    []float64
+	g      []float64 // k×k row-major, upper triangle
+}
+
+func newUMoments(k int, wantSq bool) *uMoments {
+	um := &uMoments{k: k, wantSq: wantSq, acc: make([]float64, k)}
+	if wantSq {
+		um.g = make([]float64, k*k)
+	}
+	return um
+}
+
+func (um *uMoments) add(row []float64) {
+	linalg.Axpy(1, row, um.acc)
+	if !um.wantSq {
+		return
+	}
+	k := um.k
+	for a := 0; a < k; a++ {
+		if ra := row[a]; ra != 0 {
+			linalg.Axpy(ra, row[a:k], um.g[a*k+a:a*k+k])
+		}
+	}
+}
+
+func (um *uMoments) merge(o *uMoments) {
+	linalg.Axpy(1, o.acc, um.acc)
+	if um.wantSq {
+		linalg.Axpy(1, o.g, um.g)
+	}
+}
+
+// rowMoments accumulates uMoments over the U rows of the selected rows,
+// sharded across workers with the same chunking as the row engine and
+// merged in worker order (deterministic for a fixed count).
+func rowMoments(base *svd.Store, rows []int, workers int, wantSq bool) (*uMoments, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	k := base.K()
+	ms := make([]*uMoments, workers)
+	err := runSharded(len(rows), workers, func(w, lo, hi int) error {
+		if ms[w] == nil {
+			ms[w] = newUMoments(k, wantSq)
+		}
+		return forURows(base, rows, lo, hi, ms[w].add)
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := newUMoments(k, wantSq)
+	for _, m := range ms {
+		if m != nil {
+			total.merge(m)
+		}
+	}
+	return total, nil
+}
+
+// colMoments accumulates uMoments over the V rows of the selected columns.
+// V is pinned in memory, so this is a plain serial pass.
+func colMoments(v *linalg.Matrix, cols []int, k int, wantSq bool) *uMoments {
+	um := newUMoments(k, wantSq)
+	for _, j := range cols {
+		um.add(v.Row(j))
+	}
+	return um
+}
+
+// forURows streams the U rows of selection positions [lo, hi) into fn,
+// coalescing contiguous ascending runs into sequential scans. fn must not
+// retain or mutate its argument.
+func forURows(base *svd.Store, rows []int, lo, hi int, fn func(urow []float64)) error {
+	urow := make([]float64, base.K())
+	for p := lo; p < hi; {
+		q := p + 1
+		for q < hi && rows[q] == rows[q-1]+1 {
+			q++
+		}
+		if q-p >= minScanRun {
+			err := base.ScanURows(rows[p], rows[p]+(q-p), func(_ int, u []float64) error {
+				fn(u)
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("query: factored U rows [%d,%d): %w", rows[p], rows[p]+(q-p), err)
+			}
+			p = q
+			continue
+		}
+		for ; p < q; p++ {
+			if err := base.URow(rows[p], urow); err != nil {
+				return fmt.Errorf("query: factored U row %d: %w", rows[p], err)
+			}
+			fn(urow)
+		}
+	}
+	return nil
+}
+
+// corrections are the SVDD delta contributions to the factored moments.
+type corrections struct {
+	sum, sumSq float64
+}
+
+// deltaCorrections folds the outlier deltas lying inside the selection
+// into the factored moments, visiting only the delta buckets of the
+// distinct selected rows (one RowDeltas probe each — the counter pinned by
+// tests). For the second moment, a delta δ on a cell with SVD baseline b
+// shifts that cell's square by (b+δ)²−b² = 2bδ+δ², so only delta cells
+// need their baseline reconstructed: one U read per distinct selected row
+// that actually holds deltas.
+//
+// Multiset weighting: a cell selected r·c times (row listed r times,
+// column c times) contributes r·c copies of its correction.
+func deltaCorrections(s *core.Store, sel Selection, wantSq bool) (corrections, error) {
+	rcount := make(map[int]int, len(sel.Rows))
+	for _, i := range sel.Rows {
+		rcount[i]++
+	}
+	ccount := make(map[int]int, len(sel.Cols))
+	for _, j := range sel.Cols {
+		ccount[j]++
+	}
+	// Visit rows in ascending order: map iteration order is randomized and
+	// the sums must be deterministic.
+	rows := make([]int, 0, len(rcount))
+	for i := range rcount {
+		rows = append(rows, i)
+	}
+	sort.Ints(rows)
+	base := s.Base()
+	sigma := base.Sigma()
+	v := base.V()
+	urow := make([]float64, base.K())
+	var c corrections
+	for _, i := range rows {
+		ri := rcount[i]
+		haveU := false
+		var readErr error
+		s.RowDeltas(i, func(col int, delta float64) {
+			cj := ccount[col]
+			if cj == 0 || readErr != nil {
+				return
+			}
+			w := float64(ri * cj)
+			c.sum += w * delta
+			if !wantSq {
+				return
+			}
+			if !haveU {
+				if err := base.URow(i, urow); err != nil {
+					readErr = fmt.Errorf("query: delta row %d: %w", i, err)
+					return
+				}
+				for m := range urow {
+					urow[m] *= sigma[m]
+				}
+				haveU = true
+			}
+			b := linalg.Dot(urow, v.Row(col))
+			c.sumSq += w * (2*b*delta + delta*delta)
+		})
+		if readErr != nil {
+			return corrections{}, readErr
+		}
+	}
+	return c, nil
+}

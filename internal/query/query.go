@@ -9,8 +9,12 @@
 //	Σ_{i∈R} Σ_{j∈C} x̂[i][j] = Σ_m σ_m·(Σ_{i∈R} u[i][m])·(Σ_{j∈C} v[j][m]),
 //
 // which costs O(k·(|R|+|C|)) instead of O(k·|R|·|C|) — plus one pass over
-// the delta table for SVDD. The naive and factored paths are cross-checked
-// by property tests.
+// the selected rows' delta buckets for SVDD. StdDev factors analogously
+// through the component Gram matrices (see factored.go). Aggregates that
+// cannot be factored (Min/Max, non-SVD stores) run on a selection-aware
+// engine that reconstructs only the selected columns of each selected row
+// and shards the row set across workers (see engine.go). The naive,
+// factored and parallel paths are cross-checked by property tests.
 package query
 
 import (
@@ -214,6 +218,13 @@ func sampleDistinct(rng *rand.Rand, n, k int) []int {
 }
 
 // accum folds cells into any aggregate.
+//
+// NaN propagation: a NaN cell anywhere in the selection poisons every
+// aggregate over it. Sum/Avg/StdDev propagate arithmetically; Min/Max need
+// the explicit IsNaN check below, because every float comparison against
+// NaN is false and the plain update would silently skip the cell. This
+// matches EvaluateMatrix on raw data (same accumulator) and survives the
+// parallel engine's Merge.
 type accum struct {
 	n          int64
 	sum, sumSq float64
@@ -226,11 +237,27 @@ func (a *accum) add(v float64) {
 	a.n++
 	a.sum += v
 	a.sumSq += v * v
-	if v < a.min {
+	if math.IsNaN(v) || v < a.min {
 		a.min = v
 	}
-	if v > a.max {
+	if math.IsNaN(v) || v > a.max {
 		a.max = v
+	}
+}
+
+// Merge folds b into a — the parallel engine's reduction. Every aggregate
+// merges exactly: counts and sums add, min/max take the extremum, and NaN
+// propagates across workers the same way add propagates it within one
+// (an empty accumulator merges as the identity).
+func (a *accum) Merge(b *accum) {
+	a.n += b.n
+	a.sum += b.sum
+	a.sumSq += b.sumSq
+	if math.IsNaN(b.min) || b.min < a.min {
+		a.min = b.min
+	}
+	if math.IsNaN(b.max) || b.max > a.max {
+		a.max = b.max
 	}
 }
 
@@ -261,33 +288,18 @@ func (a *accum) result(agg Aggregate) (float64, error) {
 	}
 }
 
-// Evaluate computes the aggregate over the reconstructed cells of s,
-// reading each selected row once. Sum and Avg on SVD/SVDD stores take the
-// factored fast path automatically.
+// Evaluate computes the aggregate over the reconstructed cells of s with
+// the default serial engine — EvaluateOpts with Workers: 1. Sum, Avg and
+// StdDev on SVD/SVDD stores take the factored fast paths automatically;
+// Min/Max and other store types go through the projected selection-aware
+// engine.
 func Evaluate(s store.Store, agg Aggregate, sel Selection) (float64, error) {
-	n, m := s.Dims()
-	if err := sel.Validate(n, m); err != nil {
-		return 0, err
-	}
-	if agg == Count {
-		return float64(sel.NumCells()), nil
-	}
-	if agg == Sum || agg == Avg {
-		if v, ok, err := factored(s, sel); ok || err != nil {
-			if err != nil {
-				return 0, err
-			}
-			if agg == Avg {
-				v /= float64(sel.NumCells())
-			}
-			return v, nil
-		}
-	}
-	return EvaluateNaive(s, agg, sel)
+	return EvaluateOpts(s, agg, sel, Options{Workers: 1})
 }
 
-// EvaluateNaive computes the aggregate cell by cell (row-at-a-time). It is
-// the reference implementation and the only path for Min/Max/StdDev.
+// EvaluateNaive computes the aggregate cell by cell (row-at-a-time),
+// reconstructing every full row via store.Row. It is the reference
+// implementation the engine and factored paths are cross-checked against.
 func EvaluateNaive(s store.Store, agg Aggregate, sel Selection) (float64, error) {
 	n, m := s.Dims()
 	if err := sel.Validate(n, m); err != nil {
@@ -322,72 +334,4 @@ func EvaluateMatrix(x *linalg.Matrix, agg Aggregate, sel Selection) (float64, er
 		}
 	}
 	return acc.result(agg)
-}
-
-// factored attempts the O(k·(|R|+|C|)) sum. The boolean reports whether the
-// store supported it.
-func factored(s store.Store, sel Selection) (float64, bool, error) {
-	switch t := s.(type) {
-	case *svd.Store:
-		v, err := FactoredSumSVD(t, sel)
-		return v, true, err
-	case *core.Store:
-		v, err := FactoredSumSVDD(t, sel)
-		return v, true, err
-	default:
-		return 0, false, nil
-	}
-}
-
-// FactoredSumSVD computes Σ_{i∈R,j∈C} x̂[i][j] over a plain-SVD store in
-// O(k·(|R|+|C|)) plus |R| U-row accesses.
-func FactoredSumSVD(s *svd.Store, sel Selection) (float64, error) {
-	k := s.K()
-	uacc := make([]float64, k)
-	urow := make([]float64, k)
-	for _, i := range sel.Rows {
-		if err := s.URow(i, urow); err != nil {
-			return 0, fmt.Errorf("query: factored U row %d: %w", i, err)
-		}
-		for mm := 0; mm < k; mm++ {
-			uacc[mm] += urow[mm]
-		}
-	}
-	vacc := make([]float64, k)
-	v := s.V()
-	for _, j := range sel.Cols {
-		vrow := v.Row(j)
-		for mm := 0; mm < k; mm++ {
-			vacc[mm] += vrow[mm]
-		}
-	}
-	var total float64
-	for mm, sig := range s.Sigma() {
-		total += sig * uacc[mm] * vacc[mm]
-	}
-	return total, nil
-}
-
-// FactoredSumSVDD is the SVDD version: the factored plain-SVD sum plus the
-// deltas of outlier cells inside the selection (one pass over the delta
-// table).
-func FactoredSumSVDD(s *core.Store, sel Selection) (float64, error) {
-	total, err := FactoredSumSVD(s.Base(), sel)
-	if err != nil {
-		return 0, err
-	}
-	rset := make(map[int]bool, len(sel.Rows))
-	for _, i := range sel.Rows {
-		rset[i] = true
-	}
-	cset := make(map[int]bool, len(sel.Cols))
-	for _, j := range sel.Cols {
-		cset[j] = true
-	}
-	s.Deltas(func(row, col int, delta float64) {
-		if rset[row] && cset[col] {
-			total += delta
-		}
-	})
-	return total, nil
 }

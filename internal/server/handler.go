@@ -46,6 +46,9 @@ type Options struct {
 	MaxBatchCells int
 	// MaxBatchRows bounds one /rows request; 0 means DefaultMaxBatchRows.
 	MaxBatchRows int
+	// QueryWorkers shards /agg evaluation across this many goroutines:
+	// 0 means one per CPU, 1 evaluates serially.
+	QueryWorkers int
 }
 
 // Handler is the HTTP query API over one open store. It is safe for
@@ -372,7 +375,8 @@ func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "cols: "+err.Error())
 		return
 	}
-	v, err := query.Evaluate(h.st, agg, query.Selection{Rows: rows, Cols: cols})
+	v, err := query.EvaluateOpts(h.st, agg, query.Selection{Rows: rows, Cols: cols},
+		query.Options{Workers: h.opts.QueryWorkers})
 	if err != nil {
 		status := http.StatusBadRequest
 		if !errors.Is(err, query.ErrEmptySelection) {
@@ -419,9 +423,10 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if c, ok := h.st.(*core.Store); ok {
 		probes, saves := c.ProbeStats()
 		body["svdd"] = map[string]interface{}{
-			"delta_probes": probes,
-			"bloom_saves":  saves,
-			"zero_hits":    c.ZeroHits(),
+			"delta_probes":     probes,
+			"bloom_saves":      saves,
+			"delta_row_probes": c.RowProbes(),
+			"zero_hits":        c.ZeroHits(),
 		}
 	}
 	writeJSON(w, http.StatusOK, body)

@@ -23,6 +23,9 @@ type Config struct {
 	// the package defaults.
 	MaxBatchCells int
 	MaxBatchRows  int
+	// QueryWorkers shards /agg evaluation across this many goroutines:
+	// 0 means one per CPU, 1 evaluates serially.
+	QueryWorkers int
 
 	// ReadHeaderTimeout bounds reading request headers; default 5s.
 	ReadHeaderTimeout time.Duration
@@ -81,6 +84,7 @@ func New(st store.Store, labels *store.Labels, cfg Config) *Server {
 		CacheRows:     cfg.CacheRows,
 		MaxBatchCells: cfg.MaxBatchCells,
 		MaxBatchRows:  cfg.MaxBatchRows,
+		QueryWorkers:  cfg.QueryWorkers,
 	})
 	return &Server{
 		cfg:     cfg,

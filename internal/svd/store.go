@@ -101,6 +101,28 @@ func (s *Store) V() *linalg.Matrix { return s.v }
 // URow reads row i of U into dst (length k), costing one row access.
 func (s *Store) URow(i int, dst []float64) error { return s.u.ReadRow(i, dst) }
 
+// ScanURows streams U rows [start, end) in order into fn. When the U
+// backing supports range scans (matio.File and matio.Mem both do) the rows
+// arrive through one buffered sequential read instead of per-row random
+// accesses — the query engine coalesces contiguous selected rows into such
+// scans. The urow slice is only valid during the call. Safe for concurrent
+// use alongside URow and other scans.
+func (s *Store) ScanURows(start, end int, fn func(i int, urow []float64) error) error {
+	if rs, ok := s.u.(matio.RangeScanner); ok {
+		return rs.ScanRowsRange(start, end, fn)
+	}
+	urow := make([]float64, len(s.sigma))
+	for i := start; i < end; i++ {
+		if err := s.u.ReadRow(i, urow); err != nil {
+			return err
+		}
+		if err := fn(i, urow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // UStats exposes the access counters of the U backing, so tests can assert
 // the single-access reconstruction property.
 func (s *Store) UStats() *matio.Stats {

@@ -20,16 +20,30 @@ const (
 	StdDev Aggregate = "stddev"
 )
 
+// AggOptions tunes Store.AggregateOpts.
+type AggOptions struct {
+	// Workers shards the selected rows across this many goroutines:
+	// 0 means one per CPU, 1 (the Aggregate default) evaluates serially.
+	Workers int
+}
+
 // Aggregate evaluates f over the cross product of the selected rows and
 // columns on the reconstructed data — e.g. "total sales to these customers
-// over these days". Sum and Avg on SVD/SVDD stores use the factored
-// O(k·(|rows|+|cols|)) evaluation.
+// over these days". Sum, Avg and StdDev on SVD/SVDD stores use the
+// factored O(k·(|rows|+|cols|)) / O(k²·(|rows|+|cols|)) evaluations; the
+// rest reconstruct only the selected columns of each selected row.
 func (st *Store) Aggregate(agg Aggregate, rows, cols []int) (float64, error) {
+	return st.AggregateOpts(agg, rows, cols, AggOptions{Workers: 1})
+}
+
+// AggregateOpts is Aggregate with engine tuning knobs.
+func (st *Store) AggregateOpts(agg Aggregate, rows, cols []int, opts AggOptions) (float64, error) {
 	a, err := query.ParseAggregate(string(agg))
 	if err != nil {
 		return 0, err
 	}
-	return query.Evaluate(st.s, a, query.Selection{Rows: rows, Cols: cols})
+	return query.EvaluateOpts(st.s, a, query.Selection{Rows: rows, Cols: cols},
+		query.Options{Workers: opts.Workers})
 }
 
 // AggregateExact evaluates the same aggregate on the original uncompressed
