@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-parallel serve-bench query-bench experiments
+.PHONY: build test vet race check fuzz-smoke golden-check bench-parallel serve-bench query-bench experiments
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,20 @@ vet:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-check: vet race
+# fuzz-smoke gives each format fuzzer a short budget on every check run:
+# FuzzOpen chews on .smx headers/pages, FuzzReadLabeled on .sqz containers.
+# `go test -fuzz` accepts one target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run FuzzOpen -fuzz FuzzOpen -fuzztime 10s ./internal/matio
+	$(GO) test -run FuzzReadLabeled -fuzz FuzzReadLabeled -fuzztime 10s ./internal/store
+
+# golden-check re-runs only the frozen-fixture compatibility tests: the v1
+# .smx and .sqz binaries checked into testdata must keep loading
+# bit-for-bit identically.
+golden-check:
+	$(GO) test -run 'TestGoldenV1' -v ./internal/matio ./internal/store
+
+check: vet race golden-check fuzz-smoke
 
 # bench-parallel runs the worker-count sub-benchmarks for the three sharded
 # hot loops. The cmd/experiments "parallel" harness records the same loops

@@ -5,21 +5,28 @@
 //
 //	seqserver -store phone2000.sqz -addr :8080 -cache-rows 4096
 //
-// Endpoints (all GET; non-GET verbs get 405 with an Allow header):
+// Endpoints (all GET; non-GET verbs get 405 with an Allow header). The
+// canonical paths live under /v1/; the bare legacy paths still answer but
+// carry Deprecation and Link headers pointing at their /v1/ successor:
 //
-//	/info                         store metadata
-//	/cell?i=42&j=180              one reconstructed cell
-//	/cell?row=GHI+Inc.&col=We     the same, by axis labels (when stored)
-//	/cells?at=42:180,42:181       batch cell lookups
-//	/row?i=42                     one reconstructed sequence
-//	/rows?i=0:8,17                batch row reconstruction
-//	/agg?f=avg&rows=0:1000&cols=180:187
+//	/v1/info                      store metadata
+//	/v1/cell?i=42&j=180           one reconstructed cell
+//	/v1/cell?row=GHI+Inc.&col=We  the same, by axis labels (when stored)
+//	/v1/cells?at=42:180,42:181    batch cell lookups
+//	/v1/row?i=42                  one reconstructed sequence
+//	/v1/rows?i=0:8,17             batch row reconstruction
+//	/v1/agg?f=avg&rows=0:1000&cols=180:187
 //	                              aggregate over a row/column selection;
 //	                              rows/cols accept "3,17,0:10" specs and
 //	                              default to "all"
-//	/metrics                      per-endpoint latency histograms, row-cache
-//	                              hit rate, disk-access counters
-//	/healthz                      liveness probe
+//	/v1/metrics                   per-endpoint latency histograms, row-cache
+//	                              hit rate, disk-access counters, corruption
+//	                              count
+//	/v1/healthz                   liveness probe
+//
+// Errors map onto the store's typed taxonomy: bad input and out-of-range
+// indices are 400s, detected on-disk corruption is a 503 (the process
+// keeps serving what it still can), a client gone mid-query logs as 499.
 //
 // The serving layer (timeouts, graceful shutdown, row cache, telemetry)
 // lives in internal/server; this command only parses flags and wires up

@@ -1,0 +1,78 @@
+package seqstore
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// cancelledCtx returns a context that is already cancelled.
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestCompressContextCancellation proves the context-first facade: a
+// cancelled context aborts compression with context.Canceled instead of
+// running the full pipeline.
+func TestCompressContextCancellation(t *testing.T) {
+	x := GeneratePhone(50)
+	if _, err := CompressContext(cancelledCtx(), x, Options{Budget: 0.2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("CompressContext err = %v, want context.Canceled", err)
+	}
+	// The legacy entry point still works without a context.
+	if _, err := Compress(x, Options{Budget: 0.2}); err != nil {
+		t.Errorf("Compress without context failed: %v", err)
+	}
+}
+
+// TestOpenContextCancellation checks OpenContext honors an already-dead
+// context, and the legacy Open still succeeds on the same file.
+func TestOpenContextCancellation(t *testing.T) {
+	x := GeneratePhone(50)
+	st, err := Compress(x, Options{Budget: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.sqz")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenContext(cancelledCtx(), path); !errors.Is(err, context.Canceled) {
+		t.Errorf("OpenContext err = %v, want context.Canceled", err)
+	}
+	if _, err := Open(path); err != nil {
+		t.Errorf("legacy Open failed: %v", err)
+	}
+}
+
+// TestAggregateContextCancellation checks query cancellation through the
+// public facade on both the serial and parallel paths.
+func TestAggregateContextCancellation(t *testing.T) {
+	x := GeneratePhone(50)
+	st, err := Compress(x, Options{Budget: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := x.Dims()
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := make([]int, m)
+	for j := range cols {
+		cols[j] = j
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := st.AggregateContext(cancelledCtx(), Sum, rows, cols, AggOptions{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// Without a context the same aggregate evaluates normally.
+	if _, err := st.AggregateOpts(Sum, rows, cols, AggOptions{}); err != nil {
+		t.Errorf("AggregateOpts failed: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+package seqstore
+
+import "seqstore/internal/seqerr"
+
+// The public error taxonomy. Every error returned by this package wraps one
+// of these sentinels when it belongs to the class, so callers classify
+// failures with errors.Is instead of string matching:
+//
+//	v, err := st.Cell(i, j)
+//	if errors.Is(err, seqstore.ErrOutOfRange) { ... } // caller's indices are bad
+//
+//	st, err := seqstore.Open(path)
+//	if errors.Is(err, seqstore.ErrCorrupt) { ... }    // the file is damaged
+var (
+	// ErrOutOfRange reports a cell, row or column index outside the
+	// dataset's dimensions.
+	ErrOutOfRange = seqerr.ErrOutOfRange
+	// ErrEmptySelection reports an aggregate over zero cells.
+	ErrEmptySelection = seqerr.ErrEmptySelection
+	// ErrBadVersion reports a seqstore file whose format version this build
+	// cannot read.
+	ErrBadVersion = seqerr.ErrBadVersion
+	// ErrCorrupt reports a damaged file: checksum mismatch, truncation, or
+	// structurally invalid content. Corruption in checksummed (v2) files is
+	// always detected and reported as this class — never returned as
+	// silently wrong data.
+	ErrCorrupt = seqerr.ErrCorrupt
+)
+
+// CorruptError is the concrete error behind most ErrCorrupt failures,
+// carrying the damage location: file path, zero-based page (or container
+// frame) index, and byte offset. Retrieve it with errors.As:
+//
+//	var ce *seqstore.CorruptError
+//	if errors.As(err, &ce) {
+//		log.Printf("%s: page %d at byte %d is damaged", ce.Path, ce.Page, ce.Offset)
+//	}
+type CorruptError = seqerr.CorruptError

@@ -1,0 +1,85 @@
+// Package atomicio writes files atomically: content goes to a temporary
+// file in the destination directory, is fsynced, and is renamed over the
+// final path only once complete. A crash (or write error) at any point
+// leaves either the old file or the new file observable at the path — never
+// a partial one — which is the durability contract the checksummed store
+// formats build on.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Create opens a temporary file next to path, ready to receive content.
+// Commit the result with Commit, or discard it with Abort. Streaming
+// writers (matio.Writer) use this pair directly; one-shot writers use
+// WriteFile.
+func Create(path string) (*os.File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Commit makes the temporary file durable and moves it into place: fsync,
+// close, rename over path, fsync the directory. On any error the temporary
+// file is removed and path is left untouched.
+func Commit(f *os.File, path string) error {
+	tmp := f.Name()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// Abort discards the temporary file without touching the final path.
+func Abort(f *os.File) {
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+}
+
+// WriteFile atomically replaces path with whatever write produces. write
+// receives the temporary file; if it (or any commit step) fails, path is
+// untouched and the temporary file is removed.
+func WriteFile(path string, write func(f *os.File) error) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		Abort(f)
+		return err
+	}
+	return Commit(f, path)
+}
+
+// syncDir fsyncs a directory so the rename itself is durable. Filesystems
+// that refuse to sync directories (some CI sandboxes) are tolerated: the
+// rename is still atomic, just not yet journaled.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

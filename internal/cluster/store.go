@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seqstore/internal/linalg"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 )
 
@@ -106,7 +107,7 @@ func (s *Store) Clusters() int { return s.centroids.Rows() }
 // Assignment returns row i's cluster label.
 func (s *Store) Assignment(i int) (int, error) {
 	if i < 0 || i >= s.rows {
-		return 0, fmt.Errorf("cluster: row %d out of range %d", i, s.rows)
+		return 0, fmt.Errorf("cluster: row %d out of range %d (%w)", i, s.rows, seqerr.ErrOutOfRange)
 	}
 	return int(s.assign[i]), nil
 }
@@ -114,10 +115,10 @@ func (s *Store) Assignment(i int) (int, error) {
 // Cell returns the j-th entry of row i's representative.
 func (s *Store) Cell(i, j int) (float64, error) {
 	if i < 0 || i >= s.rows {
-		return 0, fmt.Errorf("cluster: row %d out of range %d", i, s.rows)
+		return 0, fmt.Errorf("cluster: row %d out of range %d (%w)", i, s.rows, seqerr.ErrOutOfRange)
 	}
 	if j < 0 || j >= s.cols {
-		return 0, fmt.Errorf("cluster: column %d out of range %d", j, s.cols)
+		return 0, fmt.Errorf("cluster: column %d out of range %d (%w)", j, s.cols, seqerr.ErrOutOfRange)
 	}
 	return s.centroids.At(int(s.assign[i]), j), nil
 }
@@ -125,7 +126,7 @@ func (s *Store) Cell(i, j int) (float64, error) {
 // Row copies row i's representative into dst.
 func (s *Store) Row(i int, dst []float64) ([]float64, error) {
 	if i < 0 || i >= s.rows {
-		return nil, fmt.Errorf("cluster: row %d out of range %d", i, s.rows)
+		return nil, fmt.Errorf("cluster: row %d out of range %d (%w)", i, s.rows, seqerr.ErrOutOfRange)
 	}
 	if cap(dst) < s.cols {
 		dst = make([]float64, s.cols)

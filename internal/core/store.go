@@ -7,6 +7,7 @@ import (
 
 	"seqstore/internal/bloom"
 	"seqstore/internal/pqueue"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
 )
@@ -206,7 +207,7 @@ func (s *Store) Cell(i, j int) (float64, error) {
 	if s.isZeroRow(i) {
 		_, m := s.base.Dims()
 		if j < 0 || j >= m {
-			return 0, fmt.Errorf("core: column %d out of range %d", j, m)
+			return 0, fmt.Errorf("core: column %d out of range %d (%w)", j, m, seqerr.ErrOutOfRange)
 		}
 		s.zeroHits.Add(1)
 		return 0, nil
@@ -225,7 +226,7 @@ func (s *Store) Row(i int, dst []float64) ([]float64, error) {
 	n, m := s.base.Dims()
 	if s.isZeroRow(i) {
 		if i < 0 || i >= n {
-			return nil, fmt.Errorf("core: row %d out of range %d", i, n)
+			return nil, fmt.Errorf("core: row %d out of range %d (%w)", i, n, seqerr.ErrOutOfRange)
 		}
 		if cap(dst) < m {
 			dst = make([]float64, m)

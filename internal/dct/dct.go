@@ -18,6 +18,7 @@ import (
 
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 )
 
@@ -117,7 +118,7 @@ func (s *Store) K() int { return s.k }
 // coefficient-row access.
 func (s *Store) Cell(i, j int) (float64, error) {
 	if j < 0 || j >= s.cols {
-		return 0, fmt.Errorf("dct: column %d out of range %d", j, s.cols)
+		return 0, fmt.Errorf("dct: column %d out of range %d (%w)", j, s.cols, seqerr.ErrOutOfRange)
 	}
 	crow := make([]float64, s.k)
 	if err := s.coeffs.ReadRow(i, crow); err != nil {

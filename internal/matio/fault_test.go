@@ -1,0 +1,321 @@
+package matio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqstore/internal/faultio"
+	"seqstore/internal/seqerr"
+)
+
+// writeTestMatrix writes a rows×cols v2 file with pageRows rows per page
+// and v(i,j) = i*1000 + j, returning its path.
+func writeTestMatrix(t *testing.T, rows, cols, pageRows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.smx")
+	w, err := CreateOpts{PageRows: pageRows}.Create(path, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = float64(i*1000 + j)
+		}
+		if err := w.WriteRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEveryPageCorruptionDetected flips one bit in every page of a v2 file
+// in turn and proves each flip surfaces from the read paths as a
+// *seqerr.CorruptError naming exactly the damaged page — never as silently
+// wrong data.
+func TestEveryPageCorruptionDetected(t *testing.T) {
+	const rows, cols, pageRows = 23, 5, 4 // 6 pages, last partial
+	path := writeTestMatrix(t, rows, cols, pageRows)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := m.lay
+	m.Close()
+	if lay.numPages() != 6 {
+		t.Fatalf("numPages = %d, want 6", lay.numPages())
+	}
+
+	for p := 0; p < lay.numPages(); p++ {
+		for _, dmg := range []struct {
+			name string
+			off  int64
+		}{
+			{"data", lay.pageStart(p) + 3},                       // inside page data
+			{"crc", lay.pageStart(p) + lay.pageDataBytes(p) + 1}, // inside the trailer
+		} {
+			data := bytes.Clone(clean)
+			data[dmg.off] ^= 0x10
+			f, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)), "m.smx")
+			if err != nil {
+				t.Fatalf("page %d %s: open: %v", p, dmg.name, err)
+			}
+
+			// A row inside the damaged page must fail with the page named.
+			dst := make([]float64, cols)
+			err = f.ReadRow(p*pageRows, dst)
+			var ce *seqerr.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("page %d %s: ReadRow err = %v, want CorruptError", p, dmg.name, err)
+			}
+			if ce.Page != p {
+				t.Errorf("page %d %s: error names page %d", p, dmg.name, ce.Page)
+			}
+			if ce.Offset != lay.pageStart(p) {
+				t.Errorf("page %d %s: error offset %d, want %d", p, dmg.name, ce.Offset, lay.pageStart(p))
+			}
+			if !errors.Is(err, seqerr.ErrCorrupt) {
+				t.Errorf("page %d %s: not ErrCorrupt: %v", p, dmg.name, err)
+			}
+
+			// Rows in other pages stay readable: corruption is contained.
+			if p > 0 {
+				if err := f.ReadRow(0, dst); err != nil {
+					t.Errorf("page %d %s: clean page 0 unreadable: %v", p, dmg.name, err)
+				}
+			}
+
+			// The sequential scan must also refuse the damaged page.
+			err = f.ScanRows(func(i int, row []float64) error { return nil })
+			if !errors.Is(err, seqerr.ErrCorrupt) {
+				t.Errorf("page %d %s: ScanRows err = %v, want ErrCorrupt", p, dmg.name, err)
+			}
+		}
+	}
+}
+
+// TestTruncationDetected cuts a v2 file at a sweep of lengths and proves
+// every prefix either fails to open or (for prefixes shorter than the
+// header) is rejected, always via the typed taxonomy.
+func TestTruncationDetected(t *testing.T) {
+	path := writeTestMatrix(t, 10, 3, 4)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := 0; size < len(clean); size++ {
+		data := clean[:size]
+		f, err := OpenReaderAt(bytes.NewReader(data), int64(size), "m.smx")
+		if err == nil {
+			f.Close()
+			t.Fatalf("size %d: truncated file opened", size)
+		}
+		corrupt := errors.Is(err, seqerr.ErrCorrupt)
+		if !corrupt && !errors.Is(err, ErrShortFile) {
+			t.Fatalf("size %d: err = %v, want ErrCorrupt or ErrShortFile", size, err)
+		}
+		// Any truncation past the header must carry a page location.
+		if size >= headerSizeV2 {
+			var ce *seqerr.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("size %d: no CorruptError in %v", size, err)
+			}
+			if ce.Page < 0 {
+				t.Errorf("size %d: truncation not page-addressed", size)
+			}
+		}
+	}
+}
+
+// TestReadFaultsSurfaceAsErrors drives the fault-injecting ReaderAt:
+// short reads and injected IO failures must surface as errors, never as
+// wrong data.
+func TestReadFaultsSurfaceAsErrors(t *testing.T) {
+	path := writeTestMatrix(t, 8, 4, 2)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := faultio.NewReaderAt(bytes.NewReader(clean), int64(len(clean)))
+	f, err := OpenReaderAt(ra, ra.Size(), "m.smx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 4)
+
+	// Injected hard failure inside page 1.
+	ra.FailAt(f.lay.pageStart(1)+5, nil)
+	if err := f.ReadRow(2, dst); !errors.Is(err, faultio.ErrInjected) {
+		t.Errorf("FailAt: %v", err)
+	}
+	ra.Clear()
+
+	// Short read: the page read comes back incomplete.
+	ra.ShortRead(1)
+	if err := f.ReadRow(2, dst); err == nil {
+		t.Error("short read returned data")
+	}
+	ra.Clear()
+
+	// Apparent truncation mid-page: reads past the cut see EOF.
+	ra.TruncateAt(f.lay.pageStart(3) + 2)
+	if err := f.ReadRow(7, dst); !errors.Is(err, seqerr.ErrCorrupt) {
+		t.Errorf("TruncateAt: %v", err)
+	}
+	ra.Clear()
+	if err := f.ReadRow(7, dst); err != nil {
+		t.Errorf("after Clear: %v", err)
+	}
+}
+
+// TestCrashDuringSaveLeavesOldFile proves the atomic save protocol: start
+// with a good file at the destination, crash a rewrite at every offset, and
+// check the destination still holds the old bytes — never a partial file.
+func TestCrashDuringSaveLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.smx")
+
+	// The old version: 4×2, v = i*10+j.
+	writeAt := func(scale float64) error {
+		w, err := CreateOpts{PageRows: 2}.Create(path, 4, 2)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if err := w.WriteRow([]float64{scale * float64(i*10), scale*float64(i*10) + 1}); err != nil {
+				w.Abort()
+				return err
+			}
+		}
+		return w.Close()
+	}
+	if err := writeAt(1); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash a replacement save after every possible row, by aborting the
+	// writer mid-stream (the temp file is discarded; the rename that would
+	// publish the new file never happens).
+	for crashRow := 0; crashRow <= 3; crashRow++ {
+		w, err := CreateOpts{PageRows: 2}.Create(path, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < crashRow; i++ {
+			if err := w.WriteRow([]float64{2 * float64(i*10), 2*float64(i*10) + 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Abort() // simulated crash: no Close, no rename
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("crash at row %d: destination unreadable: %v", crashRow, err)
+		}
+		if !bytes.Equal(got, old) {
+			t.Fatalf("crash at row %d: destination changed", crashRow)
+		}
+	}
+
+	// No temp files may accumulate.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("leftover temp files: %d entries", len(ents))
+	}
+
+	// A completed save replaces the file with the new content.
+	if err := writeAt(2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	dst := make([]float64, 2)
+	if err := m.ReadRow(3, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 60 || dst[1] != 61 {
+		t.Errorf("new content = %v", dst)
+	}
+}
+
+// TestOnDiskMutatorsEndToEnd damages a file on disk through the path-based
+// faultio helpers and checks the path-based matio APIs reject it.
+func TestOnDiskMutatorsEndToEnd(t *testing.T) {
+	path := writeTestMatrix(t, 12, 4, 4)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := m.lay
+	m.Close()
+
+	if err := faultio.FlipBit(path, lay.pageStart(1)+7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMatrix(path); !errors.Is(err, seqerr.ErrCorrupt) {
+		t.Errorf("flipped bit: ReadMatrix err = %v", err)
+	}
+	var ce *seqerr.CorruptError
+	_, err = ReadMatrix(path)
+	if !errors.As(err, &ce) || ce.Page != 1 {
+		t.Errorf("flipped bit: err %v does not name page 1", err)
+	}
+
+	// Repair by rewriting, then truncate on disk.
+	path2 := writeTestMatrix(t, 12, 4, 4)
+	if err := faultio.Truncate(path2, lay.pageStart(2)+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path2); !errors.Is(err, seqerr.ErrCorrupt) {
+		t.Errorf("truncated: Open err = %v", err)
+	}
+}
+
+// TestHostileHeaderDimensions pins the overflow guard found by FuzzOpen:
+// a header whose rows×cols byte size wraps int64 must be rejected as
+// corrupt, not admitted by a wrapped-around file-size check.
+func TestHostileHeaderDimensions(t *testing.T) {
+	for _, dims := range [][2]uint64{
+		{1 << 62, 1 << 62}, // product wraps to a small value
+		{1 << 61, 8},       // rows*rowBytes wraps exactly
+		{3, 1 << 61},       // cols side overflow
+	} {
+		hdr := make([]byte, headerSizeV2)
+		copy(hdr, Magic)
+		binary.LittleEndian.PutUint32(hdr[8:], Version)
+		binary.LittleEndian.PutUint32(hdr[12:], FlagPageChecksums)
+		binary.LittleEndian.PutUint64(hdr[16:], dims[0])
+		binary.LittleEndian.PutUint64(hdr[24:], dims[1])
+		binary.LittleEndian.PutUint32(hdr[32:], 1) // pageRows
+		binary.LittleEndian.PutUint32(hdr[44:], crc32.Checksum(hdr[:44], castagnoli))
+		_, err := OpenReaderAt(bytes.NewReader(hdr), int64(len(hdr)), "hostile.smx")
+		if err == nil {
+			t.Fatalf("dims %d×%d: hostile header accepted", dims[0], dims[1])
+		}
+		if !errors.Is(err, seqerr.ErrCorrupt) {
+			t.Errorf("dims %d×%d: err = %v, want ErrCorrupt", dims[0], dims[1], err)
+		}
+	}
+}

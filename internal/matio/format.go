@@ -1,0 +1,149 @@
+package matio
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// .smx format versions.
+//
+// v1 (legacy, still readable):
+//
+//	[0:8]   magic "SEQMATRX"
+//	[8:12]  version = 1
+//	[12:16] reserved
+//	[16:24] rows
+//	[24:32] cols
+//	[32:]   row-major float64 data, no checksums
+//
+// v2 (current write format — crash-safe and verifiable):
+//
+//	[0:8]   magic "SEQMATRX"
+//	[8:12]  version = 2
+//	[12:16] flags (bit 0: page checksums, always set)
+//	[16:24] rows
+//	[24:32] cols
+//	[32:36] pageRows (rows per checksummed page)
+//	[36:44] reserved
+//	[44:48] CRC32C of header bytes [0:44]
+//	[48:]   pages: ceil(rows/pageRows) pages, each pageRows rows of
+//	        row-major float64 data (last page partial) followed by the
+//	        CRC32C of exactly those data bytes
+//
+// v2 files are written to a temporary file and renamed into place only
+// after an fsync, so a crash mid-write never leaves a partial file at the
+// destination path. Every read path (random row reads and sequential
+// scans) verifies the checksum of each page it touches before returning
+// any of its data; a mismatch surfaces as *seqerr.CorruptError carrying
+// the page index and byte offset.
+const (
+	// Magic identifies a seqstore matrix file.
+	Magic = "SEQMATRX"
+	// Version is the current write version; Open also reads VersionV1.
+	Version   = 2
+	VersionV1 = 1
+
+	headerSizeV1 = 32
+	headerSizeV2 = 48
+
+	// FlagPageChecksums marks a v2 file whose pages carry CRC32C trailers.
+	// Always set by this writer; reserved for future layouts.
+	FlagPageChecksums = 1 << 0
+
+	// checksumSize is the per-page CRC32C trailer length.
+	checksumSize = 4
+
+	// defaultPageBytes is the target data size of one checksummed page.
+	// Small enough that the read amplification of verifying a whole page
+	// per random row read stays modest, large enough that the 4-byte
+	// trailer is negligible.
+	defaultPageBytes = 8192
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// defaultPageRows picks the page height for a new file of the given width.
+func defaultPageRows(cols int) int {
+	if cols <= 0 {
+		return 1024
+	}
+	pr := defaultPageBytes / (8 * cols)
+	if pr < 1 {
+		pr = 1
+	}
+	return pr
+}
+
+// layout locates rows and pages inside an open .smx file of either version.
+type layout struct {
+	version    int
+	rows, cols int
+	pageRows   int // v2 only; 0 for v1
+}
+
+func (l layout) headerSize() int64 {
+	if l.version == VersionV1 {
+		return headerSizeV1
+	}
+	return headerSizeV2
+}
+
+func (l layout) rowBytes() int64 { return int64(l.cols) * 8 }
+
+// numPages returns the number of checksummed pages (0 for v1).
+func (l layout) numPages() int {
+	if l.version == VersionV1 || l.rows == 0 {
+		return 0
+	}
+	return (l.rows + l.pageRows - 1) / l.pageRows
+}
+
+// pageOfRow returns the page holding row i.
+func (l layout) pageOfRow(i int) int { return i / l.pageRows }
+
+// pageRowsIn returns the number of rows stored in page p.
+func (l layout) pageRowsIn(p int) int {
+	if r := l.rows - p*l.pageRows; r < l.pageRows {
+		return r
+	}
+	return l.pageRows
+}
+
+// pageDataBytes returns the data length of page p, excluding the trailer.
+func (l layout) pageDataBytes(p int) int64 {
+	return int64(l.pageRowsIn(p)) * l.rowBytes()
+}
+
+// pageStart returns the byte offset of page p's data. All pages before p
+// are full, so the stride is constant.
+func (l layout) pageStart(p int) int64 {
+	return l.headerSize() + int64(p)*(int64(l.pageRows)*l.rowBytes()+checksumSize)
+}
+
+// fileSize returns the expected total byte length of the file.
+func (l layout) fileSize() int64 {
+	if l.version == VersionV1 {
+		return l.headerSize() + int64(l.rows)*l.rowBytes()
+	}
+	return l.headerSize() + int64(l.rows)*l.rowBytes() + int64(l.numPages())*checksumSize
+}
+
+// rowOffsetV1 returns the byte offset of row i in a v1 file.
+func (l layout) rowOffsetV1(i int) int64 {
+	return l.headerSize() + int64(i)*l.rowBytes()
+}
+
+// encodeHeaderV2 builds the 48-byte v2 header, including its CRC.
+func encodeHeaderV2(rows, cols, pageRows int) []byte {
+	hdr := make([]byte, headerSizeV2)
+	copy(hdr, Magic)
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[12:], FlagPageChecksums)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(rows))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(cols))
+	binary.LittleEndian.PutUint32(hdr[32:], uint32(pageRows))
+	binary.LittleEndian.PutUint32(hdr[44:], crc32.Checksum(hdr[:44], castagnoli))
+	return hdr
+}

@@ -1,0 +1,69 @@
+package matio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpen feeds arbitrary bytes to the .smx open/read path. The contract
+// under fuzz: never panic, never allocate unboundedly from hostile header
+// fields, and either fail with a typed error or yield a readable matrix.
+// Seeds cover both format versions, truncations of each, and plain junk.
+func FuzzOpen(f *testing.F) {
+	if golden, err := os.ReadFile("testdata/golden_v1.smx"); err == nil {
+		f.Add(golden)
+		f.Add(golden[:16])
+		f.Add(golden[:len(golden)-3])
+	}
+
+	// A freshly written v2 file with several pages.
+	path := filepath.Join(f.TempDir(), "seed.smx")
+	w, err := CreateOpts{PageRows: 2}.Create(path, 5, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.WriteRow([]float64{float64(i), float64(i + 1), float64(i + 2)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	v2, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
+	f.Add(v2[:headerSizeV2])
+	f.Add(v2[:len(v2)/2])
+	f.Add([]byte("SEQMATRX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)), "fuzz.smx")
+		if err != nil {
+			return // rejected: the expected outcome for most inputs
+		}
+		defer m.Close()
+		rows, cols := m.Dims()
+		if rows < 0 || cols < 0 {
+			t.Fatalf("negative dims (%d,%d) from accepted file", rows, cols)
+		}
+		// Open validates the file size against the layout, so accepted
+		// dimensions are bounded by the input length — except cols of an
+		// empty (rows=0) matrix, which occupies no bytes. Guard both.
+		if int64(rows)*int64(cols) > 1<<20 || cols > 1<<20 {
+			return
+		}
+		dst := make([]float64, cols)
+		for _, i := range []int{0, rows / 2, rows - 1} {
+			if i >= 0 && i < rows {
+				_ = m.ReadRow(i, dst) // may fail (checksums); must not panic
+			}
+		}
+		_ = m.ScanRows(func(i int, row []float64) error { return nil })
+	})
+}

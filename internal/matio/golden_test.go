@@ -1,0 +1,68 @@
+package matio
+
+import (
+	"testing"
+)
+
+// TestGoldenV1Matrix opens a v1 .smx file frozen before the v2 format work
+// and proves the old format still reads byte-for-byte identically: header
+// version 1, the original dimensions, and v(i,j) = i*100 + j + 0.25 exactly.
+// The fixture is a checked-in binary with no generator, so any format or
+// compatibility regression fails here rather than being silently re-encoded.
+func TestGoldenV1Matrix(t *testing.T) {
+	const rows, cols = 7, 5
+	m, err := Open("testdata/golden_v1.smx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if v := m.FormatVersion(); v != 1 {
+		t.Fatalf("FormatVersion = %d, want 1", v)
+	}
+	if r, c := m.Dims(); r != rows || c != cols {
+		t.Fatalf("dims = (%d,%d), want (%d,%d)", r, c, rows, cols)
+	}
+
+	want := func(i, j int) float64 { return float64(i)*100 + float64(j) + 0.25 }
+
+	dst := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		if err := m.ReadRow(i, dst); err != nil {
+			t.Fatalf("ReadRow(%d): %v", i, err)
+		}
+		for j, v := range dst {
+			if v != want(i, j) {
+				t.Fatalf("v(%d,%d) = %v, want %v", i, j, v, want(i, j))
+			}
+		}
+	}
+
+	// The sequential scan path must agree with random access.
+	n := 0
+	err = m.ScanRows(func(i int, row []float64) error {
+		for j, v := range row {
+			if v != want(i, j) {
+				t.Fatalf("scan v(%d,%d) = %v, want %v", i, j, v, want(i, j))
+			}
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != rows {
+		t.Fatalf("ScanRows: %v after %d rows", err, n)
+	}
+
+	// The whole-matrix load agrees too.
+	x, err := ReadMatrix("testdata/golden_v1.smx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if x.At(i, j) != want(i, j) {
+				t.Fatalf("ReadMatrix v(%d,%d) = %v", i, j, x.At(i, j))
+			}
+		}
+	}
+}

@@ -6,8 +6,13 @@
 // over the file and how many disk accesses a reconstruction needs. This
 // package supplies:
 //
-//   - a simple binary row-major matrix file format (".smx"),
-//   - streaming one-pass row scans and random row access,
+//   - a versioned binary row-major matrix file format (".smx") with
+//     per-page CRC32C checksums and atomic, crash-safe writes (see
+//     format.go for the layout; legacy v1 files remain readable),
+//   - streaming one-pass row scans and random row access, both of which
+//     verify page checksums before returning data — a damaged page
+//     surfaces as a typed *seqerr.CorruptError, never as silently wrong
+//     floats,
 //   - an in-memory implementation of the same interfaces, and
 //   - access counters so tests can assert IO complexity claims (e.g. "a
 //     single cell reconstruction touches exactly one U row").
@@ -18,6 +23,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -25,25 +31,18 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"seqstore/internal/atomicio"
 	"seqstore/internal/linalg"
+	"seqstore/internal/seqerr"
 )
 
-// Magic identifies a seqstore matrix file.
-const Magic = "SEQMATRX"
-
-// Version is the current file-format version.
-const Version = 1
-
-// headerSize is the fixed .smx header length in bytes:
-// magic(8) + version(4) + reserved(4) + rows(8) + cols(8).
-const headerSize = 32
-
-// Common errors.
+// Common errors. Each wraps the matching seqerr sentinel, so callers can
+// classify failures with errors.Is across package boundaries.
 var (
-	ErrBadMagic    = errors.New("matio: not a seqstore matrix file")
-	ErrBadVersion  = errors.New("matio: unsupported matrix file version")
-	ErrRowRange    = errors.New("matio: row index out of range")
-	ErrShortFile   = errors.New("matio: file shorter than header declares")
+	ErrBadMagic    = fmt.Errorf("matio: not a seqstore matrix file (%w)", seqerr.ErrCorrupt)
+	ErrBadVersion  = fmt.Errorf("matio: unsupported matrix file version (%w)", seqerr.ErrBadVersion)
+	ErrRowRange    = fmt.Errorf("matio: row index out of range (%w)", seqerr.ErrOutOfRange)
+	ErrShortFile   = fmt.Errorf("matio: file shorter than header declares (%w)", seqerr.ErrCorrupt)
 	ErrRowMismatch = errors.New("matio: row length does not match matrix width")
 	ErrRowCount    = errors.New("matio: wrong number of rows written")
 )
@@ -182,38 +181,61 @@ func NumWorkers(w int) int {
 
 // --- On-disk implementation ------------------------------------------------
 
-// Writer streams rows into a new .smx file.
+// CreateOpts tunes Create (the zero value is the default configuration).
+type CreateOpts struct {
+	// PageRows overrides the number of rows per checksummed page; 0 picks
+	// a width-dependent default targeting ~8 KiB of data per page.
+	PageRows int
+}
+
+// Writer streams rows into a new v2 .smx file. The data goes to a
+// temporary file in the destination directory; only a successful Close
+// fsyncs it and renames it over path, so a crash (or abandoned writer) at
+// any earlier point leaves the destination untouched.
 type Writer struct {
-	f       *os.File
+	f       *os.File // temp file; renamed to path on Close
+	path    string   // final destination
 	w       *bufio.Writer
-	rows    int
-	cols    int
+	lay     layout
 	written int
 	buf     []byte
 	stats   *Stats
 	closed  bool
+
+	pageCRC  uint32 // running CRC32C of the current page's data
+	pageFill int    // rows accumulated in the current page
 }
 
-// Create starts a new matrix file with the given dimensions. The caller must
-// write exactly rows rows and then Close.
+// Create starts a new matrix file with the given dimensions and default
+// options. The caller must write exactly rows rows and then Close.
 func Create(path string, rows, cols int) (*Writer, error) {
+	return CreateOpts{}.Create(path, rows, cols)
+}
+
+// Create starts a new matrix file with these options.
+func (o CreateOpts) Create(path string, rows, cols int) (*Writer, error) {
 	if rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("matio: invalid dimensions %d×%d", rows, cols)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("matio: create: %w", err)
+	pageRows := o.PageRows
+	if pageRows <= 0 {
+		pageRows = defaultPageRows(cols)
 	}
-	w := &Writer{f: f, w: bufio.NewWriterSize(f, 1<<16), rows: rows, cols: cols,
-		buf: make([]byte, 8*cols), stats: &Stats{}}
-	hdr := make([]byte, headerSize)
-	copy(hdr, Magic)
-	binary.LittleEndian.PutUint32(hdr[8:], Version)
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(rows))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(cols))
-	if _, err := w.w.Write(hdr); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("matio: write header: %w", err)
+	f, err := atomicio.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("matio: create %s: %w", path, err)
+	}
+	w := &Writer{
+		f:     f,
+		path:  path,
+		w:     bufio.NewWriterSize(f, 1<<16),
+		lay:   layout{version: Version, rows: rows, cols: cols, pageRows: pageRows},
+		buf:   make([]byte, 8*cols),
+		stats: &Stats{},
+	}
+	if _, err := w.w.Write(encodeHeaderV2(rows, cols, pageRows)); err != nil {
+		atomicio.Abort(f)
+		return nil, fmt.Errorf("matio: write header %s: %w", path, err)
 	}
 	return w, nil
 }
@@ -223,41 +245,78 @@ func (w *Writer) WriteRow(row []float64) error {
 	if w.closed {
 		return errors.New("matio: write after close")
 	}
-	if len(row) != w.cols {
-		return fmt.Errorf("%w: got %d, want %d", ErrRowMismatch, len(row), w.cols)
+	if len(row) != w.lay.cols {
+		return fmt.Errorf("%w: got %d, want %d", ErrRowMismatch, len(row), w.lay.cols)
 	}
-	if w.written >= w.rows {
-		return fmt.Errorf("%w: already wrote %d rows", ErrRowCount, w.rows)
+	if w.written >= w.lay.rows {
+		return fmt.Errorf("%w: already wrote %d rows", ErrRowCount, w.lay.rows)
 	}
 	for j, v := range row {
 		binary.LittleEndian.PutUint64(w.buf[j*8:], math.Float64bits(v))
 	}
 	if _, err := w.w.Write(w.buf); err != nil {
-		return fmt.Errorf("matio: write row: %w", err)
+		return fmt.Errorf("matio: write row to %s: %w", w.path, err)
 	}
+	w.pageCRC = crc32.Update(w.pageCRC, castagnoli, w.buf)
+	w.pageFill++
 	w.written++
 	w.stats.rowWrites.Add(1)
+	if w.pageFill == w.lay.pageRows {
+		if err := w.flushPageCRC(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Close flushes and closes the file, failing if the declared row count was
-// not met.
+// flushPageCRC emits the CRC32C trailer of the just-completed page.
+func (w *Writer) flushPageCRC() error {
+	var b [checksumSize]byte
+	binary.LittleEndian.PutUint32(b[:], w.pageCRC)
+	if _, err := w.w.Write(b[:]); err != nil {
+		return fmt.Errorf("matio: write page checksum to %s: %w", w.path, err)
+	}
+	w.pageCRC, w.pageFill = 0, 0
+	return nil
+}
+
+// Close seals the file: the trailing partial page's checksum is written,
+// the temporary file is fsynced, and only then renamed over the
+// destination path. Closing before the declared row count was met (or any
+// write error) aborts instead — the destination is left untouched.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	if w.written != w.lay.rows {
+		atomicio.Abort(w.f)
+		return fmt.Errorf("%w: wrote %d of %d", ErrRowCount, w.written, w.lay.rows)
+	}
+	if w.pageFill > 0 {
+		if err := w.flushPageCRC(); err != nil {
+			atomicio.Abort(w.f)
+			return err
+		}
+	}
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("matio: flush: %w", err)
+		atomicio.Abort(w.f)
+		return fmt.Errorf("matio: flush %s: %w", w.path, err)
 	}
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("matio: close: %w", err)
-	}
-	if w.written != w.rows {
-		return fmt.Errorf("%w: wrote %d of %d", ErrRowCount, w.written, w.rows)
+	if err := atomicio.Commit(w.f, w.path); err != nil {
+		return fmt.Errorf("matio: commit %s: %w", w.path, err)
 	}
 	return nil
+}
+
+// Abort discards the writer without publishing anything at the destination
+// path. Safe to call after a failed WriteRow; a no-op after Close.
+func (w *Writer) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	atomicio.Abort(w.f)
 }
 
 // Stats exposes the writer's IO counters.
@@ -267,112 +326,269 @@ func (w *Writer) Stats() *Stats { return w.stats }
 // reads. All access is safe for concurrent use: random reads (ReadRow) use
 // ReadAt with a pooled buffer, and sequential scans (ScanRows,
 // ScanRowsRange) read through a SectionReader so they never share a seek
-// position.
+// position. Reads from v2 files verify the CRC32C of every page they touch
+// before returning data.
 type File struct {
-	f     *os.File
-	rows  int
-	cols  int
-	stats *Stats
-	bufs  sync.Pool
+	ra     io.ReaderAt
+	closer io.Closer // nil when opened over a caller-owned ReaderAt
+	path   string
+	size   int64
+	lay    layout
+	stats  *Stats
+	bufs   sync.Pool
 }
 
-// Open opens an existing .smx matrix file.
+// Open opens an existing .smx matrix file (either format version).
 func Open(path string) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("matio: open: %w", err)
 	}
-	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(f, hdr); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("matio: read header: %w", err)
-	}
-	if string(hdr[:8]) != Magic {
-		f.Close()
-		return nil, ErrBadMagic
-	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
-		f.Close()
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
-	}
-	rows := int(binary.LittleEndian.Uint64(hdr[16:]))
-	cols := int(binary.LittleEndian.Uint64(hdr[24:]))
-	if rows < 0 || cols < 0 {
-		f.Close()
-		return nil, errors.New("matio: corrupt header dimensions")
-	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("matio: stat: %w", err)
+		return nil, fmt.Errorf("matio: stat %s: %w", path, err)
 	}
-	want := int64(headerSize) + int64(rows)*int64(cols)*8
-	if fi.Size() < want {
+	m, err := OpenReaderAt(f, fi.Size(), path)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: have %d bytes, want %d", ErrShortFile, fi.Size(), want)
+		return nil, err
 	}
-	m := &File{f: f, rows: rows, cols: cols, stats: &Stats{}}
-	m.bufs.New = func() interface{} { return make([]byte, 8*cols) }
+	m.closer = f
+	return m, nil
+}
+
+// OpenReaderAt opens a matrix over any io.ReaderAt spanning size bytes —
+// the hook the fault-injection harness uses to corrupt reads in flight.
+// name labels the source in errors. Closing the returned File does not
+// close ra.
+func OpenReaderAt(ra io.ReaderAt, size int64, name string) (*File, error) {
+	hdr := make([]byte, headerSizeV2)
+	n, err := ra.ReadAt(hdr, 0)
+	if n < headerSizeV1 {
+		if err == nil || err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("matio: open %s: %w: %d-byte file", name, ErrShortFile, size)
+		}
+		return nil, fmt.Errorf("matio: open %s: read header: %w", name, err)
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, fmt.Errorf("matio: open %s: %w", name, ErrBadMagic)
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	lay := layout{
+		version: int(version),
+		rows:    int(binary.LittleEndian.Uint64(hdr[16:])),
+		cols:    int(binary.LittleEndian.Uint64(hdr[24:])),
+	}
+	switch version {
+	case VersionV1:
+		// No header checksum in v1; only sanity checks.
+	case Version:
+		if n < headerSizeV2 {
+			return nil, fmt.Errorf("matio: open %s: %w: %d-byte file", name, ErrShortFile, size)
+		}
+		want := binary.LittleEndian.Uint32(hdr[44:48])
+		if got := crc32.Checksum(hdr[:44], castagnoli); got != want {
+			return nil, fmt.Errorf("matio: open %s: %w", name,
+				seqerr.Corrupt(name, -1, 0, "header checksum mismatch: got %08x, want %08x", got, want))
+		}
+		if flags := binary.LittleEndian.Uint32(hdr[12:]); flags&FlagPageChecksums == 0 {
+			return nil, fmt.Errorf("matio: open %s: %w: unknown layout flags %#x", name, ErrBadVersion, flags)
+		}
+		lay.pageRows = int(binary.LittleEndian.Uint32(hdr[32:]))
+		if lay.pageRows <= 0 {
+			return nil, fmt.Errorf("matio: open %s: %w", name,
+				seqerr.Corrupt(name, -1, 0, "invalid pageRows %d", lay.pageRows))
+		}
+	default:
+		return nil, fmt.Errorf("matio: open %s: %w: %d", name, ErrBadVersion, version)
+	}
+	if lay.rows < 0 || lay.cols < 0 {
+		return nil, fmt.Errorf("matio: open %s: %w", name,
+			seqerr.Corrupt(name, -1, 0, "negative dimensions %d×%d", lay.rows, lay.cols))
+	}
+	// Reject dimensions whose byte size overflows int64: the size check
+	// below would otherwise compare against a wrapped-around value and
+	// admit a hostile header claiming absurd dimensions.
+	if lay.rows > math.MaxInt64/16 ||
+		(lay.cols != 0 && int64(lay.rows) > math.MaxInt64/8/int64(lay.cols)) {
+		return nil, fmt.Errorf("matio: open %s: %w", name,
+			seqerr.Corrupt(name, -1, 0, "dimensions %d×%d overflow", lay.rows, lay.cols))
+	}
+	if want := lay.fileSize(); size < want {
+		err := fmt.Errorf("matio: open %s: %w: have %d bytes, want %d", name, ErrShortFile, size, want)
+		if lay.version == Version {
+			// Locate the first page the truncation damaged, so the error
+			// carries a page address like every other corruption.
+			p := lay.numPages() - 1
+			for p > 0 && lay.pageStart(p) >= size {
+				p--
+			}
+			err = fmt.Errorf("%w (%w)", err, seqerr.Corrupt(name, p, lay.pageStart(p),
+				"file truncated: have %d bytes, want %d", size, want))
+		}
+		return nil, err
+	}
+	m := &File{ra: ra, path: name, size: size, lay: lay, stats: &Stats{}}
+	bufLen := 8 * lay.cols
+	if lay.version == Version {
+		// Size the page buffer by the largest real page (page 0), not the
+		// header's raw pageRows: the file-size check above proved the file
+		// holds pageDataBytes(0) bytes, so a hostile header claiming a huge
+		// pageRows cannot trigger an allocation beyond the actual file size.
+		bufLen = int(lay.pageDataBytes(0)) + checksumSize
+	}
+	m.bufs.New = func() interface{} { return make([]byte, bufLen) }
 	return m, nil
 }
 
 // Dims returns (rows, cols).
-func (m *File) Dims() (int, int) { return m.rows, m.cols }
+func (m *File) Dims() (int, int) { return m.lay.rows, m.lay.cols }
+
+// FormatVersion reports the file's on-disk format version (1 or 2).
+func (m *File) FormatVersion() int { return m.lay.version }
+
+// Path returns the file path (or the name given to OpenReaderAt).
+func (m *File) Path() string { return m.path }
 
 // Stats exposes the file's IO counters.
 func (m *File) Stats() *Stats { return m.stats }
 
-// Close closes the underlying file.
-func (m *File) Close() error { return m.f.Close() }
+// Close closes the underlying file (a no-op for OpenReaderAt sources).
+func (m *File) Close() error {
+	if m.closer == nil {
+		return nil
+	}
+	return m.closer.Close()
+}
 
-// ReadRow reads row i into dst (one simulated disk access).
+// ReadRow reads row i into dst (one simulated disk access). On a v2 file
+// the page holding the row is checksum-verified before any value is
+// returned.
 func (m *File) ReadRow(i int, dst []float64) error {
-	if i < 0 || i >= m.rows {
-		return fmt.Errorf("%w: %d of %d", ErrRowRange, i, m.rows)
+	if i < 0 || i >= m.lay.rows {
+		return fmt.Errorf("%w: %d of %d", ErrRowRange, i, m.lay.rows)
 	}
-	if len(dst) != m.cols {
-		return fmt.Errorf("%w: dst %d, want %d", ErrRowMismatch, len(dst), m.cols)
+	if len(dst) != m.lay.cols {
+		return fmt.Errorf("%w: dst %d, want %d", ErrRowMismatch, len(dst), m.lay.cols)
 	}
-	off := int64(headerSize) + int64(i)*int64(m.cols)*8
 	buf := m.bufs.Get().([]byte)
-	if _, err := m.f.ReadAt(buf, off); err != nil {
-		m.bufs.Put(buf)
-		return fmt.Errorf("matio: read row %d: %w", i, err)
+	defer m.bufs.Put(buf)
+	if m.lay.version == VersionV1 {
+		off := m.lay.rowOffsetV1(i)
+		raw := buf[:8*m.lay.cols]
+		if _, err := m.ra.ReadAt(raw, off); err != nil {
+			return fmt.Errorf("matio: %s: read row %d at offset %d: %w", m.path, i, off, err)
+		}
+		decodeRow(raw, dst)
+		m.stats.rowReads.Add(1)
+		return nil
 	}
-	decodeRow(buf, dst)
-	m.bufs.Put(buf)
+	p := m.lay.pageOfRow(i)
+	page, err := m.readPage(p, buf)
+	if err != nil {
+		return err
+	}
+	within := i - p*m.lay.pageRows
+	decodeRow(page[int64(within)*m.lay.rowBytes():], dst)
 	m.stats.rowReads.Add(1)
 	return nil
+}
+
+// readPage fetches and checksum-verifies page p, returning its data bytes
+// (a prefix of buf, which must have room for a full page plus trailer).
+func (m *File) readPage(p int, buf []byte) ([]byte, error) {
+	dataLen := m.lay.pageDataBytes(p)
+	off := m.lay.pageStart(p)
+	raw := buf[:dataLen+checksumSize]
+	if _, err := m.ra.ReadAt(raw, off); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("matio: %s: %w", m.path,
+				seqerr.Corrupt(m.path, p, off, "page truncated"))
+		}
+		return nil, fmt.Errorf("matio: %s: read page %d at offset %d: %w", m.path, p, off, err)
+	}
+	want := binary.LittleEndian.Uint32(raw[dataLen:])
+	if got := crc32.Checksum(raw[:dataLen], castagnoli); got != want {
+		return nil, fmt.Errorf("matio: %s: %w", m.path,
+			seqerr.Corrupt(m.path, p, off, "page checksum mismatch: got %08x, want %08x", got, want))
+	}
+	return raw[:dataLen], nil
 }
 
 // ScanRows streams all rows in order using buffered sequential IO. Each scan
 // counts as one pass and rows rowReads.
 func (m *File) ScanRows(fn func(i int, row []float64) error) error {
 	m.stats.passes.Add(1)
-	return m.ScanRowsRange(0, m.rows, fn)
+	return m.ScanRowsRange(0, m.lay.rows, fn)
 }
 
 // ScanRowsRange streams rows [start, end) in order using buffered sequential
 // IO over a private section reader, so any number of range scans (and random
 // reads) may run concurrently. Each row costs one rowRead; no pass is
-// counted — see StartPass.
+// counted — see StartPass. On v2 files every page overlapping the range is
+// checksum-verified before its rows are delivered.
 func (m *File) ScanRowsRange(start, end int, fn func(i int, row []float64) error) error {
-	if start < 0 || end > m.rows || start > end {
-		return fmt.Errorf("%w: range [%d, %d) of %d", ErrRowRange, start, end, m.rows)
+	if start < 0 || end > m.lay.rows || start > end {
+		return fmt.Errorf("%w: range [%d, %d) of %d", ErrRowRange, start, end, m.lay.rows)
 	}
-	off := int64(headerSize) + int64(start)*int64(m.cols)*8
-	r := bufio.NewReaderSize(
-		io.NewSectionReader(m.f, off, int64(end-start)*int64(m.cols)*8), 1<<16)
-	row := make([]float64, m.cols)
-	raw := make([]byte, 8*m.cols)
-	for i := start; i < end; i++ {
-		if _, err := io.ReadFull(r, raw); err != nil {
-			return fmt.Errorf("matio: scan row %d: %w", i, err)
+	if start == end {
+		return nil
+	}
+	row := make([]float64, m.lay.cols)
+	if m.lay.version == VersionV1 {
+		off := m.lay.rowOffsetV1(start)
+		r := bufio.NewReaderSize(
+			io.NewSectionReader(m.ra, off, int64(end-start)*m.lay.rowBytes()), 1<<16)
+		raw := make([]byte, m.lay.rowBytes())
+		for i := start; i < end; i++ {
+			if _, err := io.ReadFull(r, raw); err != nil {
+				return fmt.Errorf("matio: %s: scan row %d at offset %d: %w",
+					m.path, i, m.lay.rowOffsetV1(i), err)
+			}
+			decodeRow(raw, row)
+			m.stats.rowReads.Add(1)
+			if err := fn(i, row); err != nil {
+				return err
+			}
 		}
-		decodeRow(raw, row)
-		m.stats.rowReads.Add(1)
-		if err := fn(i, row); err != nil {
-			return err
+		return nil
+	}
+	firstPage, lastPage := m.lay.pageOfRow(start), m.lay.pageOfRow(end-1)
+	scanStart := m.lay.pageStart(firstPage)
+	scanLen := m.lay.pageStart(lastPage) + m.lay.pageDataBytes(lastPage) + checksumSize - scanStart
+	r := bufio.NewReaderSize(io.NewSectionReader(m.ra, scanStart, scanLen), 1<<16)
+	pageBuf := make([]byte, int64(m.lay.pageRows)*m.lay.rowBytes()+checksumSize)
+	for p := firstPage; p <= lastPage; p++ {
+		dataLen := m.lay.pageDataBytes(p)
+		raw := pageBuf[:dataLen+checksumSize]
+		if _, err := io.ReadFull(r, raw); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("matio: %s: %w", m.path,
+					seqerr.Corrupt(m.path, p, m.lay.pageStart(p), "page truncated during scan"))
+			}
+			return fmt.Errorf("matio: %s: scan page %d at offset %d: %w",
+				m.path, p, m.lay.pageStart(p), err)
+		}
+		want := binary.LittleEndian.Uint32(raw[dataLen:])
+		if got := crc32.Checksum(raw[:dataLen], castagnoli); got != want {
+			return fmt.Errorf("matio: %s: %w", m.path,
+				seqerr.Corrupt(m.path, p, m.lay.pageStart(p),
+					"page checksum mismatch: got %08x, want %08x", got, want))
+		}
+		lo, hi := p*m.lay.pageRows, p*m.lay.pageRows+m.lay.pageRowsIn(p)
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		for i := lo; i < hi; i++ {
+			decodeRow(raw[int64(i-p*m.lay.pageRows)*m.lay.rowBytes():], row)
+			m.stats.rowReads.Add(1)
+			if err := fn(i, row); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -384,7 +600,8 @@ func decodeRow(raw []byte, dst []float64) {
 	}
 }
 
-// WriteMatrix writes an in-memory matrix to path in .smx format.
+// WriteMatrix writes an in-memory matrix to path in .smx format (v2,
+// atomically).
 func WriteMatrix(path string, m *linalg.Matrix) error {
 	w, err := Create(path, m.Rows(), m.Cols())
 	if err != nil {
@@ -392,7 +609,7 @@ func WriteMatrix(path string, m *linalg.Matrix) error {
 	}
 	for i := 0; i < m.Rows(); i++ {
 		if err := w.WriteRow(m.Row(i)); err != nil {
-			w.Close()
+			w.Abort()
 			return err
 		}
 	}

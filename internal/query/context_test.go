@@ -1,0 +1,53 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestEvaluateCancellation proves a cancelled context stops the engine on
+// every dispatch arm — factored (svd/svdd) and generic row evaluation —
+// on both the serial and the parallel path, surfacing context.Canceled.
+func TestEvaluateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled before evaluation starts
+
+	for name, s := range engineStores(t) {
+		n, m := s.Dims()
+		sel := Selection{Rows: All(n), Cols: All(m)}
+		for _, workers := range []int{1, 4} {
+			for _, agg := range []Aggregate{Sum, StdDev, Min} {
+				_, err := EvaluateOpts(s, agg, sel, Options{Workers: workers, Ctx: ctx})
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("%s/%v workers=%d: err = %v, want context.Canceled",
+						name, agg, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateDeadline checks an expired deadline surfaces as
+// context.DeadlineExceeded, distinguishable from cancellation.
+func TestEvaluateDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(1, 0))
+	defer cancel()
+	s := engineStores(t)["svdd"]
+	n, m := s.Dims()
+	_, err := EvaluateOpts(s, Avg, Selection{Rows: All(n), Cols: All(m)}, Options{Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEvaluateNilContext pins the compatibility contract: a zero Options
+// (no context) still evaluates, so legacy callers are unaffected.
+func TestEvaluateNilContext(t *testing.T) {
+	s := engineStores(t)["dct"]
+	n, m := s.Dims()
+	if _, err := EvaluateOpts(s, Sum, Selection{Rows: All(n), Cols: All(m)}, Options{}); err != nil {
+		t.Errorf("nil-context evaluation failed: %v", err)
+	}
+}

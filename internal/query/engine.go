@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,6 +21,10 @@ type Options struct {
 	// since chunk boundaries and the reduction order never depend on
 	// scheduling).
 	Workers int
+	// Ctx, when non-nil, cancels the evaluation: workers check it between
+	// row chunks and return ctx.Err() (context.Canceled or
+	// DeadlineExceeded) once it fires. A nil Ctx means no cancellation.
+	Ctx context.Context
 }
 
 // evalChunkRows is the number of selection positions per work chunk. Like
@@ -46,8 +51,15 @@ const minScanRun = 4
 //     O(k·|C|) against a per-query V panel instead of the O(k·M) full
 //     reconstruction.
 func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (float64, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n, m := s.Dims()
 	if err := sel.Validate(n, m); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	if agg == Count {
@@ -56,7 +68,7 @@ func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (fl
 	workers := matio.NumWorkers(opts.Workers)
 	switch agg {
 	case Sum, Avg:
-		if v, ok, err := factoredSum(s, sel, workers); ok || err != nil {
+		if v, ok, err := factoredSum(ctx, s, sel, workers); ok || err != nil {
 			if err != nil {
 				return 0, err
 			}
@@ -66,11 +78,11 @@ func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (fl
 			return v, nil
 		}
 	case StdDev:
-		if v, ok, err := factoredStdDev(s, sel, workers); ok || err != nil {
+		if v, ok, err := factoredStdDev(ctx, s, sel, workers); ok || err != nil {
 			return v, err
 		}
 	}
-	acc, err := evaluateCells(s, sel, workers)
+	acc, err := evaluateCells(ctx, s, sel, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -81,14 +93,26 @@ func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (fl
 // round-robin to workers goroutines, calling run(worker, lo, hi) per chunk.
 // Worker w always receives chunks w, w+workers, … in order, so per-worker
 // state accumulates deterministically. With one worker (or one chunk) it
-// runs inline, spawning nothing — the serial reference path.
-func runSharded(n, workers int, run func(w, lo, hi int) error) error {
+// runs inline on the caller's goroutine — the serial reference path.
+// Cancellation is checked between chunks on every path, so a fired ctx
+// stops the evaluation within one chunk's worth of rows and surfaces as
+// ctx.Err(). Accumulation order per worker is identical to the unchunked
+// serial loop, so results stay deterministic.
+func runSharded(ctx context.Context, n, workers int, run func(w, lo, hi int) error) error {
 	chunks := matio.Chunks(n, evalChunkRows)
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
 	if workers <= 1 {
-		return run(0, 0, n)
+		for _, c := range chunks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(0, c.Start, c.End); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -97,6 +121,10 @@ func runSharded(n, workers int, run func(w, lo, hi int) error) error {
 		go func(w int) {
 			defer wg.Done()
 			for ci := w; ci < len(chunks); ci += workers {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				if err := run(w, chunks[ci].Start, chunks[ci].End); err != nil {
 					errs[w] = err
 					return
@@ -116,14 +144,14 @@ func runSharded(n, workers int, run func(w, lo, hi int) error) error {
 // evaluateCells runs the row engine over the selection and returns the
 // merged accumulator. Per-worker accumulators are merged in worker order,
 // so the result depends only on the worker count, not on scheduling.
-func evaluateCells(s store.Store, sel Selection, workers int) (*accum, error) {
+func evaluateCells(ctx context.Context, s store.Store, sel Selection, workers int) (*accum, error) {
 	e := newRowEngine(s, sel)
 	if workers < 1 {
 		workers = 1
 	}
 	accs := make([]*accum, workers)
 	scratch := make([]*engineScratch, workers)
-	err := runSharded(len(sel.Rows), workers, func(w, lo, hi int) error {
+	err := runSharded(ctx, len(sel.Rows), workers, func(w, lo, hi int) error {
 		if accs[w] == nil {
 			accs[w] = newAccum()
 			scratch[w] = e.newScratch()

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,13 +28,13 @@ import (
 
 // factoredSum attempts the factored Σ over R×C. The boolean reports
 // whether the store supports factoring.
-func factoredSum(s store.Store, sel Selection, workers int) (float64, bool, error) {
+func factoredSum(ctx context.Context, s store.Store, sel Selection, workers int) (float64, bool, error) {
 	switch t := s.(type) {
 	case *svd.Store:
-		v, err := factoredSumSVD(t, sel, workers)
+		v, err := factoredSumSVD(ctx, t, sel, workers)
 		return v, true, err
 	case *core.Store:
-		v, err := factoredSumSVDD(t, sel, workers)
+		v, err := factoredSumSVDD(ctx, t, sel, workers)
 		return v, true, err
 	default:
 		return 0, false, nil
@@ -44,11 +45,11 @@ func factoredSum(s store.Store, sel Selection, workers int) (float64, bool, erro
 // O(k·(|R|+|C|)) plus |R| U-row accesses (contiguous runs coalesced into
 // sequential scans).
 func FactoredSumSVD(s *svd.Store, sel Selection) (float64, error) {
-	return factoredSumSVD(s, sel, 1)
+	return factoredSumSVD(context.Background(), s, sel, 1)
 }
 
-func factoredSumSVD(s *svd.Store, sel Selection, workers int) (float64, error) {
-	um, err := rowMoments(s, sel.Rows, workers, false)
+func factoredSumSVD(ctx context.Context, s *svd.Store, sel Selection, workers int) (float64, error) {
+	um, err := rowMoments(ctx, s, sel.Rows, workers, false)
 	if err != nil {
 		return 0, err
 	}
@@ -69,11 +70,11 @@ func factoredSumSVD(s *svd.Store, sel Selection, workers int) (float64, error) {
 // the cross product r·c times, so its delta is weighted r·c — exactly as
 // the naive cell-by-cell evaluation counts it.
 func FactoredSumSVDD(s *core.Store, sel Selection) (float64, error) {
-	return factoredSumSVDD(s, sel, 1)
+	return factoredSumSVDD(context.Background(), s, sel, 1)
 }
 
-func factoredSumSVDD(s *core.Store, sel Selection, workers int) (float64, error) {
-	total, err := factoredSumSVD(s.Base(), sel, workers)
+func factoredSumSVDD(ctx context.Context, s *core.Store, sel Selection, workers int) (float64, error) {
+	total, err := factoredSumSVD(ctx, s.Base(), sel, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -91,10 +92,10 @@ func factoredSumSVDD(s *core.Store, sel Selection, workers int) (float64, error)
 // limited by cancellation in Σx²−(Σx)²/n; property tests pin it within
 // 1e-6 relative of the naive evaluation.
 func FactoredStdDev(s store.Store, sel Selection) (float64, bool, error) {
-	return factoredStdDev(s, sel, 1)
+	return factoredStdDev(context.Background(), s, sel, 1)
 }
 
-func factoredStdDev(s store.Store, sel Selection, workers int) (float64, bool, error) {
+func factoredStdDev(ctx context.Context, s store.Store, sel Selection, workers int) (float64, bool, error) {
 	var base *svd.Store
 	var svdd *core.Store
 	switch t := s.(type) {
@@ -106,7 +107,7 @@ func factoredStdDev(s store.Store, sel Selection, workers int) (float64, bool, e
 	default:
 		return 0, false, nil
 	}
-	um, err := rowMoments(base, sel.Rows, workers, true)
+	um, err := rowMoments(ctx, base, sel.Rows, workers, true)
 	if err != nil {
 		return 0, true, err
 	}
@@ -187,13 +188,13 @@ func (um *uMoments) merge(o *uMoments) {
 // rowMoments accumulates uMoments over the U rows of the selected rows,
 // sharded across workers with the same chunking as the row engine and
 // merged in worker order (deterministic for a fixed count).
-func rowMoments(base *svd.Store, rows []int, workers int, wantSq bool) (*uMoments, error) {
+func rowMoments(ctx context.Context, base *svd.Store, rows []int, workers int, wantSq bool) (*uMoments, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	k := base.K()
 	ms := make([]*uMoments, workers)
-	err := runSharded(len(rows), workers, func(w, lo, hi int) error {
+	err := runSharded(ctx, len(rows), workers, func(w, lo, hi int) error {
 		if ms[w] == nil {
 			ms[w] = newUMoments(k, wantSq)
 		}

@@ -18,7 +18,6 @@
 package query
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +28,7 @@ import (
 	"seqstore/internal/core"
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
 )
@@ -91,8 +91,10 @@ type Selection struct {
 	Cols []int
 }
 
-// ErrEmptySelection is returned when a selection contains no cells.
-var ErrEmptySelection = errors.New("query: empty selection")
+// ErrEmptySelection is returned when a selection contains no cells. It
+// wraps seqerr.ErrEmptySelection so facade and server callers can classify
+// it with errors.Is.
+var ErrEmptySelection = fmt.Errorf("query: empty selection (%w)", seqerr.ErrEmptySelection)
 
 // Validate checks that all indices are in range for an n×m matrix and that
 // the selection is non-empty.
@@ -102,12 +104,12 @@ func (sel Selection) Validate(n, m int) error {
 	}
 	for _, i := range sel.Rows {
 		if i < 0 || i >= n {
-			return fmt.Errorf("query: row %d out of range %d", i, n)
+			return fmt.Errorf("query: row %d out of range %d (%w)", i, n, seqerr.ErrOutOfRange)
 		}
 	}
 	for _, j := range sel.Cols {
 		if j < 0 || j >= m {
-			return fmt.Errorf("query: column %d out of range %d", j, m)
+			return fmt.Errorf("query: column %d out of range %d (%w)", j, m, seqerr.ErrOutOfRange)
 		}
 	}
 	return nil

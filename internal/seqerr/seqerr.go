@@ -1,0 +1,86 @@
+// Package seqerr defines the error taxonomy shared by every seqstore layer.
+//
+// The public facade re-exports the four sentinels below, so callers anywhere
+// in the stack — facade, CLI, HTTP handler — can classify failures with
+// errors.Is instead of string matching:
+//
+//	ErrOutOfRange     the request addressed a cell/row/column that does not exist
+//	ErrEmptySelection the request selected zero cells
+//	ErrBadVersion     the file is a seqstore file, but a version this build cannot read
+//	ErrCorrupt        the file is damaged (checksum mismatch, truncation, bad structure)
+//
+// Internal packages never return the sentinels bare; they wrap them with
+// package- and site-specific context (path, page, offset) via %w or
+// *CorruptError, keeping errors.Is classification intact.
+package seqerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. All internal errors of the matching class wrap one of
+// these, making them errors.Is-able across package boundaries.
+var (
+	ErrOutOfRange     = errors.New("seqstore: index out of range")
+	ErrEmptySelection = errors.New("seqstore: empty selection")
+	ErrBadVersion     = errors.New("seqstore: unsupported format version")
+	ErrCorrupt        = errors.New("seqstore: corrupt data")
+)
+
+// CorruptError reports damaged on-disk data with its location: which file,
+// which checksummed page, and the byte offset of that page. It wraps
+// ErrCorrupt, so errors.Is(err, ErrCorrupt) is true for every CorruptError.
+type CorruptError struct {
+	// Path is the file path, when known. Load paths that only see an
+	// io.Reader leave it empty; the opener fills it in via FillPath.
+	Path string
+	// Page is the zero-based index of the damaged page (matio data page or
+	// container payload frame). -1 means the damage is not page-addressed
+	// (e.g. a corrupt fixed header).
+	Page int
+	// Offset is the byte offset of the damaged page (or of the failure)
+	// within the file.
+	Offset int64
+	// Detail describes what check failed.
+	Detail string
+}
+
+// Error renders "corrupt <path>: page P at offset O: detail".
+func (e *CorruptError) Error() string {
+	s := "corrupt"
+	if e.Path != "" {
+		s += " " + e.Path
+	}
+	if e.Page >= 0 {
+		s += fmt.Sprintf(": page %d at offset %d", e.Page, e.Offset)
+	} else if e.Offset > 0 {
+		s += fmt.Sprintf(": at offset %d", e.Offset)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Unwrap makes every CorruptError match ErrCorrupt under errors.Is.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Corrupt builds a CorruptError with a formatted detail message.
+func Corrupt(path string, page int, offset int64, format string, args ...interface{}) error {
+	return &CorruptError{Path: path, Page: page, Offset: offset,
+		Detail: fmt.Sprintf(format, args...)}
+}
+
+// FillPath sets the Path of any CorruptError in err's chain that lacks one.
+// Stream decoders (which only see an io.Reader) produce path-less
+// CorruptErrors; the file-level opener calls FillPath so the final error
+// names the damaged file. The error is mutated in place: each error value is
+// owned by the single call chain that created it.
+func FillPath(err error, path string) error {
+	var ce *CorruptError
+	if errors.As(err, &ce) && ce.Path == "" {
+		ce.Path = path
+	}
+	return err
+}

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,8 +24,8 @@ import (
 	"time"
 
 	"seqstore/internal/core"
-	"seqstore/internal/matio"
 	"seqstore/internal/query"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 	"seqstore/internal/telemetry"
 )
@@ -62,6 +63,7 @@ type Handler struct {
 
 	cache        *rowCache // nil when disabled
 	hits, misses *telemetry.Counter
+	corruptions  *telemetry.Counter // store reads that surfaced ErrCorrupt
 
 	tel *telemetry.Registry
 	mux *http.ServeMux
@@ -89,18 +91,34 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	}
 	h.hits = h.tel.Counter("cache_hits")
 	h.misses = h.tel.Counter("cache_misses")
+	h.corruptions = h.tel.Counter("store_corruptions")
 	if opts.CacheRows > 0 {
 		h.cache = newRowCache(opts.CacheRows)
 	}
-	h.handle("/info", h.handleInfo)
-	h.handle("/cell", h.handleCell)
-	h.handle("/cells", h.handleCells)
-	h.handle("/row", h.handleRow)
-	h.handle("/rows", h.handleRows)
-	h.handle("/agg", h.handleAgg)
-	h.handle("/metrics", h.handleMetrics)
-	h.handle("/healthz", h.handleHealthz)
+	h.route("info", h.handleInfo)
+	h.route("cell", h.handleCell)
+	h.route("cells", h.handleCells)
+	h.route("row", h.handleRow)
+	h.route("rows", h.handleRows)
+	h.route("agg", h.handleAgg)
+	h.route("metrics", h.handleMetrics)
+	h.route("healthz", h.handleHealthz)
 	return h
+}
+
+// route registers one endpoint under the versioned API prefix ("/v1/cell")
+// and at its pre-versioning path ("/cell"). The legacy alias serves the
+// same handler but marks itself deprecated with the standard Deprecation
+// header and a Link to the successor, so existing clients keep working
+// while new ones are steered to /v1/.
+func (h *Handler) route(name string, fn http.HandlerFunc) {
+	h.handle("/v1/"+name, fn)
+	successor := fmt.Sprintf("</v1/%s>; rel=\"successor-version\"", name)
+	h.handle("/"+name, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", successor)
+		fn(w, r)
+	})
 }
 
 // ServeHTTP dispatches to the instrumented endpoint handlers.
@@ -193,7 +211,7 @@ func (h *Handler) cell(i, j int) (float64, error) {
 	}
 	_, m := h.st.Dims()
 	if j < 0 || j >= m {
-		return 0, fmt.Errorf("server: column %d out of range %d", j, m)
+		return 0, fmt.Errorf("server: column %d out of range %d (%w)", j, m, seqerr.ErrOutOfRange)
 	}
 	row, err := h.row(i)
 	if err != nil {
@@ -229,7 +247,7 @@ func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
 		}
 		v, err := h.cell(i, j)
 		if err != nil {
-			writeError(w, storeStatus(err), err.Error())
+			writeError(w, h.status(err), err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, withValue(map[string]interface{}{
@@ -246,7 +264,7 @@ func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := h.cell(i, j)
 	if err != nil {
-		writeError(w, storeStatus(err), err.Error())
+		writeError(w, h.status(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, withValue(map[string]interface{}{"i": i, "j": j}, v))
@@ -290,7 +308,7 @@ func (h *Handler) handleCells(w http.ResponseWriter, r *http.Request) {
 	for _, c := range coords {
 		v, err := h.cell(c[0], c[1])
 		if err != nil {
-			writeError(w, storeStatus(err),
+			writeError(w, h.status(err),
 				fmt.Sprintf("cell %d:%d: %v", c[0], c[1], err))
 			return
 		}
@@ -309,7 +327,7 @@ func (h *Handler) handleRow(w http.ResponseWriter, r *http.Request) {
 	}
 	row, err := h.row(i)
 	if err != nil {
-		writeError(w, storeStatus(err), err.Error())
+		writeError(w, h.status(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, rowBody(i, row))
@@ -343,7 +361,7 @@ func (h *Handler) handleRows(w http.ResponseWriter, r *http.Request) {
 	for _, i := range idx {
 		row, err := h.row(i)
 		if err != nil {
-			writeError(w, storeStatus(err), fmt.Sprintf("row %d: %v", i, err))
+			writeError(w, h.status(err), fmt.Sprintf("row %d: %v", i, err))
 			return
 		}
 		rows = append(rows, rowBody(i, row))
@@ -376,13 +394,9 @@ func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, err := query.EvaluateOpts(h.st, agg, query.Selection{Rows: rows, Cols: cols},
-		query.Options{Workers: h.opts.QueryWorkers})
+		query.Options{Workers: h.opts.QueryWorkers, Ctx: r.Context()})
 	if err != nil {
-		status := http.StatusBadRequest
-		if !errors.Is(err, query.ErrEmptySelection) {
-			status = storeStatus(err)
-		}
-		writeError(w, status, err.Error())
+		writeError(w, h.status(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, withValue(map[string]interface{}{
@@ -405,9 +419,10 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cache["hit_rate"] = telemetry.Rate(hits, misses)
 	}
 	body := map[string]interface{}{
-		"uptime_seconds": snap.UptimeSeconds,
-		"endpoints":      snap.Endpoints,
-		"cache":          cache,
+		"uptime_seconds":    snap.UptimeSeconds,
+		"endpoints":         snap.Endpoints,
+		"cache":             cache,
+		"store_corruptions": h.corruptions.Load(),
 		"store": map[string]interface{}{
 			"method":         h.st.Method().String(),
 			"rows":           rows,
@@ -469,14 +484,45 @@ func indexLabels(ss []string) map[string]int {
 	return m
 }
 
-// storeStatus classifies a reconstruction error: index errors are the
-// client's fault (400); anything else — a failing disk read under a
-// File-backed U, a corrupt payload — is an internal failure (500).
-func storeStatus(err error) int {
-	if errors.Is(err, matio.ErrRowRange) || strings.Contains(err.Error(), "out of range") {
-		return http.StatusBadRequest
+// StatusClientClosedRequest is the nginx-convention status for a request
+// abandoned by the client (context.Canceled); no standard code exists.
+const StatusClientClosedRequest = 499
+
+// errStatus is the single error → HTTP status table, driven by the shared
+// seqerr taxonomy instead of string matching. First match wins.
+var errStatus = []struct {
+	class  error
+	status int
+}{
+	{seqerr.ErrOutOfRange, http.StatusBadRequest},      // caller's indices are bad
+	{seqerr.ErrEmptySelection, http.StatusBadRequest},  // caller selected zero cells
+	{seqerr.ErrCorrupt, http.StatusServiceUnavailable}, // store damaged: fail loud, stay up
+	{seqerr.ErrBadVersion, http.StatusInternalServerError},
+	{context.Canceled, StatusClientClosedRequest},
+	{context.DeadlineExceeded, http.StatusGatewayTimeout},
+}
+
+// statusFor classifies an error via the taxonomy table. Unrecognized errors
+// — a failing disk read, an encoding bug — are internal failures (500).
+func statusFor(err error) int {
+	for _, e := range errStatus {
+		if errors.Is(err, e.class) {
+			return e.status
+		}
 	}
 	return http.StatusInternalServerError
+}
+
+// status is statusFor plus accounting: every corruption surfaced to a
+// client increments the store_corruptions counter on /metrics, so a
+// damaged store is visible to monitoring even while healthy endpoints keep
+// serving.
+func (h *Handler) status(err error) int {
+	s := statusFor(err)
+	if s == http.StatusServiceUnavailable {
+		h.corruptions.Inc()
+	}
+	return s
 }
 
 // jsonValue maps a float to a JSON-encodable value: finite numbers pass

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -15,6 +16,7 @@ import (
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
 	"seqstore/internal/query"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 )
 
@@ -28,17 +30,17 @@ func (f *fakeStore) Dims() (int, int) { return f.rows, f.cols }
 
 func (f *fakeStore) Cell(i, j int) (float64, error) {
 	if i < 0 || i >= f.rows {
-		return 0, fmt.Errorf("fake: row %d out of range %d", i, f.rows)
+		return 0, fmt.Errorf("fake: row %d out of range %d (%w)", i, f.rows, seqerr.ErrOutOfRange)
 	}
 	if j < 0 || j >= f.cols {
-		return 0, fmt.Errorf("fake: column %d out of range %d", j, f.cols)
+		return 0, fmt.Errorf("fake: column %d out of range %d (%w)", j, f.cols, seqerr.ErrOutOfRange)
 	}
 	return f.at(i, j), nil
 }
 
 func (f *fakeStore) Row(i int, dst []float64) ([]float64, error) {
 	if i < 0 || i >= f.rows {
-		return nil, fmt.Errorf("fake: row %d out of range %d", i, f.rows)
+		return nil, fmt.Errorf("fake: row %d out of range %d (%w)", i, f.rows, seqerr.ErrOutOfRange)
 	}
 	if cap(dst) < f.cols {
 		dst = make([]float64, f.cols)
@@ -50,8 +52,8 @@ func (f *fakeStore) Row(i int, dst []float64) ([]float64, error) {
 	return dst, nil
 }
 
-func (f *fakeStore) StoredNumbers() int64  { return int64(f.rows * f.cols) }
-func (f *fakeStore) Method() store.Method  { return store.MethodDCT }
+func (f *fakeStore) StoredNumbers() int64 { return int64(f.rows * f.cols) }
+func (f *fakeStore) Method() store.Method { return store.MethodDCT }
 
 var _ store.Store = (*fakeStore)(nil)
 
@@ -452,5 +454,101 @@ func TestCacheServesRepeatedRows(t *testing.T) {
 	}
 	if size != 1 || capacity < 16 {
 		t.Errorf("size=%d capacity=%d", size, capacity)
+	}
+}
+
+// corruptStore fails every read with a corruption error, as a store backed
+// by a damaged file would.
+type corruptStore struct{ fakeStore }
+
+func (c *corruptStore) Cell(i, j int) (float64, error) {
+	return 0, seqerr.Corrupt("/data/p.sqz", 3, 12345, "page checksum mismatch")
+}
+
+func (c *corruptStore) Row(i int, dst []float64) ([]float64, error) {
+	return nil, seqerr.Corrupt("/data/p.sqz", 3, 12345, "page checksum mismatch")
+}
+
+// TestCorruptStoreReturns503 pins the corruption contract at the serving
+// layer: a store that detects damage yields 503 (not 500, not wrong data),
+// the store_corruptions counter on /metrics increments per surfaced error,
+// and endpoints that do not touch the damaged pages keep serving.
+func TestCorruptStoreReturns503(t *testing.T) {
+	cs := &corruptStore{fakeStore{rows: 4, cols: 4, at: func(i, j int) float64 { return 0 }}}
+	srv := httptest.NewServer(NewHandler(cs, nil, Options{}))
+	defer srv.Close()
+
+	body := getJSON(t, srv.URL+"/cell?i=0&j=0", http.StatusServiceUnavailable)
+	if !strings.Contains(body["error"].(string), "checksum") {
+		t.Errorf("error = %v", body["error"])
+	}
+	getJSON(t, srv.URL+"/row?i=1", http.StatusServiceUnavailable)
+	getJSON(t, srv.URL+"/v1/row?i=1", http.StatusServiceUnavailable)
+
+	// Health and metadata endpoints stay up: corruption is not an outage.
+	getJSON(t, srv.URL+"/healthz", http.StatusOK)
+	getJSON(t, srv.URL+"/info", http.StatusOK)
+
+	metrics := getJSON(t, srv.URL+"/metrics", http.StatusOK)
+	if n := metrics["store_corruptions"].(float64); n != 3 {
+		t.Errorf("store_corruptions = %v, want 3", n)
+	}
+}
+
+// TestV1PathsAndDeprecationHeaders pins the API-versioning satellite: every
+// endpoint is served under /v1/, the legacy alias still works but is marked
+// with Deprecation and Link headers, and the /v1/ path carries neither.
+func TestV1PathsAndDeprecationHeaders(t *testing.T) {
+	srv, _, _ := newTestServer(t, Options{})
+	for _, ep := range []string{"info", "healthz", "metrics"} {
+		legacy, err := http.Get(srv.URL + "/" + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy.Body.Close()
+		if legacy.StatusCode != http.StatusOK {
+			t.Errorf("/%s: status %d", ep, legacy.StatusCode)
+		}
+		if legacy.Header.Get("Deprecation") != "true" {
+			t.Errorf("/%s: no Deprecation header", ep)
+		}
+		wantLink := fmt.Sprintf("</v1/%s>; rel=\"successor-version\"", ep)
+		if got := legacy.Header.Get("Link"); got != wantLink {
+			t.Errorf("/%s: Link = %q, want %q", ep, got, wantLink)
+		}
+
+		v1, err := http.Get(srv.URL + "/v1/" + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1.Body.Close()
+		if v1.StatusCode != http.StatusOK {
+			t.Errorf("/v1/%s: status %d", ep, v1.StatusCode)
+		}
+		if v1.Header.Get("Deprecation") != "" || v1.Header.Get("Link") != "" {
+			t.Errorf("/v1/%s: carries deprecation headers", ep)
+		}
+	}
+	// Value parity across the alias.
+	legacy := getJSON(t, srv.URL+"/cell?i=5&j=100", http.StatusOK)
+	v1 := getJSON(t, srv.URL+"/v1/cell?i=5&j=100", http.StatusOK)
+	if legacy["value"] != v1["value"] {
+		t.Errorf("alias value %v != v1 value %v", legacy["value"], v1["value"])
+	}
+}
+
+// TestCancelledRequestIs499 pins the context satellite: a client that goes
+// away mid-aggregation is recorded with the nginx-convention 499 status,
+// not a 500.
+func TestCancelledRequestIs499(t *testing.T) {
+	srv, h, _ := newTestServer(t, Options{})
+	_ = srv
+	req := httptest.NewRequest(http.MethodGet, "/v1/agg?f=avg", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // already gone before the query starts
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req.WithContext(ctx))
+	if rec.Code != StatusClientClosedRequest {
+		t.Errorf("cancelled /agg: status %d, want %d", rec.Code, StatusClientClosedRequest)
 	}
 }

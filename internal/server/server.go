@@ -9,6 +9,7 @@ import (
 	"os"
 	"time"
 
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 )
 
@@ -155,7 +156,9 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 }
 
 // Open loads a compressed .sqz store and its labels for serving — the
-// internal-interface mirror of the facade's seqstore.Open.
+// internal-interface mirror of the facade's seqstore.Open. Failures name
+// the file; container damage carries the frame and byte offset (see
+// seqerr.CorruptError).
 func Open(path string) (store.Store, *store.Labels, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -164,7 +167,7 @@ func Open(path string) (store.Store, *store.Labels, error) {
 	defer f.Close()
 	st, labels, err := store.ReadLabeled(bufio.NewReaderSize(f, 1<<16))
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: open %s: %w", path, err)
+		return nil, nil, seqerr.FillPath(fmt.Errorf("server: open %s: %w", path, err), path)
 	}
 	return st, labels, nil
 }

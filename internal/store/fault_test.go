@@ -1,0 +1,195 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqstore/internal/atomicio"
+	"seqstore/internal/faultio"
+	"seqstore/internal/seqerr"
+)
+
+// writeTestContainer serializes a labeled fakeStore and returns the bytes.
+func writeTestContainer(t *testing.T) []byte {
+	t.Helper()
+	f := &fakeStore{rows: 3, cols: 4, fill: 1.25}
+	labels := &Labels{
+		Rows: []string{"r0", "r1", "r2"},
+		Cols: []string{"c0", "c1", "c2", "c3"},
+	}
+	var buf bytes.Buffer
+	if err := WriteLabeled(&buf, f, labels); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readBack attempts a full decode, exercising labels and payload.
+func readBack(data []byte) error {
+	_, _, err := ReadLabeled(bytes.NewReader(data))
+	return err
+}
+
+// TestEveryBitFlipDetected flips a single bit at every byte offset of a v2
+// container and proves the reader always errors — never decodes silently
+// wrong data — with the error classified by region: damaged magic reads as
+// "not a container", damaged version as a version error, and everything
+// else (method, flags, frame stream) as corruption. The method and flag
+// fields are covered because frame 0's checksum is seeded with the header
+// CRC.
+func TestEveryBitFlipDetected(t *testing.T) {
+	clean := writeTestContainer(t)
+	if err := readBack(clean); err != nil {
+		t.Fatalf("pristine container unreadable: %v", err)
+	}
+
+	for off := 0; off < len(clean); off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			data := bytes.Clone(clean)
+			data[off] ^= 1 << bit
+			err := readBack(data)
+			if err == nil {
+				t.Fatalf("offset %d bit %d: flipped container decoded cleanly", off, bit)
+			}
+			switch {
+			case off < 8: // magic
+				if !errors.Is(err, ErrBadContainer) {
+					t.Errorf("offset %d bit %d: magic damage → %v, want ErrBadContainer", off, bit, err)
+				}
+			case off < 12: // version
+				if !errors.Is(err, ErrBadVersion) {
+					t.Errorf("offset %d bit %d: version damage → %v, want ErrBadVersion", off, bit, err)
+				}
+			case off == 14 && bit == 0: // FlagFramedChecksums cleared
+				if !errors.Is(err, seqerr.ErrBadVersion) {
+					t.Errorf("offset %d bit %d: cleared checksum flag → %v, want ErrBadVersion", off, bit, err)
+				}
+			default: // method, other flag bits, frame stream
+				if !errors.Is(err, seqerr.ErrCorrupt) {
+					t.Errorf("offset %d bit %d: body damage → %v, want ErrCorrupt", off, bit, err)
+				}
+			}
+		}
+	}
+}
+
+// TestContainerTruncationDetected cuts a v2 container at every length and
+// proves each prefix is rejected through the typed taxonomy — including a
+// cut exactly at the last frame boundary, which only the end marker
+// catches.
+func TestContainerTruncationDetected(t *testing.T) {
+	clean := writeTestContainer(t)
+	for size := 0; size < len(clean); size++ {
+		err := readBack(clean[:size])
+		if err == nil {
+			t.Fatalf("size %d: truncated container decoded cleanly", size)
+		}
+		if !errors.Is(err, seqerr.ErrCorrupt) {
+			t.Errorf("size %d: err = %v, want ErrCorrupt", size, err)
+		}
+	}
+}
+
+// TestCorruptErrorCarriesFrameLocation checks the error from a damaged
+// frame names the frame index and a byte offset inside the file.
+func TestCorruptErrorCarriesFrameLocation(t *testing.T) {
+	clean := writeTestContainer(t)
+	data := bytes.Clone(clean)
+	data[len(data)-10] ^= 0x40 // inside frame 0's data (single-frame container)
+	err := readBack(data)
+	var ce *seqerr.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("no CorruptError in %v", err)
+	}
+	if ce.Page != 0 {
+		t.Errorf("frame index = %d, want 0", ce.Page)
+	}
+	if ce.Offset != containerHeaderSize {
+		t.Errorf("offset = %d, want %d", ce.Offset, containerHeaderSize)
+	}
+}
+
+// TestCrashDuringSaveLeavesOldFile simulates a crash at every byte offset
+// of a container save routed through the atomic write protocol, and proves
+// the destination always still holds the old container afterwards — and
+// that no temporary files leak.
+func TestCrashDuringSaveLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.sqz")
+
+	oldStore := &fakeStore{rows: 3, cols: 4, fill: 1}
+	if err := Save(path, oldStore); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newStore := &fakeStore{rows: 3, cols: 4, fill: 2}
+	var full bytes.Buffer
+	if err := Write(&full, newStore); err != nil {
+		t.Fatal(err)
+	}
+
+	for crashAt := int64(0); crashAt < int64(full.Len()); crashAt++ {
+		err := atomicio.WriteFile(path, func(f *os.File) error {
+			fw := faultio.NewWriter(f)
+			fw.CrashAfter(crashAt)
+			return Write(fw, newStore)
+		})
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("crash at %d: err = %v, want ErrInjected", crashAt, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("crash at %d: destination unreadable: %v", crashAt, err)
+		}
+		if !bytes.Equal(got, old) {
+			t.Fatalf("crash at %d: destination changed", crashAt)
+		}
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("leftover temp files: %d entries", len(ents))
+	}
+
+	// The same save without a crash replaces the file with the new store.
+	if err := Save(path, newStore); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Cell(0, 0); v != 2 {
+		t.Errorf("after completed save, Cell(0,0) = %v, want 2", v)
+	}
+}
+
+// TestOnDiskCorruptionEndToEnd damages a saved .sqz in place and checks the
+// path-based load reports corruption annotated with the file path.
+func TestOnDiskCorruptionEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.sqz")
+	if err := Save(path, &fakeStore{rows: 2, cols: 2, fill: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultio.FlipBit(path, containerHeaderSize+9, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadLabeled(path)
+	if !errors.Is(err, seqerr.ErrCorrupt) {
+		t.Fatalf("flipped bit: err = %v, want ErrCorrupt", err)
+	}
+	var ce *seqerr.CorruptError
+	if !errors.As(err, &ce) || ce.Path != path {
+		t.Errorf("corruption error does not carry path: %v", err)
+	}
+}

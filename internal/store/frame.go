@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"seqstore/internal/seqerr"
+)
+
+// Container v2 splits everything after the fixed 16-byte header — the label
+// section and the method payload — into checksummed frames:
+//
+//	frame  := u32 dataLen | dataLen bytes | u32 CRC32C(data)
+//	stream := frame* | u32 0 (end marker)
+//
+// Frame 0's checksum is additionally seeded with the CRC32C of the
+// container header (CRC32C(header ‖ data)), binding the unchecksummed
+// 16-byte header — in particular its method and flag fields — to the body:
+// a bit flip in the header that survives the magic/version checks still
+// fails frame 0's verification instead of steering the payload to the
+// wrong codec.
+//
+// A reader verifies each frame's checksum before handing any of its bytes
+// to the codec, so a bit flip or truncation anywhere in the body surfaces
+// as a *seqerr.CorruptError carrying the frame index and byte offset —
+// it can never decode into plausible-but-wrong numbers. The explicit end
+// marker catches files truncated exactly at a frame boundary.
+const (
+	// frameSize is the data length the writer packs per frame.
+	frameSize = 1 << 16
+	// maxFrameLen bounds a decoded frame length so a corrupt prefix cannot
+	// trigger a huge allocation.
+	maxFrameLen = 1 << 26
+)
+
+var frameCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameWriter packs written bytes into checksummed frames. hdr is the
+// container header, folded into frame 0's checksum.
+type frameWriter struct {
+	dst    *bufio.Writer
+	buf    []byte
+	n      int
+	seed   uint32 // CRC of the container header, consumed by frame 0
+	frames int
+}
+
+func newFrameWriter(dst *bufio.Writer, hdr []byte) *frameWriter {
+	return &frameWriter{
+		dst:  dst,
+		buf:  make([]byte, frameSize),
+		seed: crc32.Checksum(hdr, frameCRCTable),
+	}
+}
+
+func (fw *frameWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		c := copy(fw.buf[fw.n:], p)
+		fw.n += c
+		p = p[c:]
+		if fw.n == len(fw.buf) {
+			if err := fw.flushFrame(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (fw *frameWriter) flushFrame() error {
+	if fw.n == 0 {
+		return nil
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(fw.n))
+	if _, err := fw.dst.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.dst.Write(fw.buf[:fw.n]); err != nil {
+		return err
+	}
+	sum := crc32.Checksum(fw.buf[:fw.n], frameCRCTable)
+	if fw.frames == 0 {
+		sum = crc32.Update(fw.seed, frameCRCTable, fw.buf[:fw.n])
+	}
+	binary.LittleEndian.PutUint32(hdr[:], sum)
+	if _, err := fw.dst.Write(hdr[:]); err != nil {
+		return err
+	}
+	fw.n = 0
+	fw.frames++
+	return nil
+}
+
+// Close flushes the trailing partial frame and writes the end marker.
+func (fw *frameWriter) Close() error {
+	if err := fw.flushFrame(); err != nil {
+		return err
+	}
+	var end [4]byte // dataLen 0 = end of stream
+	_, err := fw.dst.Write(end[:])
+	return err
+}
+
+// frameReader unpacks and verifies the checksummed frame stream. It
+// implements io.Reader over the reassembled bytes; every frame is verified
+// in full before any of its bytes are returned.
+type frameReader struct {
+	src    io.Reader
+	buf    []byte // current verified frame
+	pos    int    // read position within buf
+	frame  int    // index of the NEXT frame to load
+	offset int64  // byte offset in the container of the next frame header
+	seed   uint32 // header CRC folded into frame 0's checksum
+	sawEnd bool
+}
+
+// newFrameReader reads frames from src. hdr is the already-consumed
+// container header, whose CRC seeds frame 0's verification; its length is
+// also the container offset where the frame stream starts, used to report
+// absolute offsets in corruption errors.
+func newFrameReader(src io.Reader, hdr []byte) *frameReader {
+	return &frameReader{
+		src:    src,
+		offset: int64(len(hdr)),
+		seed:   crc32.Checksum(hdr, frameCRCTable),
+	}
+}
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	for fr.pos == len(fr.buf) {
+		if fr.sawEnd {
+			return 0, io.EOF
+		}
+		if err := fr.loadFrame(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, fr.buf[fr.pos:])
+	fr.pos += n
+	return n, nil
+}
+
+// loadFrame reads and verifies the next frame (or the end marker).
+func (fr *frameReader) loadFrame() error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.src, hdr[:]); err != nil {
+		return fmt.Errorf("store: %w", seqerr.Corrupt("", fr.frame, fr.offset,
+			"container truncated: missing frame header (no end marker)"))
+	}
+	dataLen := binary.LittleEndian.Uint32(hdr[:])
+	if dataLen == 0 {
+		fr.sawEnd = true
+		return nil
+	}
+	if dataLen > maxFrameLen {
+		return fmt.Errorf("store: %w", seqerr.Corrupt("", fr.frame, fr.offset,
+			"absurd frame length %d", dataLen))
+	}
+	if cap(fr.buf) < int(dataLen) {
+		fr.buf = make([]byte, dataLen)
+	}
+	fr.buf = fr.buf[:dataLen]
+	if _, err := io.ReadFull(fr.src, fr.buf); err != nil {
+		return fmt.Errorf("store: %w", seqerr.Corrupt("", fr.frame, fr.offset,
+			"frame truncated: want %d data bytes", dataLen))
+	}
+	if _, err := io.ReadFull(fr.src, hdr[:]); err != nil {
+		return fmt.Errorf("store: %w", seqerr.Corrupt("", fr.frame, fr.offset,
+			"frame truncated: missing checksum"))
+	}
+	want := binary.LittleEndian.Uint32(hdr[:])
+	got := crc32.Checksum(fr.buf, frameCRCTable)
+	if fr.frame == 0 {
+		got = crc32.Update(fr.seed, frameCRCTable, fr.buf)
+	}
+	if got != want {
+		return fmt.Errorf("store: %w", seqerr.Corrupt("", fr.frame, fr.offset,
+			"frame checksum mismatch: got %08x, want %08x", got, want))
+	}
+	fr.pos = 0
+	fr.offset += int64(8 + dataLen)
+	fr.frame++
+	return nil
+}
+
+// expectEnd verifies the stream is fully consumed: no bytes left in the
+// current frame, and the next thing in the container is the end marker.
+// Called after the codec finishes decoding, it catches both trailing
+// garbage and a decoder/payload length mismatch.
+func (fr *frameReader) expectEnd() error {
+	if fr.pos != len(fr.buf) {
+		return fmt.Errorf("store: %w", seqerr.Corrupt("", fr.frame-1, fr.offset,
+			"container has %d undecoded bytes", len(fr.buf)-fr.pos))
+	}
+	if fr.sawEnd {
+		return nil
+	}
+	if err := fr.loadFrame(); err != nil {
+		return err
+	}
+	if !fr.sawEnd {
+		return fmt.Errorf("store: %w", seqerr.Corrupt("", fr.frame-1, fr.offset,
+			"trailing data after payload"))
+	}
+	return nil
+}

@@ -1,8 +1,12 @@
 package store
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+
+	"seqstore/internal/seqerr"
 )
 
 // Labels are optional row/column names stored alongside a compressed store
@@ -32,44 +36,74 @@ func (l *Labels) Validate(rows, cols int) error {
 	return nil
 }
 
-// WriteLabeled serializes s into w as a .sqz container with optional axis
-// labels.
+// WriteLabeled serializes s into w as a v2 .sqz container with optional
+// axis labels: a fixed header followed by the label section and method
+// payload packed into CRC32C-checksummed frames (see frame.go).
 func WriteLabeled(w io.Writer, s Encoder, labels *Labels) error {
 	rows, cols := s.Dims()
 	if err := labels.Validate(rows, cols); err != nil {
 		return err
 	}
-	bw := NewWriter(w)
-	bw.Bytes([]byte(containerMagic))
-	bw.U32(containerVersion)
-	bw.U16(uint16(s.Method()))
-	bw.U16(0) // reserved
-	writeLabelSection(bw, labels)
-	if err := bw.Err(); err != nil {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriterSize(w, 1<<16)
+	}
+	hdr := make([]byte, containerHeaderSize)
+	copy(hdr, containerMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], containerVersion)
+	binary.LittleEndian.PutUint16(hdr[12:], uint16(s.Method()))
+	binary.LittleEndian.PutUint16(hdr[14:], FlagFramedChecksums)
+	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
-	if err := s.EncodePayload(bw); err != nil {
+	fw := newFrameWriter(bw, hdr)
+	sw := NewWriter(fw)
+	writeLabelSection(sw, labels)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	if err := s.EncodePayload(sw); err != nil {
+		return err
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// ReadLabeled deserializes a .sqz container, returning the store and any
-// stored labels (nil when the container carries none).
+// ReadLabeled deserializes a .sqz container of either version, returning
+// the store and any stored labels (nil when the container carries none).
+// For v2 containers every frame is checksum-verified before its bytes
+// reach the codec; damage surfaces as a *seqerr.CorruptError naming the
+// frame and offset, never as silently wrong data.
 func ReadLabeled(r io.Reader) (Store, *Labels, error) {
-	br := NewReader(r)
-	magic := make([]byte, len(containerMagic))
-	br.ReadFull(magic)
-	version := br.U32()
-	method := Method(br.U16())
-	br.U16() // reserved
-	if err := br.Err(); err != nil {
-		return nil, nil, fmt.Errorf("store: read header: %w", err)
+	hdr := make([]byte, containerHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, nil, fmt.Errorf("store: read header: %w (%w)", err, seqerr.ErrCorrupt)
 	}
-	if string(magic) != containerMagic {
+	if string(hdr[:8]) != containerMagic {
 		return nil, nil, ErrBadContainer
 	}
-	if version != containerVersion {
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	method := Method(binary.LittleEndian.Uint16(hdr[12:]))
+	flags := binary.LittleEndian.Uint16(hdr[14:])
+	var (
+		br *Reader
+		fr *frameReader
+	)
+	switch version {
+	case containerVersionV1:
+		br = NewReader(r) // legacy: unchecksummed byte stream
+	case containerVersion:
+		if flags&FlagFramedChecksums == 0 {
+			return nil, nil, fmt.Errorf("%w: unknown container flags %#x", ErrBadVersion, flags)
+		}
+		fr = newFrameReader(r, hdr)
+		br = NewReader(fr)
+	default:
 		return nil, nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	labels, err := readLabelSection(br)
@@ -85,6 +119,11 @@ func ReadLabeled(r io.Reader) (Store, *Labels, error) {
 	s, err := dec(br)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: decode %v payload: %w", method, err)
+	}
+	if fr != nil {
+		if err := fr.expectEnd(); err != nil {
+			return nil, nil, err
+		}
 	}
 	rows, cols := s.Dims()
 	if err := labels.Validate(rows, cols); err != nil {

@@ -16,6 +16,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"seqstore/internal/atomicio"
+	"seqstore/internal/seqerr"
 )
 
 // Method identifies a compression method in the .sqz container.
@@ -134,16 +137,26 @@ func RegisteredMethods() []Method {
 	return out
 }
 
-// Container format constants.
+// Container format constants. v1 containers (no checksums) remain
+// readable; new containers are written as v2 with framed CRC32C checksums
+// and an atomic save protocol (see frame.go and Save).
 const (
-	containerMagic   = "SEQSTORE"
-	containerVersion = 1
+	containerMagic      = "SEQSTORE"
+	containerVersion    = 2
+	containerVersionV1  = 1
+	containerHeaderSize = 16 // magic(8) + version(4) + method(2) + flags(2)
+
+	// FlagFramedChecksums marks a v2 container whose body is a
+	// CRC32C-checksummed frame stream. Always set by this writer.
+	FlagFramedChecksums = 1 << 0
 )
 
-// Container errors.
+// Container errors. ErrBadContainer and ErrBadVersion wrap the shared
+// seqerr sentinels so the facade and server can classify them without
+// importing this package's internals.
 var (
-	ErrBadContainer = errors.New("store: not a seqstore container")
-	ErrBadVersion   = errors.New("store: unsupported container version")
+	ErrBadContainer = fmt.Errorf("store: not a seqstore container (%w)", seqerr.ErrCorrupt)
+	ErrBadVersion   = fmt.Errorf("store: unsupported container version (%w)", seqerr.ErrBadVersion)
 	ErrNoCodec      = errors.New("store: no codec registered for method")
 )
 
@@ -157,29 +170,38 @@ func Read(r io.Reader) (Store, error) {
 	return s, err
 }
 
-// Save writes s to a file at path.
+// Save writes s to a file at path, atomically: the container goes to a
+// temporary file that is fsynced and renamed over path only once complete,
+// so a crash mid-save leaves either the old file or the new one — never a
+// partial container.
 func Save(path string, s Encoder) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("store: save: %w", err)
-	}
-	if err := Write(f, s); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return SaveLabeled(path, s, nil)
+}
+
+// SaveLabeled is Save with axis labels.
+func SaveLabeled(path string, s Encoder, labels *Labels) error {
+	return atomicio.WriteFile(path, func(f *os.File) error {
+		return WriteLabeled(f, s, labels)
+	})
 }
 
 // Load reads a store from a .sqz file.
 func Load(path string) (Store, error) {
+	s, _, err := LoadLabeled(path)
+	return s, err
+}
+
+// LoadLabeled reads a store and its labels from a .sqz file. Corruption
+// errors are annotated with the file path.
+func LoadLabeled(path string) (Store, *Labels, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: load: %w", err)
+		return nil, nil, fmt.Errorf("store: load: %w", err)
 	}
 	defer f.Close()
-	s, err := Read(bufio.NewReaderSize(f, 1<<16))
+	s, labels, err := ReadLabeled(bufio.NewReaderSize(f, 1<<16))
 	if err != nil {
-		return nil, fmt.Errorf("store: load %s: %w", path, err)
+		return nil, nil, seqerr.FillPath(fmt.Errorf("store: load %s: %w", path, err), path)
 	}
-	return s, nil
+	return s, labels, nil
 }

@@ -6,6 +6,8 @@ import (
 	"math"
 	"path/filepath"
 	"testing"
+
+	"seqstore/internal/seqerr"
 	"testing/quick"
 )
 
@@ -100,18 +102,33 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// unknownMethodStore encodes fine but reports a method with no codec.
+type unknownMethodStore struct{ *fakeStore }
+
+func (u unknownMethodStore) Method() Method { return Method(0x7777) }
+
 func TestReadRejectsUnknownMethod(t *testing.T) {
-	f := &fakeStore{rows: 1, cols: 1}
+	// An honestly written container whose method has no registered decoder.
 	var buf bytes.Buffer
-	if err := Write(&buf, f); err != nil {
+	if err := Write(&buf, unknownMethodStore{&fakeStore{rows: 1, cols: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrNoCodec) {
+		t.Errorf("unknown method: %v", err)
+	}
+
+	// Clobbering the method id of a valid container is tampering: frame 0's
+	// checksum covers the header, so it must surface as corruption, not as
+	// a decode under the wrong codec.
+	buf.Reset()
+	if err := Write(&buf, &fakeStore{rows: 1, cols: 1}); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	data[12] = 0x77 // clobber the method id
+	data[12] = 0x77
 	data[13] = 0x77
-	_, err := Read(bytes.NewReader(data))
-	if !errors.Is(err, ErrNoCodec) {
-		t.Errorf("unknown method: %v", err)
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, seqerr.ErrCorrupt) {
+		t.Errorf("clobbered method: %v", err)
 	}
 }
 

@@ -3,14 +3,16 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"math"
+
+	"seqstore/internal/seqerr"
 )
 
-// ErrCorrupt reports structurally invalid payload data.
-var ErrCorrupt = errors.New("store: corrupt payload")
+// ErrCorrupt reports structurally invalid payload data. It wraps
+// seqerr.ErrCorrupt so facade and server callers can classify it.
+var ErrCorrupt = fmt.Errorf("store: corrupt payload (%w)", seqerr.ErrCorrupt)
 
 // maxSliceLen bounds decoded slice lengths so a corrupt length prefix cannot
 // trigger a huge allocation. 1<<31 numbers = 16 GiB, far beyond any store we

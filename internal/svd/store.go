@@ -5,6 +5,7 @@ import (
 
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 )
 
@@ -136,7 +137,7 @@ func (s *Store) UStats() *matio.Stats {
 // Cell reconstructs x̂[i][j] = Σ_m σ_m·u[i][m]·v[j][m].
 func (s *Store) Cell(i, j int) (float64, error) {
 	if j < 0 || j >= s.cols {
-		return 0, fmt.Errorf("svd: column %d out of range %d", j, s.cols)
+		return 0, fmt.Errorf("svd: column %d out of range %d (%w)", j, s.cols, seqerr.ErrOutOfRange)
 	}
 	urow := make([]float64, len(s.sigma))
 	if err := s.u.ReadRow(i, urow); err != nil {

@@ -19,6 +19,7 @@ import (
 
 	"seqstore/internal/matio"
 	"seqstore/internal/pqueue"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 )
 
@@ -217,10 +218,10 @@ func (s *Store) coefAt(i, c int) float64 {
 // sample j.
 func (s *Store) Cell(i, j int) (float64, error) {
 	if i < 0 || i >= s.rows {
-		return 0, fmt.Errorf("wavelet: row %d out of range %d", i, s.rows)
+		return 0, fmt.Errorf("wavelet: row %d out of range %d (%w)", i, s.rows, seqerr.ErrOutOfRange)
 	}
 	if j < 0 || j >= s.cols {
-		return 0, fmt.Errorf("wavelet: column %d out of range %d", j, s.cols)
+		return 0, fmt.Errorf("wavelet: column %d out of range %d (%w)", j, s.cols, seqerr.ErrOutOfRange)
 	}
 	var x float64
 	for _, c := range coefIndicesFor(j, s.p) {
@@ -234,7 +235,7 @@ func (s *Store) Cell(i, j int) (float64, error) {
 // Row reconstructs row i by inverse-transforming its sparse coefficients.
 func (s *Store) Row(i int, dst []float64) ([]float64, error) {
 	if i < 0 || i >= s.rows {
-		return nil, fmt.Errorf("wavelet: row %d out of range %d", i, s.rows)
+		return nil, fmt.Errorf("wavelet: row %d out of range %d (%w)", i, s.rows, seqerr.ErrOutOfRange)
 	}
 	coef := make([]float64, s.p)
 	for k, c := range s.idx[i] {

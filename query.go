@@ -1,6 +1,7 @@
 package seqstore
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -38,12 +39,19 @@ func (st *Store) Aggregate(agg Aggregate, rows, cols []int) (float64, error) {
 
 // AggregateOpts is Aggregate with engine tuning knobs.
 func (st *Store) AggregateOpts(agg Aggregate, rows, cols []int, opts AggOptions) (float64, error) {
+	return st.AggregateContext(context.Background(), agg, rows, cols, opts)
+}
+
+// AggregateContext is AggregateOpts with cancellation: the engine's workers
+// check ctx between row chunks and return ctx.Err() once it fires, so a
+// cancelled HTTP request or deadline stops a large aggregate mid-flight.
+func (st *Store) AggregateContext(ctx context.Context, agg Aggregate, rows, cols []int, opts AggOptions) (float64, error) {
 	a, err := query.ParseAggregate(string(agg))
 	if err != nil {
 		return 0, err
 	}
 	return query.EvaluateOpts(st.s, a, query.Selection{Rows: rows, Cols: cols},
-		query.Options{Workers: opts.Workers})
+		query.Options{Workers: opts.Workers, Ctx: ctx})
 }
 
 // AggregateExact evaluates the same aggregate on the original uncompressed

@@ -24,6 +24,7 @@ package seqstore
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
 	"seqstore/internal/robust"
+	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
 	"seqstore/internal/wavelet"
@@ -150,11 +152,13 @@ func (x *Matrix) Head(n int) *Matrix {
 // SaveMatrix writes the dataset to path in the binary .smx format.
 func SaveMatrix(path string, x *Matrix) error { return matio.WriteMatrix(path, x.m) }
 
-// LoadMatrix reads a .smx dataset fully into memory.
+// LoadMatrix reads a .smx dataset fully into memory. Failures name the file
+// and, for checksum or truncation damage, the page and byte offset (see
+// CorruptError).
 func LoadMatrix(path string) (*Matrix, error) {
 	m, err := matio.ReadMatrix(path)
 	if err != nil {
-		return nil, err
+		return nil, seqerr.FillPath(err, path)
 	}
 	return &Matrix{m: m}, nil
 }
@@ -169,13 +173,25 @@ type Store struct {
 
 // Compress builds a compressed store from an in-memory dataset.
 func Compress(x *Matrix, opts Options) (*Store, error) {
-	return compress(matio.NewMem(x.m), x.m, opts)
+	return CompressContext(context.Background(), x, opts)
+}
+
+// CompressContext is Compress with cancellation: the pipeline checks ctx
+// between compression stages and returns ctx.Err() once it fires.
+func CompressContext(ctx context.Context, x *Matrix, opts Options) (*Store, error) {
+	return compress(ctx, matio.NewMem(x.m), x.m, opts)
 }
 
 // CompressFile builds a compressed store by streaming a .smx file, never
 // holding the full dataset in memory (except for the Cluster method, which
 // is inherently in-memory).
 func CompressFile(path string, opts Options) (*Store, error) {
+	return CompressFileContext(context.Background(), path, opts)
+}
+
+// CompressFileContext is CompressFile with cancellation, checked between
+// compression stages.
+func CompressFileContext(ctx context.Context, path string, opts Options) (*Store, error) {
 	f, err := matio.Open(path)
 	if err != nil {
 		return nil, err
@@ -185,18 +201,21 @@ func CompressFile(path string, opts Options) (*Store, error) {
 	if opts.Method == Cluster || opts.Method == KMeans || opts.Robust {
 		full, err = matio.ReadMatrix(path)
 		if err != nil {
-			return nil, err
+			return nil, seqerr.FillPath(err, path)
 		}
 	}
-	return compress(f, full, opts)
+	return compress(ctx, f, full, opts)
 }
 
-func compress(src matio.RowSource, full *linalg.Matrix, opts Options) (*Store, error) {
+func compress(ctx context.Context, src matio.RowSource, full *linalg.Matrix, opts Options) (*Store, error) {
 	if opts.Method == "" {
 		opts.Method = SVDD
 	}
 	if opts.Budget <= 0 && opts.K <= 0 {
 		return nil, ErrNoBudget
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	n, m := src.Dims()
 	var (
@@ -223,6 +242,9 @@ func compress(src matio.RowSource, full *linalg.Matrix, opts Options) (*Store, e
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	switch opts.Method {
@@ -303,6 +325,9 @@ func compress(src matio.RowSource, full *linalg.Matrix, opts Options) (*Store, e
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.HalfPrecision {
 		type precisioner interface{ SetPrecision(int) error }
 		p, ok := s.(precisioner)
@@ -317,7 +342,18 @@ func compress(src matio.RowSource, full *linalg.Matrix, opts Options) (*Store, e
 }
 
 // Open loads a compressed store saved with Save, including any labels.
+// Failures name the file; damage in a checksummed (v2) container surfaces
+// as ErrCorrupt with the frame and byte offset (see CorruptError), never as
+// silently wrong data.
 func Open(path string) (*Store, error) {
+	return OpenContext(context.Background(), path)
+}
+
+// OpenContext is Open with cancellation, checked before the read starts.
+func OpenContext(ctx context.Context, path string) (*Store, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("seqstore: open: %w", err)
@@ -325,27 +361,21 @@ func Open(path string) (*Store, error) {
 	defer f.Close()
 	s, labels, err := store.ReadLabeled(bufio.NewReaderSize(f, 1<<16))
 	if err != nil {
-		return nil, fmt.Errorf("seqstore: open %s: %w", path, err)
+		return nil, seqerr.FillPath(fmt.Errorf("seqstore: open %s: %w", path, err), path)
 	}
 	return &Store{s: s, labels: labels}, nil
 }
 
 // Save writes the store (and any labels) to path in the .sqz container
-// format.
+// format, atomically: the container goes to a temporary file that is
+// fsynced and renamed over path only once complete, so a crash mid-save
+// leaves either the old file or the new one — never a partial container.
 func (st *Store) Save(path string) error {
 	enc, ok := st.s.(store.Encoder)
 	if !ok {
 		return fmt.Errorf("seqstore: %s store is not serializable", st.s.Method())
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("seqstore: save: %w", err)
-	}
-	if err := store.WriteLabeled(f, enc, st.labels); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return store.SaveLabeled(path, enc, st.labels)
 }
 
 // Dims returns the dimensions of the represented dataset.
