@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz-smoke golden-check bench-parallel serve-bench query-bench experiments
+.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden bench-parallel serve-bench query-bench trace-bench experiments
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,17 @@ fuzz-smoke:
 golden-check:
 	$(GO) test -run 'TestGoldenV1' -v ./internal/matio ./internal/store
 
-check: vet race golden-check fuzz-smoke
+# metrics-golden pins the observable metrics schemas: the /v1/metrics JSON
+# key structure and the Prometheus exposition's family names/types are
+# diffed against internal/server/testdata/*.golden, and the new
+# observability packages get a dedicated vet pass. Regenerate the goldens
+# after an intentional schema change with:
+#	go test ./internal/server -run Golden -update-golden
+metrics-golden:
+	$(GO) vet ./internal/trace ./internal/telemetry ./internal/server
+	$(GO) test -run 'TestMetrics.*SchemaGolden' -v ./internal/server
+
+check: vet race golden-check metrics-golden fuzz-smoke
 
 # bench-parallel runs the worker-count sub-benchmarks for the three sharded
 # hot loops. The cmd/experiments "parallel" harness records the same loops
@@ -55,6 +65,12 @@ serve-bench:
 # records the speedups to results/bench_query.json for cross-PR tracking.
 query-bench:
 	$(GO) run ./cmd/experiments query
+
+# trace-bench measures the per-request cost-attribution tax: the same
+# aggregate evaluations untraced vs with a live trace/ledger on the
+# context, recorded to results/bench_trace.json (target: < 3% overhead).
+trace-bench:
+	$(GO) run ./cmd/experiments trace
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -2,7 +2,7 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace]
 //
 // Flags:
 //
@@ -19,6 +19,8 @@
 //	                  latency record (default results/bench_server.json)
 //	-query-out p      where the "query" harness writes its JSON engine
 //	                  speedup record (default results/bench_query.json)
+//	-trace-out p      where the "trace" harness writes its JSON tracing-
+//	                  overhead record (default results/bench_trace.json)
 package main
 
 import (
@@ -52,6 +54,8 @@ func run(args []string) error {
 		"output path for the 'server' serving-layer harness")
 	queryOut := fs.String("query-out", filepath.Join("results", "bench_query.json"),
 		"output path for the 'query' engine harness")
+	traceOut := fs.String("trace-out", filepath.Join("results", "bench_trace.json"),
+		"output path for the 'trace' instrumentation-overhead harness")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,11 +64,12 @@ func run(args []string) error {
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
 			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
-			"cube", "parallel", "server", "query"}
+			"cube", "parallel", "server", "query", "trace"}
 	}
 
 	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir,
-		parallelOut: *parallelOut, serverOut: *serverOut, queryOut: *queryOut}
+		parallelOut: *parallelOut, serverOut: *serverOut, queryOut: *queryOut,
+		traceOut: *traceOut}
 	for _, name := range names {
 		start := time.Now()
 		if err := r.runOne(name); err != nil {
@@ -82,6 +87,7 @@ type runner struct {
 	parallelOut string
 	serverOut   string
 	queryOut    string
+	traceOut    string
 
 	phone  *linalg.Matrix // lazily built
 	stocks *linalg.Matrix
@@ -291,6 +297,17 @@ func (r *runner) runOne(name string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", r.queryOut)
+		return nil
+
+	case "trace":
+		res, err := experiments.BenchTrace(experiments.DefaultTraceConfig(), out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.traceOut)
 		return nil
 
 	default:

@@ -6,16 +6,21 @@
 //	seqcompress -in phone.smx -out phone.sqz -budget 0.10 -half -zero-flags
 //
 // It prints the achieved space ratio and, when -verify is given, the full
-// reconstruction-error report against the input.
+// reconstruction-error report against the input. With -progress the
+// compression passes log structured start/done lines (shard counts,
+// elapsed time) to stderr as they run — the long passes on a large
+// out-of-core dataset are no longer silent.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"seqstore"
+	"seqstore/internal/svd"
 )
 
 func main() {
@@ -38,11 +43,27 @@ func run(args []string) error {
 	zeroFlags := fs.Bool("zero-flags", false, "flag all-zero rows for instant reconstruction (svdd)")
 	workers := fs.Int("workers", 0, "worker goroutines for the compression passes (svd/svdd): 0 = all CPUs, 1 = serial")
 	verify := fs.Bool("verify", false, "report reconstruction error against the input")
+	progress := fs.Bool("progress", false, "log per-pass compression progress to stderr")
+	logFormat := fs.String("log-format", "text", "progress log format: json or text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("-in and -out are required")
+	}
+	if *progress {
+		var h slog.Handler
+		switch *logFormat {
+		case "json":
+			h = slog.NewJSONHandler(os.Stderr, nil)
+		case "text":
+			h = slog.NewTextHandler(os.Stderr, nil)
+		default:
+			return fmt.Errorf("unknown -log-format %q (want json|text)", *logFormat)
+		}
+		// The compression passes (accumulate C, eigendecompose, project U)
+		// log start/done lines with shard counts and elapsed time.
+		svd.SetProgressLogger(slog.New(h))
 	}
 
 	opts := seqstore.Options{

@@ -21,8 +21,15 @@
 //	                              default to "all"
 //	/v1/metrics                   per-endpoint latency histograms, row-cache
 //	                              hit rate, disk-access counters, corruption
-//	                              count
+//	                              count; ?format=prom renders the same
+//	                              snapshot as Prometheus text
+//	/v1/debug/traces              ring of recently completed request traces
+//	                              with per-request cost ledgers
 //	/v1/healthz                   liveness probe
+//
+// Every response carries X-Request-Id (echoing a well-formed client value,
+// or a fresh one) and X-Cost-Disk-Accesses, the number of U-row fetches the
+// request cost under the paper's block model.
 //
 // Errors map onto the store's typed taxonomy: bad input and out-of-range
 // indices are 400s, detected on-disk corruption is a 503 (the process
@@ -30,7 +37,8 @@
 //
 // The serving layer (timeouts, graceful shutdown, row cache, telemetry)
 // lives in internal/server; this command only parses flags and wires up
-// signal handling. SIGINT/SIGTERM drain in-flight requests before exit.
+// logging, signal handling and the optional pprof listener.
+// SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -38,14 +46,65 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"seqstore/internal/server"
 	"seqstore/internal/store"
 )
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. JSON goes to stdout (one object per line, machine-shippable);
+// text is the human-readable development format.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "json", "":
+		return slog.New(slog.NewJSONHandler(os.Stdout, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stdout, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want json|text)", format)
+	}
+}
+
+// servePprof starts net/http/pprof on its own listener, registered on an
+// explicit mux so the profiling surface never leaks onto the query API's
+// address. Debug-only: bind it to localhost.
+func servePprof(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Error("pprof listener failed", "addr", addr, "err", err)
+		}
+	}()
+}
 
 func main() {
 	fs := flag.NewFlagSet("seqserver", flag.ExitOnError)
@@ -54,6 +113,14 @@ func main() {
 	cacheRows := fs.Int("cache-rows", 4096, "LRU row-cache capacity in rows (0 disables)")
 	queryWorkers := fs.Int("query-workers", 1,
 		"goroutines per /agg evaluation (0 = one per CPU)")
+	logFormat := fs.String("log-format", "json", "structured log format: json or text")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	slowQuery := fs.Duration("slow-query", 0,
+		"log requests slower than this at Warn with their cost ledger (0 disables)")
+	traceBuffer := fs.Int("trace-buffer", 0,
+		"request traces kept for /v1/debug/traces (0 = default)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve net/http/pprof on this separate address (empty disables)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "request read timeout")
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "response write timeout")
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle timeout")
@@ -64,6 +131,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "seqserver: -store is required")
 		os.Exit(1)
 	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqserver: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 	st, labels, err := server.Open(*storePath)
 	if err != nil {
 		log.Fatalf("seqserver: %v", err)
@@ -72,6 +145,9 @@ func main() {
 		Addr:            *addr,
 		CacheRows:       *cacheRows,
 		QueryWorkers:    *queryWorkers,
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
+		TraceBuffer:     *traceBuffer,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
 		IdleTimeout:     *idleTimeout,
@@ -81,14 +157,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("seqserver: %v", err)
 	}
+	if *debugAddr != "" {
+		servePprof(*debugAddr, logger)
+	}
 	rows, cols := st.Dims()
-	log.Printf("serving %s store (%d×%d, %.2f%% of original) on %s (cache %d rows)",
-		st.Method(), rows, cols, 100*store.SpaceRatio(st), l.Addr(), *cacheRows)
+	logger.Info("serving",
+		"method", st.Method().String(),
+		"rows", rows, "cols", cols,
+		"space_ratio", store.SpaceRatio(st),
+		"addr", l.Addr().String(),
+		"cache_rows", *cacheRows)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := srv.Run(ctx, l); err != nil {
 		log.Fatalf("seqserver: %v", err)
 	}
-	log.Printf("seqserver: drained in-flight requests, exiting")
+	logger.Info("drained in-flight requests, exiting")
 }

@@ -1,12 +1,9 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
-	"path/filepath"
 	"runtime"
 	"time"
 
@@ -132,14 +129,5 @@ func BenchParallel(cfg ParallelConfig, w io.Writer) (*ParallelResult, error) {
 
 // WriteJSON writes the result to path, creating parent directories.
 func (r *ParallelResult) WriteJSON(path string) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	raw, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return writeResultJSON(r, path)
 }

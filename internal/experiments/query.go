@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -216,14 +215,5 @@ func timeEval(reps int, fn func() error) (int64, error) {
 
 // WriteJSON writes the result to path, creating parent directories.
 func (r *QueryResult) WriteJSON(path string) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	raw, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return writeResultJSON(r, path)
 }

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// writeResultJSON serializes one harness result to path (indented, trailing
+// newline), creating parent directories — shared by every Bench* WriteJSON.
+func writeResultJSON(v interface{}, path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

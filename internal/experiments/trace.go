@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+
+	"seqstore/internal/query"
+	"seqstore/internal/trace"
+)
+
+// TraceConfig sizes the tracing-overhead benchmark: the same file-backed
+// query evaluations as the query harness, run untraced and then with a
+// trace (cost ledger + context plumbing) attached, so the instrumentation
+// tax on the hot path is measured rather than asserted.
+type TraceConfig struct {
+	N, M    int
+	Budget  float64
+	Workers []int
+	Reps    int // timed evaluations per cell; the fastest is reported
+	Seed    int64
+}
+
+// DefaultTraceConfig matches results/bench_trace.json: the synthetic
+// 8000×128 matrix at a 10% budget, serial and 4-way evaluation.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{N: 8000, M: 128, Budget: 0.10, Workers: []int{1, 4}, Reps: 5, Seed: 1}
+}
+
+// TraceBench is one (agg, workers) cell: untraced vs traced timing.
+type TraceBench struct {
+	Agg         string  `json:"agg"`
+	Workers     int     `json:"workers"`
+	UntracedNs  int64   `json:"untraced_ns_per_op"`
+	TracedNs    int64   `json:"traced_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// DiskAccesses is the ledger's count from the traced run — sanity that
+	// the instrumentation was actually live, not optimized away.
+	DiskAccesses int64 `json:"disk_accesses"`
+}
+
+// TraceResult is the harness output; serialized as
+// results/bench_trace.json by cmd/experiments. The acceptance target is
+// MaxOverheadPct under ~3%: per-request cost attribution must be cheap
+// enough to leave on in production.
+type TraceResult struct {
+	N              int          `json:"n"`
+	M              int          `json:"m"`
+	K              int          `json:"k"`
+	Budget         float64      `json:"budget"`
+	NumCPU         int          `json:"num_cpu"`
+	GoMaxProcs     int          `json:"gomaxprocs"`
+	Benches        []TraceBench `json:"benches"`
+	MaxOverheadPct float64      `json:"max_overhead_pct"`
+	TargetPct      float64      `json:"target_pct"`
+}
+
+// BenchTrace times full-selection aggregates untraced and traced over a
+// file-backed SVD store and reports the ledger's overhead. Min exercises
+// the projected row engine (per-row charging), Sum the factored path
+// (run-coalesced charging) — together they cover every instrumented branch
+// of the evaluation hot path.
+func BenchTrace(cfg TraceConfig, w io.Writer) (*TraceResult, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4}
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	st, cleanup, err := queryStore(QueryConfig{
+		N: cfg.N, M: cfg.M, Budget: cfg.Budget, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	sel := query.Selection{Rows: query.All(cfg.N), Cols: query.All(cfg.M)}
+	res := &TraceResult{
+		N: cfg.N, M: cfg.M, K: st.K(), Budget: cfg.Budget,
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		TargetPct: 3,
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "agg\tworkers\tuntraced ns/op\ttraced ns/op\toverhead")
+	for _, agg := range []query.Aggregate{query.Min, query.Sum} {
+		for _, workers := range cfg.Workers {
+			untraced, err := timeEval(cfg.Reps, func() error {
+				_, err := query.EvaluateOpts(st, agg, sel, query.Options{Workers: workers})
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: trace untraced %v/w%d: %w", agg, workers, err)
+			}
+			var disk int64
+			traced, err := timeEval(cfg.Reps, func() error {
+				tr := trace.New("bench", "/bench")
+				ctx := trace.NewContext(context.Background(), tr)
+				_, err := query.EvaluateOpts(st, agg, sel, query.Options{Workers: workers, Ctx: ctx})
+				disk = tr.Ledger.DiskAccesses()
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: trace traced %v/w%d: %w", agg, workers, err)
+			}
+			overhead := 100 * (float64(traced) - float64(untraced)) / float64(untraced)
+			b := TraceBench{
+				Agg: agg.String(), Workers: workers,
+				UntracedNs: untraced, TracedNs: traced,
+				OverheadPct: overhead, DiskAccesses: disk,
+			}
+			res.Benches = append(res.Benches, b)
+			if overhead > res.MaxOverheadPct {
+				res.MaxOverheadPct = overhead
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%+.2f%%\n",
+				b.Agg, b.Workers, b.UntracedNs, b.TracedNs, b.OverheadPct)
+		}
+	}
+	fmt.Fprintf(tw, "max overhead\t\t\t\t%+.2f%% (target < %.0f%%)\n",
+		res.MaxOverheadPct, res.TargetPct)
+	return res, tw.Flush()
+}
+
+// WriteJSON writes the result to path, creating parent directories.
+func (r *TraceResult) WriteJSON(path string) error {
+	return writeResultJSON(r, path)
+}

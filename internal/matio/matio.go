@@ -128,6 +128,30 @@ type RangeScanner interface {
 	ScanRowsRange(start, end int, fn func(i int, row []float64) error) error
 }
 
+// PageSpanner reports how many distinct backing pages a row interval
+// occupies — the unit an OS page cache actually fetches, as opposed to the
+// paper's one-row-one-block accounting. The serving layer uses it to charge
+// pages_touched to a request's cost ledger.
+type PageSpanner interface {
+	// PageSpan returns the number of distinct pages holding rows
+	// [start, end), or 0 for an empty interval.
+	PageSpan(start, end int) int
+}
+
+// PageSpan reports the pages spanned by rows [start, end) of src. Sources
+// that don't implement PageSpanner (or pre-page v1 files, where PageSpan
+// reports per-row granularity) are charged one page per row, matching the
+// paper's block model.
+func PageSpan(src RowSource, start, end int) int {
+	if end <= start {
+		return 0
+	}
+	if ps, ok := src.(PageSpanner); ok {
+		return ps.PageSpan(start, end)
+	}
+	return end - start
+}
+
 // StartPass records one full sequential pass on sources that expose Stats.
 // Sharded scans use it so that W workers covering [0,N) between them still
 // count as a single pass, like the serial ScanRows they replace.
@@ -451,6 +475,19 @@ func (m *File) FormatVersion() int { return m.lay.version }
 // Path returns the file path (or the name given to OpenReaderAt).
 func (m *File) Path() string { return m.path }
 
+// PageSpan returns the number of distinct checksummed pages holding rows
+// [start, end). v1 files have no pages; they report one page per row (each
+// row read is its own I/O there).
+func (m *File) PageSpan(start, end int) int {
+	if end <= start {
+		return 0
+	}
+	if m.lay.version == VersionV1 || m.lay.pageRows <= 0 {
+		return end - start
+	}
+	return m.lay.pageOfRow(end-1) - m.lay.pageOfRow(start) + 1
+}
+
 // Stats exposes the file's IO counters.
 func (m *File) Stats() *Stats { return m.stats }
 
@@ -658,6 +695,15 @@ func (s *Mem) Stats() *Stats { return &s.stats }
 // Matrix returns the wrapped matrix.
 func (s *Mem) Matrix() *linalg.Matrix { return s.m }
 
+// PageSpan reports one page per row: memory-backed sources have no page
+// structure, so the span degenerates to the paper's block model.
+func (s *Mem) PageSpan(start, end int) int {
+	if end <= start {
+		return 0
+	}
+	return end - start
+}
+
 // ReadRow copies row i into dst.
 func (s *Mem) ReadRow(i int, dst []float64) error {
 	if i < 0 || i >= s.m.Rows() {
@@ -707,4 +753,6 @@ var (
 	_ RowReader    = (*Mem)(nil)
 	_ RangeScanner = (*File)(nil)
 	_ RangeScanner = (*Mem)(nil)
+	_ PageSpanner  = (*File)(nil)
+	_ PageSpanner  = (*Mem)(nil)
 )

@@ -417,3 +417,48 @@ func TestConcurrentReadRow(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPageSpan(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	// 10 cols => pageRows = 8192/80 = 102 rows per page; 250 rows = 3 pages.
+	x := randMatrix(r, 250, 10)
+	path := tmpPath(t)
+	if err := WriteMatrix(path, x); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	pr := defaultPageRows(10)
+	cases := []struct{ start, end, want int }{
+		{0, 0, 0},
+		{5, 5, 0},
+		{0, 1, 1},
+		{0, pr, 1},          // exactly one page
+		{0, pr + 1, 2},      // spills into the second
+		{pr - 1, pr + 1, 2}, // straddles the boundary
+		{0, 250, 3},         // whole file
+		{pr, 2 * pr, 1},     // second page exactly
+	}
+	for _, c := range cases {
+		if got := f.PageSpan(c.start, c.end); got != c.want {
+			t.Errorf("PageSpan(%d, %d) = %d, want %d", c.start, c.end, got, c.want)
+		}
+		// The package helper must agree with the method.
+		if got := PageSpan(f, c.start, c.end); got != c.want {
+			t.Errorf("PageSpan helper (%d, %d) = %d, want %d", c.start, c.end, got, c.want)
+		}
+	}
+
+	// Mem sources have no pages: one page per row.
+	mem := NewMem(x)
+	if got := mem.PageSpan(0, 250); got != 250 {
+		t.Errorf("Mem PageSpan = %d, want 250", got)
+	}
+	if got := PageSpan(mem, 10, 10); got != 0 {
+		t.Errorf("empty Mem span = %d", got)
+	}
+}

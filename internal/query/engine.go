@@ -10,6 +10,7 @@ import (
 	"seqstore/internal/matio"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
+	"seqstore/internal/trace"
 )
 
 // Options tunes EvaluateOpts.
@@ -103,11 +104,13 @@ func runSharded(ctx context.Context, n, workers int, run func(w, lo, hi int) err
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
+	led := trace.LedgerFrom(ctx)
 	if workers <= 1 {
 		for _, c := range chunks {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			led.AddWorkerChunks(1)
 			if err := run(0, c.Start, c.End); err != nil {
 				return err
 			}
@@ -125,6 +128,7 @@ func runSharded(ctx context.Context, n, workers int, run func(w, lo, hi int) err
 					errs[w] = err
 					return
 				}
+				led.AddWorkerChunks(1)
 				if err := run(w, chunks[ci].Start, chunks[ci].End); err != nil {
 					errs[w] = err
 					return
@@ -146,6 +150,7 @@ func runSharded(ctx context.Context, n, workers int, run func(w, lo, hi int) err
 // so the result depends only on the worker count, not on scheduling.
 func evaluateCells(ctx context.Context, s store.Store, sel Selection, workers int) (*accum, error) {
 	e := newRowEngine(s, sel)
+	e.led = trace.LedgerFrom(ctx)
 	if workers < 1 {
 		workers = 1
 	}
@@ -181,7 +186,8 @@ func evaluateCells(ctx context.Context, s store.Store, sel Selection, workers in
 type rowEngine struct {
 	s   store.Store
 	sel Selection
-	m   int // matrix width
+	m   int           // matrix width
+	led *trace.Ledger // request cost ledger; nil (free) when untraced
 
 	base   *svd.Store  // non-nil on the projected path
 	svdd   *core.Store // additionally non-nil for delta/zero-row handling
@@ -267,12 +273,17 @@ func (e *rowEngine) evalRange(lo, hi int, sc *engineScratch, acc *accum) error {
 // evalOne handles one isolated selected row with a random U access.
 func (e *rowEngine) evalOne(i int, sc *engineScratch, acc *accum) error {
 	if e.svdd != nil && e.svdd.IsZeroRow(i) {
+		// Served from the in-memory zero flag: a row read with no disk access.
+		e.led.AddRowsRead(1)
 		e.accumZeroRow(acc)
 		return nil
 	}
 	if err := e.base.URow(i, sc.urow); err != nil {
 		return fmt.Errorf("query: U row %d: %w", i, err)
 	}
+	e.led.AddRowsRead(1)
+	e.led.AddDiskAccesses(1)
+	e.led.AddPagesTouched(int64(e.base.UPageSpan(i, i+1)))
 	e.accumURow(i, sc.urow, sc, acc)
 	return nil
 }
@@ -282,6 +293,9 @@ func (e *rowEngine) evalOne(i int, sc *engineScratch, acc *accum) error {
 // scanned row yields the same zeros the flag shortcut would — no branch
 // needed, and skipping mid-scan would cost more than it saves.
 func (e *rowEngine) evalRun(start, end int, sc *engineScratch, acc *accum) error {
+	e.led.AddRowsRead(int64(end - start))
+	e.led.AddDiskAccesses(int64(end - start))
+	e.led.AddPagesTouched(int64(e.base.UPageSpan(start, end)))
 	return e.base.ScanURows(start, end, func(i int, urow []float64) error {
 		// The scanned slice may alias the backing matrix; copy before the
 		// in-place σ scaling.
@@ -305,11 +319,14 @@ func (e *rowEngine) accumURow(i int, urow []float64, sc *engineScratch, acc *acc
 		vals[p] = linalg.Dot(urow, e.panel.Row(p))
 	}
 	if e.svdd != nil {
+		var nd int64
 		e.svdd.RowDeltas(i, func(col int, delta float64) {
+			nd++
 			for _, p := range e.colPos[col] {
 				vals[p] += delta
 			}
 		})
+		e.led.AddDeltasProbed(nd)
 	}
 	for _, v := range vals {
 		acc.add(v)
@@ -331,6 +348,9 @@ func (e *rowEngine) evalGeneric(lo, hi int, sc *engineScratch, acc *accum) error
 		if err != nil {
 			return fmt.Errorf("query: row %d: %w", i, err)
 		}
+		e.led.AddRowsRead(1)
+		e.led.AddDiskAccesses(1)
+		e.led.AddPagesTouched(1)
 		for _, j := range e.sel.Cols {
 			acc.add(got[j])
 		}

@@ -10,6 +10,7 @@ import (
 	"seqstore/internal/linalg"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
+	"seqstore/internal/trace"
 )
 
 // This file holds the factored aggregate paths. With x̂ = U·Σ·Vᵀ, the first
@@ -78,7 +79,7 @@ func factoredSumSVDD(ctx context.Context, s *core.Store, sel Selection, workers 
 	if err != nil {
 		return 0, err
 	}
-	corr, err := deltaCorrections(s, sel, false)
+	corr, err := deltaCorrections(ctx, s, sel, false)
 	if err != nil {
 		return 0, err
 	}
@@ -125,7 +126,7 @@ func factoredStdDev(ctx context.Context, s store.Store, sel Selection, workers i
 		}
 	}
 	if svdd != nil {
-		corr, err := deltaCorrections(svdd, sel, true)
+		corr, err := deltaCorrections(ctx, svdd, sel, true)
 		if err != nil {
 			return 0, true, err
 		}
@@ -193,12 +194,13 @@ func rowMoments(ctx context.Context, base *svd.Store, rows []int, workers int, w
 		workers = 1
 	}
 	k := base.K()
+	led := trace.LedgerFrom(ctx)
 	ms := make([]*uMoments, workers)
 	err := runSharded(ctx, len(rows), workers, func(w, lo, hi int) error {
 		if ms[w] == nil {
 			ms[w] = newUMoments(k, wantSq)
 		}
-		return forURows(base, rows, lo, hi, ms[w].add)
+		return forURows(led, base, rows, lo, hi, ms[w].add)
 	})
 	if err != nil {
 		return nil, err
@@ -223,9 +225,10 @@ func colMoments(v *linalg.Matrix, cols []int, k int, wantSq bool) *uMoments {
 }
 
 // forURows streams the U rows of selection positions [lo, hi) into fn,
-// coalescing contiguous ascending runs into sequential scans. fn must not
-// retain or mutate its argument.
-func forURows(base *svd.Store, rows []int, lo, hi int, fn func(urow []float64)) error {
+// coalescing contiguous ascending runs into sequential scans, and charges
+// the reads to led (nil when untraced). fn must not retain or mutate its
+// argument.
+func forURows(led *trace.Ledger, base *svd.Store, rows []int, lo, hi int, fn func(urow []float64)) error {
 	urow := make([]float64, base.K())
 	for p := lo; p < hi; {
 		q := p + 1
@@ -233,12 +236,16 @@ func forURows(base *svd.Store, rows []int, lo, hi int, fn func(urow []float64)) 
 			q++
 		}
 		if q-p >= minScanRun {
-			err := base.ScanURows(rows[p], rows[p]+(q-p), func(_ int, u []float64) error {
+			start, end := rows[p], rows[p]+(q-p)
+			led.AddRowsRead(int64(q - p))
+			led.AddDiskAccesses(int64(q - p))
+			led.AddPagesTouched(int64(base.UPageSpan(start, end)))
+			err := base.ScanURows(start, end, func(_ int, u []float64) error {
 				fn(u)
 				return nil
 			})
 			if err != nil {
-				return fmt.Errorf("query: factored U rows [%d,%d): %w", rows[p], rows[p]+(q-p), err)
+				return fmt.Errorf("query: factored U rows [%d,%d): %w", start, end, err)
 			}
 			p = q
 			continue
@@ -247,6 +254,9 @@ func forURows(base *svd.Store, rows []int, lo, hi int, fn func(urow []float64)) 
 			if err := base.URow(rows[p], urow); err != nil {
 				return fmt.Errorf("query: factored U row %d: %w", rows[p], err)
 			}
+			led.AddRowsRead(1)
+			led.AddDiskAccesses(1)
+			led.AddPagesTouched(int64(base.UPageSpan(rows[p], rows[p]+1)))
 			fn(urow)
 		}
 	}
@@ -268,7 +278,8 @@ type corrections struct {
 //
 // Multiset weighting: a cell selected r·c times (row listed r times,
 // column c times) contributes r·c copies of its correction.
-func deltaCorrections(s *core.Store, sel Selection, wantSq bool) (corrections, error) {
+func deltaCorrections(ctx context.Context, s *core.Store, sel Selection, wantSq bool) (corrections, error) {
+	led := trace.LedgerFrom(ctx)
 	rcount := make(map[int]int, len(sel.Rows))
 	for _, i := range sel.Rows {
 		rcount[i]++
@@ -293,7 +304,9 @@ func deltaCorrections(s *core.Store, sel Selection, wantSq bool) (corrections, e
 		ri := rcount[i]
 		haveU := false
 		var readErr error
+		var nd int64
 		s.RowDeltas(i, func(col int, delta float64) {
+			nd++
 			cj := ccount[col]
 			if cj == 0 || readErr != nil {
 				return
@@ -308,6 +321,9 @@ func deltaCorrections(s *core.Store, sel Selection, wantSq bool) (corrections, e
 					readErr = fmt.Errorf("query: delta row %d: %w", i, err)
 					return
 				}
+				led.AddRowsRead(1)
+				led.AddDiskAccesses(1)
+				led.AddPagesTouched(int64(base.UPageSpan(i, i+1)))
 				for m := range urow {
 					urow[m] *= sigma[m]
 				}
@@ -316,6 +332,7 @@ func deltaCorrections(s *core.Store, sel Selection, wantSq bool) (corrections, e
 			b := linalg.Dot(urow, v.Row(col))
 			c.sumSq += w * (2*b*delta + delta*delta)
 		})
+		led.AddDeltasProbed(nd)
 		if readErr != nil {
 			return corrections{}, readErr
 		}

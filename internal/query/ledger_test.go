@@ -1,0 +1,74 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"seqstore/internal/trace"
+)
+
+// TestLedgerMatchesUStats pins the per-request cost attribution against the
+// global matio counters: for a single traced evaluation, the ledger's
+// disk_accesses must equal the store's RowReads delta (the paper's
+// one-row-one-block model), and rows_read / worker_chunks / pages_touched
+// must be populated.
+func TestLedgerMatchesUStats(t *testing.T) {
+	s := fileBackedSVD(t, 64)
+	n, m := s.Dims()
+	sel := Selection{Rows: seq(0, n), Cols: seq(0, m)}
+
+	for _, agg := range []Aggregate{Sum, StdDev, Min} {
+		for _, workers := range []int{1, 4} {
+			tr := trace.New("t", "/test")
+			ctx := trace.NewContext(context.Background(), tr)
+			before := s.UStats().RowReads()
+			if _, err := EvaluateOpts(s, agg, sel, Options{Workers: workers, Ctx: ctx}); err != nil {
+				t.Fatalf("%v/w%d: %v", agg, workers, err)
+			}
+			delta := s.UStats().RowReads() - before
+			cost := tr.Ledger.Snapshot()
+			if cost.DiskAccesses != delta {
+				t.Errorf("%v/w%d: ledger disk accesses %d != stats row reads %d",
+					agg, workers, cost.DiskAccesses, delta)
+			}
+			if cost.RowsRead != int64(n) {
+				t.Errorf("%v/w%d: rows read %d, want %d", agg, workers, cost.RowsRead, n)
+			}
+			if cost.WorkerChunks < 1 {
+				t.Errorf("%v/w%d: no worker chunks", agg, workers)
+			}
+			if cost.PagesTouched < 1 || cost.PagesTouched > cost.RowsRead {
+				t.Errorf("%v/w%d: pages touched %d outside [1, %d]",
+					agg, workers, cost.PagesTouched, cost.RowsRead)
+			}
+		}
+	}
+}
+
+// TestUntracedEvaluationUnaffected: without a trace on the context the same
+// evaluation runs and returns identical results (the nil-ledger path).
+func TestUntracedEvaluationUnaffected(t *testing.T) {
+	s := fileBackedSVD(t, 32)
+	n, m := s.Dims()
+	sel := Selection{Rows: seq(0, n), Cols: seq(0, m)}
+	want, err := EvaluateOpts(s, Sum, sel, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New("t", "/test")
+	got, err := EvaluateOpts(s, Sum, sel, Options{Workers: 2, Ctx: trace.NewContext(context.Background(), tr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("traced evaluation changed the result: %v != %v", got, want)
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -2,7 +2,10 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
+
+	"seqstore/internal/telemetry"
 )
 
 // cacheShards is the number of independently locked LRU shards. Sixteen
@@ -28,6 +31,11 @@ type cacheShard struct {
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used
 	items map[int]*list.Element
+
+	// Per-shard traffic counters. Wired to the telemetry registry by
+	// instrument; nil (uncounted) until then, so the cache is usable
+	// standalone in tests.
+	hits, misses, evictions *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -54,6 +62,27 @@ func (c *rowCache) shard(i int) *cacheShard {
 	return &c.shards[uint(i)%cacheShards]
 }
 
+// instrument registers per-shard hit/miss/eviction counters
+// (cache_shard_NN_hits, …) in the registry, so shard balance — and any
+// hot-shard skew — is visible on /metrics alongside the aggregate counters.
+func (c *rowCache) instrument(tel *telemetry.Registry) {
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		sh.hits = tel.Counter(fmt.Sprintf("cache_shard_%02d_hits", s))
+		sh.misses = tel.Counter(fmt.Sprintf("cache_shard_%02d_misses", s))
+		sh.evictions = tel.Counter(fmt.Sprintf("cache_shard_%02d_evictions", s))
+		sh.mu.Unlock()
+	}
+}
+
+// count increments a shard counter when instrumented.
+func count(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
 // get returns the cached row and marks it most recently used.
 func (c *rowCache) get(i int) ([]float64, bool) {
 	s := c.shard(i)
@@ -61,8 +90,10 @@ func (c *rowCache) get(i int) ([]float64, bool) {
 	defer s.mu.Unlock()
 	el, ok := s.items[i]
 	if !ok {
+		count(s.misses)
 		return nil, false
 	}
+	count(s.hits)
 	s.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).row, true
 }
@@ -83,6 +114,7 @@ func (c *rowCache) put(i int, row []float64) {
 		back := s.ll.Back()
 		s.ll.Remove(back)
 		delete(s.items, back.Value.(*cacheEntry).i)
+		count(s.evictions)
 	}
 }
 

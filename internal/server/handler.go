@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -27,7 +28,9 @@ import (
 	"seqstore/internal/query"
 	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
+	"seqstore/internal/svd"
 	"seqstore/internal/telemetry"
+	"seqstore/internal/trace"
 )
 
 // Default batch-endpoint bounds; see Options.
@@ -50,6 +53,15 @@ type Options struct {
 	// QueryWorkers shards /agg evaluation across this many goroutines:
 	// 0 means one per CPU, 1 evaluates serially.
 	QueryWorkers int
+	// Logger receives the structured request log. nil silences request
+	// logging (traces and metrics still work).
+	Logger *slog.Logger
+	// SlowQuery is the latency threshold above which a request is logged at
+	// Warn with its full cost ledger; 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// TraceBuffer is the capacity of the /v1/debug/traces ring; 0 selects
+	// trace.DefaultRingSize.
+	TraceBuffer int
 }
 
 // Handler is the HTTP query API over one open store. It is safe for
@@ -65,8 +77,10 @@ type Handler struct {
 	hits, misses *telemetry.Counter
 	corruptions  *telemetry.Counter // store reads that surfaced ErrCorrupt
 
-	tel *telemetry.Registry
-	mux *http.ServeMux
+	tel  *telemetry.Registry
+	mux  *http.ServeMux
+	log  *slog.Logger
+	ring *trace.Ring
 }
 
 // NewHandler builds the HTTP API around an open store and optional axis
@@ -84,6 +98,11 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 		opts:   opts,
 		tel:    telemetry.NewRegistry(),
 		mux:    http.NewServeMux(),
+		log:    opts.Logger,
+		ring:   trace.NewRing(opts.TraceBuffer),
+	}
+	if h.log == nil {
+		h.log = slog.New(slog.DiscardHandler)
 	}
 	if labels != nil {
 		h.rowIndex = indexLabels(labels.Rows)
@@ -94,7 +113,9 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	h.corruptions = h.tel.Counter("store_corruptions")
 	if opts.CacheRows > 0 {
 		h.cache = newRowCache(opts.CacheRows)
+		h.cache.instrument(h.tel)
 	}
+	h.registerGauges()
 	h.route("info", h.handleInfo)
 	h.route("cell", h.handleCell)
 	h.route("cells", h.handleCells)
@@ -103,7 +124,60 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	h.route("agg", h.handleAgg)
 	h.route("metrics", h.handleMetrics)
 	h.route("healthz", h.handleHealthz)
+	h.handle(tracesPattern, h.handleTraces)
 	return h
+}
+
+// tracesPattern is the trace-ring endpoint; it is excluded from its own
+// ring so inspecting traces doesn't churn them.
+const tracesPattern = "/v1/debug/traces"
+
+// registerGauges wires the store, IO, cache and SVDD counters into the
+// registry as collection-time gauges, so the Prometheus rendering covers the
+// same ground as the hand-built /metrics JSON body. Monotonic sources get a
+// _total suffix (typed counter in the exposition).
+func (h *Handler) registerGauges() {
+	h.tel.RegisterGauge("store_stored_numbers", func() float64 {
+		return float64(h.st.StoredNumbers())
+	})
+	h.tel.RegisterGauge("store_space_ratio", func() float64 {
+		return store.SpaceRatio(h.st)
+	})
+	if h.cache != nil {
+		h.tel.RegisterGauge("cache_occupancy_rows", func() float64 {
+			return float64(h.cache.len())
+		})
+		h.tel.RegisterGauge("cache_capacity_rows", func() float64 {
+			return float64(h.cache.capacity())
+		})
+	}
+	if us := query.UStats(h.st); us != nil {
+		h.tel.RegisterGauge("io_row_reads_total", func() float64 {
+			return float64(us.RowReads())
+		})
+		h.tel.RegisterGauge("io_row_writes_total", func() float64 {
+			return float64(us.RowWrites())
+		})
+		h.tel.RegisterGauge("io_passes_total", func() float64 {
+			return float64(us.Passes())
+		})
+	}
+	if c, ok := h.st.(*core.Store); ok {
+		h.tel.RegisterGauge("svdd_delta_probes_total", func() float64 {
+			probes, _ := c.ProbeStats()
+			return float64(probes)
+		})
+		h.tel.RegisterGauge("svdd_bloom_saves_total", func() float64 {
+			_, saves := c.ProbeStats()
+			return float64(saves)
+		})
+		h.tel.RegisterGauge("svdd_delta_row_probes_total", func() float64 {
+			return float64(c.RowProbes())
+		})
+		h.tel.RegisterGauge("svdd_zero_hits_total", func() float64 {
+			return float64(c.ZeroHits())
+		})
+	}
 }
 
 // route registers one endpoint under the versioned API prefix ("/v1/cell")
@@ -138,14 +212,43 @@ func (h *Handler) CacheStats() (hits, misses int64, size, capacity int) {
 }
 
 // handle registers an instrumented GET-only endpoint: every request is
-// counted and timed; non-GET verbs get 405 with an Allow header; responses
-// with status ≥ 400 count as errors.
+// counted, timed and traced. The middleware assigns (or echoes) a request
+// ID, threads a trace with its cost ledger through the request context into
+// the store and query layers, writes the X-Request-Id and
+// X-Cost-Disk-Accesses response headers, retires the finished trace into the
+// /v1/debug/traces ring, and emits the structured request log (Debug
+// normally, Warn above the slow-query threshold, Error on 5xx). Non-GET
+// verbs get 405 with an Allow header; responses with status ≥ 400 count as
+// errors.
 func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
 	ep := h.tel.Endpoint(pattern)
 	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ep.Requests.Inc()
+
+		id := trace.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = trace.NewRequestID()
+		}
+		// The trace is named by the endpoint pattern, never the raw URL:
+		// query strings can carry customer labels, and /v1/debug/traces
+		// serves trace names verbatim.
+		tr := trace.New(id, pattern)
+		logger := h.log.With("request_id", id)
+		ctx := trace.WithLogger(trace.NewContext(r.Context(), tr), logger)
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w}
+		// Cost headers must precede the body. Handlers buffer their JSON and
+		// commit in one WriteHeader (writeJSON), so the ledger is final by
+		// the time the first byte is committed.
+		sw.beforeHeader = func() {
+			hdr := sw.Header()
+			hdr.Set("X-Request-Id", id)
+			hdr.Set("X-Cost-Disk-Accesses",
+				strconv.FormatInt(tr.Ledger.DiskAccesses(), 10))
+		}
+
 		if r.Method != http.MethodGet {
 			sw.Header().Set("Allow", http.MethodGet)
 			writeError(sw, http.StatusMethodNotAllowed,
@@ -153,51 +256,137 @@ func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
 		} else {
 			fn(sw, r)
 		}
-		ep.Latency.Observe(time.Since(start))
+
+		elapsed := time.Since(start)
+		ep.Latency.Observe(elapsed)
 		if sw.status >= http.StatusBadRequest {
 			ep.Errors.Inc()
 		}
+		snap := tr.Finish(sw.status)
+		if pattern != tracesPattern {
+			h.ring.Put(snap)
+		}
+		h.logRequest(logger, pattern, snap, elapsed)
 	})
 }
 
+// logRequest emits one structured line per request. Normal traffic logs at
+// Debug (cheap to filter out); requests above the slow-query threshold log
+// at Warn with the full cost ledger, and 5xx responses at Error.
+func (h *Handler) logRequest(logger *slog.Logger, pattern string, snap *trace.TraceSnapshot, elapsed time.Duration) {
+	slow := h.opts.SlowQuery > 0 && elapsed >= h.opts.SlowQuery
+	level := slog.LevelDebug
+	msg := "request"
+	switch {
+	case snap.Status >= http.StatusInternalServerError:
+		level = slog.LevelError
+		msg = "request failed"
+	case slow:
+		level = slog.LevelWarn
+		msg = "slow query"
+	}
+	if !logger.Enabled(context.Background(), level) {
+		return
+	}
+	args := []any{
+		"endpoint", pattern,
+		"status", snap.Status,
+		"duration_ms", float64(elapsed.Microseconds()) / 1e3,
+	}
+	if slow || level >= slog.LevelWarn {
+		c := snap.Cost
+		args = append(args,
+			"disk_accesses", c.DiskAccesses,
+			"rows_read", c.RowsRead,
+			"pages_touched", c.PagesTouched,
+			"cache_hits", c.CacheHits,
+			"cache_misses", c.CacheMisses,
+			"deltas_probed", c.DeltasProbed,
+			"worker_chunks", c.WorkerChunks,
+		)
+	}
+	logger.Log(context.Background(), level, msg, args...)
+}
+
 // statusWriter records the status code written by a handler so the
-// instrumentation can classify the response after the fact.
+// instrumentation can classify the response after the fact, and runs the
+// beforeHeader hook exactly once, immediately before the status line is
+// committed — the last moment response headers can still be set.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status       int
+	beforeHeader func()
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
+		if w.beforeHeader != nil {
+			w.beforeHeader()
+		}
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
-		w.status = http.StatusOK
+		w.WriteHeader(http.StatusOK)
 	}
 	return w.ResponseWriter.Write(b)
 }
 
 // --- Read paths (row cache) ------------------------------------------------
 
+// uPageSpan reports the backing pages of U row i for the cost ledger; one
+// page per row for stores without a paged U backing.
+func (h *Handler) uPageSpan(i int) int {
+	switch t := h.st.(type) {
+	case *svd.Store:
+		return t.UPageSpan(i, i+1)
+	case *core.Store:
+		return t.Base().UPageSpan(i, i+1)
+	}
+	return 1
+}
+
+// chargeRowRead attributes one row reconstruction — one U-row fetch in the
+// paper's block model — to the request's cost ledger. Rows the SVDD store
+// serves from its in-memory zero flag (§6.2) are reconstructions without a
+// disk access.
+func (h *Handler) chargeRowRead(led *trace.Ledger, i int) {
+	led.AddRowsRead(1)
+	if c, ok := h.st.(*core.Store); ok && c.IsZeroRow(i) {
+		return
+	}
+	led.AddDiskAccesses(1)
+	led.AddPagesTouched(int64(h.uPageSpan(i)))
+}
+
 // row returns a reconstruction of row i, serving from the LRU cache when
-// enabled. The returned slice is shared; callers must not modify it.
-func (h *Handler) row(i int) ([]float64, error) {
+// enabled, and charges the request's ledger: a cache hit costs zero disk
+// accesses; a miss costs exactly one. The returned slice is shared; callers
+// must not modify it.
+func (h *Handler) row(ctx context.Context, i int) ([]float64, error) {
+	led := trace.LedgerFrom(ctx)
 	if h.cache == nil {
-		return h.st.Row(i, nil)
+		row, err := h.st.Row(i, nil)
+		if err == nil {
+			h.chargeRowRead(led, i)
+		}
+		return row, err
 	}
 	if row, ok := h.cache.get(i); ok {
 		h.hits.Inc()
+		led.CacheHit()
 		return row, nil
 	}
 	h.misses.Inc()
+	led.CacheMiss()
 	row, err := h.st.Row(i, nil)
 	if err != nil {
 		return nil, err
 	}
+	h.chargeRowRead(led, i)
 	h.cache.put(i, row)
 	return row, nil
 }
@@ -205,15 +394,19 @@ func (h *Handler) row(i int) ([]float64, error) {
 // cell reconstructs cell (i, j). With the cache enabled a miss
 // reconstructs and caches the whole row — one U access either way — so
 // subsequent cells of the same sequence are free.
-func (h *Handler) cell(i, j int) (float64, error) {
+func (h *Handler) cell(ctx context.Context, i, j int) (float64, error) {
 	if h.cache == nil {
-		return h.st.Cell(i, j)
+		v, err := h.st.Cell(i, j)
+		if err == nil {
+			h.chargeRowRead(trace.LedgerFrom(ctx), i)
+		}
+		return v, err
 	}
 	_, m := h.st.Dims()
 	if j < 0 || j >= m {
 		return 0, fmt.Errorf("server: column %d out of range %d (%w)", j, m, seqerr.ErrOutOfRange)
 	}
-	row, err := h.row(i)
+	row, err := h.row(ctx, i)
 	if err != nil {
 		return 0, err
 	}
@@ -245,7 +438,7 @@ func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		v, err := h.cell(i, j)
+		v, err := h.cell(r.Context(), i, j)
 		if err != nil {
 			writeError(w, h.status(err), err.Error())
 			return
@@ -262,7 +455,7 @@ func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
 			"cell needs integer i and j (or label row and col) parameters")
 		return
 	}
-	v, err := h.cell(i, j)
+	v, err := h.cell(r.Context(), i, j)
 	if err != nil {
 		writeError(w, h.status(err), err.Error())
 		return
@@ -306,7 +499,7 @@ func (h *Handler) handleCells(w http.ResponseWriter, r *http.Request) {
 	}
 	cells := make([]map[string]interface{}, 0, len(coords))
 	for _, c := range coords {
-		v, err := h.cell(c[0], c[1])
+		v, err := h.cell(r.Context(), c[0], c[1])
 		if err != nil {
 			writeError(w, h.status(err),
 				fmt.Sprintf("cell %d:%d: %v", c[0], c[1], err))
@@ -325,7 +518,7 @@ func (h *Handler) handleRow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "row needs an integer i parameter")
 		return
 	}
-	row, err := h.row(i)
+	row, err := h.row(r.Context(), i)
 	if err != nil {
 		writeError(w, h.status(err), err.Error())
 		return
@@ -359,7 +552,7 @@ func (h *Handler) handleRows(w http.ResponseWriter, r *http.Request) {
 	}
 	rows := make([]map[string]interface{}, 0, len(idx))
 	for _, i := range idx {
-		row, err := h.row(i)
+		row, err := h.row(r.Context(), i)
 		if err != nil {
 			writeError(w, h.status(err), fmt.Sprintf("row %d: %v", i, err))
 			return
@@ -393,8 +586,13 @@ func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "cols: "+err.Error())
 		return
 	}
+	sp := trace.StartSpan(r.Context(), "evaluate")
+	sp.SetAttr("f", f)
+	sp.SetAttr("rows", len(rows))
+	sp.SetAttr("cols", len(cols))
 	v, err := query.EvaluateOpts(h.st, agg, query.Selection{Rows: rows, Cols: cols},
 		query.Options{Workers: h.opts.QueryWorkers, Ctx: r.Context()})
+	sp.End()
 	if err != nil {
 		writeError(w, h.status(err), err.Error())
 		return
@@ -404,8 +602,21 @@ func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
 	}, v))
 }
 
+// handleMetrics serves the metrics snapshot. The default body is the
+// hand-built JSON; ?format=prom renders the same snapshot in Prometheus
+// text exposition format 0.0.4 so a stock scraper can ingest it.
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := h.tel.Snapshot()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := telemetry.WritePrometheus(w, snap); err != nil {
+			// Headers are committed; the scraper sees a truncated body and
+			// fails the scrape, which is the correct failure mode.
+			trace.LoggerFrom(r.Context()).Error("prometheus render failed", "err", err)
+		}
+		return
+	}
 	rows, cols := h.st.Dims()
 	hits, misses := h.hits.Load(), h.misses.Load()
 	cache := map[string]interface{}{
@@ -422,7 +633,14 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds":    snap.UptimeSeconds,
 		"endpoints":         snap.Endpoints,
 		"cache":             cache,
+		"gauges":            snap.Gauges,
+		"runtime":           snap.Runtime,
 		"store_corruptions": h.corruptions.Load(),
+		"traces": map[string]interface{}{
+			"buffered": len(h.ring.Snapshot()),
+			"capacity": h.ring.Cap(),
+			"total":    h.ring.Total(),
+		},
 		"store": map[string]interface{}{
 			"method":         h.st.Method().String(),
 			"rows":           rows,
@@ -445,6 +663,19 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleTraces serves the ring of recently completed traces, newest first.
+// Trace names are endpoint patterns and request IDs pass SanitizeRequestID,
+// so nothing here can leak a query string or customer label.
+func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := h.ring.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":    len(traces),
+		"capacity": h.ring.Cap(),
+		"total":    h.ring.Total(),
+		"traces":   traces,
+	})
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {

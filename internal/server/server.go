@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -27,6 +28,13 @@ type Config struct {
 	// QueryWorkers shards /agg evaluation across this many goroutines:
 	// 0 means one per CPU, 1 evaluates serially.
 	QueryWorkers int
+	// Logger receives the structured request log; nil silences it.
+	Logger *slog.Logger
+	// SlowQuery is the latency threshold above which requests log at Warn
+	// with their cost ledger; 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// TraceBuffer sizes the /v1/debug/traces ring; 0 selects the default.
+	TraceBuffer int
 
 	// ReadHeaderTimeout bounds reading request headers; default 5s.
 	ReadHeaderTimeout time.Duration
@@ -86,6 +94,9 @@ func New(st store.Store, labels *store.Labels, cfg Config) *Server {
 		MaxBatchCells: cfg.MaxBatchCells,
 		MaxBatchRows:  cfg.MaxBatchRows,
 		QueryWorkers:  cfg.QueryWorkers,
+		Logger:        cfg.Logger,
+		SlowQuery:     cfg.SlowQuery,
+		TraceBuffer:   cfg.TraceBuffer,
 	})
 	return &Server{
 		cfg:     cfg,

@@ -21,6 +21,7 @@ package svd
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"seqstore/internal/linalg"
@@ -33,6 +34,19 @@ import (
 // reduced pairwise in fixed worker order and mirrored once at the end.
 func AccumulateCWorkers(src matio.RowSource, workers int) (*linalg.Matrix, error) {
 	workers = matio.NumWorkers(workers)
+	rows, cols := src.Dims()
+	var c *linalg.Matrix
+	err := logPass("pass 1: accumulate C", []slog.Attr{
+		slog.Int("rows", rows), slog.Int("cols", cols), slog.Int("workers", workers),
+	}, func() error {
+		var err error
+		c, err = accumulateCWorkers(src, workers)
+		return err
+	})
+	return c, err
+}
+
+func accumulateCWorkers(src matio.RowSource, workers int) (*linalg.Matrix, error) {
 	n, m := src.Dims()
 	rs, ok := src.(matio.RangeScanner)
 	chunks := matio.Chunks(n, 0)
@@ -98,6 +112,15 @@ func reduceMatrices(ms []*linalg.Matrix) *linalg.Matrix {
 // bounded to workers+2 chunks, keeping memory O(workers·chunkRows·k).
 func ComputeUWorkers(src matio.RowSource, f *Factors, k, workers int, sink func(i int, urow []float64) error) error {
 	workers = matio.NumWorkers(workers)
+	rows, _ := src.Dims()
+	return logPass("pass 2: project U", []slog.Attr{
+		slog.Int("rows", rows), slog.Int("k", f.Clamp(k)), slog.Int("workers", workers),
+	}, func() error {
+		return computeUWorkers(src, f, k, workers, sink)
+	})
+}
+
+func computeUWorkers(src matio.RowSource, f *Factors, k, workers int, sink func(i int, urow []float64) error) error {
 	rs, ok := src.(matio.RangeScanner)
 	n, _ := src.Dims()
 	chunks := matio.Chunks(n, 0)

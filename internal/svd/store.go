@@ -134,6 +134,13 @@ func (s *Store) UStats() *matio.Stats {
 	return nil
 }
 
+// UPageSpan reports how many distinct backing pages U rows [start, end)
+// occupy (one page per row when the backing has no page structure). The
+// serving layer charges this to the request cost ledger as pages_touched.
+func (s *Store) UPageSpan(start, end int) int {
+	return matio.PageSpan(s.u, start, end)
+}
+
 // Cell reconstructs x̂[i][j] = Σ_m σ_m·u[i][m]·v[j][m].
 func (s *Store) Cell(i, j int) (float64, error) {
 	if j < 0 || j >= s.cols {

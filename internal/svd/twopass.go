@@ -14,6 +14,7 @@ package svd
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"seqstore/internal/linalg"
@@ -112,9 +113,14 @@ func ComputeFactorsWorkers(src matio.RowSource, workers int) (*Factors, error) {
 	if err != nil {
 		return nil, err
 	}
-	eig, err := linalg.SymEigen(c)
-	if err != nil {
-		return nil, fmt.Errorf("svd: eigendecomposition of C: %w", err)
+	var eig *linalg.Eigen
+	eigErr := logPass("pass 1: eigendecompose C", []slog.Attr{slog.Int("cols", m)}, func() error {
+		var err error
+		eig, err = linalg.SymEigen(c)
+		return err
+	})
+	if eigErr != nil {
+		return nil, fmt.Errorf("svd: eigendecomposition of C: %w", eigErr)
 	}
 	return factorsFromEigen(n, m, eig.Values, eig.Vectors), nil
 }
@@ -175,9 +181,15 @@ func ComputeFactorsKWorkers(src matio.RowSource, k, workers int) (*Factors, erro
 	if err != nil {
 		return nil, err
 	}
-	eig, err := linalg.TopKEigen(c, k, 0)
-	if err != nil {
-		return nil, fmt.Errorf("svd: subspace eigendecomposition of C: %w", err)
+	var eig *linalg.Eigen
+	eigErr := logPass("pass 1: top-k eigendecompose C",
+		[]slog.Attr{slog.Int("cols", m), slog.Int("k", k)}, func() error {
+			var err error
+			eig, err = linalg.TopKEigen(c, k, 0)
+			return err
+		})
+	if eigErr != nil {
+		return nil, fmt.Errorf("svd: subspace eigendecomposition of C: %w", eigErr)
 	}
 	return factorsFromEigen(n, m, eig.Values, eig.Vectors), nil
 }

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) rendered straight from a
+// Snapshot, so /v1/metrics?format=prom and the JSON view can never drift:
+// both are views of the same struct. Families are prefixed "seqstore_";
+// durations are seconds per Prometheus convention (the JSON schema keeps
+// milliseconds).
+
+// promEscapeLabel escapes a label value per the exposition format.
+func promEscapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// promSanitizeName maps an arbitrary metric name onto the Prometheus name
+// charset [a-zA-Z0-9_:], replacing anything else with '_'.
+func promSanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders s in the Prometheus text exposition format.
+// Output is deterministic (families and label values sorted), which is what
+// lets the golden-schema test pin it.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := &errWriter{w: w}
+
+	bw.printf("# HELP seqstore_uptime_seconds Seconds since the server registry was created.\n")
+	bw.printf("# TYPE seqstore_uptime_seconds gauge\n")
+	bw.printf("seqstore_uptime_seconds %g\n", s.UptimeSeconds)
+
+	eps := sortedKeys(s.Endpoints)
+
+	bw.printf("# HELP seqstore_requests_total Requests served, by endpoint pattern.\n")
+	bw.printf("# TYPE seqstore_requests_total counter\n")
+	for _, name := range eps {
+		bw.printf("seqstore_requests_total{endpoint=\"%s\"} %d\n",
+			promEscapeLabel(name), s.Endpoints[name].Requests)
+	}
+
+	bw.printf("# HELP seqstore_request_errors_total Requests answered with status >= 400, by endpoint pattern.\n")
+	bw.printf("# TYPE seqstore_request_errors_total counter\n")
+	for _, name := range eps {
+		bw.printf("seqstore_request_errors_total{endpoint=\"%s\"} %d\n",
+			promEscapeLabel(name), s.Endpoints[name].Errors)
+	}
+
+	bw.printf("# HELP seqstore_request_duration_seconds Request latency, by endpoint pattern.\n")
+	bw.printf("# TYPE seqstore_request_duration_seconds histogram\n")
+	for _, name := range eps {
+		h := s.Endpoints[name].Latency
+		label := promEscapeLabel(name)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			bw.printf("seqstore_request_duration_seconds_bucket{endpoint=\"%s\",le=%q} %d\n",
+				label, fmt.Sprintf("%g", b.LeMs/1e3), cum)
+		}
+		bw.printf("seqstore_request_duration_seconds_bucket{endpoint=\"%s\",le=\"+Inf\"} %d\n", label, h.Count)
+		bw.printf("seqstore_request_duration_seconds_sum{endpoint=\"%s\"} %g\n",
+			label, h.MeanMs*float64(h.Count)/1e3)
+		bw.printf("seqstore_request_duration_seconds_count{endpoint=\"%s\"} %d\n", label, h.Count)
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		fam := "seqstore_" + promSanitizeName(name)
+		if !strings.HasSuffix(fam, "_total") {
+			fam += "_total"
+		}
+		bw.printf("# HELP %s Counter %q from the registry.\n", fam, promEscapeLabel(name))
+		bw.printf("# TYPE %s counter\n", fam)
+		bw.printf("%s %d\n", fam, s.Counters[name])
+	}
+
+	for _, name := range sortedKeys(s.Gauges) {
+		fam := "seqstore_" + promSanitizeName(name)
+		// A registered gauge whose name ends in _total is really a
+		// monotonically increasing value sourced from outside the registry
+		// (e.g. matio row reads); type it as a counter so scrapers can rate()
+		// it.
+		typ := "gauge"
+		if strings.HasSuffix(fam, "_total") {
+			typ = "counter"
+		}
+		bw.printf("# HELP %s Gauge %q from the registry.\n", fam, promEscapeLabel(name))
+		bw.printf("# TYPE %s %s\n", fam, typ)
+		bw.printf("%s %g\n", fam, s.Gauges[name])
+	}
+
+	bw.printf("# HELP seqstore_go_goroutines Current number of goroutines.\n")
+	bw.printf("# TYPE seqstore_go_goroutines gauge\n")
+	bw.printf("seqstore_go_goroutines %d\n", s.Runtime.Goroutines)
+	bw.printf("# HELP seqstore_go_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	bw.printf("# TYPE seqstore_go_heap_alloc_bytes gauge\n")
+	bw.printf("seqstore_go_heap_alloc_bytes %d\n", s.Runtime.HeapAllocBytes)
+	bw.printf("# HELP seqstore_go_heap_sys_bytes Bytes of heap memory obtained from the OS.\n")
+	bw.printf("# TYPE seqstore_go_heap_sys_bytes gauge\n")
+	bw.printf("seqstore_go_heap_sys_bytes %d\n", s.Runtime.HeapSysBytes)
+	bw.printf("# HELP seqstore_go_gc_runs_total Completed GC cycles.\n")
+	bw.printf("# TYPE seqstore_go_gc_runs_total counter\n")
+	bw.printf("seqstore_go_gc_runs_total %d\n", s.Runtime.GCRuns)
+	bw.printf("# HELP seqstore_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	bw.printf("# TYPE seqstore_go_gc_pause_seconds_total counter\n")
+	bw.printf("seqstore_go_gc_pause_seconds_total %g\n", s.Runtime.GCPauseTotalSecond)
+
+	return bw.err
+}
+
+// errWriter latches the first write error so rendering code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSnapshot() Snapshot {
+	r := NewRegistry()
+	ep := r.Endpoint("/v1/cell")
+	ep.Requests.Add(10)
+	ep.Errors.Add(2)
+	ep.Latency.Observe(1 * time.Millisecond)
+	ep.Latency.Observe(2 * time.Millisecond)
+	ep.Latency.Observe(40 * time.Millisecond)
+	r.Endpoint(`/v1/we"ird\nep`).Requests.Inc()
+	r.Counter("cache_hits").Add(7)
+	r.Counter("row_reads_total").Add(3)
+	r.RegisterGauge("cache_occupancy_rows", func() float64 { return 12 })
+	r.RegisterGauge("io_row_reads_total", func() float64 { return 99 })
+	return r.Snapshot()
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, testSnapshot()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := sb.String()
+	m, err := ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("output does not parse: %v\n%s", err, out)
+	}
+
+	if m.Types["seqstore_requests_total"] != "counter" {
+		t.Errorf("requests_total type = %q", m.Types["seqstore_requests_total"])
+	}
+	if m.Types["seqstore_request_duration_seconds"] != "histogram" {
+		t.Errorf("duration type = %q", m.Types["seqstore_request_duration_seconds"])
+	}
+	if m.Types["seqstore_uptime_seconds"] != "gauge" {
+		t.Errorf("uptime type = %q", m.Types["seqstore_uptime_seconds"])
+	}
+	// Registry counters gain a _total suffix; gauges keep their names, with
+	// *_total-named gauges typed counter so scrapers can rate() them.
+	if m.Types["seqstore_cache_hits_total"] != "counter" {
+		t.Errorf("cache_hits type = %q", m.Types["seqstore_cache_hits_total"])
+	}
+	if m.Types["seqstore_cache_occupancy_rows"] != "gauge" {
+		t.Errorf("occupancy type = %q", m.Types["seqstore_cache_occupancy_rows"])
+	}
+	if m.Types["seqstore_io_row_reads_total"] != "counter" {
+		t.Errorf("io gauge type = %q", m.Types["seqstore_io_row_reads_total"])
+	}
+
+	if got := m.Get("seqstore_cache_hits_total"); len(got) != 1 || got[0] != 7 {
+		t.Errorf("cache_hits = %v", got)
+	}
+	if got := m.Get("seqstore_go_goroutines"); len(got) != 1 || got[0] <= 0 {
+		t.Errorf("goroutines = %v", got)
+	}
+
+	// Per-endpoint samples carry the endpoint label, escaped.
+	var sawCell, sawWeird bool
+	for _, s := range m.Samples {
+		if s.Name != "seqstore_requests_total" {
+			continue
+		}
+		switch s.Labels["endpoint"] {
+		case "/v1/cell":
+			sawCell = true
+			if s.Value != 10 {
+				t.Errorf("cell requests = %v", s.Value)
+			}
+		case `/v1/we"ird\nep`:
+			sawWeird = true
+		}
+	}
+	if !sawCell || !sawWeird {
+		t.Errorf("endpoint labels missing: cell=%v weird=%v", sawCell, sawWeird)
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ParsePrometheus already enforces bucket monotonicity and the +Inf =
+	// _count invariant; here pin the concrete values for /v1/cell.
+	var inf, count, sum float64
+	for _, s := range m.Samples {
+		if s.Labels["endpoint"] != "/v1/cell" {
+			continue
+		}
+		switch s.Name {
+		case "seqstore_request_duration_seconds_bucket":
+			if s.Labels["le"] == "+Inf" {
+				inf = s.Value
+			}
+		case "seqstore_request_duration_seconds_count":
+			count = s.Value
+		case "seqstore_request_duration_seconds_sum":
+			sum = s.Value
+		}
+	}
+	if inf != 3 || count != 3 {
+		t.Errorf("+Inf = %v, count = %v, want 3", inf, count)
+	}
+	wantSum := (1 + 2 + 40) * 1e-3
+	if d := sum - wantSum; d < -1e-9 || d > 1e-9 {
+		t.Errorf("sum = %v s, want %v", sum, wantSum)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"no_type_decl 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"2\"} 5\nh_bucket{le=\"1\"} 6\nh_bucket{le=\"+Inf\"} 6\nh_count 6\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 4\nh_count 4\n",
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 5\n",
+		"# TYPE c counter\nc{unterminated=\"x} 1\n",
+		"# TYPE c counter\nc not-a-number\n",
+		"# TYPE c counter\n# TYPE c gauge\nc 1\n",
+	}
+	for i, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed input accepted:\n%s", i, in)
+		}
+	}
+}
+
+func TestPromSanitizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"cache_hits", "cache_hits"},
+		{"weird-name.x", "weird_name_x"},
+		{"9lead", "_lead"},
+		{"ok9", "ok9"},
+	}
+	for _, c := range cases {
+		if got := promSanitizeName(c.in); got != c.want {
+			t.Errorf("promSanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package telemetry
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -127,16 +128,25 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			})
 		}
 	}
-	s.P50Ms = quantile(counts, total, 0.50)
-	s.P90Ms = quantile(counts, total, 0.90)
-	s.P99Ms = quantile(counts, total, 0.99)
-	if s.P50Ms < s.MinMs {
-		s.P50Ms = s.MinMs
-	}
-	if s.P99Ms > s.MaxMs && s.MaxMs > 0 {
-		s.P99Ms = s.MaxMs
-	}
+	// Interpolated quantiles can land outside the observed [min, max] —
+	// most visibly when every observation is 0ns, where interpolation in
+	// bucket 0 would report p99 ≈ 0.0005ms above a max of 0. Clamp every
+	// quantile into the observed range (max included even when it is 0:
+	// count > 0 here, so MaxMs is a real observation, not a sentinel).
+	s.P50Ms = clamp(quantile(counts, total, 0.50), s.MinMs, s.MaxMs)
+	s.P90Ms = clamp(quantile(counts, total, 0.90), s.MinMs, s.MaxMs)
+	s.P99Ms = clamp(quantile(counts, total, 0.99), s.MinMs, s.MaxMs)
 	return s
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // quantile estimates the q-quantile in milliseconds from bucket counts,
@@ -189,6 +199,7 @@ type Registry struct {
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
 	counters  map[string]*Counter
+	gauges    map[string]func() float64
 }
 
 // NewRegistry creates an empty registry; uptime is measured from now.
@@ -197,6 +208,7 @@ func NewRegistry() *Registry {
 		start:     time.Now(),
 		endpoints: make(map[string]*Endpoint),
 		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]func() float64),
 	}
 }
 
@@ -225,11 +237,48 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// RegisterGauge registers a named gauge rendered by Snapshot at collection
+// time. fn must be safe to call concurrently; re-registering a name replaces
+// the previous function.
+func (r *Registry) RegisterGauge(name string, fn func() float64) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// RuntimeSnapshot reports Go runtime health: scheduler and heap pressure plus
+// cumulative GC work. Pause totals are in seconds to match the Prometheus
+// rendering.
+type RuntimeSnapshot struct {
+	Goroutines         int     `json:"goroutines"`
+	HeapAllocBytes     uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes       uint64  `json:"heap_sys_bytes"`
+	GCRuns             uint32  `json:"gc_runs"`
+	GCPauseTotalSecond float64 `json:"gc_pause_total_seconds"`
+}
+
+func readRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSnapshot{
+		Goroutines:         runtime.NumGoroutine(),
+		HeapAllocBytes:     ms.HeapAlloc,
+		HeapSysBytes:       ms.HeapSys,
+		GCRuns:             ms.NumGC,
+		GCPauseTotalSecond: float64(ms.PauseTotalNs) / 1e9,
+	}
+}
+
 // Snapshot is the JSON view of a Registry.
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Counters      map[string]int64            `json:"counters,omitempty"`
+	Gauges        map[string]float64          `json:"gauges,omitempty"`
+	Runtime       RuntimeSnapshot             `json:"runtime"`
 }
 
 // Snapshot captures every metric in the registry.
@@ -243,12 +292,17 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.counters {
 		ctrs[k] = v
 	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	start := r.start
 	r.mu.Unlock()
 
 	s := Snapshot{
 		UptimeSeconds: time.Since(start).Seconds(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(eps)),
+		Runtime:       readRuntime(),
 	}
 	for name, e := range eps {
 		s.Endpoints[name] = EndpointSnapshot{
@@ -261,6 +315,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = make(map[string]int64, len(ctrs))
 		for name, c := range ctrs {
 			s.Counters[name] = c.Load()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for name, fn := range gauges {
+			s.Gauges[name] = fn()
 		}
 	}
 	return s

@@ -71,6 +71,34 @@ func TestHistogramZeroDuration(t *testing.T) {
 	}
 }
 
+func TestHistogramZeroOnlyQuantilesClamped(t *testing.T) {
+	// A histogram holding only 0ns observations must not interpolate a p99
+	// above its max: min, max and every quantile are exactly 0.
+	var h Histogram
+	for i := 0; i < 50; i++ {
+		h.Observe(0)
+	}
+	s := h.Snapshot()
+	if s.MinMs != 0 || s.MaxMs != 0 {
+		t.Fatalf("min/max: %+v", s)
+	}
+	if s.P50Ms != 0 || s.P90Ms != 0 || s.P99Ms != 0 {
+		t.Errorf("quantiles exceed max: p50=%v p90=%v p99=%v", s.P50Ms, s.P90Ms, s.P99Ms)
+	}
+}
+
+func TestHistogramQuantilesWithinObservedRange(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	// Single observation: every quantile collapses onto it.
+	for _, q := range []float64{s.P50Ms, s.P90Ms, s.P99Ms} {
+		if q < s.MinMs || q > s.MaxMs {
+			t.Errorf("quantile %v outside [%v, %v]", q, s.MinMs, s.MaxMs)
+		}
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	const workers, per = 8, 1000
@@ -123,6 +151,31 @@ func TestRegistry(t *testing.T) {
 	// The snapshot must be JSON-marshalable (it backs /metrics).
 	if _, err := json.Marshal(s); err != nil {
 		t.Fatalf("marshal snapshot: %v", err)
+	}
+}
+
+func TestRegistryGaugesAndRuntime(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.RegisterGauge("cache_occupancy", func() float64 { return v })
+	r.RegisterGauge("nil_ignored", nil)
+
+	s := r.Snapshot()
+	if got := s.Gauges["cache_occupancy"]; got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	if _, ok := s.Gauges["nil_ignored"]; ok {
+		t.Error("nil gauge function was registered")
+	}
+	v = 2.5
+	if got := r.Snapshot().Gauges["cache_occupancy"]; got != 2.5 {
+		t.Errorf("gauge not re-evaluated at snapshot time: %v", got)
+	}
+	if s.Runtime.Goroutines <= 0 {
+		t.Errorf("goroutines = %d", s.Runtime.Goroutines)
+	}
+	if s.Runtime.HeapAllocBytes == 0 || s.Runtime.HeapSysBytes == 0 {
+		t.Errorf("heap stats zero: %+v", s.Runtime)
 	}
 }
 

@@ -1,0 +1,62 @@
+package trace
+
+import "sync"
+
+// DefaultRingSize is the trace buffer capacity when the caller passes 0.
+const DefaultRingSize = 64
+
+// Ring keeps the last N completed traces for /v1/debug/traces. Writes are a
+// pointer store plus an index bump under a mutex — deliberately cheaper than
+// the request they describe — and never allocate. Reads copy the snapshot
+// pointers out, newest first, so renderers work on an immutable view.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*TraceSnapshot
+	next  int    // slot the next Put writes
+	total uint64 // lifetime Put count
+}
+
+// NewRing builds a ring holding n traces (n <= 0 selects DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]*TraceSnapshot, n)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Put retires one finished trace (nil snapshots are ignored).
+func (r *Ring) Put(t *TraceSnapshot) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the lifetime number of traces retired into the ring.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the buffered traces, newest first.
+func (r *Ring) Snapshot() []*TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if r.total < uint64(n) {
+		n = int(r.total)
+	}
+	out := make([]*TraceSnapshot, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

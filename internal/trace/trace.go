@@ -1,0 +1,356 @@
+// Package trace is the request-scoped observability layer: context-propagated
+// spans, request IDs, and a per-request cost ledger that attributes the
+// paper's cost model — disk accesses, rows read, pages touched — to the
+// individual query that incurred them. Everything is stdlib-only and built
+// for the serving hot path: the ledger is a handful of atomics with nil-safe
+// methods, so instrumented code never branches on "is tracing on?", and an
+// untraced request pays a single pointer-typed context lookup.
+//
+// The serving layer creates one Trace per HTTP request (see
+// internal/server), threads it through the request context into the query
+// engine's workers, and retires the finished TraceSnapshot into a Ring
+// served at /v1/debug/traces. The ledger's DiskAccesses counter is what the
+// X-Cost-Disk-Accesses response header reports — the live verification of
+// the paper's one-access-per-cell claim (§5).
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// --- Request IDs -----------------------------------------------------------
+
+// fallbackID seeds distinct IDs if crypto/rand ever fails (it practically
+// cannot; the counter keeps NewRequestID total anyway).
+var fallbackID atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		v := fallbackID.Add(1) ^ uint64(time.Now().UnixNano())
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// MaxRequestIDLen bounds the length of a client-supplied request ID.
+const MaxRequestIDLen = 64
+
+// SanitizeRequestID validates a client-supplied X-Request-Id: only
+// [A-Za-z0-9._-] and at most MaxRequestIDLen characters survive; anything
+// else returns "" (the caller then generates a fresh ID). Keeping the
+// charset tight means IDs are safe to echo into headers, logs and JSON
+// without escaping.
+func SanitizeRequestID(s string) string {
+	if len(s) == 0 || len(s) > MaxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// --- Cost ledger -----------------------------------------------------------
+
+// Ledger attributes the paper's cost model to one request. All counters are
+// atomics and every method is nil-safe, so instrumented code (the row cache,
+// the query engine's workers) adds unconditionally; with no trace on the
+// context the adds simply vanish.
+//
+// DiskAccesses counts U-row fetches in the paper's block model (one row =
+// one block = one access, matching matio.Stats.RowReads); PagesTouched
+// counts the distinct checksummed v2 pages those fetches hit, which is what
+// an OS page cache actually sees.
+type Ledger struct {
+	rowsRead     atomic.Int64
+	pagesTouched atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	deltasProbed atomic.Int64
+	workerChunks atomic.Int64
+	diskAccesses atomic.Int64
+}
+
+// AddRowsRead records n row reconstructions served to the request.
+func (l *Ledger) AddRowsRead(n int64) {
+	if l != nil {
+		l.rowsRead.Add(n)
+	}
+}
+
+// AddPagesTouched records n distinct backing pages read.
+func (l *Ledger) AddPagesTouched(n int64) {
+	if l != nil {
+		l.pagesTouched.Add(n)
+	}
+}
+
+// CacheHit records one row-cache hit.
+func (l *Ledger) CacheHit() {
+	if l != nil {
+		l.cacheHits.Add(1)
+	}
+}
+
+// CacheMiss records one row-cache miss.
+func (l *Ledger) CacheMiss() {
+	if l != nil {
+		l.cacheMisses.Add(1)
+	}
+}
+
+// AddDeltasProbed records n SVDD outlier deltas visited.
+func (l *Ledger) AddDeltasProbed(n int64) {
+	if l != nil {
+		l.deltasProbed.Add(n)
+	}
+}
+
+// AddWorkerChunks records n row chunks dispatched to query workers.
+func (l *Ledger) AddWorkerChunks(n int64) {
+	if l != nil {
+		l.workerChunks.Add(n)
+	}
+}
+
+// AddDiskAccesses records n simulated disk accesses (U-row fetches).
+func (l *Ledger) AddDiskAccesses(n int64) {
+	if l != nil {
+		l.diskAccesses.Add(n)
+	}
+}
+
+// DiskAccesses returns the disk accesses charged so far (0 on nil).
+func (l *Ledger) DiskAccesses() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.diskAccesses.Load()
+}
+
+// LedgerSnapshot is the JSON view of a Ledger, embedded in every trace
+// entry on /v1/debug/traces.
+type LedgerSnapshot struct {
+	RowsRead     int64 `json:"rows_read"`
+	PagesTouched int64 `json:"pages_touched"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	DeltasProbed int64 `json:"deltas_probed"`
+	WorkerChunks int64 `json:"worker_chunks"`
+	DiskAccesses int64 `json:"disk_accesses"`
+}
+
+// Snapshot captures the ledger (zero value on nil).
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	if l == nil {
+		return LedgerSnapshot{}
+	}
+	return LedgerSnapshot{
+		RowsRead:     l.rowsRead.Load(),
+		PagesTouched: l.pagesTouched.Load(),
+		CacheHits:    l.cacheHits.Load(),
+		CacheMisses:  l.cacheMisses.Load(),
+		DeltasProbed: l.deltasProbed.Load(),
+		WorkerChunks: l.workerChunks.Load(),
+		DiskAccesses: l.diskAccesses.Load(),
+	}
+}
+
+// --- Spans and traces ------------------------------------------------------
+
+// Attr is one span attribute. Values must be JSON-encodable; keep them to
+// strings and numbers.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanSnapshot is one completed span in a trace entry. Offsets are relative
+// to the trace start, so a reader can reconstruct the timeline.
+type SpanSnapshot struct {
+	Name          string `json:"name"`
+	StartOffsetUs int64  `json:"start_offset_us"`
+	DurationUs    int64  `json:"duration_us"`
+	Attrs         []Attr `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight span. Create with Trace.StartSpan (or the package
+// StartSpan over a context), finish with End. All methods are nil-safe, so
+// untraced code paths cost nothing beyond the nil check.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// SetAttr attaches an attribute to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// End completes the span and records it on its trace.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	end := time.Now()
+	s.tr.record(SpanSnapshot{
+		Name:          s.name,
+		StartOffsetUs: s.start.Sub(s.tr.start).Microseconds(),
+		DurationUs:    end.Sub(s.start).Microseconds(),
+		Attrs:         s.attrs,
+	})
+}
+
+// Trace is one request's trace: identity, timing, completed spans and the
+// cost ledger. Safe for concurrent use — workers on other goroutines may
+// end spans and bump the ledger while the handler runs.
+type Trace struct {
+	// Ledger accumulates the request's costs; reachable via LedgerFrom.
+	Ledger Ledger
+
+	id    string
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanSnapshot
+}
+
+// New starts a trace. name is the endpoint pattern (never the raw URL: the
+// traces endpoint serves these verbatim, and query strings can carry
+// customer labels that must not leak into debug output).
+func New(id, name string) *Trace {
+	return &Trace{id: id, name: name, start: time.Now()}
+}
+
+// ID returns the request ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a named child span. Nil-safe: a nil trace returns a nil
+// span whose methods are no-ops.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, name: name, start: time.Now()}
+}
+
+func (t *Trace) record(s SpanSnapshot) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is one finished request on /v1/debug/traces.
+type TraceSnapshot struct {
+	RequestID  string         `json:"request_id"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationUs int64          `json:"duration_us"`
+	Status     int            `json:"status"`
+	Cost       LedgerSnapshot `json:"cost"`
+	Spans      []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// Finish seals the trace with the response status and returns its snapshot
+// (nil-safe; a nil trace yields nil).
+func (t *Trace) Finish(status int) *TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]SpanSnapshot, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	return &TraceSnapshot{
+		RequestID:  t.id,
+		Name:       t.name,
+		Start:      t.start,
+		DurationUs: time.Since(t.start).Microseconds(),
+		Status:     status,
+		Cost:       t.Ledger.Snapshot(),
+		Spans:      spans,
+	}
+}
+
+// --- Context plumbing ------------------------------------------------------
+
+type traceKey struct{}
+type ledgerKey struct{}
+type loggerKey struct{}
+
+// NewContext returns ctx carrying tr.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the context's trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// WithLedger returns ctx carrying a bare cost ledger without a full trace
+// — the facade's WithCost path, for embedders who want attribution but not
+// spans. A full trace on the context takes precedence.
+func WithLedger(ctx context.Context, l *Ledger) context.Context {
+	return context.WithValue(ctx, ledgerKey{}, l)
+}
+
+// LedgerFrom returns the context's cost ledger — the trace's when traced,
+// else a bare WithLedger one — or nil when the request is untraced. The
+// nil result is directly usable: every Ledger method accepts a nil
+// receiver.
+func LedgerFrom(ctx context.Context) *Ledger {
+	if tr := FromContext(ctx); tr != nil {
+		return &tr.Ledger
+	}
+	l, _ := ctx.Value(ledgerKey{}).(*Ledger)
+	return l
+}
+
+// StartSpan opens a span on the context's trace (a no-op nil span when the
+// context is untraced).
+func StartSpan(ctx context.Context, name string) *Span {
+	return FromContext(ctx).StartSpan(name)
+}
+
+// WithLogger returns ctx carrying a request-scoped logger (typically
+// base.With("request_id", id)).
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// LoggerFrom returns the context's request-scoped logger, falling back to
+// slog.Default() so callers can always log.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return slog.Default()
+}

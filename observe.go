@@ -1,0 +1,51 @@
+package seqstore
+
+import (
+	"context"
+	"log/slog"
+
+	"seqstore/internal/svd"
+	"seqstore/internal/trace"
+)
+
+// This file is the facade over internal/trace: cost attribution for
+// embedders. A caller who wants to know what a query cost — disk accesses
+// under the paper's one-row-one-block model, rows reconstructed, pages
+// touched — attaches a CostLedger to the context passed to
+// AggregateContext and reads it back afterwards. The same machinery powers
+// the HTTP serving layer's X-Cost-Disk-Accesses header and
+// /v1/debug/traces ring.
+
+// CostLedger accumulates the paper's cost model for the queries evaluated
+// under one context. All methods are safe for concurrent use; the zero
+// value is ready.
+type CostLedger = trace.Ledger
+
+// Cost is the point-in-time reading of a CostLedger.
+type Cost = trace.LedgerSnapshot
+
+// WithCost returns a context carrying led: queries evaluated with the
+// returned context (AggregateContext, the serving layer's handlers) charge
+// their disk accesses, row reads, page touches and delta probes to it.
+//
+//	var led seqstore.CostLedger
+//	ctx := seqstore.WithCost(context.Background(), &led)
+//	v, err := st.AggregateContext(ctx, seqstore.Avg, rows, cols, opts)
+//	cost := led.Snapshot() // cost.DiskAccesses, cost.RowsRead, ...
+func WithCost(ctx context.Context, led *CostLedger) context.Context {
+	return trace.WithLedger(ctx, led)
+}
+
+// CostFrom returns the ledger carried by ctx, or nil when ctx is untraced.
+// The nil result is usable: every CostLedger method accepts a nil receiver
+// and reads as zero.
+func CostFrom(ctx context.Context) *CostLedger {
+	return trace.LedgerFrom(ctx)
+}
+
+// SetProgressLogger routes structured progress logs from the long
+// compression passes (accumulate C, eigendecompose, project U) to l; nil
+// restores silence. Concurrency-safe; applies process-wide.
+func SetProgressLogger(l *slog.Logger) {
+	svd.SetProgressLogger(l)
+}
