@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden bench-parallel serve-bench query-bench trace-bench experiments
+.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench experiments
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,16 @@ metrics-golden:
 	$(GO) vet ./internal/trace ./internal/telemetry ./internal/server
 	$(GO) test -run 'TestMetrics.*SchemaGolden' -v ./internal/server
 
-check: vet race golden-check metrics-golden fuzz-smoke
+# randsvd-smoke races the randomized sketch compressor against both Gram
+# paths end to end (factors, compression, reconstruction scoring) at a
+# reduced synthetic scale, writing its record to a throwaway temp file so
+# the committed full-scale results/bench_randsvd.json is not clobbered.
+randsvd-smoke:
+	@tmp=$$(mktemp -t bench_randsvd_smoke.XXXXXX.json) && \
+	$(GO) run ./cmd/experiments -workers 1 -randsvd-synth-n 120 -randsvd-synth-m 900 \
+		-randsvd-out $$tmp randsvd && rm -f $$tmp
+
+check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke
 
 # bench-parallel runs the worker-count sub-benchmarks for the three sharded
 # hot loops. The cmd/experiments "parallel" harness records the same loops
@@ -71,6 +80,12 @@ query-bench:
 # context, recorded to results/bench_trace.json (target: < 3% overhead).
 trace-bench:
 	$(GO) run ./cmd/experiments trace
+
+# randsvd-bench runs the sketch-compressor harness at full acceptance scale
+# (synthetic 400×5000 wide matrix) and records factor/total wall clock, pass
+# counts, working sets and RMSPE per path to results/bench_randsvd.json.
+randsvd-bench:
+	$(GO) run ./cmd/experiments randsvd
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -2,7 +2,7 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace randsvd]
 //
 // Flags:
 //
@@ -21,6 +21,11 @@
 //	                  speedup record (default results/bench_query.json)
 //	-trace-out p      where the "trace" harness writes its JSON tracing-
 //	                  overhead record (default results/bench_trace.json)
+//	-randsvd-out p    where the "randsvd" harness writes its JSON sketch-vs-
+//	                  Gram record (default results/bench_randsvd.json)
+//	-randsvd-synth-n/-randsvd-synth-m
+//	                  size of the randsvd synthetic wide matrix (0 = harness
+//	                  defaults, 400×5000)
 package main
 
 import (
@@ -56,6 +61,12 @@ func run(args []string) error {
 		"output path for the 'query' engine harness")
 	traceOut := fs.String("trace-out", filepath.Join("results", "bench_trace.json"),
 		"output path for the 'trace' instrumentation-overhead harness")
+	randsvdOut := fs.String("randsvd-out", filepath.Join("results", "bench_randsvd.json"),
+		"output path for the 'randsvd' sketch-compressor harness")
+	randsvdSynthN := fs.Int("randsvd-synth-n", 0,
+		"rows of the randsvd synthetic wide matrix (0 = harness default)")
+	randsvdSynthM := fs.Int("randsvd-synth-m", 0,
+		"columns of the randsvd synthetic wide matrix (0 = harness default 5000)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,12 +75,14 @@ func run(args []string) error {
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
 			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
-			"cube", "parallel", "server", "query", "trace"}
+			"cube", "parallel", "server", "query", "trace", "randsvd"}
 	}
 
 	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir,
 		parallelOut: *parallelOut, serverOut: *serverOut, queryOut: *queryOut,
-		traceOut: *traceOut}
+		traceOut: *traceOut, randsvdOut: *randsvdOut,
+		randsvdSynthN: *randsvdSynthN, randsvdSynthM: *randsvdSynthM,
+		workers: *workers}
 	for _, name := range names {
 		start := time.Now()
 		if err := r.runOne(name); err != nil {
@@ -81,13 +94,17 @@ func run(args []string) error {
 }
 
 type runner struct {
-	phoneN      int
-	large       bool
-	csvDir      string
-	parallelOut string
-	serverOut   string
-	queryOut    string
-	traceOut    string
+	phoneN        int
+	large         bool
+	csvDir        string
+	parallelOut   string
+	serverOut     string
+	queryOut      string
+	traceOut      string
+	randsvdOut    string
+	randsvdSynthN int
+	randsvdSynthM int
+	workers       int
 
 	phone  *linalg.Matrix // lazily built
 	stocks *linalg.Matrix
@@ -297,6 +314,25 @@ func (r *runner) runOne(name string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", r.queryOut)
+		return nil
+
+	case "randsvd":
+		cfg := experiments.DefaultRandSVDConfig()
+		cfg.Workers = r.workers
+		if r.randsvdSynthN > 0 {
+			cfg.SynthN = r.randsvdSynthN
+		}
+		if r.randsvdSynthM > 0 {
+			cfg.SynthM = r.randsvdSynthM
+		}
+		res, err := experiments.BenchRandSVD(cfg, out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.randsvdOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.randsvdOut)
 		return nil
 
 	case "trace":

@@ -50,8 +50,8 @@ func TestOutOfCoreEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := f.Stats().Passes(); got != 3 {
-		t.Errorf("compression made %d passes over the data file, want 3", got)
+	if got := f.Stats().Passes(); got != 2 {
+		t.Errorf("compression made %d passes over the data file, want 2", got)
 	}
 
 	// 3. Re-home U on disk: write the in-memory U out and rebuild the

@@ -27,9 +27,13 @@ type pass2State struct {
 	proj   []float64            // scratch: p_m = σ_m·u[i][m] for the current row
 	sse    []float64            // sse[k] for k = 1..kmax
 	queues map[int]*pqueue.TopK // per candidate k
+	// u, when non-nil, receives the N×kmax U rows during the scan (the
+	// fused emission that replaces pass 3). It is shared across workers —
+	// each row is written by exactly one worker, so no locking is needed.
+	u *linalg.Matrix
 }
 
-func newPass2State(f *svd.Factors, kmax int, candidates []int, gamma func(int) int) *pass2State {
+func newPass2State(f *svd.Factors, kmax int, candidates []int, gamma func(int) int, u *linalg.Matrix) *pass2State {
 	queues := make(map[int]*pqueue.TopK, len(candidates))
 	for _, k := range candidates {
 		queues[k] = pqueue.NewTopK(gamma(k))
@@ -40,6 +44,7 @@ func newPass2State(f *svd.Factors, kmax int, candidates []int, gamma func(int) i
 		proj:   make([]float64, kmax),
 		sse:    make([]float64, kmax+1),
 		queues: queues,
+		u:      u,
 	}
 }
 
@@ -62,7 +67,16 @@ func (st *pass2State) row(i int, row []float64) bool {
 		linalg.Axpy(xv, st.f.V.Row(l)[:kmax], proj)
 	}
 	if allZero {
-		return true
+		return true // the U buffer row (if any) stays zero, like pass 3's output
+	}
+	if st.u != nil {
+		// u[i][m] = p_m/σ_m — element for element the same operations pass 3
+		// (projectRow) performs, so the emitted rows are bit-identical to
+		// the three-pass layout.
+		urow := st.u.Row(i)
+		for m := 0; m < kmax; m++ {
+			urow[m] = proj[m] / st.f.Sigma[m]
+		}
 	}
 	for j, xv := range row {
 		vrow := st.f.V.Row(j)
@@ -93,15 +107,17 @@ func (st *pass2State) merge(other *pass2State) {
 // runPass2 executes the SVDD candidate scan, sharded across opts.Workers
 // when the source supports range scans. It returns the combined state and
 // the all-zero row ids in ascending order (empty unless opts.FlagZeroRows).
+// A non-nil ubuf (N×kmax) additionally receives every U row during the
+// same scan — the fused emission.
 func runPass2(src matio.RowSource, f *svd.Factors, opts Options, kmax int,
-	candidates []int, gamma func(int) int) (*pass2State, []int32, error) {
+	candidates []int, gamma func(int) int, ubuf *linalg.Matrix) (*pass2State, []int32, error) {
 
 	workers := matio.NumWorkers(opts.Workers)
 	rs, ok := src.(matio.RangeScanner)
 	n, _ := src.Dims()
 	chunks := matio.Chunks(n, 0)
 	if workers == 1 || !ok || len(chunks) < 2 {
-		st := newPass2State(f, kmax, candidates, gamma)
+		st := newPass2State(f, kmax, candidates, gamma, ubuf)
 		var zeroRows []int32
 		err := src.ScanRows(func(i int, row []float64) error {
 			if st.row(i, row) && opts.FlagZeroRows {
@@ -126,7 +142,7 @@ func runPass2(src matio.RowSource, f *svd.Factors, opts Options, kmax int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st := newPass2State(f, kmax, candidates, gamma)
+			st := newPass2State(f, kmax, candidates, gamma, ubuf)
 			states[w] = st
 			for ci := w; ci < len(chunks); ci += workers {
 				r := chunks[ci]

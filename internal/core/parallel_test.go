@@ -193,8 +193,8 @@ func TestCompressWorkersFullPipeline(t *testing.T) {
 }
 
 // TestCompressWorkersOnFile runs the full pipeline against a disk-backed
-// source and checks the pass accounting: three logical passes regardless of
-// worker count.
+// source and checks the pass accounting: two logical passes (factors plus
+// the fused scoring/emission scan) regardless of worker count.
 func TestCompressWorkersOnFile(t *testing.T) {
 	const n, m = 3000, 8
 	x := parallelPhone(n, m, 5)
@@ -211,11 +211,11 @@ func TestCompressWorkersOnFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := f.Stats().Passes(); got != 3 {
-		t.Errorf("Passes = %d, want 3", got)
+	if got := f.Stats().Passes(); got != 2 {
+		t.Errorf("Passes = %d, want 2 (factors + fused scoring/emission)", got)
 	}
-	if got := f.Stats().RowReads(); got != int64(3*n) {
-		t.Errorf("RowReads = %d, want %d", got, 3*n)
+	if got := f.Stats().RowReads(); got != int64(2*n) {
+		t.Errorf("RowReads = %d, want %d", got, 2*n)
 	}
 	mem, err := Compress(matio.NewMem(x), Options{Budget: 0.20, Workers: 1})
 	if err != nil {

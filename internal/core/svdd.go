@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
 	"seqstore/internal/svd"
 )
@@ -76,6 +77,30 @@ type Options struct {
 	// chosen k_opt and outlier set are unchanged (per-cell errors are
 	// bit-identical) while SSE totals agree to reduction-order tolerance.
 	Workers int
+	// Compressor selects the pass-1 factor algorithm: svd.CompressorGram
+	// (default, also "") accumulates the M×M matrix C = XᵀX;
+	// svd.CompressorRandomized uses the O(M·(k+p))-memory sketch pipeline
+	// and never builds C — the only option when M is in the tens of
+	// thousands.
+	Compressor string
+	// PowerIters tunes the randomized compressor's refinement passes (each
+	// is one extra streaming pass). ≤ 0 selects SVDD's default of zero
+	// iterations — the single-pass Nyström recovery, which keeps the whole
+	// compression at 2 streaming passes. Ignored for the Gram compressor.
+	PowerIters int
+	// ThreePass disables the fused scoring+emission pass and runs the
+	// paper's original pass 3 (a separate U projection scan). The stores
+	// are byte-identical either way; this exists for pass-accounting
+	// comparisons in the experiments.
+	ThreePass bool
+}
+
+// compressor returns the effective pass-1 algorithm name.
+func (o Options) compressor() string {
+	if o.Compressor == "" {
+		return svd.CompressorGram
+	}
+	return o.Compressor
 }
 
 // CandidateStat records the pass-2 evaluation of one candidate cutoff.
@@ -98,19 +123,74 @@ type Diagnostics struct {
 var (
 	ErrBadBudget      = errors.New("core: budget must be in (0, 1]")
 	ErrBudgetTooSmall = errors.New("core: budget cannot fit a single principal component")
+	ErrBadCompressor  = errors.New("core: unknown compressor")
 )
 
-// Compress runs the 3-pass SVDD algorithm over src.
+// Compress runs the SVDD algorithm over src: one factor pass (or more with
+// randomized power iterations), then the fused scoring+emission pass — two
+// streaming passes in the default configuration (three with
+// Options.ThreePass, matching the paper's Figure 5 exactly).
 func Compress(src matio.RowSource, opts Options) (*Store, error) {
 	if opts.Budget <= 0 || opts.Budget > 1 {
 		return nil, fmt.Errorf("%w: %v", ErrBadBudget, opts.Budget)
 	}
 	// ---- pass 1: factors -------------------------------------------------
-	f, err := svd.ComputeFactorsWorkers(src, opts.Workers)
+	var (
+		f   *svd.Factors
+		err error
+	)
+	switch opts.compressor() {
+	case svd.CompressorGram:
+		f, err = svd.ComputeFactorsWorkers(src, opts.Workers)
+	case svd.CompressorRandomized:
+		// The sketch rank must be fixed before the factors exist: use the
+		// largest cutoff the budget could possibly afford (k_max), so the
+		// recovered factors cover every candidate pass 2 may evaluate.
+		rank, rerr := budgetRank(src, opts)
+		if rerr != nil {
+			return nil, rerr
+		}
+		piters := opts.PowerIters
+		if piters <= 0 {
+			piters = -1 // SVDD default: single-pass Nyström recovery
+		}
+		f, err = svd.ComputeFactorsRandWorkers(src, svd.RandOptions{
+			Rank:       rank,
+			PowerIters: piters,
+			Workers:    opts.Workers,
+		})
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadCompressor, opts.Compressor)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return CompressWithFactors(src, f, opts)
+}
+
+// budgetRank returns the largest cutoff whose plain-SVD representation fits
+// the budget — the sketch rank the randomized compressor must recover.
+func budgetRank(src matio.RowSource, opts Options) (int, error) {
+	n, m := src.Dims()
+	if n == 0 || m == 0 {
+		return 0, svd.ErrEmptyMatrix
+	}
+	budgetNums := opts.Budget * float64(n) * float64(m)
+	rank := 0
+	for k := 1; k <= m; k++ {
+		if float64(svd.StoredNumbers(n, m, k)) <= budgetNums {
+			rank = k
+		} else {
+			break
+		}
+	}
+	if rank == 0 {
+		return 0, fmt.Errorf("%w: budget %.4f of %d×%d", ErrBudgetTooSmall, opts.Budget, n, m)
+	}
+	if opts.ForceK > 0 && opts.ForceK < rank {
+		rank = opts.ForceK
+	}
+	return rank, nil
 }
 
 // CompressWithFactors runs passes 2 and 3 with factors computed earlier.
@@ -148,8 +228,18 @@ func CompressWithFactors(src matio.RowSource, f *svd.Factors, opts Options) (*St
 	}
 	candidates := chooseCandidates(opts, kmax, gamma)
 
-	// ---- pass 2: per-candidate error queues ------------------------------
-	st, zeroRows, err := runPass2(src, f, opts, kmax, candidates, gamma)
+	// ---- pass 2: per-candidate error queues + fused U emission -----------
+	// The scoring scan already computes σ_m·u[i][m] for every row (the
+	// projections the per-candidate errors are built from), so unless the
+	// caller asked for the paper's literal 3-pass layout we emit U at k_max
+	// during the same scan and skip pass 3 entirely. The N×k_max buffer is
+	// bounded by the budget: N·k_max numbers ≤ Budget·N·M, the size of the
+	// compressed store itself.
+	var ubuf *linalg.Matrix
+	if !opts.ThreePass {
+		ubuf = linalg.NewMatrix(n, kmax)
+	}
+	st, zeroRows, err := runPass2(src, f, opts, kmax, candidates, gamma, ubuf)
 	if err != nil {
 		return nil, fmt.Errorf("core: pass 2: %w", err)
 	}
@@ -173,10 +263,22 @@ func CompressWithFactors(src matio.RowSource, f *svd.Factors, opts Options) (*St
 	diag.ChosenK = best
 	diag.Gamma = queues[best].Len()
 
-	// ---- pass 3: emit U at k_opt -----------------------------------------
-	base, err := svd.CompressWithFactorsWorkers(src, f, best, opts.Workers)
+	// ---- base store: U at k_opt ------------------------------------------
+	// Fused path: the k_opt-column prefix of the pass-2 buffer IS pass 3's
+	// output (per-element sums are identical, division by σ elementwise), so
+	// no further streaming is needed. ThreePass runs the original scan.
+	var base *svd.Store
+	if ubuf != nil {
+		uk := linalg.NewMatrix(n, best)
+		for i := 0; i < n; i++ {
+			copy(uk.Row(i), ubuf.Row(i)[:best])
+		}
+		base, err = svd.New(f, best, matio.NewMem(uk))
+	} else {
+		base, err = svd.CompressWithFactorsWorkers(src, f, best, opts.Workers)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: pass 3: %w", err)
+		return nil, fmt.Errorf("core: emit U: %w", err)
 	}
 
 	items := queues[best].Items()

@@ -36,14 +36,75 @@ func TestCompressValidation(t *testing.T) {
 	}
 }
 
-func TestCompressIsThreePasses(t *testing.T) {
+func TestCompressIsTwoPasses(t *testing.T) {
+	// The fused scoring+emission pass folds the paper's pass 3 into pass 2:
+	// factors (1) + fused scan (1) = 2 streaming passes.
 	x := phoneSmall(40)
 	mem := matio.NewMem(x)
 	if _, err := Compress(mem, Options{Budget: 0.10}); err != nil {
 		t.Fatal(err)
 	}
+	if got := mem.Stats().Passes(); got != 2 {
+		t.Errorf("SVDD used %d passes, want exactly 2 (fused pass 2+3)", got)
+	}
+}
+
+func TestCompressThreePassOptIn(t *testing.T) {
+	// Options.ThreePass restores the literal Figure 5 layout — and must
+	// produce a byte-identical store.
+	x := phoneSmall(40)
+	mem := matio.NewMem(x)
+	s3, err := Compress(mem, Options{Budget: 0.10, ThreePass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := mem.Stats().Passes(); got != 3 {
-		t.Errorf("SVDD used %d passes, want exactly 3 (Figure 5)", got)
+		t.Errorf("ThreePass used %d passes, want exactly 3 (Figure 5)", got)
+	}
+	s2, err := Compress(matio.NewMem(x), Options{Budget: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.K() != s3.K() || s2.NumOutliers() != s3.NumOutliers() {
+		t.Fatalf("fused (k=%d, outliers=%d) differs from three-pass (k=%d, outliers=%d)",
+			s2.K(), s2.NumOutliers(), s3.K(), s3.NumOutliers())
+	}
+	urow2 := make([]float64, s2.K())
+	urow3 := make([]float64, s3.K())
+	for i := 0; i < 40; i++ {
+		if err := s2.Base().URow(i, urow2); err != nil {
+			t.Fatal(err)
+		}
+		if err := s3.Base().URow(i, urow3); err != nil {
+			t.Fatal(err)
+		}
+		for j := range urow2 {
+			if urow2[j] != urow3[j] {
+				t.Fatalf("U[%d][%d]: fused %g != three-pass %g", i, j, urow2[j], urow3[j])
+			}
+		}
+	}
+}
+
+func TestRandomizedCompressIsTwoPasses(t *testing.T) {
+	// Acceptance criterion: SVDD with the randomized compressor makes
+	// exactly 2 streaming passes — 1 sketch pass (single-pass Nyström
+	// recovery) + 1 fused scoring/emission pass.
+	x := phoneSmall(60)
+	mem := matio.NewMem(x)
+	s, err := Compress(mem, Options{Budget: 0.10, Compressor: svd.CompressorRandomized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Stats().Passes(); got != 2 {
+		t.Errorf("randomized SVDD used %d passes, want exactly 2", got)
+	}
+	if s.K() < 1 {
+		t.Errorf("randomized SVDD chose k=%d", s.K())
+	}
+	// Unknown compressor names must fail loudly.
+	if _, err := Compress(matio.NewMem(x), Options{Budget: 0.10, Compressor: "bogus"}); !errors.Is(err, ErrBadCompressor) {
+		t.Errorf("bogus compressor: %v", err)
 	}
 }
 

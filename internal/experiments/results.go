@@ -1,22 +1,54 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 )
 
 // writeResultJSON serializes one harness result to path (indented, trailing
 // newline), creating parent directories — shared by every Bench* WriteJSON.
+// Every top-level JSON object additionally gets the machine context it was
+// produced on ("num_cpu", "gomaxprocs") stamped in, so perf numbers in
+// results/bench_*.json always carry the hardware they were measured on even
+// when the result struct forgets to record it.
 func writeResultJSON(v interface{}, path string) error {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 	}
-	raw, err := json.MarshalIndent(v, "", "  ")
+	raw, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	raw = stampEnv(raw)
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// stampEnv injects num_cpu and gomaxprocs into a marshaled JSON object.
+// Results whose structs already carry the fields are overwritten with the
+// same live values; non-object payloads (arrays, scalars) pass through
+// unchanged.
+func stampEnv(raw []byte) []byte {
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &obj); err != nil || obj == nil {
+		return raw
+	}
+	cpu, _ := json.Marshal(runtime.NumCPU())
+	procs, _ := json.Marshal(runtime.GOMAXPROCS(0))
+	obj["num_cpu"] = cpu
+	obj["gomaxprocs"] = procs
+	out, err := json.Marshal(obj)
+	if err != nil {
+		return raw
+	}
+	return out
 }

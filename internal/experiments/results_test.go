@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// Every bench_*.json must record the machine it was measured on, even when
+// the result struct has no env fields of its own.
+func TestWriteResultJSONStampsEnv(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench_x.json")
+	in := struct {
+		Name string `json:"name"`
+	}{Name: "x"}
+	if err := writeResultJSON(in, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "x" {
+		t.Errorf("name = %v", got["name"])
+	}
+	if got["num_cpu"] != float64(runtime.NumCPU()) {
+		t.Errorf("num_cpu = %v, want %d", got["num_cpu"], runtime.NumCPU())
+	}
+	if got["gomaxprocs"] != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("gomaxprocs = %v, want %d", got["gomaxprocs"], runtime.GOMAXPROCS(0))
+	}
+}

@@ -16,6 +16,16 @@ type Eigen struct {
 	// Vectors is the n×n column-orthonormal matrix whose j-th column is the
 	// eigenvector for Values[j].
 	Vectors *Matrix
+	// Converged reports whether the solver met its convergence criterion.
+	// Iterative solvers (TopKEigen) return their best estimate with
+	// Converged=false when the sweep budget runs out; direct solvers always
+	// set it true on success.
+	Converged bool
+	// Residual is the largest ‖S·v − λ·v‖ over the requested eigenpairs at
+	// the final sweep (iterative solvers only; zero for direct solvers).
+	Residual float64
+	// Sweeps is the number of iteration sweeps actually performed.
+	Sweeps int
 }
 
 // ErrNotSymmetric is returned by SymEigen when the input matrix is not
@@ -57,7 +67,7 @@ func SymEigen(s *Matrix) (*Eigen, error) {
 		}
 	}
 	if n == 0 {
-		return &Eigen{Values: nil, Vectors: NewMatrix(0, 0)}, nil
+		return &Eigen{Values: nil, Vectors: NewMatrix(0, 0), Converged: true}, nil
 	}
 
 	a := s.Clone()
@@ -111,7 +121,7 @@ func SymEigen(s *Matrix) (*Eigen, error) {
 	}
 	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
 
-	eig := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	eig := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n), Converged: true}
 	for j, p := range pairs {
 		eig.Values[j] = p.val
 		for i := 0; i < n; i++ {

@@ -1,0 +1,318 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR is the Householder QR factorization A = Q·R of an m×n matrix with
+// m ≥ n: R is n×n upper triangular and Q is m×n with orthonormal columns
+// (the "thin" Q). The factorization is stored in compact form — R in the
+// upper triangle, the Householder vectors below the diagonal — and Q is
+// materialized on demand.
+//
+// The randomized compressor uses QR to orthonormalize M×(k+p) sketch
+// blocks; the factorization is blocked (compact-WY, panel width qrPanel)
+// so the trailing updates run as small matrix products rather than one
+// rank-1 update per reflector.
+type QR struct {
+	m, n int
+	qr   *Matrix   // packed R (upper) + Householder vectors (below diagonal)
+	tau  []float64 // reflector coefficients
+}
+
+// qrPanel is the blocking width of the panel factorization. Sketch blocks
+// are k+p ≲ 64 columns wide, so one or two panels cover the whole
+// factorization; the blocked form matters when callers QR wider matrices.
+const qrPanel = 32
+
+// QRFactor computes the Householder QR factorization of a (copied, not
+// modified). It requires m ≥ n ≥ 1.
+func QRFactor(a *Matrix) (*QR, error) {
+	m, n := a.Dims()
+	if m < n || n < 1 {
+		return nil, fmt.Errorf("linalg: QRFactor needs m ≥ n ≥ 1, got %d×%d", m, n)
+	}
+	if err := a.CheckFinite(); err != nil {
+		return nil, err
+	}
+	f := &QR{m: m, n: n, qr: a.Clone(), tau: make([]float64, n)}
+	for k := 0; k < n; k += qrPanel {
+		nb := qrPanel
+		if k+nb > n {
+			nb = n - k
+		}
+		f.factorPanel(k, nb)
+		if k+nb < n {
+			// Trailing update: A[:, k+nb:] ← (H_{k+nb-1}···H_k)·A[:, k+nb:]
+			// = (I − V·Tᵀ·Vᵀ)·A[:, k+nb:] with the compact-WY T of the panel.
+			v := f.panelV(k, nb)
+			t := f.panelT(v, k, nb)
+			f.applyBlock(v, t.T(), k+nb, n)
+		}
+	}
+	return f, nil
+}
+
+// factorPanel runs the unblocked Householder factorization on columns
+// [k, k+nb), applying each reflector to the rest of the panel only.
+func (f *QR) factorPanel(k, nb int) {
+	for j := k; j < k+nb; j++ {
+		f.tau[j] = f.makeHouseholder(j)
+		// Apply H_j to the remaining panel columns.
+		for c := j + 1; c < k+nb; c++ {
+			f.applyHouseholder(j, c)
+		}
+	}
+}
+
+// makeHouseholder builds the reflector annihilating column j below the
+// diagonal: v is stored in a[j+1:, j] (v[j] = 1 implicit), a[j][j] becomes
+// the R diagonal entry, and the return value is tau.
+func (f *QR) makeHouseholder(j int) float64 {
+	a := f.qr
+	// norm of a[j:, j]
+	var norm float64
+	{
+		var scale, ssq float64 = 0, 1
+		for i := j; i < f.m; i++ {
+			x := a.At(i, j)
+			if x == 0 {
+				continue
+			}
+			ax := math.Abs(x)
+			if scale < ax {
+				r := scale / ax
+				ssq = 1 + ssq*r*r
+				scale = ax
+			} else {
+				r := ax / scale
+				ssq += r * r
+			}
+		}
+		norm = scale * math.Sqrt(ssq)
+	}
+	alpha := a.At(j, j)
+	if norm == 0 {
+		return 0 // zero column: H_j = I
+	}
+	beta := -math.Copysign(norm, alpha)
+	tau := (beta - alpha) / beta
+	inv := 1 / (alpha - beta)
+	for i := j + 1; i < f.m; i++ {
+		a.Set(i, j, a.At(i, j)*inv)
+	}
+	a.Set(j, j, beta)
+	return tau
+}
+
+// applyHouseholder applies H_j = I − tau·v·vᵀ to column c (c > j).
+func (f *QR) applyHouseholder(j, c int) {
+	tau := f.tau[j]
+	if tau == 0 {
+		return
+	}
+	a := f.qr
+	// w = vᵀ·a[:, c] with v[j] = 1.
+	w := a.At(j, c)
+	for i := j + 1; i < f.m; i++ {
+		w += a.At(i, j) * a.At(i, c)
+	}
+	w *= tau
+	a.Set(j, c, a.At(j, c)-w)
+	for i := j + 1; i < f.m; i++ {
+		a.Set(i, c, a.At(i, c)-w*a.At(i, j))
+	}
+}
+
+// panelV extracts the m×nb unit-lower-trapezoidal Householder block of the
+// panel starting at column k.
+func (f *QR) panelV(k, nb int) *Matrix {
+	v := NewMatrix(f.m, nb)
+	for j := 0; j < nb; j++ {
+		v.Set(k+j, j, 1)
+		for i := k + j + 1; i < f.m; i++ {
+			v.Set(i, j, f.qr.At(i, k+j))
+		}
+	}
+	return v
+}
+
+// panelT builds the compact-WY T factor of the panel:
+// H_k·H_{k+1}···H_{k+nb-1} = I − V·T·Vᵀ with T upper triangular.
+func (f *QR) panelT(v *Matrix, k, nb int) *Matrix {
+	t := NewMatrix(nb, nb)
+	for j := 0; j < nb; j++ {
+		tau := f.tau[k+j]
+		t.Set(j, j, tau)
+		if j == 0 || tau == 0 {
+			continue
+		}
+		// w = Vᵀ[:, :j]·v_j, then T[:j, j] = −tau·T[:j, :j]·w.
+		w := make([]float64, j)
+		for p := 0; p < j; p++ {
+			var s float64
+			for i := k + j; i < f.m; i++ {
+				s += v.At(i, p) * v.At(i, j)
+			}
+			w[p] = s
+		}
+		for p := 0; p < j; p++ {
+			var s float64
+			for q := p; q < j; q++ {
+				s += t.At(p, q) * w[q]
+			}
+			t.Set(p, j, -tau*s)
+		}
+	}
+	return t
+}
+
+// applyBlock applies (I − V·T·Vᵀ) from the left to columns [c0, c1) of the
+// packed matrix (T here is whichever of T/Tᵀ the caller needs).
+func (f *QR) applyBlock(v, t *Matrix, c0, c1 int) {
+	a := f.qr
+	nb := v.Cols()
+	ncols := c1 - c0
+	// W = Vᵀ·A[:, c0:c1]  (nb×ncols)
+	w := NewMatrix(nb, ncols)
+	for i := 0; i < f.m; i++ {
+		arow := a.Row(i)[c0:c1]
+		vrow := v.Row(i)
+		for p := 0; p < nb; p++ {
+			if vrow[p] == 0 {
+				continue
+			}
+			Axpy(vrow[p], arow, w.Row(p))
+		}
+	}
+	// W ← T·W
+	w = Mul(t, w)
+	// A[:, c0:c1] −= V·W
+	for i := 0; i < f.m; i++ {
+		arow := a.Row(i)[c0:c1]
+		vrow := v.Row(i)
+		for p := 0; p < nb; p++ {
+			if vrow[p] == 0 {
+				continue
+			}
+			Axpy(-vrow[p], w.Row(p), arow)
+		}
+	}
+}
+
+// R returns the n×n upper-triangular factor.
+func (f *QR) R() *Matrix {
+	r := NewMatrix(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		for j := i; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// ThinQ materializes the m×n column-orthonormal factor by applying the
+// reflector panels in reverse order to the first n columns of the identity.
+func (f *QR) ThinQ() *Matrix {
+	q := NewMatrix(f.m, f.n)
+	for j := 0; j < f.n; j++ {
+		q.Set(j, j, 1)
+	}
+	// Panels in reverse: Q ← (I − V·T·Vᵀ)·Q.
+	nPanels := (f.n + qrPanel - 1) / qrPanel
+	for p := nPanels - 1; p >= 0; p-- {
+		k := p * qrPanel
+		nb := qrPanel
+		if k+nb > f.n {
+			nb = f.n - k
+		}
+		v := f.panelV(k, nb)
+		t := f.panelT(v, k, nb)
+		f.applyBlockTo(q, v, t)
+	}
+	return q
+}
+
+// applyBlockTo applies (I − V·T·Vᵀ) from the left to all columns of q.
+func (f *QR) applyBlockTo(q, v, t *Matrix) {
+	nb := v.Cols()
+	ncols := q.Cols()
+	w := NewMatrix(nb, ncols)
+	for i := 0; i < f.m; i++ {
+		qrow := q.Row(i)
+		vrow := v.Row(i)
+		for p := 0; p < nb; p++ {
+			if vrow[p] == 0 {
+				continue
+			}
+			Axpy(vrow[p], qrow, w.Row(p))
+		}
+	}
+	w = Mul(t, w)
+	for i := 0; i < f.m; i++ {
+		qrow := q.Row(i)
+		vrow := v.Row(i)
+		for p := 0; p < nb; p++ {
+			if vrow[p] == 0 {
+				continue
+			}
+			Axpy(-vrow[p], w.Row(p), qrow)
+		}
+	}
+}
+
+// Cholesky computes the lower-triangular L with a = L·Lᵀ for a symmetric
+// positive-definite matrix. It returns an error when a pivot is not
+// positive (a not PD within roundoff).
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("linalg: Cholesky needs a square matrix, got %d×%d", a.Rows(), a.Cols())
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for p := 0; p < j; p++ {
+			d -= l.At(j, p) * l.At(j, p)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("linalg: Cholesky pivot %d not positive (%g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for p := 0; p < j; p++ {
+				s -= l.At(i, p) * l.At(j, p)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// SolveLowerT solves f·Lᵀ = y row-by-row for f (forward substitution
+// against the lower-triangular L), overwriting nothing: the result is a new
+// matrix with the same shape as y. Used by the Nyström recovery to form
+// F = Y·L⁻ᵀ.
+func SolveLowerT(y, l *Matrix) *Matrix {
+	rows, n := y.Dims()
+	if l.Rows() != n || l.Cols() != n {
+		panic(fmt.Sprintf("linalg: SolveLowerT shape mismatch %d×%d vs %d×%d", rows, n, l.Rows(), l.Cols()))
+	}
+	out := NewMatrix(rows, n)
+	for i := 0; i < rows; i++ {
+		yrow := y.Row(i)
+		frow := out.Row(i)
+		for j := 0; j < n; j++ {
+			s := yrow[j]
+			lrow := l.Row(j)
+			for p := 0; p < j; p++ {
+				s -= frow[p] * lrow[p]
+			}
+			frow[j] = s / lrow[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// qrTestMatrix builds a deterministic dense matrix with entries spread over a
+// few orders of magnitude so the scaled-norm path in makeHouseholder is
+// exercised.
+func qrTestMatrix(m, n int, seed uint64) *Matrix {
+	a := GaussianSketch(m, n, seed)
+	rng := splitmixState(seed ^ 0xabcdef)
+	for i := range a.data {
+		if rng.next()%7 == 0 {
+			a.data[i] *= 1e4
+		}
+	}
+	return a
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	var mx float64
+	for i := range a.data {
+		if d := math.Abs(a.data[i] - b.data[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func TestQRFactorReconstructs(t *testing.T) {
+	cases := []struct{ m, n int }{
+		{1, 1}, {5, 3}, {8, 8}, {40, 7}, {90, 40}, {70, 70}, {200, 65},
+	}
+	for _, c := range cases {
+		a := qrTestMatrix(c.m, c.n, uint64(c.m*1000+c.n))
+		f, err := QRFactor(a)
+		if err != nil {
+			t.Fatalf("QRFactor(%d×%d): %v", c.m, c.n, err)
+		}
+		q := f.ThinQ()
+		if q.Rows() != c.m || q.Cols() != c.n {
+			t.Fatalf("ThinQ dims = %d×%d, want %d×%d", q.Rows(), q.Cols(), c.m, c.n)
+		}
+		if e := OrthonormalityError(q); e > 1e-10 {
+			t.Errorf("%d×%d: QᵀQ deviates from I by %g", c.m, c.n, e)
+		}
+		scale := a.MaxAbs()
+		if d := maxAbsDiff(Mul(q, f.R()), a); d > 1e-10*math.Max(scale, 1) {
+			t.Errorf("%d×%d: ‖QR − A‖∞ = %g (scale %g)", c.m, c.n, d, scale)
+		}
+		r := f.R()
+		for i := 0; i < c.n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRFactorRankDeficient(t *testing.T) {
+	// Two identical columns: the reflector for the duplicate degenerates but
+	// Q must stay orthonormal and QR must still reconstruct A.
+	a := qrTestMatrix(30, 4, 99)
+	for i := 0; i < 30; i++ {
+		a.Set(i, 2, a.At(i, 0))
+	}
+	f, err := QRFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.ThinQ()
+	if e := OrthonormalityError(q); e > 1e-9 {
+		t.Errorf("rank-deficient QᵀQ deviates by %g", e)
+	}
+	if d := maxAbsDiff(Mul(q, f.R()), a); d > 1e-9*a.MaxAbs() {
+		t.Errorf("rank-deficient ‖QR − A‖∞ = %g", d)
+	}
+}
+
+func TestQRFactorRejectsBadShapes(t *testing.T) {
+	if _, err := QRFactor(NewMatrix(3, 5)); err == nil {
+		t.Error("QRFactor accepted wide matrix")
+	}
+	if _, err := QRFactor(NewMatrix(3, 0)); err == nil {
+		t.Error("QRFactor accepted zero columns")
+	}
+	bad := NewMatrix(3, 2)
+	bad.Set(1, 1, math.NaN())
+	if _, err := QRFactor(bad); err == nil {
+		t.Error("QRFactor accepted NaN input")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 3, 10, 25} {
+		b := GaussianSketch(n+5, n, uint64(n))
+		a := Mul(b.T(), b) // SPD with probability 1
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1e-6)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky(n=%d): %v", n, err)
+		}
+		if d := maxAbsDiff(mulABt(l, l), a); d > 1e-9*a.MaxAbs() {
+			t.Errorf("n=%d: ‖LLᵀ − A‖∞ = %g", n, d)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L not lower triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); err == nil {
+		t.Error("Cholesky accepted an indefinite matrix")
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("Cholesky accepted a non-square matrix")
+	}
+}
+
+func TestSolveLowerT(t *testing.T) {
+	n := 6
+	b := GaussianSketch(n+3, n, 7)
+	a := Mul(b.T(), b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := GaussianSketch(9, n, 8)
+	f := SolveLowerT(y, l)
+	// f·Lᵀ must reproduce y.
+	if d := maxAbsDiff(mulABt(f, l), y); d > 1e-9*y.MaxAbs() {
+		t.Errorf("‖F·Lᵀ − Y‖∞ = %g", d)
+	}
+}

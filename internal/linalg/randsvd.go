@@ -1,0 +1,172 @@
+// Randomized low-rank building blocks for the sketch compressor
+// (Halko–Martinsson–Tropp): a deterministic Gaussian-ish test matrix, a
+// single-pass Nyström eigenvalue recovery for PSD matrices, and a small
+// dense SVD routed through the existing Jacobi eigensolver. The streaming
+// drivers that feed these live in internal/svd (onepass.go); everything
+// here is dense, in-memory, and sized O(M·(k+p)) or smaller.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianSketch returns a deterministic rows×cols test matrix with
+// iid roughly-normal entries, generated from the same splitmix stream the
+// subspace iteration uses for its start basis. The same (rows, cols, seed)
+// always yields the same matrix, so sketch-compressed stores are exactly
+// reproducible.
+func GaussianSketch(rows, cols int, seed uint64) *Matrix {
+	m := NewMatrix(rows, cols)
+	rng := splitmixState(seed)
+	for i := range m.data {
+		m.data[i] = rng.normish()
+	}
+	return m
+}
+
+// SVDViaGram computes the thin SVD of a via the eigendecomposition of the
+// Gram matrix of its smaller side — the Jacobi machinery the two-pass
+// pipeline already relies on (Lemma 3.2 applied to a small dense block).
+// For a tall m×n (m ≥ n) it eigendecomposes aᵀa (n×n); for a wide block,
+// a·aᵀ. Singular values numerically indistinguishable from zero are
+// dropped, so the factors always satisfy U·diag(Σ)·Vᵀ ≈ a with orthonormal
+// U and V.
+//
+// The randomized compressor calls this on (k+p)-thin projections, where
+// the Gram side is (k+p)×(k+p) and Jacobi's O(b³) is negligible.
+func SVDViaGram(a *Matrix) (*SVD, error) {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return &SVD{U: NewMatrix(m, 0), Sigma: nil, V: NewMatrix(n, 0)}, nil
+	}
+	if m < n {
+		flipped, err := SVDViaGram(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: flipped.V, Sigma: flipped.Sigma, V: flipped.U}, nil
+	}
+	g := Mul(a.T(), a)
+	// Symmetrize roundoff so SymEigen's symmetry check never trips.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (g.At(i, j) + g.At(j, i)) / 2
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	eig, err := SymEigen(g)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: SVDViaGram eigen step: %w", err)
+	}
+	sigma := make([]float64, 0, n)
+	for _, ev := range eig.Values {
+		if ev < 0 {
+			ev = 0
+		}
+		sigma = append(sigma, math.Sqrt(ev))
+	}
+	var tol float64
+	if len(sigma) > 0 {
+		tol = sigma[0] * float64(max(m, n)) * rankTolFactor
+	}
+	r := 0
+	for _, s := range sigma {
+		if s > tol && s > 0 {
+			r++
+		} else {
+			break
+		}
+	}
+	v := NewMatrix(n, r)
+	for i := 0; i < n; i++ {
+		copy(v.Row(i), eig.Vectors.Row(i)[:r])
+	}
+	u := NewMatrix(m, r)
+	for i := 0; i < m; i++ {
+		arow := a.Row(i)
+		urow := u.Row(i)
+		for j := 0; j < r; j++ {
+			var s float64
+			for l, av := range arow {
+				s += av * v.At(l, j)
+			}
+			urow[j] = s / sigma[j]
+		}
+	}
+	return &SVD{U: u, Sigma: sigma[:r], V: v}, nil
+}
+
+// NystromEigen recovers approximate top eigenpairs of a symmetric
+// positive-semidefinite matrix C from a single sketch Y = C·Ω, without any
+// further access to C — the single-pass recovery that lets the SVDD
+// pipeline compute its factors and its outlier scan in two total passes.
+//
+// It implements the shifted Nyström approximation
+//
+//	C ≈ Yν·(ΩᵀYν)⁻¹·Yνᵀ,  Yν = Y + ν·Ω,  ν = ε·‖Y‖F
+//
+// factored through a Cholesky of ΩᵀYν and a thin SVD of F = Yν·L⁻ᵀ (so
+// C + νI ≈ F·Fᵀ); eigenvalues are the squared singular values of F minus
+// the shift, clamped at zero. When the Cholesky fails outright (rank
+// collapse beyond what the shift absorbs) the shift is grown and retried.
+//
+// Both Y and Ω are M×b; everything allocated here is O(M·b) or b×b.
+func NystromEigen(y, omega *Matrix) (*Eigen, error) {
+	m, b := y.Dims()
+	if om, ob := omega.Dims(); om != m || ob != b {
+		return nil, fmt.Errorf("linalg: NystromEigen shape mismatch %d×%d vs %d×%d", m, b, om, ob)
+	}
+	if b == 0 {
+		return &Eigen{Values: nil, Vectors: NewMatrix(m, 0), Converged: true}, nil
+	}
+	normY := y.FrobeniusNorm()
+	if normY == 0 {
+		// C·Ω = 0 for a full random Ω ⇒ C ≈ 0.
+		return &Eigen{Values: make([]float64, b), Vectors: NewMatrix(m, b), Converged: true}, nil
+	}
+	shift := math.Sqrt(float64(m)) * 1e-15 * normY
+	var f *Matrix
+	var err error
+	for attempt := 0; ; attempt++ {
+		yv := NewMatrix(m, b)
+		for i := range yv.data {
+			yv.data[i] = y.data[i] + shift*omega.data[i]
+		}
+		g := mulABt(yv.T(), omega.T()) // ΩᵀYν, computed as (Yνᵀ)·(Ωᵀ)ᵀ
+		for i := 0; i < b; i++ {       // symmetrize: ΩᵀCΩ + νΩᵀΩ is symmetric up to roundoff
+			for j := i + 1; j < b; j++ {
+				v := (g.At(i, j) + g.At(j, i)) / 2
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
+		}
+		var l *Matrix
+		l, err = Cholesky(g)
+		if err == nil {
+			f = SolveLowerT(yv, l)
+			break
+		}
+		if attempt >= 6 {
+			return nil, fmt.Errorf("linalg: NystromEigen: core matrix not PSD after %d shift retries: %w", attempt, err)
+		}
+		shift *= 100
+	}
+	fsvd, err := SVDViaGram(f)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: NystromEigen: %w", err)
+	}
+	eig := &Eigen{Values: make([]float64, b), Vectors: NewMatrix(m, b), Converged: true}
+	for j, s := range fsvd.Sigma {
+		ev := s*s - shift
+		if ev < 0 {
+			ev = 0
+		}
+		eig.Values[j] = ev
+		for i := 0; i < m; i++ {
+			eig.Vectors.Set(i, j, fsvd.U.At(i, j))
+		}
+	}
+	return eig, nil
+}

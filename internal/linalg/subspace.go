@@ -50,7 +50,11 @@ func TopKEigen(s *Matrix, k int, maxSweeps int) (*Eigen, error) {
 
 	var vecs *Matrix // b×n Ritz vectors as rows
 	var vals []float64
+	var lastResidual float64
+	converged := false
+	sweeps := 0
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		sweeps = sweep + 1
 		// Z = Q·S (rows are S·qᵢ since S is symmetric): O(b·n²).
 		z := Mul(q, s)
 		// Rayleigh–Ritz: B = Q·Zᵀ is b×b with B_{pq} = qₚᵀ·S·q_q.
@@ -73,7 +77,7 @@ func TopKEigen(s *Matrix, k int, maxSweeps int) (*Eigen, error) {
 
 		// Residual convergence on the top k pairs.
 		scale := math.Max(math.Abs(vals[0]), 1)
-		converged := true
+		var maxRes float64
 		for j := 0; j < k; j++ {
 			var res float64
 			vr, sr := vecs.Row(j), sv.Row(j)
@@ -81,12 +85,13 @@ func TopKEigen(s *Matrix, k int, maxSweeps int) (*Eigen, error) {
 				d := sr[i] - vals[j]*vr[i]
 				res += d * d
 			}
-			if math.Sqrt(res) > 1e-8*scale {
-				converged = false
-				break
+			if r := math.Sqrt(res); r > maxRes {
+				maxRes = r
 			}
 		}
-		if converged {
+		lastResidual = maxRes
+		if maxRes <= 1e-8*scale {
+			converged = true
 			break
 		}
 		// Next basis: orthonormalized S·(Ritz vectors).
@@ -94,7 +99,13 @@ func TopKEigen(s *Matrix, k int, maxSweeps int) (*Eigen, error) {
 		orthonormalizeRows(q, &rng)
 	}
 
-	eig := &Eigen{Values: make([]float64, k), Vectors: NewMatrix(n, k)}
+	eig := &Eigen{
+		Values:    make([]float64, k),
+		Vectors:   NewMatrix(n, k),
+		Converged: converged,
+		Residual:  lastResidual,
+		Sweeps:    sweeps,
+	}
 	copy(eig.Values, vals[:k])
 	for j := 0; j < k; j++ {
 		row := vecs.Row(j)

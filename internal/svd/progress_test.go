@@ -2,6 +2,7 @@ package svd
 
 import (
 	"log/slog"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -49,6 +50,59 @@ func TestProgressLogger(t *testing.T) {
 	}
 	if sb.Len() != before {
 		t.Error("logger still active after SetProgressLogger(nil)")
+	}
+}
+
+// TestTopKNonConvergenceWarns pins the satellite behavior: when the
+// subspace eigensolver exhausts its sweep budget (here forced by a tightly
+// clustered spectrum, whose within-cluster convergence rate is ~1), the
+// best-estimate factors still come back but a Warn with the residual and
+// sweep count flows through the progress logger.
+func TestTopKNonConvergenceWarns(t *testing.T) {
+	const m = 30
+	qf, err := linalg.QRFactor(linalg.GaussianSketch(m, m, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qf.ThinQ()
+	// Eigenvalues of C: a 20-wide cluster at 1 (spacing 1e-5, far below the
+	// 1e-8·λ₁ residual tolerance's reach within 300 sweeps), then 0.3.
+	lambda := make([]float64, m)
+	for i := range lambda {
+		if i < 20 {
+			lambda[i] = 1 + float64(20-i)*1e-5
+		} else {
+			lambda[i] = 0.3
+		}
+	}
+	// X = diag(√λ)·Qᵀ ⇒ C = XᵀX = Q·diag(λ)·Qᵀ.
+	x := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		s := math.Sqrt(lambda[i])
+		for j := 0; j < m; j++ {
+			x.Set(i, j, s*q.At(j, i))
+		}
+	}
+
+	var sb strings.Builder
+	SetProgressLogger(slog.New(slog.NewJSONHandler(&sb, nil)))
+	defer SetProgressLogger(nil)
+
+	f, err := ComputeFactorsK(matio.NewMem(x), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", f.Rank())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"level":"WARN"`, "top-k eigensolver did not converge",
+		`"sweeps":300`, `"residual"`, `"k":3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("warning log missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -191,6 +191,15 @@ func ComputeFactorsKWorkers(src matio.RowSource, k, workers int) (*Factors, erro
 	if eigErr != nil {
 		return nil, fmt.Errorf("svd: subspace eigendecomposition of C: %w", eigErr)
 	}
+	if !eig.Converged {
+		// Subspace iteration converges at rate λ_{k+b'}/λ_k: a tightly
+		// clustered spectrum can exhaust the sweep budget with a still-mixed
+		// basis. The best estimate is returned regardless (it is usually
+		// serviceable for compression), but the caller deserves to know.
+		warn("pass 1: top-k eigensolver did not converge",
+			slog.Int("k", k), slog.Int("cols", m),
+			slog.Int("sweeps", eig.Sweeps), slog.Float64("residual", eig.Residual))
+	}
 	return factorsFromEigen(n, m, eig.Values, eig.Vectors), nil
 }
 

@@ -65,6 +65,20 @@ const (
 	Wavelet Method = "wavelet"
 )
 
+// Compressor names for Options.Compressor (SVD/SVDD methods only).
+const (
+	// CompressorGram is the paper's pass 1: accumulate the M×M similarity
+	// matrix C = XᵀX in memory and eigendecompose it. Exact, but its working
+	// set grows as M² — fine for daily data (M a few hundred), impractical
+	// when sequences are tens of thousands of points long.
+	CompressorGram = svd.CompressorGram
+	// CompressorRandomized recovers the factors from an M×(k+p) random
+	// sketch accumulated in one streaming pass, never building C. Working
+	// memory is O(M·(k+p)); accuracy is within a fraction of a percent of
+	// the Gram path on decaying spectra and tunable via Options.PowerIters.
+	CompressorRandomized = svd.CompressorRandomized
+)
+
 // Options configures Compress.
 type Options struct {
 	// Method selects the algorithm; default SVDD.
@@ -98,6 +112,18 @@ type Options struct {
 	// up to floating-point reduction order (U is byte-identical; see
 	// DESIGN.md "Parallel compression pipeline"). Other methods ignore it.
 	Workers int
+	// Compressor selects the factor algorithm for SVD/SVDD:
+	// CompressorGram (default, also "") or CompressorRandomized. The
+	// randomized compressor never materializes the M×M similarity matrix,
+	// making very long sequences compressible; it is incompatible with
+	// Robust (which is inherently in-memory).
+	Compressor string
+	// PowerIters tunes the randomized compressor's accuracy/pass tradeoff;
+	// each power iteration costs one extra streaming pass. 0 picks the
+	// method default (1 for SVD — two passes total, like the Gram path;
+	// 0 for SVDD, whose fused pipeline then stays at two passes), negative
+	// requests zero iterations explicitly. Ignored for CompressorGram.
+	PowerIters int
 }
 
 // ErrNoBudget is returned when neither Budget nor K is provided.
@@ -222,6 +248,18 @@ func compress(ctx context.Context, src matio.RowSource, full *linalg.Matrix, opt
 		s   store.Encoder
 		err error
 	)
+	switch opts.Compressor {
+	case "", CompressorGram:
+	case CompressorRandomized:
+		if opts.Method != SVD && opts.Method != SVDD {
+			return nil, fmt.Errorf("seqstore: Compressor applies only to svd/svdd, not %s", opts.Method)
+		}
+		if opts.Robust {
+			return nil, errors.New("seqstore: Robust requires the in-memory Gram path; it cannot combine with the randomized compressor")
+		}
+	default:
+		return nil, fmt.Errorf("seqstore: unknown compressor %q", opts.Compressor)
+	}
 	// Robust factor computation (future work (b)) needs the full matrix.
 	var robustFactors *svd.Factors
 	if opts.Robust {
@@ -264,6 +302,8 @@ func compress(ctx context.Context, src matio.RowSource, full *linalg.Matrix, opt
 			CandidateKs:  opts.CandidateKs,
 			FlagZeroRows: opts.FlagZeroRows,
 			Workers:      opts.Workers,
+			Compressor:   opts.Compressor,
+			PowerIters:   opts.PowerIters,
 		}
 		if opts.K > 0 && opts.Budget > 0 {
 			o.ForceK = opts.K
@@ -281,9 +321,16 @@ func compress(ctx context.Context, src matio.RowSource, full *linalg.Matrix, opt
 		if k <= 0 {
 			k = svd.KForBudget(n, m, opts.Budget)
 		}
-		if robustFactors != nil {
+		switch {
+		case robustFactors != nil:
 			s, err = svd.CompressWithFactorsWorkers(src, robustFactors, k, opts.Workers)
-		} else {
+		case opts.Compressor == CompressorRandomized:
+			s, err = svd.CompressRandWorkers(src, k, svd.RandOptions{
+				Rank:       k,
+				PowerIters: opts.PowerIters,
+				Workers:    opts.Workers,
+			})
+		default:
 			s, err = svd.CompressWorkers(src, k, opts.Workers)
 		}
 	case DCT:
