@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench experiments
+.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke ingest-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench ingest-bench experiments
 
 build:
 	$(GO) build ./...
@@ -54,7 +54,16 @@ randsvd-smoke:
 	$(GO) run ./cmd/experiments -workers 1 -randsvd-synth-n 120 -randsvd-synth-m 900 \
 		-randsvd-out $$tmp randsvd && rm -f $$tmp
 
-check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke
+# ingest-smoke drives the live write path end to end on every check run:
+# HTTP bulk appends + concurrent reads + background compaction + the
+# close/reopen WAL recovery drill, at a reduced scale, writing to a
+# throwaway temp file so the committed results/bench_ingest.json survives.
+ingest-smoke:
+	@tmp=$$(mktemp -t bench_ingest_smoke.XXXXXX.json) && \
+	$(GO) run ./cmd/experiments -ingest-cold-n 80 -ingest-batches 4 \
+		-ingest-out $$tmp ingest && rm -f $$tmp
+
+check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke ingest-smoke
 
 # bench-parallel runs the worker-count sub-benchmarks for the three sharded
 # hot loops. The cmd/experiments "parallel" harness records the same loops
@@ -86,6 +95,13 @@ trace-bench:
 # counts, working sets and RMSPE per path to results/bench_randsvd.json.
 randsvd-bench:
 	$(GO) run ./cmd/experiments randsvd
+
+# ingest-bench benchmarks the live write path at full scale (phone500 cold
+# segment, 1/2/4 bulk writers with readers alongside, background
+# compaction) and records rows/sec, bulk and read latency quantiles,
+# compaction pauses and WAL recovery time to results/bench_ingest.json.
+ingest-bench:
+	$(GO) run ./cmd/experiments ingest
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -2,7 +2,7 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace randsvd]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace randsvd ingest]
 //
 // Flags:
 //
@@ -26,6 +26,11 @@
 //	-randsvd-synth-n/-randsvd-synth-m
 //	                  size of the randsvd synthetic wide matrix (0 = harness
 //	                  defaults, 400×5000)
+//	-ingest-out p     where the "ingest" harness writes its JSON write-path
+//	                  record (default results/bench_ingest.json)
+//	-ingest-cold-n/-ingest-batches
+//	                  cold-segment size and bulk batches per writer for the
+//	                  ingest harness (0 = harness defaults, 500/24)
 package main
 
 import (
@@ -67,6 +72,12 @@ func run(args []string) error {
 		"rows of the randsvd synthetic wide matrix (0 = harness default)")
 	randsvdSynthM := fs.Int("randsvd-synth-m", 0,
 		"columns of the randsvd synthetic wide matrix (0 = harness default 5000)")
+	ingestOut := fs.String("ingest-out", filepath.Join("results", "bench_ingest.json"),
+		"output path for the 'ingest' write-path harness")
+	ingestColdN := fs.Int("ingest-cold-n", 0,
+		"cold-segment customers for the ingest harness (0 = harness default)")
+	ingestBatches := fs.Int("ingest-batches", 0,
+		"bulk batches per writer for the ingest harness (0 = harness default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,13 +86,14 @@ func run(args []string) error {
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
 			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
-			"cube", "parallel", "server", "query", "trace", "randsvd"}
+			"cube", "parallel", "server", "query", "trace", "randsvd", "ingest"}
 	}
 
 	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir,
 		parallelOut: *parallelOut, serverOut: *serverOut, queryOut: *queryOut,
 		traceOut: *traceOut, randsvdOut: *randsvdOut,
 		randsvdSynthN: *randsvdSynthN, randsvdSynthM: *randsvdSynthM,
+		ingestOut: *ingestOut, ingestColdN: *ingestColdN, ingestBatches: *ingestBatches,
 		workers: *workers}
 	for _, name := range names {
 		start := time.Now()
@@ -104,6 +116,9 @@ type runner struct {
 	randsvdOut    string
 	randsvdSynthN int
 	randsvdSynthM int
+	ingestOut     string
+	ingestColdN   int
+	ingestBatches int
 	workers       int
 
 	phone  *linalg.Matrix // lazily built
@@ -344,6 +359,24 @@ func (r *runner) runOne(name string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", r.traceOut)
+		return nil
+
+	case "ingest":
+		cfg := experiments.DefaultIngestConfig()
+		if r.ingestColdN > 0 {
+			cfg.ColdN = r.ingestColdN
+		}
+		if r.ingestBatches > 0 {
+			cfg.Batches = r.ingestBatches
+		}
+		res, err := experiments.BenchIngest(cfg, out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.ingestOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.ingestOut)
 		return nil
 
 	default:

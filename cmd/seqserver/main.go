@@ -27,6 +27,20 @@
 //	                              with per-request cost ledgers
 //	/v1/healthz                   liveness probe
 //
+// With -writable the store becomes a live ingestion tier and one write
+// endpoint opens up (POST; everything else stays GET):
+//
+//	/v1/bulk                      NDJSON bulk append, one document per line:
+//	                              {"label":"cust-9911","values":[...]} with
+//	                              optional {"create":{}} action lines. The
+//	                              whole request is one WAL fsync; a 201 item
+//	                              is durable across any crash. Appended rows
+//	                              serve immediately (exact, zero disk
+//	                              accesses) and are folded into the
+//	                              compressed segment by a background
+//	                              compactor, which atomically rewrites the
+//	                              -store file and checkpoints the WAL.
+//
 // Every response carries X-Request-Id (echoing a well-formed client value,
 // or a fresh one) and X-Cost-Disk-Accesses, the number of U-row fetches the
 // request cost under the paper's block model.
@@ -55,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"seqstore/internal/ingest"
 	"seqstore/internal/server"
 	"seqstore/internal/store"
 )
@@ -126,6 +141,14 @@ func main() {
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle timeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
 		"max time to drain in-flight requests on SIGINT/SIGTERM")
+	writable := fs.Bool("writable", false,
+		"serve the store as a live ingestion tier: enables POST /v1/bulk, a WAL-backed hot segment and background compaction into -store")
+	walPath := fs.String("wal", "",
+		"write-ahead log path for -writable (default: <store>.wal)")
+	compactAfter := fs.Int("compact-after", 0,
+		"hot rows that wake the background compactor (0 = default 256)")
+	recompressGrowth := fs.Float64("recompress-growth", 0,
+		"cold-segment growth factor that triggers full recompression (0 = default 1.5, negative disables)")
 	fs.Parse(os.Args[1:])
 	if *storePath == "" {
 		fmt.Fprintln(os.Stderr, "seqserver: -store is required")
@@ -140,6 +163,27 @@ func main() {
 	st, labels, err := server.Open(*storePath)
 	if err != nil {
 		log.Fatalf("seqserver: %v", err)
+	}
+	if *writable {
+		wal := *walPath
+		if wal == "" {
+			wal = *storePath + ".wal"
+		}
+		// Compactions persist the folded cold segment back into the -store
+		// file (atomic rename), so restarts replay only the still-hot tail.
+		ti, err := ingest.Open(st, labels, wal, ingest.Options{
+			CompactAfter:     *compactAfter,
+			RecompressGrowth: *recompressGrowth,
+			PersistPath:      *storePath,
+			Logger:           logger,
+		})
+		if err != nil {
+			log.Fatalf("seqserver: %v", err)
+		}
+		defer ti.Close()
+		st = ti
+		logger.Info("ingestion tier enabled",
+			"wal", wal, "hot_rows", ti.HotRows(), "compact_after", *compactAfter)
 	}
 	srv := server.New(st, labels, server.Config{
 		Addr:            *addr,

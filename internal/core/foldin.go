@@ -1,12 +1,17 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"seqstore/internal/bloom"
 	"seqstore/internal/pqueue"
 )
+
+// Appendable reports whether FoldIn can grow the store's SVD base (see
+// svd.Store.Appendable).
+func (s *Store) Appendable() bool { return s.base.Appendable() }
 
 // FoldIn appends a new sequence to the SVDD store without recompressing:
 // the row is folded into the SVD part (see svd.Store.FoldIn), its
@@ -17,10 +22,20 @@ import (
 // Folded-in deltas grow the store beyond its original budget by 3·maxDeltas
 // numbers per call; recompress offline to re-optimize, as the paper's
 // batching assumption intends. Returns the index of the new row.
+//
+// FoldIn is atomic: it either appends the row completely (returning its
+// index) or leaves the store untouched (returning -1 and the error). When
+// the post-append reconstruction read fails, the appended U row is rolled
+// back via svd.Store.UndoFoldIn before the error is returned, so the caller
+// never observes a half-folded row — and the returned index is never 0 for
+// a row that actually exists.
+//
+// FoldIn is not safe for use concurrently with readers; the ingestion tier
+// (internal/ingest) serializes it behind a write lock.
 func (s *Store) FoldIn(row []float64, maxDeltas int) (int, error) {
 	idx, err := s.base.FoldIn(row)
 	if err != nil {
-		return 0, err
+		return -1, err
 	}
 	if maxDeltas <= 0 {
 		return idx, nil
@@ -28,7 +43,14 @@ func (s *Store) FoldIn(row []float64, maxDeltas int) (int, error) {
 	_, m := s.base.Dims()
 	recon := make([]float64, m)
 	if _, err := s.base.Row(idx, recon); err != nil {
-		return 0, err
+		// The append succeeded but the row cannot be read back: roll the
+		// append back so the store is exactly its pre-call self. If even the
+		// rollback fails the store has genuinely grown — report the real
+		// index alongside the error rather than pretending the row is at 0.
+		if uerr := s.base.UndoFoldIn(idx); uerr != nil {
+			return idx, fmt.Errorf("core: fold-in row %d unreadable (%w); rollback also failed: %v", idx, err, uerr)
+		}
+		return -1, fmt.Errorf("core: fold-in rolled back: %w", err)
 	}
 	q := pqueue.NewTopK(maxDeltas)
 	for j, xv := range row {

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchIngestSmall(t *testing.T) {
+	cfg := IngestConfig{
+		ColdN:        60,
+		Budget:       0.15,
+		WriterCounts: []int{1, 2},
+		Readers:      1,
+		Batches:      3,
+		BatchRows:    4,
+		CompactAfter: 8,
+		CacheRows:    32,
+		Seed:         1,
+	}
+	var sb strings.Builder
+	res, err := BenchIngest(cfg, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(res.Runs))
+	}
+	for _, run := range res.Runs {
+		want := int64(run.Writers * cfg.Batches * cfg.BatchRows)
+		if run.RowsAppended != want {
+			t.Errorf("%d writers: appended %d rows, want %d", run.Writers, run.RowsAppended, want)
+		}
+		if run.RowsPerSec <= 0 {
+			t.Errorf("%d writers: rows/sec = %v", run.Writers, run.RowsPerSec)
+		}
+		if run.BulkP99Ms <= 0 {
+			t.Errorf("%d writers: no /v1/bulk latency recorded", run.Writers)
+		}
+		if run.WalSyncs < int64(cfg.Batches) {
+			t.Errorf("%d writers: wal syncs = %d, want ≥ %d", run.Writers, run.WalSyncs, cfg.Batches)
+		}
+		// Recovery must bring back cold + every acknowledged row.
+		if run.RecoveredRows != cfg.ColdN+int(want) {
+			t.Errorf("%d writers: recovered %d rows, want %d", run.Writers, run.RecoveredRows, cfg.ColdN+int(want))
+		}
+	}
+	if !strings.Contains(sb.String(), "writers") {
+		t.Errorf("table output missing header:\n%s", sb.String())
+	}
+	path := filepath.Join(t.TempDir(), "sub", "bench_ingest.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchIngestDefaults(t *testing.T) {
+	cfg := DefaultIngestConfig()
+	if cfg.ColdN != 500 || len(cfg.WriterCounts) != 3 || cfg.BatchRows != 8 {
+		t.Errorf("default config = %+v", cfg)
+	}
+}

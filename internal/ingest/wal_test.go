@@ -1,0 +1,242 @@
+package ingest
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqstore/internal/faultio"
+)
+
+func testRecord(idx, cols int) Record {
+	row := make([]float64, cols)
+	for j := range row {
+		row[j] = float64(idx*1000+j) + 0.25
+	}
+	label := ""
+	if idx%2 == 0 {
+		label = string(rune('a'+idx%26)) + "-cust"
+	}
+	return Record{Index: idx, Label: label, Row: row}
+}
+
+func sameRecord(t *testing.T, got, want Record) {
+	t.Helper()
+	if got.Index != want.Index || got.Label != want.Label {
+		t.Fatalf("record = (%d, %q), want (%d, %q)", got.Index, got.Label, want.Index, want.Label)
+	}
+	for j := range want.Row {
+		if math.Float64bits(got.Row[j]) != math.Float64bits(want.Row[j]) {
+			t.Fatalf("record %d col %d = %v, want %v", want.Index, j, got.Row[j], want.Row[j])
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	const cols = 7
+	path := filepath.Join(t.TempDir(), "hot.wal")
+	w, recs, err := OpenWAL(path, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	var want []Record
+	for batch := 0; batch < 4; batch++ {
+		var b []Record
+		for i := 0; i < batch+1; i++ {
+			b = append(b, testRecord(len(want)+i+10, cols))
+		}
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b...)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, err := OpenWAL(path, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		sameRecord(t, got[i], want[i])
+	}
+}
+
+func TestWALColsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hot.wal")
+	w, _, err := OpenWAL(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, _, err := OpenWAL(path, 6); !errors.Is(err, ErrWalCols) {
+		t.Fatalf("err = %v, want ErrWalCols", err)
+	}
+}
+
+func TestWALCheckpoint(t *testing.T) {
+	const cols = 4
+	path := filepath.Join(t.TempDir(), "hot.wal")
+	w, _, err := OpenWAL(path, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Record
+	for i := 0; i < 10; i++ {
+		all = append(all, testRecord(i, cols))
+	}
+	if err := w.Append(all); err != nil {
+		t.Fatal(err)
+	}
+	grown := w.Size()
+	if err := w.Checkpoint(all[7:]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() >= grown {
+		t.Errorf("checkpoint did not shrink the log: %d -> %d", grown, w.Size())
+	}
+	// The checkpointed log keeps accepting appends.
+	if err := w.Append([]Record{testRecord(10, cols)}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	_, got, err := OpenWAL(path, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records after checkpoint, want 4", len(got))
+	}
+	for i, want := range append(append([]Record(nil), all[7:]...), testRecord(10, cols)) {
+		sameRecord(t, got[i], want)
+	}
+}
+
+// TestWALCrashAtEveryOffset is the fault drill behind the tier's durability
+// claim: the log is truncated at every possible byte offset — every
+// possible crash point of the file — and replay must recover every batch
+// that had been acknowledged (fsynced) within the surviving prefix, with
+// bit-identical contents.
+func TestWALCrashAtEveryOffset(t *testing.T) {
+	const cols = 3
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hot.wal")
+	w, _, err := OpenWAL(path, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		want     []Record
+		ackSize  []int64 // file size after each acknowledged batch
+		ackCount []int   // records acknowledged at that size
+	)
+	for batch := 0; batch < 5; batch++ {
+		var b []Record
+		for i := 0; i <= batch; i++ {
+			b = append(b, testRecord(len(want)+i, cols))
+		}
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b...)
+		ackSize = append(ackSize, w.Size())
+		ackCount = append(ackCount, len(want))
+	}
+	full := w.Size()
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != full {
+		t.Fatalf("file is %d bytes, WAL thinks %d", len(data), full)
+	}
+
+	for off := int64(0); off <= full; off++ {
+		crash := filepath.Join(dir, "crash.wal")
+		if err := os.WriteFile(crash, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultio.Truncate(crash, off); err != nil {
+			t.Fatal(err)
+		}
+		cw, got, err := OpenWAL(crash, cols)
+		if err != nil {
+			// A header cut below walHeaderSize cannot identify the file; any
+			// complete header must open cleanly.
+			if off >= walHeaderSize {
+				t.Fatalf("offset %d: replay failed: %v", off, err)
+			}
+			continue
+		}
+		cw.Close()
+		// No acknowledged batch within the prefix may be lost.
+		mustHave := 0
+		for k := range ackSize {
+			if ackSize[k] <= off {
+				mustHave = ackCount[k]
+			}
+		}
+		if len(got) < mustHave {
+			t.Fatalf("offset %d: recovered %d records, %d were acknowledged", off, len(got), mustHave)
+		}
+		// Whatever extra survived must still be correct data.
+		if len(got) > len(want) {
+			t.Fatalf("offset %d: recovered %d records, only %d written", off, len(got), len(want))
+		}
+		for i := range got {
+			sameRecord(t, got[i], want[i])
+		}
+	}
+}
+
+// TestWALBitRotStopsReplay pins the corruption contract: a flipped bit in a
+// record makes replay stop there (torn-tail semantics) — the prefix
+// survives, nothing decodes silently wrong.
+func TestWALBitRotStopsReplay(t *testing.T) {
+	const cols = 3
+	path := filepath.Join(t.TempDir(), "hot.wal")
+	w, _, err := OpenWAL(path, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 6; i++ {
+		want = append(want, testRecord(i, cols))
+	}
+	if err := w.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Damage a value byte inside the 5th record's payload (records vary in
+	// size with their labels, so locate it by re-encoding the prefix).
+	prefix, err := encodeRecords(nil, cols, want[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(walHeaderSize+len(prefix)+walRecordHdr+2+len(want[4].Label)) + 3
+	if err := faultio.FlipBit(path, off, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := OpenWAL(path, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("replay returned %d records past a corrupt one, want 4", len(got))
+	}
+	for i := range got {
+		sameRecord(t, got[i], want[i])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"seqstore/internal/telemetry"
 )
@@ -22,9 +23,23 @@ const cacheShards = 16
 // Rows are sharded by index modulo cacheShards, so sequential scans spread
 // across shards. Cached slices are shared read-only between goroutines;
 // callers must never modify a returned row.
+//
+// With a writable (tiered) store behind the handler, rows can change after
+// they were cached: a compaction replaces a hot row's exact values with its
+// folded reconstruction, and a recompression changes every cold row. Two
+// mechanisms keep the cache coherent. invalidate/purge remove entries that
+// are already resident; the epoch closes the remaining race, where a fill
+// in flight during the mutation would re-insert stale values after the
+// invalidation ran: put drops any fill whose pre-reconstruction epoch no
+// longer matches.
 type rowCache struct {
 	perShard int
+	epoch    atomic.Uint64
 	shards   [cacheShards]cacheShard
+
+	// invalidations counts rows dropped by invalidate/purge/stale-fill
+	// (distinct from capacity evictions). Wired by instrument; nil before.
+	invalidations *telemetry.Counter
 }
 
 type cacheShard struct {
@@ -66,6 +81,7 @@ func (c *rowCache) shard(i int) *cacheShard {
 // (cache_shard_NN_hits, …) in the registry, so shard balance — and any
 // hot-shard skew — is visible on /metrics alongside the aggregate counters.
 func (c *rowCache) instrument(tel *telemetry.Registry) {
+	c.invalidations = tel.Counter("cache_invalidations")
 	for s := range c.shards {
 		sh := &c.shards[s]
 		sh.mu.Lock()
@@ -98,9 +114,20 @@ func (c *rowCache) get(i int) ([]float64, bool) {
 	return el.Value.(*cacheEntry).row, true
 }
 
+// epochNow returns the current mutation epoch; callers capture it before
+// reconstructing a row and hand it back to put.
+func (c *rowCache) epochNow() uint64 { return c.epoch.Load() }
+
 // put inserts (or refreshes) row i, evicting the shard's least recently
 // used entry when over capacity. The cache takes ownership of row.
-func (c *rowCache) put(i int, row []float64) {
+// fillEpoch is the epoch the caller captured before reconstructing; a fill
+// that straddled a store mutation is silently dropped — caching it would
+// resurrect pre-mutation values that invalidate already removed.
+func (c *rowCache) put(i int, row []float64, fillEpoch uint64) {
+	if fillEpoch != c.epoch.Load() {
+		count(c.invalidations)
+		return
+	}
 	s := c.shard(i)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -117,6 +144,37 @@ func (c *rowCache) put(i int, row []float64) {
 		count(s.evictions)
 	}
 }
+
+// invalidate drops row i (a fold-in changed its reconstruction). The epoch
+// must already have been advanced (bumpEpoch) so concurrent fills of the
+// pre-mutation value cannot re-insert it.
+func (c *rowCache) invalidate(i int) {
+	s := c.shard(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[i]; ok {
+		s.ll.Remove(el)
+		delete(s.items, i)
+		count(c.invalidations)
+	}
+}
+
+// purge empties the cache (a recompression changed every row).
+func (c *rowCache) purge() {
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		for i := 0; i < sh.ll.Len(); i++ {
+			count(c.invalidations)
+		}
+		sh.ll.Init()
+		sh.items = make(map[int]*list.Element)
+		sh.mu.Unlock()
+	}
+}
+
+// bumpEpoch invalidates all in-flight fills; call before invalidate/purge.
+func (c *rowCache) bumpEpoch() { c.epoch.Add(1) }
 
 // len returns the number of cached rows across all shards.
 func (c *rowCache) len() int {

@@ -10,13 +10,13 @@ func TestRowCacheGetPut(t *testing.T) {
 	if _, ok := c.get(3); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.put(3, []float64{1, 2, 3})
+	c.put(3, []float64{1, 2, 3}, c.epochNow())
 	row, ok := c.get(3)
 	if !ok || len(row) != 3 || row[1] != 2 {
 		t.Fatalf("get(3) = %v, %v", row, ok)
 	}
 	// Refreshing an existing key replaces its value without growing.
-	c.put(3, []float64{9})
+	c.put(3, []float64{9}, c.epochNow())
 	row, _ = c.get(3)
 	if len(row) != 1 || row[0] != 9 {
 		t.Fatalf("refreshed row = %v", row)
@@ -43,8 +43,8 @@ func TestRowCacheCapacityRounding(t *testing.T) {
 func TestRowCacheLRUEviction(t *testing.T) {
 	// One row per shard: keys 0 and 16 collide on shard 0.
 	c := newRowCache(cacheShards)
-	c.put(0, []float64{0})
-	c.put(16, []float64{16})
+	c.put(0, []float64{0}, c.epochNow())
+	c.put(16, []float64{16}, c.epochNow())
 	if _, ok := c.get(0); ok {
 		t.Error("LRU entry 0 should have been evicted by 16")
 	}
@@ -54,10 +54,10 @@ func TestRowCacheLRUEviction(t *testing.T) {
 
 	// Two per shard: touching the older entry saves it from eviction.
 	c2 := newRowCache(2 * cacheShards)
-	c2.put(0, []float64{0})
-	c2.put(16, []float64{16})
+	c2.put(0, []float64{0}, c2.epochNow())
+	c2.put(16, []float64{16}, c2.epochNow())
 	c2.get(0) // 0 now most recently used; 16 is LRU
-	c2.put(32, []float64{32})
+	c2.put(32, []float64{32}, c2.epochNow())
 	if _, ok := c2.get(16); ok {
 		t.Error("16 should have been evicted as LRU")
 	}
@@ -74,7 +74,7 @@ func TestRowCacheSharding(t *testing.T) {
 	// Keys 0..15 land on distinct shards: all must fit despite per-shard
 	// capacity of one.
 	for i := 0; i < cacheShards; i++ {
-		c.put(i, []float64{float64(i)})
+		c.put(i, []float64{float64(i)}, c.epochNow())
 	}
 	if c.len() != cacheShards {
 		t.Fatalf("len = %d, want %d", c.len(), cacheShards)
@@ -83,6 +83,40 @@ func TestRowCacheSharding(t *testing.T) {
 		if row, ok := c.get(i); !ok || row[0] != float64(i) {
 			t.Errorf("key %d lost", i)
 		}
+	}
+}
+
+func TestRowCacheInvalidation(t *testing.T) {
+	c := newRowCache(64)
+	c.put(3, []float64{1}, c.epochNow())
+	c.put(4, []float64{2}, c.epochNow())
+
+	// invalidate drops exactly the named row.
+	c.invalidate(3)
+	if _, ok := c.get(3); ok {
+		t.Error("row 3 survived invalidate")
+	}
+	if _, ok := c.get(4); !ok {
+		t.Error("row 4 lost to a foreign invalidate")
+	}
+
+	// A fill whose epoch was captured before a mutation must be dropped:
+	// this is the in-flight-fill race a bare invalidate cannot close.
+	stale := c.epochNow()
+	c.bumpEpoch()
+	c.put(5, []float64{9}, stale)
+	if _, ok := c.get(5); ok {
+		t.Error("stale fill was cached across an epoch bump")
+	}
+	c.put(5, []float64{9}, c.epochNow())
+	if _, ok := c.get(5); !ok {
+		t.Error("fresh fill rejected")
+	}
+
+	// purge empties everything.
+	c.purge()
+	if c.len() != 0 {
+		t.Errorf("len = %d after purge", c.len())
 	}
 }
 
@@ -99,7 +133,7 @@ func TestRowCacheConcurrent(t *testing.T) {
 					t.Errorf("key %d holds value %v", i, row[0])
 					return
 				}
-				c.put(i, []float64{float64(i)})
+				c.put(i, []float64{float64(i)}, c.epochNow())
 			}
 		}(g)
 	}

@@ -13,6 +13,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"seqstore/internal/core"
+	"seqstore/internal/ingest"
 	"seqstore/internal/query"
 	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
@@ -71,6 +74,11 @@ type Handler struct {
 	labels *store.Labels
 	opts   Options
 
+	// writable is non-nil when st is an ingestion tier; it enables
+	// /v1/bulk and switches the cost model and gauge plumbing to unwrap
+	// the tier's current cold segment dynamically.
+	writable *ingest.Tiered
+
 	rowIndex, colIndex map[string]int // label → index; nil when unlabeled
 
 	cache        *rowCache // nil when disabled
@@ -108,12 +116,33 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 		h.rowIndex = indexLabels(labels.Rows)
 		h.colIndex = indexLabels(labels.Cols)
 	}
+	h.writable, _ = st.(*ingest.Tiered)
 	h.hits = h.tel.Counter("cache_hits")
 	h.misses = h.tel.Counter("cache_misses")
 	h.corruptions = h.tel.Counter("store_corruptions")
 	if opts.CacheRows > 0 {
 		h.cache = newRowCache(opts.CacheRows)
 		h.cache.instrument(h.tel)
+	}
+	if h.writable != nil && h.cache != nil {
+		// Keep the row cache coherent with the write path: a compaction
+		// changes the folded rows' reconstructions (exact hot values become
+		// approximations), a recompression changes every cold row. The
+		// epoch bump precedes the removals so a reconstruction in flight
+		// across the mutation cannot re-insert pre-mutation values.
+		cache := h.cache
+		h.writable.SetInvalidationHooks(
+			func(rows []int) {
+				cache.bumpEpoch()
+				for _, i := range rows {
+					cache.invalidate(i)
+				}
+			},
+			func() {
+				cache.bumpEpoch()
+				cache.purge()
+			},
+		)
 	}
 	h.registerGauges()
 	h.route("info", h.handleInfo)
@@ -125,6 +154,9 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	h.route("metrics", h.handleMetrics)
 	h.route("healthz", h.handleHealthz)
 	h.handle(tracesPattern, h.handleTraces)
+	// The write endpoint has no legacy alias; it is registered even on a
+	// read-only store so clients get a clear 403 instead of a 404.
+	h.handleMethod("/v1/bulk", http.MethodPost, h.handleBulk)
 	return h
 }
 
@@ -151,31 +183,73 @@ func (h *Handler) registerGauges() {
 			return float64(h.cache.capacity())
 		})
 	}
-	if us := query.UStats(h.st); us != nil {
+	// The IO and SVDD gauges re-resolve the cold store on every collection:
+	// with a writable tier behind the handler, recompression swaps the cold
+	// segment, and a gauge bound to the pointer at startup would freeze.
+	if query.UStats(h.coldStore()) != nil {
 		h.tel.RegisterGauge("io_row_reads_total", func() float64 {
-			return float64(us.RowReads())
+			if us := query.UStats(h.coldStore()); us != nil {
+				return float64(us.RowReads())
+			}
+			return 0
 		})
 		h.tel.RegisterGauge("io_row_writes_total", func() float64 {
-			return float64(us.RowWrites())
+			if us := query.UStats(h.coldStore()); us != nil {
+				return float64(us.RowWrites())
+			}
+			return 0
 		})
 		h.tel.RegisterGauge("io_passes_total", func() float64 {
-			return float64(us.Passes())
+			if us := query.UStats(h.coldStore()); us != nil {
+				return float64(us.Passes())
+			}
+			return 0
 		})
 	}
-	if c, ok := h.st.(*core.Store); ok {
+	if _, ok := h.coldStore().(*core.Store); ok {
+		svddStore := func() *core.Store {
+			c, _ := h.coldStore().(*core.Store)
+			return c
+		}
 		h.tel.RegisterGauge("svdd_delta_probes_total", func() float64 {
-			probes, _ := c.ProbeStats()
-			return float64(probes)
+			if c := svddStore(); c != nil {
+				probes, _ := c.ProbeStats()
+				return float64(probes)
+			}
+			return 0
 		})
 		h.tel.RegisterGauge("svdd_bloom_saves_total", func() float64 {
-			_, saves := c.ProbeStats()
-			return float64(saves)
+			if c := svddStore(); c != nil {
+				_, saves := c.ProbeStats()
+				return float64(saves)
+			}
+			return 0
 		})
 		h.tel.RegisterGauge("svdd_delta_row_probes_total", func() float64 {
-			return float64(c.RowProbes())
+			if c := svddStore(); c != nil {
+				return float64(c.RowProbes())
+			}
+			return 0
 		})
 		h.tel.RegisterGauge("svdd_zero_hits_total", func() float64 {
-			return float64(c.ZeroHits())
+			if c := svddStore(); c != nil {
+				return float64(c.ZeroHits())
+			}
+			return 0
+		})
+	}
+	if h.writable != nil {
+		h.tel.RegisterGauge("ingest_hot_rows", func() float64 {
+			return float64(h.writable.HotRows())
+		})
+		h.tel.RegisterGauge("ingest_rows_appended_total", func() float64 {
+			return float64(h.writable.Stats().Appended)
+		})
+		h.tel.RegisterGauge("ingest_rows_folded_total", func() float64 {
+			return float64(h.writable.Stats().Folded)
+		})
+		h.tel.RegisterGauge("ingest_wal_bytes", func() float64 {
+			return float64(h.writable.Stats().WalBytes)
 		})
 	}
 }
@@ -211,16 +285,21 @@ func (h *Handler) CacheStats() (hits, misses int64, size, capacity int) {
 	return h.hits.Load(), h.misses.Load(), h.cache.len(), h.cache.capacity()
 }
 
-// handle registers an instrumented GET-only endpoint: every request is
-// counted, timed and traced. The middleware assigns (or echoes) a request
-// ID, threads a trace with its cost ledger through the request context into
-// the store and query layers, writes the X-Request-Id and
+// handle registers an instrumented GET-only endpoint; see handleMethod.
+func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
+	h.handleMethod(pattern, http.MethodGet, fn)
+}
+
+// handleMethod registers an instrumented single-verb endpoint: every
+// request is counted, timed and traced. The middleware assigns (or echoes)
+// a request ID, threads a trace with its cost ledger through the request
+// context into the store and query layers, writes the X-Request-Id and
 // X-Cost-Disk-Accesses response headers, retires the finished trace into the
 // /v1/debug/traces ring, and emits the structured request log (Debug
-// normally, Warn above the slow-query threshold, Error on 5xx). Non-GET
-// verbs get 405 with an Allow header; responses with status ≥ 400 count as
+// normally, Warn above the slow-query threshold, Error on 5xx). Other verbs
+// get 405 with an Allow header; responses with status ≥ 400 count as
 // errors.
-func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
+func (h *Handler) handleMethod(pattern, method string, fn http.HandlerFunc) {
 	ep := h.tel.Endpoint(pattern)
 	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -249,10 +328,10 @@ func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
 				strconv.FormatInt(tr.Ledger.DiskAccesses(), 10))
 		}
 
-		if r.Method != http.MethodGet {
-			sw.Header().Set("Allow", http.MethodGet)
+		if r.Method != method {
+			sw.Header().Set("Allow", method)
 			writeError(sw, http.StatusMethodNotAllowed,
-				fmt.Sprintf("method %s not allowed; use GET", r.Method))
+				fmt.Sprintf("method %s not allowed; use %s", r.Method, method))
 		} else {
 			fn(sw, r)
 		}
@@ -337,10 +416,21 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // --- Read paths (row cache) ------------------------------------------------
 
+// coldStore returns the store whose backing format carries the cost model:
+// the tier's current cold segment when the store is writable (it is swapped
+// by recompression, so it must be unwrapped per call, never captured),
+// otherwise the store itself.
+func (h *Handler) coldStore() store.Store {
+	if h.writable != nil {
+		return h.writable.Cold()
+	}
+	return h.st
+}
+
 // uPageSpan reports the backing pages of U row i for the cost ledger; one
 // page per row for stores without a paged U backing.
 func (h *Handler) uPageSpan(i int) int {
-	switch t := h.st.(type) {
+	switch t := h.coldStore().(type) {
 	case *svd.Store:
 		return t.UPageSpan(i, i+1)
 	case *core.Store:
@@ -350,12 +440,16 @@ func (h *Handler) uPageSpan(i int) int {
 }
 
 // chargeRowRead attributes one row reconstruction — one U-row fetch in the
-// paper's block model — to the request's cost ledger. Rows the SVDD store
-// serves from its in-memory zero flag (§6.2) are reconstructions without a
-// disk access.
+// paper's block model — to the request's cost ledger. Hot-segment rows are
+// served from memory (their durable copy in the WAL is never read on the
+// query path), and rows the SVDD store serves from its in-memory zero flag
+// (§6.2) are reconstructions without a disk access.
 func (h *Handler) chargeRowRead(led *trace.Ledger, i int) {
 	led.AddRowsRead(1)
-	if c, ok := h.st.(*core.Store); ok && c.IsZeroRow(i) {
+	if h.writable != nil && h.writable.IsHot(i) {
+		return
+	}
+	if c, ok := h.coldStore().(*core.Store); ok && c.IsZeroRow(i) {
 		return
 	}
 	led.AddDiskAccesses(1)
@@ -382,12 +476,13 @@ func (h *Handler) row(ctx context.Context, i int) ([]float64, error) {
 	}
 	h.misses.Inc()
 	led.CacheMiss()
+	e := h.cache.epochNow() // before the reconstruction, closing the fill/mutation race
 	row, err := h.st.Row(i, nil)
 	if err != nil {
 		return nil, err
 	}
 	h.chargeRowRead(led, i)
-	h.cache.put(i, row)
+	h.cache.put(i, row, e)
 	return row, nil
 }
 
@@ -417,7 +512,7 @@ func (h *Handler) cell(ctx context.Context, i, j int) (float64, error) {
 
 func (h *Handler) handleInfo(w http.ResponseWriter, r *http.Request) {
 	rows, cols := h.st.Dims()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"method":        h.st.Method().String(),
 		"rows":          rows,
 		"cols":          cols,
@@ -426,7 +521,13 @@ func (h *Handler) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"rowLabels":     h.rowIndex != nil,
 		"colLabels":     h.colIndex != nil,
 		"cacheRows":     h.opts.CacheRows,
-	})
+		"writable":      h.writable != nil,
+	}
+	if h.writable != nil {
+		body["hotRows"] = h.writable.HotRows()
+		body["coldRows"] = h.writable.ColdRows()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
@@ -602,6 +703,159 @@ func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
 	}, v))
 }
 
+// --- Write path ------------------------------------------------------------
+
+// maxBulkLine bounds one NDJSON line of a /v1/bulk body; a longer line is a
+// malformed request, not a server fault.
+const maxBulkLine = 1 << 20
+
+// bulkItem is one per-document outcome in a /v1/bulk response, keyed under
+// "create" to match the Elasticsearch-style bulk contract (every document
+// here creates a new row; there is no update or delete).
+type bulkItem struct {
+	Create bulkResult `json:"create"`
+}
+
+type bulkResult struct {
+	Status int    `json:"status"`
+	Row    int    `json:"row,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// bulkDoc is one NDJSON document line: the row's values plus an optional
+// label registered for /v1/cell?row=<label> addressing.
+type bulkDoc struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// handleBulk ingests rows through the NDJSON bulk idiom: optional action
+// lines ({"create":{}} or {"index":{}}) interleaved with document lines
+// like {"label":"cust-9911","values":[0.4,1.7,...]}. Documents that fail
+// validation are rejected per item (status 400) without sinking the rest of
+// the request; every accepted document is appended — and fsynced — as ONE
+// WAL batch, so an item reporting 201 is durable across any crash. The
+// response mirrors the bulk contract:
+// {"took":<ms>,"errors":<bool>,"items":[{"create":{"status":201,"row":N}}]}.
+//
+// Malformed NDJSON (unparseable line, oversized line, more documents than
+// the /v1/rows batch limit) fails the whole request with 400: unlike a
+// value error in one document, the server cannot tell where the next
+// document boundary is.
+func (h *Handler) handleBulk(w http.ResponseWriter, r *http.Request) {
+	if h.writable == nil {
+		writeError(w, http.StatusForbidden,
+			"store is read-only: start the server on a writable (tiered) store to enable /v1/bulk")
+		return
+	}
+	start := time.Now()
+	_, cols := h.st.Dims()
+
+	var (
+		items   []bulkItem
+		pending []bulkDoc // validated documents awaiting the batch append
+		slot    []int     // items index for each pending document
+		hadErr  bool
+	)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxBulkLine)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(line, &obj); err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bulk line %d: malformed JSON: %v", lineNo, err))
+			return
+		}
+		if _, isDoc := obj["values"]; !isDoc {
+			_, create := obj["create"]
+			_, index := obj["index"]
+			if create || index {
+				// Action line: accepted and ignored — appending is the only
+				// operation, so the action carries no information.
+				continue
+			}
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bulk line %d: neither an action ({\"create\":{}}) nor a document with \"values\"", lineNo))
+			return
+		}
+		var d bulkDoc
+		if err := json.Unmarshal(line, &d); err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bulk line %d: malformed document: %v", lineNo, err))
+			return
+		}
+		// Per-document validation mirrors AppendBatch's checks, so one bad
+		// document costs itself a 400 item instead of failing the batch.
+		var reason string
+		if len(d.Values) != cols {
+			reason = fmt.Sprintf("row has %d values, store has %d columns", len(d.Values), cols)
+		} else {
+			for _, v := range d.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					reason = "row contains a non-finite value"
+					break
+				}
+			}
+		}
+		if reason != "" {
+			hadErr = true
+			items = append(items, bulkItem{Create: bulkResult{
+				Status: http.StatusBadRequest, Label: d.Label, Error: reason,
+			}})
+			continue
+		}
+		slot = append(slot, len(items))
+		items = append(items, bulkItem{}) // filled in after the append
+		pending = append(pending, d)
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bulk line %d: %v", lineNo+1, err))
+		return
+	}
+	if len(items) == 0 {
+		writeError(w, http.StatusBadRequest,
+			"bulk body has no documents; send NDJSON lines like {\"label\":\"x\",\"values\":[...]}")
+		return
+	}
+	if len(pending) > h.opts.MaxBatchRows {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d rows exceeds limit %d", len(pending), h.opts.MaxBatchRows))
+		return
+	}
+
+	if len(pending) > 0 {
+		labels := make([]string, len(pending))
+		rows := make([][]float64, len(pending))
+		for k, d := range pending {
+			labels[k] = d.Label
+			rows[k] = d.Values
+		}
+		first, err := h.writable.AppendBatch(r.Context(), labels, rows)
+		if err != nil {
+			writeError(w, h.status(err), err.Error())
+			return
+		}
+		for k := range pending {
+			items[slot[k]].Create = bulkResult{
+				Status: http.StatusCreated, Row: first + k, Label: pending[k].Label,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"took":   time.Since(start).Milliseconds(),
+		"errors": hadErr,
+		"items":  items,
+	})
+}
+
 // handleMetrics serves the metrics snapshot. The default body is the
 // hand-built JSON; ?format=prom renders the same snapshot in Prometheus
 // text exposition format 0.0.4 so a stock scraper can ingest it.
@@ -628,6 +882,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cache["capacity"] = h.cache.capacity()
 		cache["size"] = h.cache.len()
 		cache["hit_rate"] = telemetry.Rate(hits, misses)
+		cache["invalidations"] = h.cache.invalidations.Load()
 	}
 	body := map[string]interface{}{
 		"uptime_seconds":    snap.UptimeSeconds,
@@ -650,10 +905,10 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	// The paper's cost model, live: U-row reads per reconstruction.
-	if us := query.UStats(h.st); us != nil {
+	if us := query.UStats(h.coldStore()); us != nil {
 		body["io"] = us.Snapshot()
 	}
-	if c, ok := h.st.(*core.Store); ok {
+	if c, ok := h.coldStore().(*core.Store); ok {
 		probes, saves := c.ProbeStats()
 		body["svdd"] = map[string]interface{}{
 			"delta_probes":     probes,
@@ -661,6 +916,9 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"delta_row_probes": c.RowProbes(),
 			"zero_hits":        c.ZeroHits(),
 		}
+	}
+	if h.writable != nil {
+		body["ingest"] = h.writable.Stats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -686,10 +944,15 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // resolveLabels maps a (row label, column label) pair to indices.
 func (h *Handler) resolveLabels(rowLabel, colLabel string) (i, j int, err error) {
-	if h.rowIndex == nil && h.colIndex == nil {
+	if h.rowIndex == nil && h.colIndex == nil && h.writable == nil {
 		return 0, 0, errors.New("store has no axis labels")
 	}
 	i, ok := h.rowIndex[rowLabel]
+	if !ok && h.writable != nil {
+		// Rows appended after startup are not in the static index; the tier
+		// tracks labels across both segments.
+		i, ok = h.writable.LookupRow(rowLabel)
+	}
 	if !ok {
 		return 0, 0, fmt.Errorf("unknown row label %q", rowLabel)
 	}
@@ -727,6 +990,8 @@ var errStatus = []struct {
 }{
 	{seqerr.ErrOutOfRange, http.StatusBadRequest},      // caller's indices are bad
 	{seqerr.ErrEmptySelection, http.StatusBadRequest},  // caller selected zero cells
+	{ingest.ErrNotFinite, http.StatusBadRequest},       // caller sent NaN/Inf values
+	{ingest.ErrNotWritable, http.StatusForbidden},      // store cannot absorb writes
 	{seqerr.ErrCorrupt, http.StatusServiceUnavailable}, // store damaged: fail loud, stay up
 	{seqerr.ErrBadVersion, http.StatusInternalServerError},
 	{context.Canceled, StatusClientClosedRequest},

@@ -14,6 +14,20 @@ type rowAppender interface {
 	AppendRow(row []float64) int
 }
 
+// rowTruncater is satisfied by U backings that can shrink back to a prefix
+// of their rows (matio.Mem). It enables fold-in rollback.
+type rowTruncater interface {
+	TruncateRows(n int)
+}
+
+// Appendable reports whether FoldIn can grow this store — true for
+// memory-backed U, false for a read-only disk file. The ingestion tier
+// probes this at attach time instead of failing at the first compaction.
+func (s *Store) Appendable() bool {
+	_, ok := s.u.(rowAppender)
+	return ok
+}
+
 // FoldIn appends a new sequence to the store without recomputing the
 // factorization, using the classic folding-in technique: the new row is
 // projected onto the existing principal components, u = x·V·Σ⁻¹ — exactly
@@ -26,14 +40,16 @@ type rowAppender interface {
 // the original subspace reconstruct poorly until the next recompression
 // (SVDD's FoldIn can pin their worst cells with deltas).
 //
-// It returns the index of the new row. The store must be memory-backed.
+// It returns the index of the new row; on error the store is untouched and
+// the index is -1 (never a live row's index). The store must be
+// memory-backed.
 func (s *Store) FoldIn(row []float64) (int, error) {
 	if len(row) != s.cols {
-		return 0, fmt.Errorf("svd: folding in row of length %d, want %d", len(row), s.cols)
+		return -1, fmt.Errorf("svd: folding in row of length %d, want %d", len(row), s.cols)
 	}
 	app, ok := s.u.(rowAppender)
 	if !ok {
-		return 0, ErrNotAppendable
+		return -1, ErrNotAppendable
 	}
 	urow := make([]float64, len(s.sigma))
 	for j, xv := range row {
@@ -51,4 +67,23 @@ func (s *Store) FoldIn(row []float64) (int, error) {
 	idx := app.AppendRow(urow)
 	s.rows++
 	return idx, nil
+}
+
+// UndoFoldIn rolls back the most recent FoldIn: the appended U row is
+// dropped and the store shrinks to n-1 rows. idx must be the index the
+// FoldIn being undone returned (the current last row); any other value is
+// rejected, so a rollback can never discard an unrelated row. It is the
+// compensating action for callers whose post-append step fails — after a
+// successful UndoFoldIn the store is bit-identical to its pre-FoldIn state.
+func (s *Store) UndoFoldIn(idx int) error {
+	if idx != s.rows-1 {
+		return fmt.Errorf("svd: undo fold-in of row %d, but last row is %d", idx, s.rows-1)
+	}
+	tr, ok := s.u.(rowTruncater)
+	if !ok {
+		return ErrNotAppendable
+	}
+	tr.TruncateRows(s.rows - 1)
+	s.rows--
+	return nil
 }

@@ -85,6 +85,7 @@ type Ledger struct {
 	deltasProbed atomic.Int64
 	workerChunks atomic.Int64
 	diskAccesses atomic.Int64
+	rowsWritten  atomic.Int64
 }
 
 // AddRowsRead records n row reconstructions served to the request.
@@ -136,6 +137,14 @@ func (l *Ledger) AddDiskAccesses(n int64) {
 	}
 }
 
+// AddRowsWritten records n rows ingested by the request (the write-path
+// counterpart of AddRowsRead; bulk ingestion charges one per appended row).
+func (l *Ledger) AddRowsWritten(n int64) {
+	if l != nil {
+		l.rowsWritten.Add(n)
+	}
+}
+
 // DiskAccesses returns the disk accesses charged so far (0 on nil).
 func (l *Ledger) DiskAccesses() int64 {
 	if l == nil {
@@ -154,6 +163,7 @@ type LedgerSnapshot struct {
 	DeltasProbed int64 `json:"deltas_probed"`
 	WorkerChunks int64 `json:"worker_chunks"`
 	DiskAccesses int64 `json:"disk_accesses"`
+	RowsWritten  int64 `json:"rows_written"`
 }
 
 // Snapshot captures the ledger (zero value on nil).
@@ -169,6 +179,7 @@ func (l *Ledger) Snapshot() LedgerSnapshot {
 		DeltasProbed: l.deltasProbed.Load(),
 		WorkerChunks: l.workerChunks.Load(),
 		DiskAccesses: l.diskAccesses.Load(),
+		RowsWritten:  l.rowsWritten.Load(),
 	}
 }
 

@@ -11,8 +11,10 @@ import (
 // nil to leave an axis unlabeled; a non-nil slice must match the dimension.
 // Labels persist through Save/Open and enable the *ByLabel query methods.
 func (st *Store) SetLabels(rowLabels, colLabels []string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	l := &store.Labels{Rows: rowLabels, Cols: colLabels}
-	rows, cols := st.Dims()
+	rows, cols := st.s.Dims()
 	if err := l.Validate(rows, cols); err != nil {
 		return err
 	}
@@ -22,10 +24,18 @@ func (st *Store) SetLabels(rowLabels, colLabels []string) error {
 }
 
 // RowLabels returns a copy of the row labels, or nil when unlabeled.
-func (st *Store) RowLabels() []string { return copyLabels(st.labelRows()) }
+func (st *Store) RowLabels() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return copyLabels(st.labelRows())
+}
 
 // ColLabels returns a copy of the column labels, or nil when unlabeled.
-func (st *Store) ColLabels() []string { return copyLabels(st.labelCols()) }
+func (st *Store) ColLabels() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return copyLabels(st.labelCols())
+}
 
 func (st *Store) labelRows() []string {
 	if st.labels == nil {
@@ -52,10 +62,12 @@ func copyLabels(ss []string) []string {
 
 // RowIndex resolves a row label to its index.
 func (st *Store) RowIndex(label string) (int, error) {
+	st.mu.Lock()
 	if st.rowIndex == nil {
 		st.rowIndex = indexLabels(st.labelRows())
 	}
 	i, ok := st.rowIndex[label]
+	st.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("seqstore: unknown row label %q", label)
 	}
@@ -64,10 +76,12 @@ func (st *Store) RowIndex(label string) (int, error) {
 
 // ColIndex resolves a column label to its index.
 func (st *Store) ColIndex(label string) (int, error) {
+	st.mu.Lock()
 	if st.colIndex == nil {
 		st.colIndex = indexLabels(st.labelCols())
 	}
 	j, ok := st.colIndex[label]
+	st.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("seqstore: unknown column label %q", label)
 	}

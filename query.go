@@ -50,6 +50,10 @@ func (st *Store) AggregateContext(ctx context.Context, agg Aggregate, rows, cols
 	if err != nil {
 		return 0, err
 	}
+	// The shared lock spans the whole evaluation: a concurrent FoldIn waits
+	// for in-flight aggregates rather than mutating the store under them.
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return query.EvaluateOpts(st.s, a, query.Selection{Rows: rows, Cols: cols},
 		query.Options{Workers: opts.Workers, Ctx: ctx})
 }

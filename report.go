@@ -47,9 +47,11 @@ func (st *Store) Evaluate(x *Matrix) (Report, error) {
 	var acc metrics.Accumulator
 	var dist metrics.Distribution
 	row := make([]float64, sm)
+	st.mu.RLock()
 	for i := 0; i < sn; i++ {
 		got, err := st.s.Row(i, row)
 		if err != nil {
+			st.mu.RUnlock()
 			return Report{}, err
 		}
 		xrow := x.m.Row(i)
@@ -58,6 +60,7 @@ func (st *Store) Evaluate(x *Matrix) (Report, error) {
 			dist.Add(got[j] - xrow[j])
 		}
 	}
+	st.mu.RUnlock()
 	worst, wr, wc := acc.WorstAbs()
 	return Report{
 		RMSPE:           acc.RMSPE(),

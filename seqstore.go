@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"seqstore/internal/cluster"
 	"seqstore/internal/core"
@@ -190,10 +191,17 @@ func LoadMatrix(path string) (*Matrix, error) {
 }
 
 // Store is a compressed, randomly accessible representation of a dataset.
+//
+// A Store is safe for concurrent use: reads (Cell, Row, Aggregate*, Save)
+// take a shared lock, and the mutating operations (FoldIn, SetLabels) take
+// it exclusively, so a fold-in never races an in-flight query. The online
+// ingestion tier (internal/ingest, served by seqserver's /v1/bulk) builds
+// on the same primitives with its own write-ahead log and compactor.
 type Store struct {
+	mu     sync.RWMutex
 	s      store.Store
 	labels *store.Labels
-	// lazily built label → index maps
+	// lazily built label → index maps, guarded by mu
 	rowIndex, colIndex map[string]int
 }
 
@@ -417,35 +425,63 @@ func OpenContext(ctx context.Context, path string) (*Store, error) {
 // format, atomically: the container goes to a temporary file that is
 // fsynced and renamed over path only once complete, so a crash mid-save
 // leaves either the old file or the new one — never a partial container.
+// Saving re-validates any row/column labels against the store's current
+// dimensions first, so label drift (e.g. from a fold-in that bypassed the
+// facade) is caught at save time rather than surfacing as a corrupt-looking
+// container on reopen.
 func (st *Store) Save(path string) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	enc, ok := st.s.(store.Encoder)
 	if !ok {
 		return fmt.Errorf("seqstore: %s store is not serializable", st.s.Method())
+	}
+	rows, cols := st.s.Dims()
+	if err := st.labels.Validate(rows, cols); err != nil {
+		return fmt.Errorf("seqstore: save: %w", err)
 	}
 	return store.SaveLabeled(path, enc, st.labels)
 }
 
 // Dims returns the dimensions of the represented dataset.
-func (st *Store) Dims() (rows, cols int) { return st.s.Dims() }
+func (st *Store) Dims() (rows, cols int) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.s.Dims()
+}
 
 // Method reports which algorithm produced this store.
 func (st *Store) Method() Method { return Method(st.s.Method().String()) }
 
 // Cell reconstructs the value of cell (i, j). For SVDD the result is exact
 // whenever the cell was stored as an outlier delta.
-func (st *Store) Cell(i, j int) (float64, error) { return st.s.Cell(i, j) }
+func (st *Store) Cell(i, j int) (float64, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.s.Cell(i, j)
+}
 
 // Row reconstructs all of sequence i.
 func (st *Store) Row(i int) ([]float64, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return st.s.Row(i, nil)
 }
 
 // SpaceRatio returns the compressed size as a fraction of the raw dataset
 // (the paper's s).
-func (st *Store) SpaceRatio() float64 { return store.SpaceRatio(st.s) }
+func (st *Store) SpaceRatio() float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return store.SpaceRatio(st.s)
+}
 
 // StoredNumbers returns the compressed size in stored numbers.
-func (st *Store) StoredNumbers() int64 { return st.s.StoredNumbers() }
+func (st *Store) StoredNumbers() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.s.StoredNumbers()
+}
 
 // internalStore exposes the wrapped store to sibling files in this package.
 func (st *Store) internalStore() store.Store { return st.s }
