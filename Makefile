@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke ingest-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench ingest-bench experiments
+.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke ingest-smoke load-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench ingest-bench load-bench experiments
 
 build:
 	$(GO) build ./...
@@ -63,7 +63,16 @@ ingest-smoke:
 	$(GO) run ./cmd/experiments -ingest-cold-n 80 -ingest-batches 4 \
 		-ingest-out $$tmp ingest && rm -f $$tmp
 
-check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke ingest-smoke
+# load-smoke drives the closed-/open-loop load harness end to end on every
+# check run at a reduced scale — client sweep, GOMAXPROCS sweep, plan-cache
+# cold/warm pair and the open-loop run all execute against the live HTTP
+# stack — writing to a throwaway temp file so the committed full-scale
+# results/bench_load.json survives.
+load-smoke:
+	@tmp=$$(mktemp -t bench_load_smoke.XXXXXX.json) && \
+	$(GO) run ./cmd/experiments -n 150 -load-requests 20 -load-out $$tmp load && rm -f $$tmp
+
+check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke ingest-smoke load-smoke
 
 # bench-parallel runs the worker-count sub-benchmarks for the three sharded
 # hot loops. The cmd/experiments "parallel" harness records the same loops
@@ -102,6 +111,13 @@ randsvd-bench:
 # compaction pauses and WAL recovery time to results/bench_ingest.json.
 ingest-bench:
 	$(GO) run ./cmd/experiments ingest
+
+# load-bench runs the closed-/open-loop load generator at full scale
+# (phone2000, client sweep 1-8, GOMAXPROCS sweep, plan-cache cold/warm
+# pair, 400 req/s open-loop run) and records throughput, p50/p99/p999
+# latency and the plan-cache p99 margin to results/bench_load.json.
+load-bench:
+	$(GO) run ./cmd/experiments load
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,65 @@
+package seqstore
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAggregateBatchFacade: the batch facade returns, per query, exactly
+// what the single-query path returns with the same options — including
+// per-query errors for invalid selections.
+func TestAggregateBatchFacade(t *testing.T) {
+	x := GeneratePhone(96)
+	st, err := Compress(x, Options{Budget: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := x.Dims()
+	queries := []BatchQuery{
+		{Agg: Sum, Rows: Range(0, n/2), Cols: Range(0, m)},
+		{Agg: Min, Rows: Range(n/4, 3*n/4), Cols: Range(0, m/2)},
+		{Agg: StdDev, Rows: Range(0, n), Cols: Range(0, m)},
+		{Agg: Max, Rows: []int{n + 10}, Cols: Range(0, m)}, // out of range
+		{Agg: Avg, Rows: Range(0, n), Cols: Range(2, 5)},
+	}
+	results, err := st.AggregateBatch(context.Background(), queries, AggOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for qi, q := range queries {
+		want, werr := st.AggregateOpts(q.Agg, q.Rows, q.Cols, AggOptions{Workers: 1})
+		if werr != nil {
+			if results[qi].Err == nil {
+				t.Errorf("query %d: single-path error %v but batch succeeded", qi, werr)
+			}
+			continue
+		}
+		if results[qi].Err != nil {
+			t.Errorf("query %d: batch error %v", qi, results[qi].Err)
+			continue
+		}
+		if results[qi].Value != want {
+			t.Errorf("query %d (%s): batch %v != single %v", qi, q.Agg, results[qi].Value, want)
+		}
+	}
+	if results[3].Err == nil {
+		t.Error("out-of-range query did not report an error")
+	}
+
+	// An unknown aggregate fails the whole call (it is a programming error,
+	// not a data-dependent one).
+	if _, err := st.AggregateBatch(context.Background(),
+		[]BatchQuery{{Agg: "median", Rows: Range(0, n), Cols: Range(0, m)}}, AggOptions{}); err == nil {
+		t.Error("unknown aggregate did not fail the call")
+	}
+
+	// A fired context aborts the batch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.AggregateBatch(ctx, queries[:2], AggOptions{}); err == nil {
+		t.Error("cancelled context did not abort the batch")
+	}
+}

@@ -2,7 +2,7 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace randsvd ingest]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace randsvd ingest load]
 //
 // Flags:
 //
@@ -31,6 +31,10 @@
 //	-ingest-cold-n/-ingest-batches
 //	                  cold-segment size and bulk batches per writer for the
 //	                  ingest harness (0 = harness defaults, 500/24)
+//	-load-out p       where the "load" harness writes its JSON closed-/open-
+//	                  loop throughput record (default results/bench_load.json)
+//	-load-requests    requests per client per closed-loop load run
+//	                  (0 = harness default, 300)
 package main
 
 import (
@@ -78,6 +82,10 @@ func run(args []string) error {
 		"cold-segment customers for the ingest harness (0 = harness default)")
 	ingestBatches := fs.Int("ingest-batches", 0,
 		"bulk batches per writer for the ingest harness (0 = harness default)")
+	loadOut := fs.String("load-out", filepath.Join("results", "bench_load.json"),
+		"output path for the 'load' closed-/open-loop harness")
+	loadRequests := fs.Int("load-requests", 0,
+		"requests per client per closed-loop load run (0 = harness default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +94,7 @@ func run(args []string) error {
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
 			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
-			"cube", "parallel", "server", "query", "trace", "randsvd", "ingest"}
+			"cube", "parallel", "server", "query", "trace", "randsvd", "ingest", "load"}
 	}
 
 	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir,
@@ -94,6 +102,7 @@ func run(args []string) error {
 		traceOut: *traceOut, randsvdOut: *randsvdOut,
 		randsvdSynthN: *randsvdSynthN, randsvdSynthM: *randsvdSynthM,
 		ingestOut: *ingestOut, ingestColdN: *ingestColdN, ingestBatches: *ingestBatches,
+		loadOut: *loadOut, loadRequests: *loadRequests,
 		workers: *workers}
 	for _, name := range names {
 		start := time.Now()
@@ -119,6 +128,8 @@ type runner struct {
 	ingestOut     string
 	ingestColdN   int
 	ingestBatches int
+	loadOut       string
+	loadRequests  int
 	workers       int
 
 	phone  *linalg.Matrix // lazily built
@@ -377,6 +388,22 @@ func (r *runner) runOne(name string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", r.ingestOut)
+		return nil
+
+	case "load":
+		cfg := experiments.DefaultLoadConfig()
+		cfg.N = r.phoneN
+		if r.loadRequests > 0 {
+			cfg.Requests = r.loadRequests
+		}
+		res, err := experiments.BenchLoad(cfg, out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.loadOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.loadOut)
 		return nil
 
 	default:

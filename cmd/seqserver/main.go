@@ -18,7 +18,14 @@
 //	/v1/agg?f=avg&rows=0:1000&cols=180:187
 //	                              aggregate over a row/column selection;
 //	                              rows/cols accept "3,17,0:10" specs and
-//	                              default to "all"
+//	                              default to "all"; plans (V panel + row-run
+//	                              schedule) are memoized in a plan cache
+//	                              sized by -plan-cache
+//	/v1/aggregate/batch           POST: N aggregates in one request sharing
+//	                              one pass over the selections' U-row union;
+//	                              body {"queries":[{"f":"sum","rows":"0:64",
+//	                              "cols":"0:24"},...]}, per-item status in
+//	                              the response like /v1/bulk
 //	/v1/metrics                   per-endpoint latency histograms, row-cache
 //	                              hit rate, disk-access counters, corruption
 //	                              count; ?format=prom renders the same
@@ -126,6 +133,8 @@ func main() {
 	storePath := fs.String("store", "", "compressed .sqz store (required)")
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheRows := fs.Int("cache-rows", 4096, "LRU row-cache capacity in rows (0 disables)")
+	planCache := fs.Int("plan-cache", 0,
+		"query-plan cache capacity in plans (0 = default 256, negative disables)")
 	queryWorkers := fs.Int("query-workers", 1,
 		"goroutines per /agg evaluation (0 = one per CPU)")
 	logFormat := fs.String("log-format", "json", "structured log format: json or text")
@@ -188,6 +197,7 @@ func main() {
 	srv := server.New(st, labels, server.Config{
 		Addr:            *addr,
 		CacheRows:       *cacheRows,
+		PlanCacheSize:   *planCache,
 		QueryWorkers:    *queryWorkers,
 		Logger:          logger,
 		SlowQuery:       *slowQuery,

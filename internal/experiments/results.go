@@ -36,7 +36,9 @@ func writeResultJSON(v interface{}, path string) error {
 // stampEnv injects num_cpu and gomaxprocs into a marshaled JSON object.
 // Results whose structs already carry the fields are overwritten with the
 // same live values; non-object payloads (arrays, scalars) pass through
-// unchanged.
+// unchanged. A run that cannot demonstrate parallelism (GOMAXPROCS=1)
+// additionally gets a loud "warning" field, so stale single-core perf
+// numbers in results/bench_*.json are self-describing.
 func stampEnv(raw []byte) []byte {
 	var obj map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &obj); err != nil || obj == nil {
@@ -46,6 +48,10 @@ func stampEnv(raw []byte) []byte {
 	procs, _ := json.Marshal(runtime.GOMAXPROCS(0))
 	obj["num_cpu"] = cpu
 	obj["gomaxprocs"] = procs
+	if runtime.GOMAXPROCS(0) == 1 {
+		warn, _ := json.Marshal("gomaxprocs=1: recorded without parallelism; speedups and throughput are single-core numbers")
+		obj["warning"] = warn
+	}
 	out, err := json.Marshal(obj)
 	if err != nil {
 		return raw

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -34,5 +35,41 @@ func TestWriteResultJSONStampsEnv(t *testing.T) {
 	}
 	if got["gomaxprocs"] != float64(runtime.GOMAXPROCS(0)) {
 		t.Errorf("gomaxprocs = %v, want %d", got["gomaxprocs"], runtime.GOMAXPROCS(0))
+	}
+	warn, hasWarn := got["warning"]
+	if runtime.GOMAXPROCS(0) == 1 {
+		if !hasWarn || !strings.Contains(warn.(string), "gomaxprocs=1") {
+			t.Errorf("GOMAXPROCS=1 result missing the gomaxprocs=1 warning: %v", warn)
+		}
+	} else if hasWarn {
+		t.Errorf("multi-proc result carries a warning: %v", warn)
+	}
+}
+
+// A run recorded at GOMAXPROCS=1 must say so loudly; one recorded with
+// parallelism available must not cry wolf.
+func TestStampEnvWarnsOnSingleProc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	runtime.GOMAXPROCS(1)
+	var got map[string]any
+	if err := json.Unmarshal(stampEnv([]byte(`{"x":1}`)), &got); err != nil {
+		t.Fatal(err)
+	}
+	warn, _ := got["warning"].(string)
+	if !strings.Contains(warn, "gomaxprocs=1") {
+		t.Errorf("warning = %q, want it to name gomaxprocs=1", warn)
+	}
+
+	runtime.GOMAXPROCS(2)
+	got = nil
+	if err := json.Unmarshal(stampEnv([]byte(`{"x":1}`)), &got); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := got["warning"]; ok {
+		t.Errorf("GOMAXPROCS=2 result carries a warning: %v", w)
+	}
+	if got["gomaxprocs"] != float64(2) {
+		t.Errorf("gomaxprocs = %v, want 2", got["gomaxprocs"])
 	}
 }

@@ -1,0 +1,90 @@
+package query
+
+import (
+	"testing"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/matio"
+	"seqstore/internal/svd"
+)
+
+// The allocation-budget tests pin the zero-alloc steady state the
+// query-throughput work bought: once the plan cache is warm and the pools
+// are primed, the projected and factored paths over a plain-SVD store
+// must not allocate at all on the serial path, and parallel dispatch may
+// only pay a constant per-query overhead (goroutines + waitgroup), never
+// anything per row. If a change reintroduces a per-row or per-chunk
+// allocation — a closure escaping into ScanURows, a scratch slice rebuilt
+// per call, an accumulator returned by pointer — these fail immediately.
+
+func allocProbeStore(t testing.TB, rows int) *svd.Store {
+	t.Helper()
+	x := dataset.GeneratePhone(dataset.DefaultPhoneConfig(rows))
+	s, err := svd.Compress(matio.NewMem(x), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// steadyStateAllocs warms the cache and pools, then measures allocations
+// per evaluation.
+func steadyStateAllocs(t *testing.T, s *svd.Store, agg Aggregate, sel Selection, opts Options) float64 {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		if _, err := EvaluateOpts(s, agg, sel, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testing.AllocsPerRun(20, func() {
+		if _, err := EvaluateOpts(s, agg, sel, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSteadyStateZeroAllocSerial: with a warm plan cache, every aggregate
+// over a plain-SVD store allocates nothing on the serial path — the
+// acceptance criterion behind BenchmarkEvaluateProjectedSteadyState.
+func TestSteadyStateZeroAllocSerial(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; AllocsPerRun budgets only hold without -race")
+	}
+	s := allocProbeStore(t, 256)
+	n, m := s.Dims()
+	sel := Selection{Rows: seq(0, n), Cols: seq(0, m)}
+	pc := NewPlanCache(8)
+	for _, agg := range allAggregates {
+		if got := steadyStateAllocs(t, s, agg, sel, Options{Workers: 1, Plans: pc}); got != 0 {
+			t.Errorf("%v: %.1f allocs/op in steady state, want 0", agg, got)
+		}
+	}
+}
+
+// TestSteadyStateAllocsDoNotScaleWithRows: parallel dispatch pays a small
+// constant per query (goroutine launch, waitgroup, error slice). That
+// constant must not grow with the selection: quadrupling the rows must
+// not change the per-query allocation count at all.
+func TestSteadyStateAllocsDoNotScaleWithRows(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; AllocsPerRun budgets only hold without -race")
+	}
+	const parallelBudget = 24 // dispatch-only; measured ~11 at 4 workers
+	small := allocProbeStore(t, 256)
+	large := allocProbeStore(t, 1024)
+	pc := NewPlanCache(8)
+	for _, agg := range []Aggregate{Min, Sum, StdDev} {
+		var got [2]float64
+		for i, s := range []*svd.Store{small, large} {
+			n, m := s.Dims()
+			sel := Selection{Rows: seq(0, n), Cols: seq(0, m)}
+			got[i] = steadyStateAllocs(t, s, agg, sel, Options{Workers: 4, Plans: pc})
+		}
+		if got[1] > got[0] {
+			t.Errorf("%v: allocs grew with rows: %.1f at 256 rows, %.1f at 1024", agg, got[0], got[1])
+		}
+		if got[0] > parallelBudget {
+			t.Errorf("%v: %.1f allocs/op exceeds parallel dispatch budget %d", agg, got[0], parallelBudget)
+		}
+	}
+}

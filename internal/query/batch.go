@@ -1,0 +1,181 @@
+package query
+
+import (
+	"context"
+
+	"seqstore/internal/core"
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+	"seqstore/internal/svd"
+	"seqstore/internal/trace"
+)
+
+// This file implements scan-sharing batch evaluation. A dashboard refresh
+// or a proxy tier fans one user action into many aggregates whose
+// selections overlap heavily; evaluated independently, each re-reads the
+// same U rows from disk. EvaluateBatch instead prefetches the union of
+// the selected rows in one coalesced pass over U and then evaluates every
+// aggregate with exactly the sequential engine's arithmetic, serving its
+// U reads from the shared buffer. k overlapping queries therefore cost
+// ~one scan instead of k, and — because the per-item evaluation code path,
+// chunking and accumulation order are byte-for-byte the sequential ones —
+// every result is bit-identical to an independent EvaluateOpts call with
+// the same worker count.
+
+// BatchItem is one aggregate request inside an EvaluateBatch call.
+type BatchItem struct {
+	Agg Aggregate
+	Sel Selection
+}
+
+// BatchResult is one item's outcome. Err is the item-scoped error
+// (validation, evaluation); items fail independently, matching the
+// /v1/bulk idiom.
+type BatchResult struct {
+	Value float64
+	Err   error
+}
+
+// maxPrefetchFloats caps the shared U-row buffer at 32 MB of float64s;
+// batches whose row union would exceed it fall back to unshared reads
+// rather than ballooning the serving process.
+const maxPrefetchFloats = 1 << 22
+
+// EvaluateBatch evaluates items over s, sharing one pass over U across
+// all SVD-family selections. Per-item failures land in the corresponding
+// BatchResult; the error return is reserved for whole-batch aborts
+// (context cancellation), after which the remaining results are
+// unevaluated.
+//
+// Results are bit-identical to calling EvaluateOpts per item with the
+// same Options: the shared buffer only changes where U bits are read
+// from, never the arithmetic or its order.
+func EvaluateBatch(s store.Store, items []BatchItem, opts Options) ([]BatchResult, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	env := evalEnv{
+		workers: matio.NumWorkers(opts.Workers),
+		plans:   opts.Plans,
+		led:     trace.LedgerFrom(ctx),
+	}
+	results := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	n, m := s.Dims()
+	for idx := range items {
+		if err := items[idx].Sel.Validate(n, m); err != nil {
+			results[idx].Err = err
+		}
+	}
+	var base *svd.Store
+	switch t := s.(type) {
+	case *svd.Store:
+		base = t
+	case *core.Store:
+		base = t.Base()
+	}
+	if base != nil {
+		env.buf = prefetchUnion(base, n, items, results, env.led)
+	}
+	for idx := range items {
+		if results[idx].Err != nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		v, err := evaluate(ctx, s, items[idx].Agg, items[idx].Sel, env)
+		results[idx] = BatchResult{Value: v, Err: err}
+	}
+	return results, nil
+}
+
+// uBuf is the batch-scoped buffer of prefetched raw (σ-unscaled) U rows.
+// Reads from it are charged to the ledger as rows served with no disk
+// access, like row-cache hits; the prefetch pass itself carried the disk
+// charges. All methods are nil-safe.
+type uBuf struct {
+	k    int
+	off  map[int]int // U row index → row offset into data
+	data []float64
+}
+
+// row returns the buffered U row i, or nil when absent. The returned
+// slice is shared read-only state: callers copy before mutating.
+func (b *uBuf) row(i int) []float64 {
+	if b == nil {
+		return nil
+	}
+	o, ok := b.off[i]
+	if !ok {
+		return nil
+	}
+	return b.data[o*b.k : (o+1)*b.k : (o+1)*b.k]
+}
+
+// prefetchUnion reads the union of the valid items' selected rows into a
+// shared buffer with one coalesced pass over U, charging the ledger for
+// the actual reads. It returns nil — falling back to unshared per-item
+// reads — when the batch has no row overlap to exploit, when the union
+// would exceed the memory cap, or when a read fails (the per-item
+// evaluation will then surface the store error with context).
+func prefetchUnion(base *svd.Store, n int, items []BatchItem, results []BatchResult, led *trace.Ledger) *uBuf {
+	need := make([]bool, n)
+	total, distinct := 0, 0
+	for idx := range items {
+		if results[idx].Err != nil || items[idx].Agg == Count {
+			continue
+		}
+		for _, r := range items[idx].Sel.Rows {
+			total++
+			if !need[r] {
+				need[r] = true
+				distinct++
+			}
+		}
+	}
+	k := base.K()
+	if distinct == 0 || total <= distinct || distinct*k > maxPrefetchFloats {
+		return nil
+	}
+	buf := &uBuf{k: k, off: make(map[int]int, distinct), data: make([]float64, distinct*k)}
+	next := 0
+	scratch := make([]float64, k)
+	for start := 0; start < n; {
+		if !need[start] {
+			start++
+			continue
+		}
+		end := start + 1
+		for end < n && need[end] {
+			end++
+		}
+		led.AddDiskAccesses(int64(end - start))
+		led.AddPagesTouched(int64(base.UPageSpan(start, end)))
+		if end-start >= minScanRun {
+			err := base.ScanURows(start, end, func(i int, u []float64) error {
+				copy(buf.data[next*k:(next+1)*k], u)
+				buf.off[i] = next
+				next++
+				return nil
+			})
+			if err != nil {
+				return nil
+			}
+		} else {
+			for i := start; i < end; i++ {
+				if err := base.URow(i, scratch); err != nil {
+					return nil
+				}
+				copy(buf.data[next*k:(next+1)*k], scratch)
+				buf.off[i] = next
+				next++
+			}
+		}
+		start = end
+	}
+	return buf
+}

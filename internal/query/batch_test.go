@@ -1,0 +1,246 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"seqstore/internal/trace"
+)
+
+// batchOverlappingItems builds a batch whose selections overlap heavily —
+// every aggregate over shifted windows of the same row range — the shape
+// scan sharing exists for.
+func batchOverlappingItems(n, m int) []BatchItem {
+	items := make([]BatchItem, 0, len(allAggregates)*2)
+	for i, agg := range allAggregates {
+		lo := (i * n / 12) % (n / 2)
+		items = append(items,
+			BatchItem{Agg: agg, Sel: Selection{Rows: seq(lo, lo+n/2), Cols: seq(0, m)}},
+			BatchItem{Agg: agg, Sel: Selection{Rows: seq(n/4, 3*n/4), Cols: seq(0, m/2)}},
+		)
+	}
+	return items
+}
+
+// TestBatchBitIdenticalEveryStoreAndWorkerCount is the batch acceptance
+// sweep: EvaluateBatch must reproduce the sequential EvaluateOpts result
+// bit-for-bit for every aggregate × store method × worker count — the
+// shared U buffer changes where bits are read from, never the arithmetic.
+func TestBatchBitIdenticalEveryStoreAndWorkerCount(t *testing.T) {
+	stores := engineStores(t)
+	stores["svd-file"] = fileBackedSVD(t, 256)
+	for name, s := range stores {
+		n, m := s.Dims()
+		items := batchOverlappingItems(n, m)
+		for _, workers := range []int{1, 3, 8} {
+			opts := Options{Workers: workers}
+			got, err := EvaluateBatch(s, items, opts)
+			if err != nil {
+				t.Fatalf("%s/w%d: batch: %v", name, workers, err)
+			}
+			if len(got) != len(items) {
+				t.Fatalf("%s/w%d: %d results for %d items", name, workers, len(got), len(items))
+			}
+			for idx, it := range items {
+				want, err := EvaluateOpts(s, it.Agg, it.Sel, opts)
+				if err != nil {
+					t.Fatalf("%s/w%d/%d: sequential: %v", name, workers, idx, err)
+				}
+				if got[idx].Err != nil {
+					t.Fatalf("%s/w%d/%d: batch item error: %v", name, workers, idx, got[idx].Err)
+				}
+				if got[idx].Value != want {
+					t.Errorf("%s/%v/w%d item %d: batch %v != sequential %v",
+						name, it.Agg, workers, idx, got[idx].Value, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSharesScans is the cost acceptance criterion: a batch of
+// overlapping selections must perform strictly fewer U disk accesses than
+// the same queries evaluated independently, while serving the same number
+// of logical row reads.
+func TestBatchSharesScans(t *testing.T) {
+	s := fileBackedSVD(t, 512)
+	n, m := s.Dims()
+	items := batchOverlappingItems(n, m)
+
+	ledgerFor := func(run func(ctx context.Context)) trace.LedgerSnapshot {
+		tr := trace.New("t", "/test")
+		ctx := trace.NewContext(context.Background(), tr)
+		run(ctx)
+		return tr.Ledger.Snapshot()
+	}
+	seqCost := ledgerFor(func(ctx context.Context) {
+		for _, it := range items {
+			if _, err := EvaluateOpts(s, it.Agg, it.Sel, Options{Workers: 1, Ctx: ctx}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	batchCost := ledgerFor(func(ctx context.Context) {
+		results, err := EvaluateBatch(s, items, Options{Workers: 1, Ctx: ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, r := range results {
+			if r.Err != nil {
+				t.Fatalf("item %d: %v", idx, r.Err)
+			}
+		}
+	})
+	if batchCost.DiskAccesses >= seqCost.DiskAccesses {
+		t.Errorf("batch disk accesses %d not below sequential %d",
+			batchCost.DiskAccesses, seqCost.DiskAccesses)
+	}
+	if batchCost.RowsRead != seqCost.RowsRead {
+		t.Errorf("batch rows read %d != sequential %d (logical reads must match)",
+			batchCost.RowsRead, seqCost.RowsRead)
+	}
+	// The union of the overlapping windows is ~3n/4 distinct rows; the
+	// batch should be within one prefetch of that floor, not Σ|rows_i|.
+	if batchCost.DiskAccesses > int64(n) {
+		t.Errorf("batch disk accesses %d exceed the whole store (%d rows)",
+			batchCost.DiskAccesses, n)
+	}
+}
+
+// TestBatchPerItemErrors: invalid items fail alone — the /v1/bulk idiom —
+// while the rest of the batch evaluates normally.
+func TestBatchPerItemErrors(t *testing.T) {
+	s := fileBackedSVD(t, 64)
+	n, m := s.Dims()
+	items := []BatchItem{
+		{Agg: Sum, Sel: Selection{Rows: seq(0, n), Cols: seq(0, m)}},
+		{Agg: Min, Sel: Selection{Rows: []int{n + 5}, Cols: seq(0, m)}}, // out of range
+		{Agg: Max, Sel: Selection{Rows: nil, Cols: seq(0, m)}},          // empty
+		{Agg: Avg, Sel: Selection{Rows: seq(0, n / 2), Cols: seq(0, m)}},
+	}
+	results, err := EvaluateBatch(s, items, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Errorf("valid items failed: %v, %v", results[0].Err, results[3].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("out-of-range item did not fail")
+	}
+	if !errors.Is(results[2].Err, ErrEmptySelection) {
+		t.Errorf("empty item error %v, want ErrEmptySelection", results[2].Err)
+	}
+	for _, idx := range []int{0, 3} {
+		want, err := EvaluateOpts(s, items[idx].Agg, items[idx].Sel, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[idx].Value != want {
+			t.Errorf("item %d: %v != %v", idx, results[idx].Value, want)
+		}
+	}
+}
+
+// TestBatchEmptyAndCountOnly: degenerate batches behave.
+func TestBatchEmptyAndCountOnly(t *testing.T) {
+	s := fileBackedSVD(t, 32)
+	n, m := s.Dims()
+	results, err := EvaluateBatch(s, nil, Options{Workers: 1})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(results))
+	}
+	items := []BatchItem{
+		{Agg: Count, Sel: Selection{Rows: seq(0, n), Cols: seq(0, m)}},
+		{Agg: Count, Sel: Selection{Rows: seq(0, n / 2), Cols: seq(0, m)}},
+	}
+	tr := trace.New("t", "/test")
+	ctx := trace.NewContext(context.Background(), tr)
+	results, err = EvaluateBatch(s, items, Options{Workers: 1, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Value != float64(n*m) || results[1].Value != float64(n/2*m) {
+		t.Errorf("count batch results: %+v", results)
+	}
+	if cost := tr.Ledger.Snapshot(); cost.DiskAccesses != 0 {
+		t.Errorf("count-only batch touched disk: %+v", cost)
+	}
+}
+
+// TestBatchCancelledContext: a fired context aborts the batch with
+// ctx.Err and leaves the remaining items unevaluated.
+func TestBatchCancelledContext(t *testing.T) {
+	s := fileBackedSVD(t, 64)
+	n, m := s.Dims()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := batchOverlappingItems(n, m)
+	_, err := EvaluateBatch(s, items, Options{Workers: 1, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchWithPlanCache: batch evaluation composes with the plan cache —
+// warm plans, shared scans, still bit-identical to the uncached
+// sequential reference.
+func TestBatchWithPlanCache(t *testing.T) {
+	s := fileBackedSVD(t, 128)
+	n, m := s.Dims()
+	items := batchOverlappingItems(n, m)
+	pc := NewPlanCache(32)
+	for round := 0; round < 3; round++ {
+		got, err := EvaluateBatch(s, items, Options{Workers: 3, Plans: pc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, it := range items {
+			want, err := EvaluateOpts(s, it.Agg, it.Sel, Options{Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[idx].Err != nil || got[idx].Value != want {
+				t.Errorf("round %d item %d: %v (err %v) != %v",
+					round, idx, got[idx].Value, got[idx].Err, want)
+			}
+		}
+	}
+	if st := pc.Stats(); st.Hits == 0 {
+		t.Errorf("plan cache never hit across batch rounds: %+v", st)
+	}
+}
+
+// TestBatchRandomizedSelections cross-checks batch against sequential on
+// random (non-overlapping-friendly) selections, where the prefetch
+// heuristic may decline to share — results must be identical either way.
+func TestBatchRandomizedSelections(t *testing.T) {
+	s := fileBackedSVD(t, 200)
+	n, m := s.Dims()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		items := make([]BatchItem, 5)
+		for i := range items {
+			items[i] = BatchItem{
+				Agg: allAggregates[rng.Intn(len(allAggregates))],
+				Sel: RandomSelection(rng, n, m, 0.01+0.2*rng.Float64()),
+			}
+		}
+		got, err := EvaluateBatch(s, items, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, it := range items {
+			want, err := EvaluateOpts(s, it.Agg, it.Sel, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[idx].Err != nil || got[idx].Value != want {
+				t.Errorf("trial %d item %d (%v): %v != %v",
+					trial, idx, it.Agg, got[idx].Value, want)
+			}
+		}
+	}
+}

@@ -79,3 +79,98 @@ func BenchmarkEvaluateFactored(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluateProjectedSteadyState pins the zero-alloc steady state:
+// warm plan cache, primed pools, ReportAllocs. The projected path must
+// report 0 allocs/op; any regression shows up as B/op > 0 here and as a
+// failure in TestSteadyStateZeroAllocSerial.
+func BenchmarkEvaluateProjectedSteadyState(b *testing.B) {
+	s := benchStore(b)
+	pc := NewPlanCache(8)
+	for name, sel := range benchSelections(s) {
+		b.Run(name, func(b *testing.B) {
+			opts := Options{Workers: 1, Plans: pc}
+			for i := 0; i < 3; i++ {
+				if _, err := EvaluateOpts(s, Min, sel, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EvaluateOpts(s, Min, sel, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateFactoredSteadyState: same pin for the factored
+// Sum/StdDev paths on the plain-SVD base (the SVDD delta corrections
+// allocate their per-call multiset maps by design, so the core store's
+// Base() is benchmarked directly).
+func BenchmarkEvaluateFactoredSteadyState(b *testing.B) {
+	s := benchStore(b).Base()
+	pc := NewPlanCache(8)
+	for name, sel := range benchSelections2(s.Dims()) {
+		for _, agg := range []Aggregate{Sum, StdDev} {
+			b.Run(name+"/"+agg.String(), func(b *testing.B) {
+				opts := Options{Workers: 1, Plans: pc}
+				for i := 0; i < 3; i++ {
+					if _, err := EvaluateOpts(s, agg, sel, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := EvaluateOpts(s, agg, sel, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchSelections2 is benchSelections keyed by dimensions instead of the
+// store, for store types without the core wrapper.
+func benchSelections2(n, m int) map[string]Selection {
+	return map[string]Selection{
+		"narrow-col": {Rows: All(n), Cols: []int{2, 17, m - 1}},
+		"narrow-row": {Rows: []int{1, 7, n / 2, n - 2}, Cols: All(m)},
+		"dense":      {Rows: All(n), Cols: All(m)},
+	}
+}
+
+// BenchmarkEvaluateBatch compares N overlapping aggregates evaluated
+// independently versus through the scan-sharing batch path.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	s := benchStore(b)
+	n, m := s.Dims()
+	items := batchOverlappingItems(n, m)
+	pc := NewPlanCache(32)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, it := range items {
+				if _, err := EvaluateOpts(s, it.Agg, it.Sel, Options{Workers: 1, Plans: pc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results, err := EvaluateBatch(s, items, Options{Workers: 1, Plans: pc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}

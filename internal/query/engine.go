@@ -5,11 +5,9 @@ import (
 	"fmt"
 	"sync"
 
-	"seqstore/internal/core"
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
 	"seqstore/internal/store"
-	"seqstore/internal/svd"
 	"seqstore/internal/trace"
 )
 
@@ -19,20 +17,61 @@ type Options struct {
 	// 0 means one per CPU, 1 evaluates serially. Count/Min/Max results are
 	// bit-identical across worker counts; Sum/Avg/StdDev vary only by
 	// floating-point summation order (deterministic for a fixed count,
-	// since chunk boundaries and the reduction order never depend on
-	// scheduling).
+	// since chunk boundaries depend only on the selection length and the
+	// worker count — never on scheduling).
 	Workers int
 	// Ctx, when non-nil, cancels the evaluation: workers check it between
 	// row chunks and return ctx.Err() (context.Canceled or
 	// DeadlineExceeded) once it fires. A nil Ctx means no cancellation.
 	Ctx context.Context
+	// Plans, when non-nil, memoizes per-query plans — the projected
+	// engine's V panel, the SVDD column-position index and the coalesced
+	// row-run schedule — across evaluations sharing this cache. See
+	// NewPlanCache; the serving layer invalidates it from the ingestion
+	// hooks. A nil Plans rebuilds the plan per call (the previous
+	// behavior).
+	Plans *PlanCache
 }
 
-// evalChunkRows is the number of selection positions per work chunk. Like
-// matio.Chunks, boundaries depend only on the selection length — never the
-// worker count — so per-worker partials merged in worker order reduce
-// deterministically.
-const evalChunkRows = 256
+// evalEnv is the resolved per-evaluation environment threaded through the
+// internal engine and factored paths: normalized worker count, optional
+// plan cache, optional batch U-row buffer (EvaluateBatch's shared scan),
+// and the request's cost ledger.
+type evalEnv struct {
+	workers int
+	plans   *PlanCache
+	buf     *uBuf
+	led     *trace.Ledger
+}
+
+// Chunking of the selected row positions across workers. The chunk size
+// adapts to the selection and worker count — each worker sees about
+// chunksPerWorker chunks, so small selections still fan out instead of
+// drowning in a single fixed-size chunk, while huge serial scans are not
+// chopped into thousands of dispatches. Boundaries are a pure function of
+// (selection length, worker count), so per-worker partials merged in
+// worker order reduce deterministically for a fixed count.
+const (
+	minChunkRows    = 16
+	maxChunkRows    = 4096
+	chunksPerWorker = 4
+)
+
+// evalChunkSize returns the sharding granularity for an n-position
+// selection requested with the given worker count.
+func evalChunkSize(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	c := n / (workers * chunksPerWorker)
+	if c < minChunkRows {
+		c = minChunkRows
+	}
+	if c > maxChunkRows {
+		c = maxChunkRows
+	}
+	return c
+}
 
 // minScanRun is the shortest contiguous ascending run of selected rows
 // worth a sequential range scan instead of per-row random reads.
@@ -47,7 +86,7 @@ const minScanRun = 4
 //     rows' delta buckets — with the |R| U-row reads sharded across
 //     workers.
 //   - Everything else runs the projected row engine: selected rows are
-//     split into fixed chunks handed round-robin to workers, contiguous
+//     split into adaptive chunks handed round-robin to workers, contiguous
 //     row runs coalesce into sequential U scans, and each row costs
 //     O(k·|C|) against a per-query V panel instead of the O(k·M) full
 //     reconstruction.
@@ -56,6 +95,16 @@ func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (fl
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	env := evalEnv{
+		workers: matio.NumWorkers(opts.Workers),
+		plans:   opts.Plans,
+		led:     trace.LedgerFrom(ctx),
+	}
+	return evaluate(ctx, s, agg, sel, env)
+}
+
+// evaluate is the shared core behind EvaluateOpts and EvaluateBatch.
+func evaluate(ctx context.Context, s store.Store, agg Aggregate, sel Selection, env evalEnv) (float64, error) {
 	n, m := s.Dims()
 	if err := sel.Validate(n, m); err != nil {
 		return 0, err
@@ -66,10 +115,11 @@ func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (fl
 	if agg == Count {
 		return float64(sel.NumCells()), nil
 	}
-	workers := matio.NumWorkers(opts.Workers)
-	switch agg {
-	case Sum, Avg:
-		if v, ok, err := factoredSum(ctx, s, sel, workers); ok || err != nil {
+	pl := planFor(s, sel, env)
+	if pl.base != nil {
+		switch agg {
+		case Sum, Avg:
+			v, err := factoredSumPlan(ctx, pl, sel, env)
 			if err != nil {
 				return 0, err
 			}
@@ -77,59 +127,77 @@ func EvaluateOpts(s store.Store, agg Aggregate, sel Selection, opts Options) (fl
 				v /= float64(sel.NumCells())
 			}
 			return v, nil
-		}
-	case StdDev:
-		if v, ok, err := factoredStdDev(ctx, s, sel, workers); ok || err != nil {
-			return v, err
+		case StdDev:
+			return factoredStdDevPlan(ctx, pl, sel, env)
 		}
 	}
-	acc, err := evaluateCells(ctx, s, sel, workers)
+	acc, err := evaluateCells(ctx, s, sel, env, pl)
 	if err != nil {
 		return 0, err
 	}
 	return acc.result(agg)
 }
 
-// runSharded splits [0, n) into evalChunkRows-sized chunks and hands them
-// round-robin to workers goroutines, calling run(worker, lo, hi) per chunk.
-// Worker w always receives chunks w, w+workers, … in order, so per-worker
-// state accumulates deterministically. With one worker (or one chunk) it
-// runs inline on the caller's goroutine — the serial reference path.
-// Cancellation is checked between chunks on every path, so a fired ctx
-// stops the evaluation within one chunk's worth of rows and surfaces as
-// ctx.Err(). Accumulation order per worker is identical to the unchunked
-// serial loop, so results stay deterministic.
-func runSharded(ctx context.Context, n, workers int, run func(w, lo, hi int) error) error {
-	chunks := matio.Chunks(n, evalChunkRows)
-	if workers > len(chunks) {
-		workers = len(chunks)
+// runSharded splits the n selection positions into evalChunkSize-sized
+// chunks and hands them round-robin to workers goroutines, calling
+// run(worker, lo, hi) per chunk. Worker w always receives chunks
+// w, w+workers, … in order, so per-worker state accumulates
+// deterministically. With one worker (or one chunk) it runs inline on the
+// caller's goroutine — the serial reference path. Cancellation is checked
+// between chunks on every path, so a fired ctx stops the evaluation
+// within one chunk's worth of rows and surfaces as ctx.Err().
+func runSharded(ctx context.Context, n, workers int, led *trace.Ledger, run func(w, lo, hi int) error) error {
+	chunk := evalChunkSize(n, workers)
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
 	}
-	led := trace.LedgerFrom(ctx)
 	if workers <= 1 {
-		for _, c := range chunks {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			led.AddWorkerChunks(1)
-			if err := run(0, c.Start, c.End); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runSerial(ctx, n, chunk, led, run)
 	}
+	return runParallel(ctx, n, workers, chunk, led, run)
+}
+
+// runSerial is the inline single-goroutine chunk loop. It never retains
+// run, so stack-allocated closures survive escape analysis — part of the
+// zero-alloc steady state the benchmarks pin.
+func runSerial(ctx context.Context, n, chunk int, led *trace.Ledger, run func(w, lo, hi int) error) error {
+	for lo := 0; lo < n; lo += chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		led.AddWorkerChunks(1)
+		if err := run(0, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runParallel(ctx context.Context, n, workers, chunk int, led *trace.Ledger, run func(w, lo, hi int) error) error {
+	nchunks := (n + chunk - 1) / chunk
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for ci := w; ci < len(chunks); ci += workers {
+			for ci := w; ci < nchunks; ci += workers {
 				if err := ctx.Err(); err != nil {
 					errs[w] = err
 					return
 				}
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
 				led.AddWorkerChunks(1)
-				if err := run(w, chunks[ci].Start, chunks[ci].End); err != nil {
+				if err := run(w, lo, hi); err != nil {
 					errs[w] = err
 					return
 				}
@@ -145,32 +213,87 @@ func runSharded(ctx context.Context, n, workers int, run func(w, lo, hi int) err
 	return nil
 }
 
+// evalState is one evaluation's pooled mutable state: the engine shell
+// plus per-worker accumulators and scratch buffers. Pooling it (and
+// growing the slices by capacity) removes every steady-state allocation
+// from the projected hot path.
+type evalState struct {
+	eng     rowEngine
+	accs    []accum
+	scratch []engineScratch
+}
+
+var statePool = sync.Pool{New: func() any { return new(evalState) }}
+
+// ensureFloats returns s resized to n, reusing its backing array when the
+// capacity allows. Contents are unspecified; callers overwrite.
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // evaluateCells runs the row engine over the selection and returns the
-// merged accumulator. Per-worker accumulators are merged in worker order,
-// so the result depends only on the worker count, not on scheduling.
-func evaluateCells(ctx context.Context, s store.Store, sel Selection, workers int) (*accum, error) {
-	e := newRowEngine(s, sel)
-	e.led = trace.LedgerFrom(ctx)
+// merged accumulator by value. Per-worker accumulators are merged in
+// worker order, so the result depends only on the worker count, not on
+// scheduling.
+func evaluateCells(ctx context.Context, s store.Store, sel Selection, env evalEnv, pl *plan) (accum, error) {
+	workers := env.workers
 	if workers < 1 {
 		workers = 1
 	}
-	accs := make([]*accum, workers)
-	scratch := make([]*engineScratch, workers)
-	err := runSharded(ctx, len(sel.Rows), workers, func(w, lo, hi int) error {
-		if accs[w] == nil {
-			accs[w] = newAccum()
-			scratch[w] = e.newScratch()
-		}
-		return e.evalRange(lo, hi, scratch[w], accs[w])
-	})
-	if err != nil {
-		return nil, err
+	st := statePool.Get().(*evalState)
+	e := &st.eng
+	*e = rowEngine{s: s, sel: sel, led: env.led, buf: env.buf, pl: pl}
+	_, e.m = s.Dims()
+	if pl.base != nil {
+		e.panel, e.colPos = pl.panelFor()
 	}
-	total := newAccum()
-	for _, a := range accs {
-		if a != nil {
-			total.Merge(a)
+	if cap(st.accs) < workers {
+		st.accs = make([]accum, workers)
+	}
+	st.accs = st.accs[:workers]
+	if cap(st.scratch) < workers {
+		st.scratch = make([]engineScratch, workers)
+	}
+	st.scratch = st.scratch[:workers]
+	for w := 0; w < workers; w++ {
+		st.accs[w].reset()
+		sc := &st.scratch[w]
+		if pl.base != nil {
+			sc.urow = ensureFloats(sc.urow, len(pl.sigma))
+			sc.vals = ensureFloats(sc.vals, len(sel.Cols))
+		} else {
+			sc.row = ensureFloats(sc.row, e.m)
 		}
+	}
+	var err error
+	if workers <= 1 {
+		// Dedicated serial call site: this closure is provably
+		// non-escaping, keeping the warm path allocation-free.
+		err = runSerial(ctx, len(sel.Rows), evalChunkSize(len(sel.Rows), workers), env.led,
+			func(_, lo, hi int) error {
+				return e.evalRange(lo, hi, &st.scratch[0], &st.accs[0])
+			})
+	} else {
+		err = runSharded(ctx, len(sel.Rows), workers, env.led, func(w, lo, hi int) error {
+			return e.evalRange(lo, hi, &st.scratch[w], &st.accs[w])
+		})
+	}
+	var total accum
+	total.reset()
+	if err == nil {
+		for w := range st.accs {
+			total.Merge(&st.accs[w])
+		}
+	}
+	// Drop plan/store references before pooling so a retired state cannot
+	// pin a purged plan's panel in memory.
+	st.eng = rowEngine{}
+	statePool.Put(st)
+	if err != nil {
+		return accum{}, err
 	}
 	return total, nil
 }
@@ -188,40 +311,11 @@ type rowEngine struct {
 	sel Selection
 	m   int           // matrix width
 	led *trace.Ledger // request cost ledger; nil (free) when untraced
+	buf *uBuf         // batch-shared prefetched U rows; nil outside EvaluateBatch
 
-	base   *svd.Store  // non-nil on the projected path
-	svdd   *core.Store // additionally non-nil for delta/zero-row handling
-	sigma  []float64
+	pl     *plan
 	panel  *linalg.Matrix // |C|×k: V rows of the selected columns
 	colPos map[int][]int  // selected col → its positions in sel.Cols (multiset)
-}
-
-func newRowEngine(s store.Store, sel Selection) *rowEngine {
-	e := &rowEngine{s: s, sel: sel}
-	_, e.m = s.Dims()
-	switch t := s.(type) {
-	case *svd.Store:
-		e.base = t
-	case *core.Store:
-		e.base = t.Base()
-		e.svdd = t
-	default:
-		return e
-	}
-	k := e.base.K()
-	e.sigma = e.base.Sigma()
-	v := e.base.V()
-	e.panel = linalg.NewMatrix(len(sel.Cols), k)
-	for p, j := range sel.Cols {
-		copy(e.panel.Row(p), v.Row(j))
-	}
-	if e.svdd != nil {
-		e.colPos = make(map[int][]int, len(sel.Cols))
-		for p, j := range sel.Cols {
-			e.colPos[j] = append(e.colPos[j], p)
-		}
-	}
-	return e
 }
 
 // engineScratch is one worker's private buffers.
@@ -229,80 +323,119 @@ type engineScratch struct {
 	urow []float64 // k: U row, pre-scaled by σ before projection
 	vals []float64 // |C|: projected cell values of the current row
 	row  []float64 // m: full-row buffer for the generic path
+
+	// Cached ScanURows sink. The callback escapes through the
+	// matio.RangeScanner interface, so building it per run would allocate
+	// on the hot path; instead it is built once per scratch and re-aimed
+	// via scanEng/scanAcc before each scan. self guards against the
+	// struct having moved (scratch slice reallocation): a stale closure
+	// captured the old address, so it is rebuilt.
+	self    *engineScratch
+	scanEng *rowEngine
+	scanAcc *accum
+	scanFn  func(i int, urow []float64) error
 }
 
-func (e *rowEngine) newScratch() *engineScratch {
-	sc := &engineScratch{}
-	if e.base != nil {
-		sc.urow = make([]float64, len(e.sigma))
-		sc.vals = make([]float64, len(e.sel.Cols))
-	} else {
-		sc.row = make([]float64, e.m)
+// scanSink returns the reusable ScanURows callback aimed at (e, acc).
+func (sc *engineScratch) scanSink(e *rowEngine, acc *accum) func(i int, urow []float64) error {
+	if sc.self != sc {
+		sc.self = sc
+		sc.scanFn = func(i int, urow []float64) error {
+			// The scanned slice may alias the backing matrix; copy before
+			// the in-place σ scaling.
+			copy(sc.urow, urow)
+			sc.scanEng.accumURow(i, sc.urow, sc, sc.scanAcc)
+			return nil
+		}
 	}
-	return sc
+	sc.scanEng = e
+	sc.scanAcc = acc
+	return sc.scanFn
 }
 
-// evalRange folds selection positions [lo, hi) into acc, coalescing
-// contiguous ascending row runs into sequential U scans.
+// evalRange folds selection positions [lo, hi) into acc, walking the
+// plan's precomputed run schedule. Clipping a maximal run to [lo, hi)
+// yields exactly the runs an inline scan of the chunk would find
+// (consecutiveness is local), so worker results are bit-identical to the
+// pre-plan engine's.
 func (e *rowEngine) evalRange(lo, hi int, sc *engineScratch, acc *accum) error {
-	if e.base == nil {
+	if e.pl.base == nil {
 		return e.evalGeneric(lo, hi, sc, acc)
 	}
 	rows := e.sel.Rows
-	for p := lo; p < hi; {
-		q := p + 1
-		for q < hi && rows[q] == rows[q-1]+1 {
-			q++
+	runs := e.pl.runs
+	ri := firstRunAfter(runs, lo)
+	for ; ri < len(runs) && runs[ri].lo < hi; ri++ {
+		clo, chi := runs[ri].lo, runs[ri].hi
+		if clo < lo {
+			clo = lo
 		}
-		if q-p >= minScanRun {
-			if err := e.evalRun(rows[p], rows[p]+(q-p), sc, acc); err != nil {
+		if chi > hi {
+			chi = hi
+		}
+		if chi-clo >= minScanRun {
+			if err := e.evalRun(rows[clo], rows[clo]+(chi-clo), sc, acc); err != nil {
 				return err
 			}
 		} else {
-			for i := p; i < q; i++ {
-				if err := e.evalOne(rows[i], sc, acc); err != nil {
+			for p := clo; p < chi; p++ {
+				if err := e.evalOne(rows[p], sc, acc); err != nil {
 					return err
 				}
 			}
 		}
-		p = q
 	}
 	return nil
 }
 
-// evalOne handles one isolated selected row with a random U access.
+// evalOne handles one isolated selected row with a random U access (or a
+// free buffered read when the batch prefetch already holds the row).
 func (e *rowEngine) evalOne(i int, sc *engineScratch, acc *accum) error {
-	if e.svdd != nil && e.svdd.IsZeroRow(i) {
+	if e.pl.svdd != nil && e.pl.svdd.IsZeroRow(i) {
 		// Served from the in-memory zero flag: a row read with no disk access.
 		e.led.AddRowsRead(1)
 		e.accumZeroRow(acc)
 		return nil
 	}
-	if err := e.base.URow(i, sc.urow); err != nil {
+	if u := e.buf.row(i); u != nil {
+		copy(sc.urow, u)
+		e.led.AddRowsRead(1)
+		e.accumURow(i, sc.urow, sc, acc)
+		return nil
+	}
+	if err := e.pl.base.URow(i, sc.urow); err != nil {
 		return fmt.Errorf("query: U row %d: %w", i, err)
 	}
 	e.led.AddRowsRead(1)
 	e.led.AddDiskAccesses(1)
-	e.led.AddPagesTouched(int64(e.base.UPageSpan(i, i+1)))
+	e.led.AddPagesTouched(int64(e.pl.base.UPageSpan(i, i+1)))
 	e.accumURow(i, sc.urow, sc, acc)
 	return nil
 }
 
-// evalRun streams U rows [start, end) through one sequential scan. Rows
+// evalRun streams U rows [start, end) through one sequential scan,
+// serving rows the batch buffer prefetched from memory first. Rows
 // flagged zero by SVDD (§6.2) have all-zero U rows, so projecting the
 // scanned row yields the same zeros the flag shortcut would — no branch
 // needed, and skipping mid-scan would cost more than it saves.
 func (e *rowEngine) evalRun(start, end int, sc *engineScratch, acc *accum) error {
+	for start < end {
+		u := e.buf.row(start)
+		if u == nil {
+			break
+		}
+		copy(sc.urow, u)
+		e.led.AddRowsRead(1)
+		e.accumURow(start, sc.urow, sc, acc)
+		start++
+	}
+	if start >= end {
+		return nil
+	}
 	e.led.AddRowsRead(int64(end - start))
 	e.led.AddDiskAccesses(int64(end - start))
-	e.led.AddPagesTouched(int64(e.base.UPageSpan(start, end)))
-	return e.base.ScanURows(start, end, func(i int, urow []float64) error {
-		// The scanned slice may alias the backing matrix; copy before the
-		// in-place σ scaling.
-		copy(sc.urow, urow)
-		e.accumURow(i, sc.urow, sc, acc)
-		return nil
-	})
+	e.led.AddPagesTouched(int64(e.pl.base.UPageSpan(start, end)))
+	return e.pl.base.ScanURows(start, end, sc.scanSink(e, acc))
 }
 
 // accumURow projects one U row onto the column panel and folds the
@@ -312,15 +445,15 @@ func (e *rowEngine) accumURow(i int, urow []float64, sc *engineScratch, acc *acc
 	// full-row reconstruction computes — values are bit-identical to
 	// store.Row, so Min/Max agree exactly with the naive path.
 	for m := range urow {
-		urow[m] *= e.sigma[m]
+		urow[m] *= e.pl.sigma[m]
 	}
 	vals := sc.vals
 	for p := range vals {
 		vals[p] = linalg.Dot(urow, e.panel.Row(p))
 	}
-	if e.svdd != nil {
+	if e.pl.svdd != nil {
 		var nd int64
-		e.svdd.RowDeltas(i, func(col int, delta float64) {
+		e.pl.svdd.RowDeltas(i, func(col int, delta float64) {
 			nd++
 			for _, p := range e.colPos[col] {
 				vals[p] += delta

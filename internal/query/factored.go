@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"seqstore/internal/core"
 	"seqstore/internal/linalg"
@@ -26,40 +27,17 @@ import (
 // (O(k²·(|R|+|C|))), which gives StdDev without touching any of the
 // |R|·|C| cells. SVDD stores add corrections from the outlier deltas of
 // the selected rows, visited through the per-row bucket index.
-
-// factoredSum attempts the factored Σ over R×C. The boolean reports
-// whether the store supports factoring.
-func factoredSum(ctx context.Context, s store.Store, sel Selection, workers int) (float64, bool, error) {
-	switch t := s.(type) {
-	case *svd.Store:
-		v, err := factoredSumSVD(ctx, t, sel, workers)
-		return v, true, err
-	case *core.Store:
-		v, err := factoredSumSVDD(ctx, t, sel, workers)
-		return v, true, err
-	default:
-		return 0, false, nil
-	}
-}
+//
+// The moment accumulators and per-worker U-row scratch are pooled
+// (factoredState), so the steady-state plain-SVD factored path allocates
+// nothing; the SVDD delta corrections still build their per-call multiset
+// maps, which are proportional to the selection, not the data.
 
 // FactoredSumSVD computes Σ_{i∈R,j∈C} x̂[i][j] over a plain-SVD store in
 // O(k·(|R|+|C|)) plus |R| U-row accesses (contiguous runs coalesced into
 // sequential scans).
 func FactoredSumSVD(s *svd.Store, sel Selection) (float64, error) {
-	return factoredSumSVD(context.Background(), s, sel, 1)
-}
-
-func factoredSumSVD(ctx context.Context, s *svd.Store, sel Selection, workers int) (float64, error) {
-	um, err := rowMoments(ctx, s, sel.Rows, workers, false)
-	if err != nil {
-		return 0, err
-	}
-	vm := colMoments(s.V(), sel.Cols, s.K(), false)
-	var total float64
-	for m, sig := range s.Sigma() {
-		total += sig * um.acc[m] * vm.acc[m]
-	}
-	return total, nil
+	return factoredSumPlan(context.Background(), buildPlanWith(s, sel, 0, false), sel, evalEnv{workers: 1})
 }
 
 // FactoredSumSVDD is the SVDD version: the factored plain-SVD sum plus the
@@ -71,19 +49,7 @@ func factoredSumSVD(ctx context.Context, s *svd.Store, sel Selection, workers in
 // the cross product r·c times, so its delta is weighted r·c — exactly as
 // the naive cell-by-cell evaluation counts it.
 func FactoredSumSVDD(s *core.Store, sel Selection) (float64, error) {
-	return factoredSumSVDD(context.Background(), s, sel, 1)
-}
-
-func factoredSumSVDD(ctx context.Context, s *core.Store, sel Selection, workers int) (float64, error) {
-	total, err := factoredSumSVD(ctx, s.Base(), sel, workers)
-	if err != nil {
-		return 0, err
-	}
-	corr, err := deltaCorrections(ctx, s, sel, false)
-	if err != nil {
-		return 0, err
-	}
-	return total + corr.sum, nil
+	return factoredSumPlan(context.Background(), buildPlanWith(s, sel, 0, false), sel, evalEnv{workers: 1})
 }
 
 // FactoredStdDev computes the standard deviation over the selection from
@@ -93,28 +59,60 @@ func factoredSumSVDD(ctx context.Context, s *core.Store, sel Selection, workers 
 // limited by cancellation in Σx²−(Σx)²/n; property tests pin it within
 // 1e-6 relative of the naive evaluation.
 func FactoredStdDev(s store.Store, sel Selection) (float64, bool, error) {
-	return factoredStdDev(context.Background(), s, sel, 1)
-}
-
-func factoredStdDev(ctx context.Context, s store.Store, sel Selection, workers int) (float64, bool, error) {
-	var base *svd.Store
-	var svdd *core.Store
-	switch t := s.(type) {
-	case *svd.Store:
-		base = t
-	case *core.Store:
-		base = t.Base()
-		svdd = t
-	default:
+	pl := buildPlanWith(s, sel, 0, false)
+	if pl.base == nil {
 		return 0, false, nil
 	}
-	um, err := rowMoments(ctx, base, sel.Rows, workers, true)
-	if err != nil {
-		return 0, true, err
+	v, err := factoredStdDevPlan(context.Background(), pl, sel, evalEnv{workers: 1})
+	return v, true, err
+}
+
+// factoredState is the pooled mutable state of one factored evaluation:
+// per-worker moment accumulators with their U-row scratch, and the merged
+// row/column moments.
+type factoredState struct {
+	ums   []uMoments
+	urows [][]float64
+	um    uMoments // merged row moments
+	vm    uMoments // column moments
+}
+
+var factoredPool = sync.Pool{New: func() any { return new(factoredState) }}
+
+// factoredSumPlan computes the factored Σ over the plan's selection.
+func factoredSumPlan(ctx context.Context, pl *plan, sel Selection, env evalEnv) (float64, error) {
+	fs := factoredPool.Get().(*factoredState)
+	defer factoredPool.Put(fs)
+	if err := rowMomentsInto(ctx, pl, env, fs, false); err != nil {
+		return 0, err
 	}
-	vm := colMoments(base.V(), sel.Cols, base.K(), true)
-	sigma := base.Sigma()
-	k := base.K()
+	colMomentsInto(pl.base.V(), pl.cols, pl.base.K(), false, &fs.vm)
+	var total float64
+	for m, sig := range pl.sigma {
+		total += sig * fs.um.acc[m] * fs.vm.acc[m]
+	}
+	if pl.svdd != nil {
+		corr, err := deltaCorrections(ctx, pl.svdd, sel, false, env)
+		if err != nil {
+			return 0, err
+		}
+		total += corr.sum
+	}
+	return total, nil
+}
+
+// factoredStdDevPlan computes the factored standard deviation over the
+// plan's selection.
+func factoredStdDevPlan(ctx context.Context, pl *plan, sel Selection, env evalEnv) (float64, error) {
+	fs := factoredPool.Get().(*factoredState)
+	defer factoredPool.Put(fs)
+	if err := rowMomentsInto(ctx, pl, env, fs, true); err != nil {
+		return 0, err
+	}
+	colMomentsInto(pl.base.V(), pl.cols, pl.base.K(), true, &fs.vm)
+	sigma := pl.sigma
+	k := pl.base.K()
+	um, vm := &fs.um, &fs.vm
 	var sum, sumSq float64
 	for a := 0; a < k; a++ {
 		sum += sigma[a] * um.acc[a] * vm.acc[a]
@@ -125,10 +123,10 @@ func factoredStdDev(ctx context.Context, s store.Store, sel Selection, workers i
 			sumSq += 2 * sigma[a] * sigma[b] * um.g[a*k+b] * vm.g[a*k+b]
 		}
 	}
-	if svdd != nil {
-		corr, err := deltaCorrections(ctx, svdd, sel, true)
+	if pl.svdd != nil {
+		corr, err := deltaCorrections(ctx, pl.svdd, sel, true, env)
 		if err != nil {
-			return 0, true, err
+			return 0, err
 		}
 		sum += corr.sum
 		sumSq += corr.sumSq
@@ -144,7 +142,7 @@ func factoredStdDev(ctx context.Context, s store.Store, sel Selection, workers i
 	if floor := 1e-12 * (sumSq/nc + mean*mean); variance < floor {
 		variance = 0
 	}
-	return math.Sqrt(variance), true, nil
+	return math.Sqrt(variance), nil
 }
 
 // uMoments accumulates the row-side (or column-side) factors: acc[m] is
@@ -156,14 +154,40 @@ type uMoments struct {
 	wantSq bool
 	acc    []float64
 	g      []float64 // k×k row-major, upper triangle
+
+	// Cached ScanURows sink (see engineScratch.scanSink): built once per
+	// accumulator, rebuilt if the struct has moved (growMoments copies
+	// elements into a larger slice, invalidating the captured address).
+	self   *uMoments
+	scanFn func(i int, urow []float64) error
 }
 
-func newUMoments(k int, wantSq bool) *uMoments {
-	um := &uMoments{k: k, wantSq: wantSq, acc: make([]float64, k)}
-	if wantSq {
-		um.g = make([]float64, k*k)
+// scanSink returns the reusable ScanURows callback feeding um.add.
+func (um *uMoments) scanSink() func(i int, urow []float64) error {
+	if um.self != um {
+		um.self = um
+		um.scanFn = func(_ int, u []float64) error {
+			um.add(u)
+			return nil
+		}
 	}
-	return um
+	return um.scanFn
+}
+
+// reset prepares a (possibly pooled) accumulator for a fresh evaluation,
+// reusing its backing arrays when the capacity allows.
+func (um *uMoments) reset(k int, wantSq bool) {
+	um.k, um.wantSq = k, wantSq
+	um.acc = ensureFloats(um.acc, k)
+	for i := range um.acc {
+		um.acc[i] = 0
+	}
+	if wantSq {
+		um.g = ensureFloats(um.g, k*k)
+		for i := range um.g {
+			um.g[i] = 0
+		}
+	}
 }
 
 func (um *uMoments) add(row []float64) {
@@ -186,78 +210,126 @@ func (um *uMoments) merge(o *uMoments) {
 	}
 }
 
-// rowMoments accumulates uMoments over the U rows of the selected rows,
-// sharded across workers with the same chunking as the row engine and
-// merged in worker order (deterministic for a fixed count).
-func rowMoments(ctx context.Context, base *svd.Store, rows []int, workers int, wantSq bool) (*uMoments, error) {
+// growMoments resizes the per-worker accumulator pool to workers entries,
+// preserving already-allocated backing arrays.
+func (fs *factoredState) growMoments(workers int) {
+	if cap(fs.ums) >= workers {
+		fs.ums = fs.ums[:workers]
+	} else {
+		ums := make([]uMoments, workers)
+		copy(ums, fs.ums)
+		fs.ums = ums
+	}
+	if cap(fs.urows) >= workers {
+		fs.urows = fs.urows[:workers]
+	} else {
+		urows := make([][]float64, workers)
+		copy(urows, fs.urows)
+		fs.urows = urows
+	}
+}
+
+// rowMomentsInto accumulates fs.um over the U rows of the plan's selected
+// rows, sharded across workers with the same chunking as the row engine
+// and merged in worker order (deterministic for a fixed count).
+func rowMomentsInto(ctx context.Context, pl *plan, env evalEnv, fs *factoredState, wantSq bool) error {
+	workers := env.workers
 	if workers < 1 {
 		workers = 1
 	}
-	k := base.K()
-	led := trace.LedgerFrom(ctx)
-	ms := make([]*uMoments, workers)
-	err := runSharded(ctx, len(rows), workers, func(w, lo, hi int) error {
-		if ms[w] == nil {
-			ms[w] = newUMoments(k, wantSq)
-		}
-		return forURows(led, base, rows, lo, hi, ms[w].add)
-	})
+	k := pl.base.K()
+	fs.growMoments(workers)
+	for w := 0; w < workers; w++ {
+		fs.ums[w].reset(k, wantSq)
+		fs.urows[w] = ensureFloats(fs.urows[w], k)
+	}
+	n := len(pl.rows)
+	var err error
+	if workers <= 1 {
+		// Dedicated serial call site keeps the closure off the heap (see
+		// evaluateCells).
+		err = runSerial(ctx, n, evalChunkSize(n, workers), env.led, func(_, lo, hi int) error {
+			return forURows(env.led, pl, env.buf, fs.urows[0], lo, hi, &fs.ums[0])
+		})
+	} else {
+		err = runSharded(ctx, n, workers, env.led, func(w, lo, hi int) error {
+			return forURows(env.led, pl, env.buf, fs.urows[w], lo, hi, &fs.ums[w])
+		})
+	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	total := newUMoments(k, wantSq)
-	for _, m := range ms {
-		if m != nil {
-			total.merge(m)
-		}
+	fs.um.reset(k, wantSq)
+	for w := range fs.ums {
+		fs.um.merge(&fs.ums[w])
 	}
-	return total, nil
+	return nil
 }
 
-// colMoments accumulates uMoments over the V rows of the selected columns.
+// colMomentsInto accumulates um over the V rows of the selected columns.
 // V is pinned in memory, so this is a plain serial pass.
-func colMoments(v *linalg.Matrix, cols []int, k int, wantSq bool) *uMoments {
-	um := newUMoments(k, wantSq)
+func colMomentsInto(v *linalg.Matrix, cols []int, k int, wantSq bool, um *uMoments) {
+	um.reset(k, wantSq)
 	for _, j := range cols {
 		um.add(v.Row(j))
 	}
-	return um
 }
 
-// forURows streams the U rows of selection positions [lo, hi) into fn,
-// coalescing contiguous ascending runs into sequential scans, and charges
-// the reads to led (nil when untraced). fn must not retain or mutate its
-// argument.
-func forURows(led *trace.Ledger, base *svd.Store, rows []int, lo, hi int, fn func(urow []float64)) error {
-	urow := make([]float64, base.K())
-	for p := lo; p < hi; {
-		q := p + 1
-		for q < hi && rows[q] == rows[q-1]+1 {
-			q++
+// forURows streams the U rows of selection positions [lo, hi) into um,
+// walking the plan's run schedule: contiguous ascending runs become
+// sequential scans, rows held by the batch prefetch buffer are served
+// from memory (a row read with no disk access), and everything else is a
+// random U read. Reads are charged to led (nil when untraced).
+func forURows(led *trace.Ledger, pl *plan, buf *uBuf, urow []float64, lo, hi int, um *uMoments) error {
+	rows := pl.rows
+	base := pl.base
+	runs := pl.runs
+	ri := firstRunAfter(runs, lo)
+	for ; ri < len(runs) && runs[ri].lo < hi; ri++ {
+		clo, chi := runs[ri].lo, runs[ri].hi
+		if clo < lo {
+			clo = lo
 		}
-		if q-p >= minScanRun {
-			start, end := rows[p], rows[p]+(q-p)
-			led.AddRowsRead(int64(q - p))
-			led.AddDiskAccesses(int64(q - p))
+		if chi > hi {
+			chi = hi
+		}
+		if chi-clo >= minScanRun {
+			start, end := rows[clo], rows[clo]+(chi-clo)
+			for start < end {
+				u := buf.row(start)
+				if u == nil {
+					break
+				}
+				led.AddRowsRead(1)
+				um.add(u)
+				start++
+			}
+			if start >= end {
+				continue
+			}
+			led.AddRowsRead(int64(end - start))
+			led.AddDiskAccesses(int64(end - start))
 			led.AddPagesTouched(int64(base.UPageSpan(start, end)))
-			err := base.ScanURows(start, end, func(_ int, u []float64) error {
-				fn(u)
-				return nil
-			})
+			err := base.ScanURows(start, end, um.scanSink())
 			if err != nil {
 				return fmt.Errorf("query: factored U rows [%d,%d): %w", start, end, err)
 			}
-			p = q
 			continue
 		}
-		for ; p < q; p++ {
-			if err := base.URow(rows[p], urow); err != nil {
-				return fmt.Errorf("query: factored U row %d: %w", rows[p], err)
+		for p := clo; p < chi; p++ {
+			i := rows[p]
+			if u := buf.row(i); u != nil {
+				led.AddRowsRead(1)
+				um.add(u)
+				continue
+			}
+			if err := base.URow(i, urow); err != nil {
+				return fmt.Errorf("query: factored U row %d: %w", i, err)
 			}
 			led.AddRowsRead(1)
 			led.AddDiskAccesses(1)
-			led.AddPagesTouched(int64(base.UPageSpan(rows[p], rows[p]+1)))
-			fn(urow)
+			led.AddPagesTouched(int64(base.UPageSpan(i, i+1)))
+			um.add(urow)
 		}
 	}
 	return nil
@@ -274,12 +346,13 @@ type corrections struct {
 // tests). For the second moment, a delta δ on a cell with SVD baseline b
 // shifts that cell's square by (b+δ)²−b² = 2bδ+δ², so only delta cells
 // need their baseline reconstructed: one U read per distinct selected row
-// that actually holds deltas.
+// that actually holds deltas (served from the batch prefetch buffer when
+// EvaluateBatch already fetched it).
 //
 // Multiset weighting: a cell selected r·c times (row listed r times,
 // column c times) contributes r·c copies of its correction.
-func deltaCorrections(ctx context.Context, s *core.Store, sel Selection, wantSq bool) (corrections, error) {
-	led := trace.LedgerFrom(ctx)
+func deltaCorrections(ctx context.Context, s *core.Store, sel Selection, wantSq bool, env evalEnv) (corrections, error) {
+	led := env.led
 	rcount := make(map[int]int, len(sel.Rows))
 	for _, i := range sel.Rows {
 		rcount[i]++
@@ -317,13 +390,17 @@ func deltaCorrections(ctx context.Context, s *core.Store, sel Selection, wantSq 
 				return
 			}
 			if !haveU {
-				if err := base.URow(i, urow); err != nil {
+				if u := env.buf.row(i); u != nil {
+					copy(urow, u)
+					led.AddRowsRead(1)
+				} else if err := base.URow(i, urow); err != nil {
 					readErr = fmt.Errorf("query: delta row %d: %w", i, err)
 					return
+				} else {
+					led.AddRowsRead(1)
+					led.AddDiskAccesses(1)
+					led.AddPagesTouched(int64(base.UPageSpan(i, i+1)))
 				}
-				led.AddRowsRead(1)
-				led.AddDiskAccesses(1)
-				led.AddPagesTouched(int64(base.UPageSpan(i, i+1)))
 				for m := range urow {
 					urow[m] *= sigma[m]
 				}

@@ -1,0 +1,290 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"seqstore/internal/trace"
+)
+
+// TestPlanCacheBitIdenticalToUncached: for a fixed worker count, routing
+// an evaluation through the plan cache must not change a single result
+// bit — the cached run schedule and panel are exactly what the per-call
+// derivation builds, for every aggregate, store method and worker count.
+// Repeated warm evaluations must also reproduce the cold answer exactly.
+func TestPlanCacheBitIdenticalToUncached(t *testing.T) {
+	stores := engineStores(t)
+	rng := rand.New(rand.NewSource(23))
+	for name, s := range stores {
+		pc := NewPlanCache(32)
+		n, m := s.Dims()
+		for trial := 0; trial < 4; trial++ {
+			sel := RandomSelection(rng, n, m, 0.02+0.3*rng.Float64())
+			for _, agg := range allAggregates {
+				for _, workers := range []int{1, 3, 8} {
+					want, err := EvaluateOpts(s, agg, sel, Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("%s/%v/w%d: uncached: %v", name, agg, workers, err)
+					}
+					cold, err := EvaluateOpts(s, agg, sel, Options{Workers: workers, Plans: pc})
+					if err != nil {
+						t.Fatalf("%s/%v/w%d: cold: %v", name, agg, workers, err)
+					}
+					warm, err := EvaluateOpts(s, agg, sel, Options{Workers: workers, Plans: pc})
+					if err != nil {
+						t.Fatalf("%s/%v/w%d: warm: %v", name, agg, workers, err)
+					}
+					if cold != want || warm != want {
+						t.Errorf("%s/%v/w%d: cached %v/%v != uncached %v",
+							name, agg, workers, cold, warm, want)
+					}
+				}
+			}
+		}
+		st := pc.Stats()
+		if st.Hits == 0 || st.Misses == 0 {
+			t.Errorf("%s: cache never exercised: %+v", name, st)
+		}
+	}
+}
+
+// TestPlanCacheHitMissLedger pins the per-request plan attribution: the
+// first traced evaluation records a miss, the second a hit, on both the
+// cache stats and the request ledger.
+func TestPlanCacheHitMissLedger(t *testing.T) {
+	s := fileBackedSVD(t, 64)
+	n, m := s.Dims()
+	sel := Selection{Rows: seq(0, n), Cols: seq(0, m)}
+	pc := NewPlanCache(8)
+
+	evalTraced := func() trace.LedgerSnapshot {
+		tr := trace.New("t", "/test")
+		ctx := trace.NewContext(context.Background(), tr)
+		if _, err := EvaluateOpts(s, Min, sel, Options{Workers: 1, Ctx: ctx, Plans: pc}); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Ledger.Snapshot()
+	}
+	first := evalTraced()
+	if first.PlanMisses != 1 || first.PlanHits != 0 {
+		t.Errorf("cold ledger: hits=%d misses=%d, want 0/1", first.PlanHits, first.PlanMisses)
+	}
+	second := evalTraced()
+	if second.PlanHits != 1 || second.PlanMisses != 0 {
+		t.Errorf("warm ledger: hits=%d misses=%d, want 1/0", second.PlanHits, second.PlanMisses)
+	}
+	st := pc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("cache stats after hit+miss: %+v", st)
+	}
+}
+
+// TestPlanCacheInvalidate: Invalidate must purge every entry and bump the
+// epoch, so the next evaluation re-derives its plan (a miss) — and still
+// returns the exact cold-cache answer.
+func TestPlanCacheInvalidate(t *testing.T) {
+	s := fileBackedSVD(t, 96)
+	n, m := s.Dims()
+	sel := Selection{Rows: seq(0, n), Cols: seq(0, m)}
+	pc := NewPlanCache(8)
+
+	want, err := EvaluateOpts(s, Max, sel, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := EvaluateOpts(s, Max, sel, Options{Workers: 1, Plans: pc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch := pc.Epoch()
+	pc.Invalidate()
+	if pc.Epoch() != epoch+1 {
+		t.Fatalf("epoch %d after Invalidate, want %d", pc.Epoch(), epoch+1)
+	}
+	if st := pc.Stats(); st.Size != 0 {
+		t.Fatalf("cache not purged: %+v", st)
+	}
+	misses := pc.Stats().Misses
+	got, err := EvaluateOpts(s, Max, sel, Options{Workers: 1, Plans: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("post-invalidate result %v != cold %v", got, want)
+	}
+	if st := pc.Stats(); st.Misses != misses+1 {
+		t.Errorf("post-invalidate evaluation did not miss: %+v", st)
+	}
+}
+
+// TestPlanCacheEviction: a capacity-bounded cache under many distinct
+// selections evicts (and keeps answering correctly).
+func TestPlanCacheEviction(t *testing.T) {
+	s := fileBackedSVD(t, 64)
+	n, m := s.Dims()
+	pc := NewPlanCache(1) // rounds up to one plan per shard
+	for i := 0; i < 4*planShards; i++ {
+		sel := Selection{Rows: []int{i % n, (i + 7) % n}, Cols: seq(0, m)}
+		want, err := EvaluateOpts(s, Min, sel, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvaluateOpts(s, Min, sel, Options{Workers: 1, Plans: pc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("sel %d: cached %v != uncached %v", i, got, want)
+		}
+	}
+	st := pc.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions at capacity %d after %d distinct plans: %+v",
+			st.Capacity, 4*planShards, st)
+	}
+	if st.Size > st.Capacity {
+		t.Errorf("size %d exceeds capacity %d", st.Size, st.Capacity)
+	}
+}
+
+// TestPlanCacheDistinctStoresAndSelections: one cache serving two stores
+// and interleaved selections must never cross-serve a plan — every answer
+// matches that store's naive reference.
+func TestPlanCacheDistinctStoresAndSelections(t *testing.T) {
+	s1 := fileBackedSVD(t, 64)
+	s2 := fileBackedSVD(t, 64)
+	pc := NewPlanCache(16)
+	n, m := s1.Dims()
+	sels := []Selection{
+		{Rows: seq(0, n/2), Cols: seq(0, m)},
+		{Rows: seq(n/2, n), Cols: seq(0, m/2)},
+		{Rows: []int{1, 5, 9}, Cols: []int{0, m - 1}},
+	}
+	for round := 0; round < 3; round++ {
+		for si, sel := range sels {
+			want1, err := EvaluateNaive(s1, Min, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want2, err := EvaluateNaive(s2, Min, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1, err := EvaluateOpts(s1, Min, sel, Options{Workers: 1, Plans: pc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := EvaluateOpts(s2, Min, sel, Options{Workers: 1, Plans: pc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got1 != want1 {
+				t.Errorf("round %d sel %d store1: %v != %v", round, si, got1, want1)
+			}
+			if got2 != want2 {
+				t.Errorf("round %d sel %d store2: %v != %v", round, si, got2, want2)
+			}
+		}
+	}
+}
+
+// TestPlanCacheConcurrent hammers one cache from many goroutines sharing
+// a store (run under -race by make race): concurrent hits, misses,
+// lazy panel builds and invalidations must stay correct.
+func TestPlanCacheConcurrent(t *testing.T) {
+	s := fileBackedSVD(t, 128)
+	n, m := s.Dims()
+	pc := NewPlanCache(8)
+	sels := make([]Selection, 6)
+	rng := rand.New(rand.NewSource(7))
+	for i := range sels {
+		sels[i] = RandomSelection(rng, n, m, 0.05+0.2*rng.Float64())
+	}
+	want := make([]float64, len(sels))
+	for i, sel := range sels {
+		v, err := EvaluateOpts(s, Min, sel, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				i := (g + it) % len(sels)
+				got, err := EvaluateOpts(s, Min, sels[i], Options{Workers: 1, Plans: pc})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != want[i] {
+					t.Errorf("goroutine %d sel %d: %v != %v", g, i, got, want[i])
+					return
+				}
+				if it%10 == 9 && g == 0 {
+					pc.Invalidate()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestNilPlanCacheIsDisabled: a nil *PlanCache (and NewPlanCache(0)) is a
+// valid "off" value on every API.
+func TestNilPlanCacheIsDisabled(t *testing.T) {
+	if pc := NewPlanCache(0); pc != nil {
+		t.Fatalf("NewPlanCache(0) = %v, want nil", pc)
+	}
+	var pc *PlanCache
+	pc.Invalidate()
+	if pc.Epoch() != 0 {
+		t.Error("nil Epoch != 0")
+	}
+	if st := pc.Stats(); st != (PlanCacheStats{}) {
+		t.Errorf("nil Stats = %+v", st)
+	}
+	s := fileBackedSVD(t, 32)
+	n, m := s.Dims()
+	sel := Selection{Rows: seq(0, n), Cols: seq(0, m)}
+	if _, err := EvaluateOpts(s, Min, sel, Options{Workers: 1, Plans: pc}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveChunkSize pins the chunking contract: pure in (n, workers),
+// small selections split fine enough that every worker gets work, huge
+// serial selections are not over-chunked, and bounds hold.
+func TestAdaptiveChunkSize(t *testing.T) {
+	for _, tc := range []struct {
+		n, workers int
+	}{{0, 1}, {1, 1}, {64, 1}, {64, 8}, {500, 8}, {100000, 1}, {100000, 8}, {3, 0}} {
+		c := evalChunkSize(tc.n, tc.workers)
+		if c < minChunkRows || c > maxChunkRows {
+			t.Errorf("chunk(%d,%d)=%d outside [%d,%d]", tc.n, tc.workers, c, minChunkRows, maxChunkRows)
+		}
+		if c2 := evalChunkSize(tc.n, tc.workers); c2 != c {
+			t.Errorf("chunk(%d,%d) not deterministic: %d then %d", tc.n, tc.workers, c, c2)
+		}
+	}
+	// A 500-position selection at 8 workers must produce at least one
+	// chunk per worker — the fixed 256-row chunking gave only two.
+	if c := evalChunkSize(500, 8); (500+c-1)/c < 8 {
+		t.Errorf("chunk(500,8)=%d starves workers: only %d chunks", c, (500+c-1)/c)
+	}
+	// A huge serial scan should use the coarsest chunk, not 256-row slices.
+	if c := evalChunkSize(1_000_000, 1); c != maxChunkRows {
+		t.Errorf("chunk(1e6,1)=%d, want %d", c, maxChunkRows)
+	}
+}

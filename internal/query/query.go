@@ -235,6 +235,10 @@ type accum struct {
 
 func newAccum() *accum { return &accum{min: math.Inf(1), max: math.Inf(-1)} }
 
+// reset returns a (possibly pooled) accumulator to its empty state — the
+// merge identity.
+func (a *accum) reset() { *a = accum{min: math.Inf(1), max: math.Inf(-1)} }
+
 func (a *accum) add(v float64) {
 	a.n++
 	a.sum += v

@@ -1,0 +1,8 @@
+//go:build !race
+
+package query
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds its own allocations and makes
+// AllocsPerRun budgets meaningless.
+const raceEnabled = false

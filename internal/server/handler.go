@@ -40,6 +40,14 @@ import (
 const (
 	DefaultMaxBatchCells = 10000
 	DefaultMaxBatchRows  = 1024
+	// DefaultMaxBatchQueries bounds one /v1/aggregate/batch request. Each
+	// query is a full aggregate evaluation, so the default is conservative.
+	DefaultMaxBatchQueries = 64
+	// DefaultPlanCacheSize is the query-plan cache capacity when
+	// Options.PlanCacheSize is 0. A plan is a selection's V panel, run
+	// schedule and column index — small relative to a row cache entry — so
+	// the default comfortably covers a dashboard's working set.
+	DefaultPlanCacheSize = 256
 )
 
 // Options configures a Handler.
@@ -53,6 +61,14 @@ type Options struct {
 	MaxBatchCells int
 	// MaxBatchRows bounds one /rows request; 0 means DefaultMaxBatchRows.
 	MaxBatchRows int
+	// MaxBatchQueries bounds one /v1/aggregate/batch request; 0 means
+	// DefaultMaxBatchQueries.
+	MaxBatchQueries int
+	// PlanCacheSize is the capacity, in memoized query plans, of the plan
+	// cache fronting /v1/agg and /v1/aggregate/batch. 0 selects
+	// DefaultPlanCacheSize; negative disables plan caching (every aggregate
+	// re-derives its panel and run schedule).
+	PlanCacheSize int
 	// QueryWorkers shards /agg evaluation across this many goroutines:
 	// 0 means one per CPU, 1 evaluates serially.
 	QueryWorkers int
@@ -81,7 +97,8 @@ type Handler struct {
 
 	rowIndex, colIndex map[string]int // label → index; nil when unlabeled
 
-	cache        *rowCache // nil when disabled
+	cache        *rowCache        // nil when disabled
+	plans        *query.PlanCache // nil when disabled
 	hits, misses *telemetry.Counter
 	corruptions  *telemetry.Counter // store reads that surfaced ErrCorrupt
 
@@ -99,6 +116,12 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	}
 	if opts.MaxBatchRows <= 0 {
 		opts.MaxBatchRows = DefaultMaxBatchRows
+	}
+	if opts.MaxBatchQueries <= 0 {
+		opts.MaxBatchQueries = DefaultMaxBatchQueries
+	}
+	if opts.PlanCacheSize == 0 {
+		opts.PlanCacheSize = DefaultPlanCacheSize
 	}
 	h := &Handler{
 		st:     st,
@@ -124,23 +147,33 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 		h.cache = newRowCache(opts.CacheRows)
 		h.cache.instrument(h.tel)
 	}
-	if h.writable != nil && h.cache != nil {
-		// Keep the row cache coherent with the write path: a compaction
+	h.plans = query.NewPlanCache(opts.PlanCacheSize) // nil when size < 0
+	if h.writable != nil && (h.cache != nil || h.plans != nil) {
+		// Keep the caches coherent with the write path: a compaction
 		// changes the folded rows' reconstructions (exact hot values become
-		// approximations), a recompression changes every cold row. The
-		// epoch bump precedes the removals so a reconstruction in flight
-		// across the mutation cannot re-insert pre-mutation values.
-		cache := h.cache
+		// approximations), a recompression changes every cold row and every
+		// plan's V panel. The epoch bumps precede the removals so a
+		// reconstruction or plan build in flight across the mutation cannot
+		// re-insert pre-mutation state. The plan cache takes a full purge on
+		// both hooks — conservative for fold-in (run schedules are
+		// selection-pure), required for recompression.
+		cache, plans := h.cache, h.plans
 		h.writable.SetInvalidationHooks(
 			func(rows []int) {
-				cache.bumpEpoch()
-				for _, i := range rows {
-					cache.invalidate(i)
+				if cache != nil {
+					cache.bumpEpoch()
+					for _, i := range rows {
+						cache.invalidate(i)
+					}
 				}
+				plans.Invalidate()
 			},
 			func() {
-				cache.bumpEpoch()
-				cache.purge()
+				if cache != nil {
+					cache.bumpEpoch()
+					cache.purge()
+				}
+				plans.Invalidate()
 			},
 		)
 	}
@@ -157,6 +190,7 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	// The write endpoint has no legacy alias; it is registered even on a
 	// read-only store so clients get a clear 403 instead of a 404.
 	h.handleMethod("/v1/bulk", http.MethodPost, h.handleBulk)
+	h.handleMethod("/v1/aggregate/batch", http.MethodPost, h.handleAggBatch)
 	return h
 }
 
@@ -181,6 +215,20 @@ func (h *Handler) registerGauges() {
 		})
 		h.tel.RegisterGauge("cache_capacity_rows", func() float64 {
 			return float64(h.cache.capacity())
+		})
+	}
+	if h.plans != nil {
+		h.tel.RegisterGauge("plan_cache_hits_total", func() float64 {
+			return float64(h.plans.Stats().Hits)
+		})
+		h.tel.RegisterGauge("plan_cache_misses_total", func() float64 {
+			return float64(h.plans.Stats().Misses)
+		})
+		h.tel.RegisterGauge("plan_cache_evictions_total", func() float64 {
+			return float64(h.plans.Stats().Evictions)
+		})
+		h.tel.RegisterGauge("plan_cache_size", func() float64 {
+			return float64(h.plans.Stats().Size)
 		})
 	}
 	// The IO and SVDD gauges re-resolve the cold store on every collection:
@@ -283,6 +331,12 @@ func (h *Handler) CacheStats() (hits, misses int64, size, capacity int) {
 		return h.hits.Load(), h.misses.Load(), 0, 0
 	}
 	return h.hits.Load(), h.misses.Load(), h.cache.len(), h.cache.capacity()
+}
+
+// PlanStats reports the query-plan cache's counters; the zero value when
+// the plan cache is disabled.
+func (h *Handler) PlanStats() query.PlanCacheStats {
+	return h.plans.Stats()
 }
 
 // handle registers an instrumented GET-only endpoint; see handleMethod.
@@ -692,7 +746,7 @@ func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("rows", len(rows))
 	sp.SetAttr("cols", len(cols))
 	v, err := query.EvaluateOpts(h.st, agg, query.Selection{Rows: rows, Cols: cols},
-		query.Options{Workers: h.opts.QueryWorkers, Ctx: r.Context()})
+		query.Options{Workers: h.opts.QueryWorkers, Ctx: r.Context(), Plans: h.plans})
 	sp.End()
 	if err != nil {
 		writeError(w, h.status(err), err.Error())
@@ -701,6 +755,114 @@ func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, withValue(map[string]interface{}{
 		"f": f, "rows": len(rows), "cols": len(cols),
 	}, v))
+}
+
+// aggBatchQuery is one query of a /v1/aggregate/batch request: the same
+// (f, rows, cols) triple /v1/agg takes as URL parameters.
+type aggBatchQuery struct {
+	F    string `json:"f"`
+	Rows string `json:"rows"`
+	Cols string `json:"cols"`
+}
+
+// maxAggBatchBody bounds a /v1/aggregate/batch request body. Index specs
+// are compact (ranges, strides); a megabyte of them is a malformed
+// request, not a workload.
+const maxAggBatchBody = 1 << 20
+
+// handleAggBatch evaluates N aggregates in one request through the
+// scan-sharing batch engine: the union of the selections' U rows is
+// fetched once and shared across all queries, so overlapping dashboards
+// pay for each disk row once instead of once per panel. The request body
+// is {"queries":[{"f":"sum","rows":"0:64","cols":"0:24"},...]}; the
+// response mirrors the /v1/bulk per-item idiom — one bad query costs
+// itself a 400 item without sinking the batch:
+// {"took":<ms>,"errors":<bool>,"items":[{"status":200,"f":"sum",...,"value":V},...]}.
+func (h *Handler) handleAggBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	n, m := h.st.Dims()
+	var req struct {
+		Queries []aggBatchQuery `json:"queries"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAggBatchBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("aggregate/batch: malformed JSON body: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest,
+			`aggregate/batch needs a non-empty "queries" array`)
+		return
+	}
+	if len(req.Queries) > h.opts.MaxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), h.opts.MaxBatchQueries))
+		return
+	}
+
+	items := make([]query.BatchItem, len(req.Queries))
+	parseErrs := make([]string, len(req.Queries))
+	hadErr := false
+	for qi, bq := range req.Queries {
+		f := bq.F
+		if f == "" {
+			f = "avg"
+		}
+		agg, err := query.ParseAggregate(f)
+		if err != nil {
+			parseErrs[qi], hadErr = err.Error(), true
+			continue
+		}
+		rows, err := query.ParseIndexSpec(bq.Rows, n)
+		if err != nil {
+			parseErrs[qi], hadErr = "rows: "+err.Error(), true
+			continue
+		}
+		cols, err := query.ParseIndexSpec(bq.Cols, m)
+		if err != nil {
+			parseErrs[qi], hadErr = "cols: "+err.Error(), true
+			continue
+		}
+		items[qi] = query.BatchItem{Agg: agg, Sel: query.Selection{Rows: rows, Cols: cols}}
+	}
+
+	sp := trace.StartSpan(r.Context(), "evaluate_batch")
+	sp.SetAttr("queries", len(items))
+	results, err := query.EvaluateBatch(h.st, items,
+		query.Options{Workers: h.opts.QueryWorkers, Ctx: r.Context(), Plans: h.plans})
+	sp.End()
+	if err != nil {
+		// Only a batch-level failure (context cancellation) lands here;
+		// per-query errors come back in results.
+		writeError(w, h.status(err), err.Error())
+		return
+	}
+
+	type aggBatchItem = map[string]interface{}
+	out := make([]aggBatchItem, len(req.Queries))
+	for qi := range req.Queries {
+		if parseErrs[qi] != "" {
+			out[qi] = aggBatchItem{"status": http.StatusBadRequest, "error": parseErrs[qi]}
+			continue
+		}
+		if rerr := results[qi].Err; rerr != nil {
+			hadErr = true
+			out[qi] = aggBatchItem{"status": h.status(rerr), "error": rerr.Error()}
+			continue
+		}
+		out[qi] = withValue(aggBatchItem{
+			"status": http.StatusOK,
+			"f":      items[qi].Agg.String(),
+			"rows":   len(items[qi].Sel.Rows),
+			"cols":   len(items[qi].Sel.Cols),
+		}, results[qi].Value)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"took":   time.Since(start).Milliseconds(),
+		"errors": hadErr,
+		"items":  out,
+	})
 }
 
 // --- Write path ------------------------------------------------------------
@@ -884,10 +1046,22 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cache["hit_rate"] = telemetry.Rate(hits, misses)
 		cache["invalidations"] = h.cache.invalidations.Load()
 	}
+	planCache := map[string]interface{}{"enabled": h.plans != nil}
+	if h.plans != nil {
+		ps := h.plans.Stats()
+		planCache["hits"] = ps.Hits
+		planCache["misses"] = ps.Misses
+		planCache["evictions"] = ps.Evictions
+		planCache["size"] = ps.Size
+		planCache["capacity"] = ps.Capacity
+		planCache["epoch"] = h.plans.Epoch()
+		planCache["hit_rate"] = telemetry.Rate(ps.Hits, ps.Misses)
+	}
 	body := map[string]interface{}{
 		"uptime_seconds":    snap.UptimeSeconds,
 		"endpoints":         snap.Endpoints,
 		"cache":             cache,
+		"plan_cache":        planCache,
 		"gauges":            snap.Gauges,
 		"runtime":           snap.Runtime,
 		"store_corruptions": h.corruptions.Load(),

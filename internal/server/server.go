@@ -21,10 +21,14 @@ type Config struct {
 	Addr string
 	// CacheRows sizes the LRU row cache; 0 disables it.
 	CacheRows int
-	// MaxBatchCells / MaxBatchRows bound the batch endpoints; 0 selects
-	// the package defaults.
-	MaxBatchCells int
-	MaxBatchRows  int
+	// MaxBatchCells / MaxBatchRows / MaxBatchQueries bound the batch
+	// endpoints; 0 selects the package defaults.
+	MaxBatchCells   int
+	MaxBatchRows    int
+	MaxBatchQueries int
+	// PlanCacheSize sizes the query-plan cache; 0 selects
+	// DefaultPlanCacheSize, negative disables it.
+	PlanCacheSize int
 	// QueryWorkers shards /agg evaluation across this many goroutines:
 	// 0 means one per CPU, 1 evaluates serially.
 	QueryWorkers int
@@ -90,13 +94,15 @@ type Server struct {
 func New(st store.Store, labels *store.Labels, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	h := NewHandler(st, labels, Options{
-		CacheRows:     cfg.CacheRows,
-		MaxBatchCells: cfg.MaxBatchCells,
-		MaxBatchRows:  cfg.MaxBatchRows,
-		QueryWorkers:  cfg.QueryWorkers,
-		Logger:        cfg.Logger,
-		SlowQuery:     cfg.SlowQuery,
-		TraceBuffer:   cfg.TraceBuffer,
+		CacheRows:       cfg.CacheRows,
+		MaxBatchCells:   cfg.MaxBatchCells,
+		MaxBatchRows:    cfg.MaxBatchRows,
+		MaxBatchQueries: cfg.MaxBatchQueries,
+		PlanCacheSize:   cfg.PlanCacheSize,
+		QueryWorkers:    cfg.QueryWorkers,
+		Logger:          cfg.Logger,
+		SlowQuery:       cfg.SlowQuery,
+		TraceBuffer:     cfg.TraceBuffer,
 	})
 	return &Server{
 		cfg:     cfg,

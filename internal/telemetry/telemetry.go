@@ -99,6 +99,7 @@ type HistogramSnapshot struct {
 	P50Ms   float64  `json:"p50_ms"`
 	P90Ms   float64  `json:"p90_ms"`
 	P99Ms   float64  `json:"p99_ms"`
+	P999Ms  float64  `json:"p999_ms"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -136,6 +137,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50Ms = clamp(quantile(counts, total, 0.50), s.MinMs, s.MaxMs)
 	s.P90Ms = clamp(quantile(counts, total, 0.90), s.MinMs, s.MaxMs)
 	s.P99Ms = clamp(quantile(counts, total, 0.99), s.MinMs, s.MaxMs)
+	s.P999Ms = clamp(quantile(counts, total, 0.999), s.MinMs, s.MaxMs)
 	return s
 }
 

@@ -17,7 +17,10 @@ func TestWithCostAttributesAggregates(t *testing.T) {
 	_, m := x.Dims()
 	rows, cols := seqIdx(0, 64), seqIdx(0, m)
 
-	want, err := st.AggregateOpts(Sum, rows, cols, AggOptions{})
+	// Same worker count on both sides: Sum's summation order is only
+	// deterministic for a fixed count, and adaptive chunking parallelizes
+	// even small selections.
+	want, err := st.AggregateOpts(Sum, rows, cols, AggOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

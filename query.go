@@ -58,6 +58,50 @@ func (st *Store) AggregateContext(ctx context.Context, agg Aggregate, rows, cols
 		query.Options{Workers: opts.Workers, Ctx: ctx})
 }
 
+// BatchQuery is one aggregate of a Store.AggregateBatch call.
+type BatchQuery struct {
+	Agg  Aggregate
+	Rows []int
+	Cols []int
+}
+
+// BatchValue is the per-query outcome of Store.AggregateBatch: the
+// aggregate's value, or the error that query alone failed with.
+type BatchValue struct {
+	Value float64
+	Err   error
+}
+
+// AggregateBatch evaluates several aggregates in one pass. Selections
+// that overlap share their U-row reads: the engine fetches the union of
+// the queries' selected rows once and serves every query from it, so a
+// dashboard's worth of related aggregates costs roughly the union's disk
+// accesses rather than the sum of each query's. Results are bit-identical
+// to evaluating each query alone with the same options. A query that
+// fails validation reports its error in its own BatchValue without
+// affecting the others; the call-level error is reserved for ctx firing.
+func (st *Store) AggregateBatch(ctx context.Context, queries []BatchQuery, opts AggOptions) ([]BatchValue, error) {
+	items := make([]query.BatchItem, len(queries))
+	for i, q := range queries {
+		a, err := query.ParseAggregate(string(q.Agg))
+		if err != nil {
+			return nil, fmt.Errorf("seqstore: batch query %d: %w", i, err)
+		}
+		items[i] = query.BatchItem{Agg: a, Sel: query.Selection{Rows: q.Rows, Cols: q.Cols}}
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	results, err := query.EvaluateBatch(st.s, items, query.Options{Workers: opts.Workers, Ctx: ctx})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchValue, len(results))
+	for i, r := range results {
+		out[i] = BatchValue{Value: r.Value, Err: r.Err}
+	}
+	return out, nil
+}
+
 // AggregateExact evaluates the same aggregate on the original uncompressed
 // dataset, for measuring query error.
 func AggregateExact(x *Matrix, agg Aggregate, rows, cols []int) (float64, error) {
