@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke ingest-smoke load-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench ingest-bench load-bench experiments
+.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke ingest-smoke load-smoke cluster-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench ingest-bench load-bench cluster-bench experiments
 
 build:
 	$(GO) build ./...
@@ -72,7 +72,18 @@ load-smoke:
 	@tmp=$$(mktemp -t bench_load_smoke.XXXXXX.json) && \
 	$(GO) run ./cmd/experiments -n 150 -load-requests 20 -load-out $$tmp load && rm -f $$tmp
 
-check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke ingest-smoke load-smoke
+# cluster-smoke stands up the distributed tier end to end on every check
+# run — a stateless proxy over 1/2/4 row-sharded store nodes, real HTTP on
+# both hops — verifies every pooled aggregate bit-identical to the
+# single-node reference with the proxy's disk-access ledger equal to the
+# sum of the shard ledgers, then drives a reduced closed-loop mixed
+# workload, writing to a throwaway temp file so the committed full-scale
+# results/bench_cluster.json survives.
+cluster-smoke:
+	@tmp=$$(mktemp -t bench_cluster_smoke.XXXXXX.json) && \
+	$(GO) run ./cmd/experiments -n 150 -cluster-requests 20 -cluster-out $$tmp cluster && rm -f $$tmp
+
+check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke ingest-smoke load-smoke cluster-smoke
 
 # bench-parallel runs the worker-count sub-benchmarks for the three sharded
 # hot loops. The cmd/experiments "parallel" harness records the same loops
@@ -118,6 +129,14 @@ ingest-bench:
 # latency and the plan-cache p99 margin to results/bench_load.json.
 load-bench:
 	$(GO) run ./cmd/experiments load
+
+# cluster-bench runs the distributed-tier harness at full scale (phone2000
+# sliced over 1/2/4 store nodes behind the proxy, 4 clients × 300 mixed
+# requests per shard count) and records throughput, per-endpoint latency
+# quantiles and the bit-identity/ledger verdicts to
+# results/bench_cluster.json.
+cluster-bench:
+	$(GO) run ./cmd/experiments cluster
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -9,7 +9,6 @@ import (
 	"sync"
 	"testing"
 
-	"seqstore/internal/cluster"
 	"seqstore/internal/core"
 	"seqstore/internal/datacube"
 	"seqstore/internal/dct"
@@ -18,6 +17,7 @@ import (
 	"seqstore/internal/matio"
 	"seqstore/internal/query"
 	"seqstore/internal/svd"
+	"seqstore/internal/vq"
 	"seqstore/internal/wavelet"
 )
 
@@ -336,7 +336,7 @@ func BenchmarkCompressDCT(b *testing.B) {
 func BenchmarkCompressCluster(b *testing.B) {
 	benchSetup(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := cluster.Compress(benchPhone, 30); err != nil {
+		if _, err := vq.Compress(benchPhone, 30); err != nil {
 			b.Fatal(err)
 		}
 	}

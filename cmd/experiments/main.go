@@ -2,7 +2,7 @@
 // evaluation section. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace randsvd ingest load]
+//	experiments [flags] [toy fig6 gzip table3 fig8 fig9 fig10 table4 kopt sampling viz cube parallel server query trace randsvd ingest load cluster]
 //
 // Flags:
 //
@@ -35,6 +35,11 @@
 //	                  loop throughput record (default results/bench_load.json)
 //	-load-requests    requests per client per closed-loop load run
 //	                  (0 = harness default, 300)
+//	-cluster-out p    where the "cluster" harness writes its JSON
+//	                  distributed-tier record (default
+//	                  results/bench_cluster.json)
+//	-cluster-requests requests per client per cluster run (0 = harness
+//	                  default, 300)
 package main
 
 import (
@@ -86,6 +91,10 @@ func run(args []string) error {
 		"output path for the 'load' closed-/open-loop harness")
 	loadRequests := fs.Int("load-requests", 0,
 		"requests per client per closed-loop load run (0 = harness default)")
+	clusterOut := fs.String("cluster-out", filepath.Join("results", "bench_cluster.json"),
+		"output path for the 'cluster' distributed-tier harness")
+	clusterRequests := fs.Int("cluster-requests", 0,
+		"requests per client per cluster run (0 = harness default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +103,8 @@ func run(args []string) error {
 	if len(names) == 0 {
 		names = []string{"toy", "fig6", "gzip", "table3", "fig8", "fig9",
 			"fig10", "table4", "kopt", "sampling", "viz", "spectral", "robust",
-			"cube", "parallel", "server", "query", "trace", "randsvd", "ingest", "load"}
+			"cube", "parallel", "server", "query", "trace", "randsvd", "ingest", "load",
+			"cluster"}
 	}
 
 	r := &runner{phoneN: *phoneN, large: *large, csvDir: *csvDir,
@@ -103,6 +113,7 @@ func run(args []string) error {
 		randsvdSynthN: *randsvdSynthN, randsvdSynthM: *randsvdSynthM,
 		ingestOut: *ingestOut, ingestColdN: *ingestColdN, ingestBatches: *ingestBatches,
 		loadOut: *loadOut, loadRequests: *loadRequests,
+		clusterOut: *clusterOut, clusterRequests: *clusterRequests,
 		workers: *workers}
 	for _, name := range names {
 		start := time.Now()
@@ -115,22 +126,24 @@ func run(args []string) error {
 }
 
 type runner struct {
-	phoneN        int
-	large         bool
-	csvDir        string
-	parallelOut   string
-	serverOut     string
-	queryOut      string
-	traceOut      string
-	randsvdOut    string
-	randsvdSynthN int
-	randsvdSynthM int
-	ingestOut     string
-	ingestColdN   int
-	ingestBatches int
-	loadOut       string
-	loadRequests  int
-	workers       int
+	phoneN          int
+	large           bool
+	csvDir          string
+	parallelOut     string
+	serverOut       string
+	queryOut        string
+	traceOut        string
+	randsvdOut      string
+	randsvdSynthN   int
+	randsvdSynthM   int
+	ingestOut       string
+	ingestColdN     int
+	ingestBatches   int
+	loadOut         string
+	loadRequests    int
+	clusterOut      string
+	clusterRequests int
+	workers         int
 
 	phone  *linalg.Matrix // lazily built
 	stocks *linalg.Matrix
@@ -388,6 +401,23 @@ func (r *runner) runOne(name string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", r.ingestOut)
+		return nil
+
+	case "cluster":
+		cfg := experiments.DefaultClusterConfig()
+		cfg.N = r.phoneN
+		cfg.Workers = r.workers
+		if r.clusterRequests > 0 {
+			cfg.Requests = r.clusterRequests
+		}
+		res, err := experiments.BenchCluster(cfg, out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(r.clusterOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.clusterOut)
 		return nil
 
 	case "load":

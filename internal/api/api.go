@@ -1,0 +1,221 @@
+// Package api is the typed /v1 wire contract shared by every process that
+// speaks it: the single-node server's handlers, the distributed proxy's
+// client and front door, and the httptest suites. One struct per
+// request/response body replaces the handler-local JSON literals that used
+// to be duplicated (and to drift) between the server and its tests; the
+// proxy can round-trip a store node's response through these types without
+// re-marshalling surprises.
+//
+// Values that may be NaN/±Inf — which encoding/json rejects — travel as a
+// null value plus a "nonfinite" marker naming the class; Float and
+// RowValues build that form, NumValue reads it back.
+package api
+
+import "math"
+
+// --- Cells and rows --------------------------------------------------------
+
+// CellResponse is the /v1/cell body. Row/Col echo label-addressed lookups;
+// index-addressed lookups leave them empty.
+type CellResponse struct {
+	I         int      `json:"i"`
+	J         int      `json:"j"`
+	Row       string   `json:"row,omitempty"`
+	Col       string   `json:"col,omitempty"`
+	Value     *float64 `json:"value"`
+	Nonfinite string   `json:"nonfinite,omitempty"`
+}
+
+// CellsResponse is the /v1/cells body: the batched cell lookups in request
+// order.
+type CellsResponse struct {
+	Count int            `json:"count"`
+	Cells []CellResponse `json:"cells"`
+}
+
+// RowResponse is the /v1/row body (and one element of /v1/rows): a full
+// reconstructed sequence. Nonfinite counts the null-encoded cells.
+type RowResponse struct {
+	I         int        `json:"i"`
+	Values    []*float64 `json:"values"`
+	Nonfinite int        `json:"nonfinite,omitempty"`
+}
+
+// RowsResponse is the /v1/rows body: the selected rows in request order.
+type RowsResponse struct {
+	Count int           `json:"count"`
+	Rows  []RowResponse `json:"rows"`
+}
+
+// --- Aggregates ------------------------------------------------------------
+
+// AggregateRequest is one aggregate query: the POST /v1/aggregate body and
+// the element type of a batch request. F defaults to "avg"; Rows/Cols are
+// index specs ("0:64,70"), empty meaning the full axis. Partial asks the
+// node to return the mergeable partial state (base64 binary) instead of a
+// finished value — the scatter/gather form the proxy uses so the gathered
+// result is bit-identical to a single-node evaluation.
+type AggregateRequest struct {
+	F       string `json:"f,omitempty"`
+	Rows    string `json:"rows,omitempty"`
+	Cols    string `json:"cols,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
+}
+
+// AggregateResponse is the /v1/agg and POST /v1/aggregate body. Rows/Cols
+// report the selection sizes. For Partial requests, Value is absent and
+// Partial carries the base64-encoded mergeable state.
+type AggregateResponse struct {
+	F         string   `json:"f"`
+	Rows      int      `json:"rows"`
+	Cols      int      `json:"cols"`
+	Value     *float64 `json:"value,omitempty"`
+	Nonfinite string   `json:"nonfinite,omitempty"`
+	Partial   string   `json:"partial,omitempty"`
+}
+
+// BatchAggregateRequest is the POST /v1/aggregate/batch body. Partial
+// applies to every query (the proxy scatters whole batches).
+type BatchAggregateRequest struct {
+	Queries []AggregateRequest `json:"queries"`
+	Partial bool               `json:"partial,omitempty"`
+}
+
+// BatchAggregateItem is one query's outcome inside a batch response;
+// queries fail independently, so each carries its own status and error
+// message.
+type BatchAggregateItem struct {
+	Status    int      `json:"status"`
+	F         string   `json:"f,omitempty"`
+	Rows      int      `json:"rows,omitempty"`
+	Cols      int      `json:"cols,omitempty"`
+	Value     *float64 `json:"value,omitempty"`
+	Nonfinite string   `json:"nonfinite,omitempty"`
+	Partial   string   `json:"partial,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// BatchAggregateResponse is the POST /v1/aggregate/batch body.
+type BatchAggregateResponse struct {
+	Took   int64                `json:"took"`
+	Errors bool                 `json:"errors"`
+	Items  []BatchAggregateItem `json:"items"`
+}
+
+// --- Bulk ingestion --------------------------------------------------------
+
+// BulkDoc is one NDJSON document line of a /v1/bulk body.
+type BulkDoc struct {
+	Label  string    `json:"label,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// BulkResult is one document's outcome.
+type BulkResult struct {
+	Status int    `json:"status"`
+	Row    int    `json:"row,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BulkItem wraps a result under "create", matching the bulk-API contract
+// (appending is the only operation).
+type BulkItem struct {
+	Create BulkResult `json:"create"`
+}
+
+// BulkResponse is the /v1/bulk body.
+type BulkResponse struct {
+	Took   int64      `json:"took"`
+	Errors bool       `json:"errors"`
+	Items  []BulkItem `json:"items"`
+}
+
+// --- Info and health -------------------------------------------------------
+
+// InfoResponse is the /v1/info body. Shards is set only by the proxy, whose
+// info is the composition of its store nodes'.
+type InfoResponse struct {
+	Method        string      `json:"method"`
+	Rows          int         `json:"rows"`
+	Cols          int         `json:"cols"`
+	SpaceRatio    float64     `json:"spaceRatio"`
+	StoredNumbers int64       `json:"storedNumbers"`
+	RowLabels     bool        `json:"rowLabels"`
+	ColLabels     bool        `json:"colLabels"`
+	CacheRows     int         `json:"cacheRows"`
+	Writable      bool        `json:"writable"`
+	HotRows       int         `json:"hotRows,omitempty"`
+	ColdRows      int         `json:"coldRows,omitempty"`
+	Shards        []ShardInfo `json:"shards,omitempty"`
+}
+
+// ShardInfo is one store node's slice of the proxy's keyspace.
+type ShardInfo struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"` // -1: open-ended (absorbs appends)
+	Rows  int    `json:"rows"`
+}
+
+// HealthzResponse is the /v1/healthz body. Single nodes report just
+// Status; the proxy adds per-shard health.
+type HealthzResponse struct {
+	Status string        `json:"status"`
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one store node's liveness as seen from the proxy.
+type ShardHealth struct {
+	Shard   int    `json:"shard"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// --- Non-finite value encoding ---------------------------------------------
+
+// Float maps v to its wire form: a pointer to the value for finite v, or
+// (nil, marker) for NaN/±Inf, which JSON cannot carry as numbers.
+func Float(v float64) (*float64, string) {
+	switch {
+	case math.IsNaN(v):
+		return nil, "NaN"
+	case math.IsInf(v, 1):
+		return nil, "+Inf"
+	case math.IsInf(v, -1):
+		return nil, "-Inf"
+	}
+	return &v, ""
+}
+
+// NumValue inverts Float: the decoded float64, honoring a nonfinite
+// marker. Unknown markers (and a nil value without one) decode as NaN.
+func NumValue(v *float64, nonfinite string) float64 {
+	if v != nil {
+		return *v
+	}
+	switch nonfinite {
+	case "+Inf":
+		return math.Inf(1)
+	case "-Inf":
+		return math.Inf(-1)
+	}
+	return math.NaN()
+}
+
+// RowValues maps a reconstructed row to its wire form, counting the
+// non-finite cells it had to null out.
+func RowValues(row []float64) ([]*float64, int) {
+	vals := make([]*float64, len(row))
+	nonfinite := 0
+	for j, v := range row {
+		val, marker := Float(v)
+		vals[j] = val
+		if marker != "" {
+			nonfinite++
+		}
+	}
+	return vals, nonfinite
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"seqstore/internal/api"
+	"seqstore/internal/seqerr"
+	"seqstore/internal/telemetry"
+	"seqstore/internal/trace"
+)
+
+// maxShardResponse bounds how much of a store node's response the proxy
+// will buffer (row reads over wide matrices are the largest legitimate
+// bodies; 1 GiB is far above any of them).
+const maxShardResponse = 1 << 30
+
+// shardResp is a fully read store-node response: status, headers (for the
+// cost ledger), and body bytes.
+type shardResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// shardClient is the proxy's view of one store node: an HTTP client with a
+// per-request timeout, optional hedged retry for idempotent reads, and the
+// per-shard gauges /v1/metrics exposes (inflight, errors, hedges, latency
+// for p99).
+type shardClient struct {
+	shard      int
+	addr       string
+	hc         *http.Client
+	timeout    time.Duration
+	hedgeAfter time.Duration // 0: hedging disabled
+
+	inflight atomic.Int64
+	errors   atomic.Int64
+	hedges   atomic.Int64
+	requests atomic.Int64
+	healthy  atomic.Bool
+	lastErr  atomic.Value // string
+	lat      telemetry.Histogram
+}
+
+func newShardClient(shard int, sh Shard, hc *http.Client, timeout, hedgeAfter time.Duration) *shardClient {
+	c := &shardClient{
+		shard:      shard,
+		addr:       sh.Addr,
+		hc:         hc,
+		timeout:    timeout,
+		hedgeAfter: hedgeAfter,
+	}
+	c.healthy.Store(true)
+	c.lastErr.Store("")
+	return c
+}
+
+// unavailable wraps a transport-level failure so api.Classify maps it to
+// 503 unavailable, keeping the shard and address in the message.
+func (c *shardClient) unavailable(err error) error {
+	return fmt.Errorf("shard %d (%s): %v (%w)", c.shard, c.addr, err, seqerr.ErrUnavailable)
+}
+
+// once runs a single HTTP attempt and reads the full body.
+func (c *shardClient) once(ctx context.Context, method, path string, body []byte) (*shardResp, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.addr+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+	if err != nil {
+		return nil, err
+	}
+	return &shardResp{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// do sends one request to the store node, hedging idempotent reads: when
+// the first attempt is still silent after hedgeAfter (or failed outright),
+// a second attempt launches and the first success wins. Both attempts run
+// under the same per-request timeout, so a dead shard turns into a typed
+// unavailable error within the configured deadline — never a hang. The
+// winning response's cost headers are folded into the caller's ledger
+// exactly once (losing attempts are discarded unread), keeping the
+// proxy-side ledger equal to the sum of work actually returned.
+func (c *shardClient) do(ctx context.Context, method, path string, body []byte, idempotent bool) (*shardResp, error) {
+	c.inflight.Add(1)
+	c.requests.Add(1)
+	start := time.Now()
+	defer func() {
+		c.inflight.Add(-1)
+		c.lat.Observe(time.Since(start))
+	}()
+
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+
+	type result struct {
+		resp *shardResp
+		err  error
+	}
+	ch := make(chan result, 2)
+	attempt := func() {
+		r, err := c.once(ctx, method, path, body)
+		ch <- result{r, err}
+	}
+	go attempt()
+
+	maxAttempts := 1
+	var hedgeC <-chan time.Time
+	if idempotent && c.hedgeAfter > 0 {
+		maxAttempts = 2
+		t := time.NewTimer(c.hedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	launched, failed := 1, 0
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				c.finish(ctx, r.resp)
+				return r.resp, nil
+			}
+			failed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			// A failed first attempt converts the hedge into an
+			// immediate retry; once no attempt can still win, give up.
+			if launched < maxAttempts {
+				hedgeC = nil
+				c.hedges.Add(1)
+				launched++
+				go attempt()
+				continue
+			}
+			if failed == launched {
+				c.fail(firstErr)
+				return nil, c.unavailable(firstErr)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			c.hedges.Add(1)
+			launched++
+			go attempt()
+		case <-ctx.Done():
+			c.fail(ctx.Err())
+			return nil, c.unavailable(ctx.Err())
+		}
+	}
+}
+
+// finish records a successful exchange: the shard is healthy, and its
+// reported cost snapshot folds into the proxy request's ledger.
+func (c *shardClient) finish(ctx context.Context, resp *shardResp) {
+	c.healthy.Store(true)
+	c.lastErr.Store("")
+	if resp.status >= 500 {
+		c.errors.Add(1)
+	}
+	if led := trace.LedgerFrom(ctx); led != nil {
+		led.AddSnapshot(trace.ParseCostHeaders(resp.header))
+	}
+}
+
+// fail records a transport-level failure.
+func (c *shardClient) fail(err error) {
+	c.errors.Add(1)
+	c.healthy.Store(false)
+	if err != nil {
+		c.lastErr.Store(err.Error())
+	}
+}
+
+// remoteError is a store node's HTTP-level verdict: the node answered,
+// classified the request, and returned an error envelope. Distinct from
+// transport failures (which become seqerr.ErrUnavailable): a remote 400
+// means the fragment was wrong, not that the shard is down, and the proxy
+// propagates the node's status and code verbatim.
+type remoteError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("%s (HTTP %d): %s", e.code, e.status, e.msg)
+}
+
+// asRemote extracts a remoteError from an error chain.
+func asRemote(err error) (*remoteError, bool) {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re, true
+	}
+	return nil, false
+}
+
+// decodeRemote turns a non-2xx shard response into a remoteError,
+// preserving the envelope's code and message when the body parses.
+func decodeRemote(resp *shardResp) *remoteError {
+	var env api.ErrorEnvelope
+	if json.Unmarshal(resp.body, &env) == nil && env.Error.Code != "" {
+		return &remoteError{status: resp.status, code: env.Error.Code, msg: env.Error.Message}
+	}
+	msg := string(resp.body)
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return &remoteError{status: resp.status, code: api.CodeInternal, msg: msg}
+}
+
+// doJSON is one typed exchange with the store node: body (when non-nil)
+// is marshaled, a 2xx response decodes into out, and a non-2xx response
+// returns the node's verdict as a *remoteError.
+func (c *shardClient) doJSON(ctx context.Context, method, path string, body, out interface{}, idempotent bool) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	resp, err := c.do(ctx, method, path, raw, idempotent)
+	if err != nil {
+		return err
+	}
+	if resp.status/100 != 2 {
+		return decodeRemote(resp)
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.body, out); err != nil {
+			return fmt.Errorf("shard %d (%s): undecodable %s response: %v", c.shard, c.addr, path, err)
+		}
+	}
+	return nil
+}
+
+// check probes the store node's /v1/healthz with a short deadline and
+// updates the health gauge. Returns nil when the node answered 200.
+func (c *shardClient) check(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	resp, err := c.once(ctx, http.MethodGet, "/v1/healthz", nil)
+	if err != nil {
+		c.fail(err)
+		return c.unavailable(err)
+	}
+	if resp.status != http.StatusOK {
+		err := fmt.Errorf("healthz returned %d", resp.status)
+		c.fail(err)
+		return c.unavailable(err)
+	}
+	c.healthy.Store(true)
+	c.lastErr.Store("")
+	return nil
+}

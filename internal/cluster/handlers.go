@@ -1,0 +1,778 @@
+package cluster
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"seqstore/internal/api"
+	"seqstore/internal/query"
+	"seqstore/internal/trace"
+)
+
+// maxAggBatchBody and maxBulkBody mirror the store nodes' request-body
+// bounds (the proxy buffers a bulk body once so a shard hiccup never
+// leaves a half-consumed stream).
+const (
+	maxAggBatchBody = 1 << 20
+	maxBulkBody     = 1 << 26
+)
+
+// renderSpec renders shard-local row/column indices back into the
+// index-spec wire syntax, packing consecutive runs into lo:hi ranges.
+// Order and duplicates survive the round trip, so the fragment a store
+// node parses is exactly the multiset SplitSelection produced.
+func renderSpec(idx []int) string {
+	var b strings.Builder
+	for run := 0; run < len(idx); {
+		end := run + 1
+		for end < len(idx) && idx[end] == idx[end-1]+1 {
+			end++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if end-run >= 2 {
+			fmt.Fprintf(&b, "%d:%d", idx[run], idx[end-1]+1)
+		} else {
+			fmt.Fprintf(&b, "%d", idx[run])
+		}
+		run = end
+	}
+	return b.String()
+}
+
+// decodePartial inverts the store node's base64(SQP1) partial encoding.
+func decodePartial(enc string) (*query.Partial, error) {
+	raw, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: undecodable partial: %v", err)
+	}
+	p := new(query.Partial)
+	if err := p.UnmarshalBinary(raw); err != nil {
+		return nil, fmt.Errorf("cluster: %v", err)
+	}
+	return p, nil
+}
+
+// --- Info, health, metrics ---------------------------------------------------
+
+// handleInfo composes the cluster-wide /v1/info from live per-shard
+// infos: global dimensions, summed stored numbers, a row-weighted space
+// ratio, and the shard map itself.
+func (p *Proxy) handleInfo(w http.ResponseWriter, r *http.Request) {
+	topo, shards := p.view()
+	infos, fails := p.fetchInfos(r.Context(), shards)
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	n, m, err := composeDims(topo, infos)
+	if err != nil {
+		api.WriteError(w, r, err)
+		return
+	}
+	body := api.InfoResponse{
+		Method:    infos[0].Method,
+		Rows:      n,
+		Cols:      m,
+		RowLabels: true,
+		ColLabels: true,
+		Shards:    make([]api.ShardInfo, len(shards)),
+	}
+	var weighted float64
+	for s, info := range infos {
+		if info.Method != body.Method {
+			body.Method = "mixed"
+		}
+		body.StoredNumbers += info.StoredNumbers
+		body.RowLabels = body.RowLabels && info.RowLabels
+		body.ColLabels = body.ColLabels && info.ColLabels
+		body.Writable = body.Writable || info.Writable
+		weighted += info.SpaceRatio * float64(info.Rows)
+		body.Shards[s] = api.ShardInfo{
+			Shard: s,
+			Addr:  topo.Shards[s].Addr,
+			Lo:    topo.Shards[s].Lo,
+			Hi:    topo.Shards[s].Hi,
+			Rows:  info.Rows,
+		}
+	}
+	if n > 0 {
+		body.SpaceRatio = weighted / float64(n)
+	}
+	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// handleHealthz probes every shard concurrently and reports per-shard
+// liveness. The proxy itself is healthy as long as it can answer, so the
+// status degrades rather than fails when shards are down.
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	topo, shards := p.view()
+	health := make([]api.ShardHealth, len(shards))
+	scatter(shards, allShards(shards), func(c *shardClient) error {
+		h := api.ShardHealth{Shard: c.shard, Addr: topo.Shards[c.shard].Addr}
+		if err := c.check(r.Context()); err != nil {
+			h.Error = err.Error()
+		} else {
+			h.Healthy = true
+		}
+		health[c.shard] = h
+		return nil
+	})
+	status := "ok"
+	for _, h := range health {
+		if !h.Healthy {
+			status = "degraded"
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, api.HealthzResponse{Status: status, Shards: health})
+}
+
+// handleMetrics serves the proxy's own endpoint histograms plus the
+// per-shard gauges: inflight, errors, hedges, and latency (p99 included)
+// as seen from this proxy.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	topo, shards := p.view()
+	snap := p.tel.Snapshot()
+	perShard := make([]map[string]interface{}, len(shards))
+	for s, c := range shards {
+		lat := c.lat.Snapshot()
+		perShard[s] = map[string]interface{}{
+			"shard":          s,
+			"addr":           topo.Shards[s].Addr,
+			"healthy":        c.healthy.Load(),
+			"last_error":     c.lastErr.Load(),
+			"inflight":       c.inflight.Load(),
+			"requests_total": c.requests.Load(),
+			"errors_total":   c.errors.Load(),
+			"hedges_total":   c.hedges.Load(),
+			"p99_ms":         lat.P99Ms,
+			"latency":        lat,
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]interface{}{
+		"uptime_seconds": snap.UptimeSeconds,
+		"endpoints":      snap.Endpoints,
+		"runtime":        snap.Runtime,
+		"topology": map[string]interface{}{
+			"shards":     len(shards),
+			"open_shard": topo.OpenShard(),
+		},
+		"shards": perShard,
+		"traces": map[string]interface{}{
+			"buffered": len(p.ring.Snapshot()),
+			"capacity": p.ring.Cap(),
+			"total":    p.ring.Total(),
+		},
+	})
+}
+
+// handleTraces mirrors the store node's trace ring for the proxy's own
+// requests.
+func (p *Proxy) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := p.ring.Snapshot()
+	api.WriteJSON(w, http.StatusOK, map[string]interface{}{
+		"count":    len(traces),
+		"capacity": p.ring.Cap(),
+		"total":    p.ring.Total(),
+		"traces":   traces,
+	})
+}
+
+// --- Point reads -------------------------------------------------------------
+
+// handleCell routes one cell lookup to the shard owning its row,
+// rewriting the row index to shard-local on the way out and back to
+// global on the way in. Label addressing needs the label → index maps the
+// shards hold, so the proxy (which holds no data) rejects it.
+func (p *Proxy) handleCell(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("row") != "" || q.Get("col") != "" {
+		api.WriteInvalid(w, r,
+			"the proxy is index-addressed: use integer i and j (label maps live on the store nodes)")
+		return
+	}
+	i, err1 := strconv.Atoi(q.Get("i"))
+	j, err2 := strconv.Atoi(q.Get("j"))
+	if err1 != nil || err2 != nil {
+		api.WriteInvalid(w, r, "cell needs integer i and j parameters")
+		return
+	}
+	topo, shards := p.view()
+	s := topo.Locate(i)
+	if s < 0 {
+		api.WriteErrorDetail(w, http.StatusBadRequest, api.ErrorDetail{
+			Code:      api.CodeOutOfRange,
+			Message:   fmt.Sprintf("row %d is outside every shard's range", i),
+			RequestID: trace.FromContext(r.Context()).ID(),
+		})
+		return
+	}
+	c := shards[s]
+	var body api.CellResponse
+	path := fmt.Sprintf("/v1/cell?i=%d&j=%d", i-topo.Shards[s].Lo, j)
+	if err := c.doJSON(r.Context(), http.MethodGet, path, nil, &body, true); err != nil {
+		p.failShard(w, r, c, err)
+		return
+	}
+	body.I = i
+	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// handleRow routes one row reconstruction to its shard.
+func (p *Proxy) handleRow(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.URL.Query().Get("i"))
+	if err != nil {
+		api.WriteInvalid(w, r, "row needs an integer i parameter")
+		return
+	}
+	topo, shards := p.view()
+	s := topo.Locate(i)
+	if s < 0 {
+		api.WriteErrorDetail(w, http.StatusBadRequest, api.ErrorDetail{
+			Code:      api.CodeOutOfRange,
+			Message:   fmt.Sprintf("row %d is outside every shard's range", i),
+			RequestID: trace.FromContext(r.Context()).ID(),
+		})
+		return
+	}
+	c := shards[s]
+	var body api.RowResponse
+	path := fmt.Sprintf("/v1/row?i=%d", i-topo.Shards[s].Lo)
+	if err := c.doJSON(r.Context(), http.MethodGet, path, nil, &body, true); err != nil {
+		p.failShard(w, r, c, err)
+		return
+	}
+	body.I = i
+	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// handleCells fans a batched cell lookup out to the owning shards — one
+// /v1/cells per shard carrying its cells — and reassembles the responses
+// in the original request order.
+func (p *Proxy) handleCells(w http.ResponseWriter, r *http.Request) {
+	specs := r.URL.Query()["at"]
+	var coords [][2]int
+	for _, spec := range specs {
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			is, js, ok := strings.Cut(part, ":")
+			if !ok {
+				api.WriteInvalid(w, r, fmt.Sprintf("bad cell %q: want i:j", part))
+				return
+			}
+			i, err1 := strconv.Atoi(strings.TrimSpace(is))
+			j, err2 := strconv.Atoi(strings.TrimSpace(js))
+			if err1 != nil || err2 != nil {
+				api.WriteInvalid(w, r, fmt.Sprintf("bad cell %q: want integer i:j", part))
+				return
+			}
+			coords = append(coords, [2]int{i, j})
+		}
+	}
+	if len(coords) == 0 {
+		api.WriteInvalid(w, r, "cells needs at=i:j[,i:j...] parameters")
+		return
+	}
+	if len(coords) > p.opts.MaxBatchCells {
+		api.WriteInvalid(w, r,
+			fmt.Sprintf("batch of %d cells exceeds limit %d", len(coords), p.opts.MaxBatchCells))
+		return
+	}
+	topo, shards := p.view()
+	type group struct {
+		spec strings.Builder
+		pos  []int // original positions, in per-shard request order
+	}
+	groups := make([]group, len(shards))
+	for pos, c := range coords {
+		s := topo.Locate(c[0])
+		if s < 0 {
+			api.WriteErrorDetail(w, http.StatusBadRequest, api.ErrorDetail{
+				Code:      api.CodeOutOfRange,
+				Message:   fmt.Sprintf("row %d is outside every shard's range", c[0]),
+				RequestID: trace.FromContext(r.Context()).ID(),
+			})
+			return
+		}
+		g := &groups[s]
+		if len(g.pos) > 0 {
+			g.spec.WriteByte(',')
+		}
+		fmt.Fprintf(&g.spec, "%d:%d", c[0]-topo.Shards[s].Lo, c[1])
+		g.pos = append(g.pos, pos)
+	}
+	var targets []int
+	for s := range groups {
+		if len(groups[s].pos) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	out := make([]api.CellResponse, len(coords))
+	fails := scatter(shards, targets, func(c *shardClient) error {
+		g := &groups[c.shard]
+		var body api.CellsResponse
+		if err := c.doJSON(r.Context(), http.MethodGet, "/v1/cells?at="+g.spec.String(), nil, &body, true); err != nil {
+			return err
+		}
+		if len(body.Cells) != len(g.pos) {
+			return fmt.Errorf("shard %d returned %d cells, expected %d", c.shard, len(body.Cells), len(g.pos))
+		}
+		lo := topo.Shards[c.shard].Lo
+		for k, cell := range body.Cells {
+			cell.I += lo
+			out[g.pos[k]] = cell
+		}
+		return nil
+	})
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, api.CellsResponse{Count: len(out), Cells: out})
+}
+
+// handleRows fans a batched row reconstruction out by shard and
+// reassembles in request order, re-mapping row indices to global.
+func (p *Proxy) handleRows(w http.ResponseWriter, r *http.Request) {
+	spec := r.URL.Query().Get("i")
+	if strings.TrimSpace(spec) == "" {
+		api.WriteInvalid(w, r, "rows needs an i index spec, e.g. i=0:8,17")
+		return
+	}
+	n, _, fails := p.globalDims(r.Context())
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	idx, err := query.ParseIndexSpec(spec, n)
+	if err != nil {
+		api.WriteInvalid(w, r, err.Error())
+		return
+	}
+	if len(idx) == 0 {
+		api.WriteInvalid(w, r, "rows selection is empty")
+		return
+	}
+	if len(idx) > p.opts.MaxBatchRows {
+		api.WriteInvalid(w, r,
+			fmt.Sprintf("batch of %d rows exceeds limit %d", len(idx), p.opts.MaxBatchRows))
+		return
+	}
+	topo, shards := p.view()
+	type group struct {
+		local []int
+		pos   []int
+	}
+	groups := make([]group, len(shards))
+	for pos, i := range idx {
+		s := topo.Locate(i)
+		if s < 0 {
+			api.WriteErrorDetail(w, http.StatusBadRequest, api.ErrorDetail{
+				Code:      api.CodeOutOfRange,
+				Message:   fmt.Sprintf("row %d is outside every shard's range", i),
+				RequestID: trace.FromContext(r.Context()).ID(),
+			})
+			return
+		}
+		groups[s].local = append(groups[s].local, i-topo.Shards[s].Lo)
+		groups[s].pos = append(groups[s].pos, pos)
+	}
+	var targets []int
+	for s := range groups {
+		if len(groups[s].pos) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	out := make([]api.RowResponse, len(idx))
+	fails = scatter(shards, targets, func(c *shardClient) error {
+		g := &groups[c.shard]
+		var body api.RowsResponse
+		if err := c.doJSON(r.Context(), http.MethodGet, "/v1/rows?i="+renderSpec(g.local), nil, &body, true); err != nil {
+			return err
+		}
+		if len(body.Rows) != len(g.pos) {
+			return fmt.Errorf("shard %d returned %d rows, expected %d", c.shard, len(body.Rows), len(g.pos))
+		}
+		lo := topo.Shards[c.shard].Lo
+		for k, row := range body.Rows {
+			row.I += lo
+			out[g.pos[k]] = row
+		}
+		return nil
+	})
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, api.RowsResponse{Count: len(out), Rows: out})
+}
+
+// --- Aggregates (scatter/gather) ---------------------------------------------
+
+// parsedAgg is one aggregate query resolved against the global shape.
+type parsedAgg struct {
+	f   string
+	agg query.Aggregate
+	sel query.Selection
+}
+
+// parseAggQuery resolves (f, rows, cols) against the global dimensions,
+// exactly as a store node resolves them against its local ones.
+func parseAggQuery(req api.AggregateRequest, n, m int) (parsedAgg, error) {
+	f := req.F
+	if f == "" {
+		f = "avg"
+	}
+	agg, err := query.ParseAggregate(f)
+	if err != nil {
+		return parsedAgg{}, err
+	}
+	rows, err := query.ParseIndexSpec(req.Rows, n)
+	if err != nil {
+		return parsedAgg{}, fmt.Errorf("rows: %w", err)
+	}
+	cols, err := query.ParseIndexSpec(req.Cols, m)
+	if err != nil {
+		return parsedAgg{}, fmt.Errorf("cols: %w", err)
+	}
+	pa := parsedAgg{f: f, agg: agg, sel: query.Selection{Rows: rows, Cols: cols}}
+	if err := pa.sel.Validate(n, m); err != nil {
+		return parsedAgg{}, err
+	}
+	return pa, nil
+}
+
+// handleAgg is the deprecated GET query-param aggregate form at the
+// proxy, sharing the scatter/gather path of POST /v1/aggregate.
+func (p *Proxy) handleAgg(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p.serveAggregate(w, r, api.AggregateRequest{
+		F: q.Get("f"), Rows: q.Get("rows"), Cols: q.Get("cols"),
+	})
+}
+
+// handleAggregate is POST /v1/aggregate at the proxy.
+func (p *Proxy) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req api.AggregateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAggBatchBody))
+	if err := dec.Decode(&req); err != nil {
+		api.WriteInvalid(w, r, fmt.Sprintf("aggregate: malformed JSON body: %v", err))
+		return
+	}
+	p.serveAggregate(w, r, req)
+}
+
+// serveAggregate is the tentpole path: split the validated selection by
+// shard row ranges, evaluate each fragment remotely into an exact partial,
+// and merge in shard order. Because every partial carries exact
+// accumulator state and the final rounding runs through the same finalize
+// code a store node uses, the result is bit-identical to a single node
+// evaluating the unsplit selection — for every aggregate, any shard
+// count, any per-shard worker count.
+func (p *Proxy) serveAggregate(w http.ResponseWriter, r *http.Request, req api.AggregateRequest) {
+	if req.Partial {
+		api.WriteInvalid(w, r,
+			"partial evaluation is the shard-internal wire form; the proxy returns finished values")
+		return
+	}
+	n, m, fails := p.globalDims(r.Context())
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	pa, err := parseAggQuery(req, n, m)
+	if err != nil {
+		api.WriteError(w, r, err)
+		return
+	}
+	body := api.AggregateResponse{F: pa.f, Rows: len(pa.sel.Rows), Cols: len(pa.sel.Cols)}
+	if pa.agg == query.Count {
+		// Count is selection arithmetic; the validated selection already
+		// answers it without touching a shard.
+		body.Value, body.Nonfinite = api.Float(float64(pa.sel.NumCells()))
+		api.WriteJSON(w, http.StatusOK, body)
+		return
+	}
+	v, gerr, fails := p.gather(r, pa)
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	if gerr != nil {
+		api.WriteError(w, r, gerr)
+		return
+	}
+	body.Value, body.Nonfinite = api.Float(v)
+	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// gather scatters one parsed aggregate and merges the shard partials.
+func (p *Proxy) gather(r *http.Request, pa parsedAgg) (float64, error, []shardFailure) {
+	topo, shards := p.view()
+	frags, err := query.SplitSelection(pa.sel, topo.Ranges())
+	if err != nil {
+		return 0, err, nil
+	}
+	var targets []int
+	for s := range frags {
+		if len(frags[s].Rows) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	parts := make([]*query.Partial, len(shards))
+	fails := scatter(shards, targets, func(c *shardClient) error {
+		frag := frags[c.shard]
+		reqBody := api.AggregateRequest{
+			F:       pa.f,
+			Rows:    renderSpec(frag.Rows),
+			Cols:    renderSpec(frag.Cols),
+			Partial: true,
+		}
+		var resp api.AggregateResponse
+		if err := c.doJSON(r.Context(), http.MethodPost, "/v1/aggregate", reqBody, &resp, true); err != nil {
+			return err
+		}
+		part, err := decodePartial(resp.Partial)
+		if err != nil {
+			return err
+		}
+		parts[c.shard] = part
+		return nil
+	})
+	if len(fails) > 0 {
+		return 0, nil, fails
+	}
+	// parts is indexed by shard, so the merge order is the deterministic
+	// shard order regardless of response arrival (merge order doesn't
+	// change the bits — the accumulators are exact — but determinism makes
+	// that property testable).
+	v, err := query.MergePartials(pa.agg, parts)
+	return v, err, nil
+}
+
+// handleAggBatch scatters a whole aggregate batch: each shard receives
+// one /v1/aggregate/batch carrying the fragments of every query that
+// touches it (keeping the store nodes' scan-sharing across queries), and
+// each query's partials merge in shard order. Per-query failures cost
+// that item its status, mirroring the single-node batch contract; a
+// shard-level failure fails the request with 503 and the shard detail.
+func (p *Proxy) handleAggBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req api.BatchAggregateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAggBatchBody))
+	if err := dec.Decode(&req); err != nil {
+		api.WriteInvalid(w, r, fmt.Sprintf("aggregate/batch: malformed JSON body: %v", err))
+		return
+	}
+	if req.Partial {
+		api.WriteInvalid(w, r,
+			"partial evaluation is the shard-internal wire form; the proxy returns finished values")
+		return
+	}
+	if len(req.Queries) == 0 {
+		api.WriteInvalid(w, r, `aggregate/batch needs a non-empty "queries" array`)
+		return
+	}
+	if len(req.Queries) > p.opts.MaxBatchQueries {
+		api.WriteInvalid(w, r,
+			fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), p.opts.MaxBatchQueries))
+		return
+	}
+	n, m, fails := p.globalDims(r.Context())
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	topo, shards := p.view()
+	ranges := topo.Ranges()
+
+	numQ := len(req.Queries)
+	parsed := make([]parsedAgg, numQ)
+	parseErrs := make([]error, numQ)
+	// Per-shard batch under construction: the fragment requests plus the
+	// query index each one answers.
+	type shardBatch struct {
+		queries []api.AggregateRequest
+		qi      []int
+	}
+	batches := make([]shardBatch, len(shards))
+	for qi, bq := range req.Queries {
+		pa, err := parseAggQuery(bq, n, m)
+		if err != nil {
+			parseErrs[qi] = err
+			continue
+		}
+		parsed[qi] = pa
+		if pa.agg == query.Count {
+			continue // answered locally, like the single-query path
+		}
+		frags, err := query.SplitSelection(pa.sel, ranges)
+		if err != nil {
+			parseErrs[qi] = err
+			continue
+		}
+		for s := range frags {
+			if len(frags[s].Rows) == 0 {
+				continue
+			}
+			batches[s].queries = append(batches[s].queries, api.AggregateRequest{
+				F:    pa.f,
+				Rows: renderSpec(frags[s].Rows),
+				Cols: renderSpec(frags[s].Cols),
+			})
+			batches[s].qi = append(batches[s].qi, qi)
+		}
+	}
+
+	var targets []int
+	for s := range batches {
+		if len(batches[s].queries) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	// partials[qi][s] is query qi's partial from shard s; itemErrs[qi]
+	// records a per-item remote failure (each slot is written by at most
+	// one scatter goroutine per shard, so placement is race-free; the
+	// merge below runs after the barrier).
+	partials := make([][]*query.Partial, numQ)
+	for qi := range partials {
+		partials[qi] = make([]*query.Partial, len(shards))
+	}
+	itemErrs := make([][]*remoteError, numQ)
+	for qi := range itemErrs {
+		itemErrs[qi] = make([]*remoteError, len(shards))
+	}
+	fails = scatter(shards, targets, func(c *shardClient) error {
+		b := &batches[c.shard]
+		var resp api.BatchAggregateResponse
+		err := c.doJSON(r.Context(), http.MethodPost, "/v1/aggregate/batch",
+			api.BatchAggregateRequest{Queries: b.queries, Partial: true}, &resp, true)
+		if err != nil {
+			return err
+		}
+		if len(resp.Items) != len(b.queries) {
+			return fmt.Errorf("shard %d returned %d items, expected %d", c.shard, len(resp.Items), len(b.queries))
+		}
+		for k, item := range resp.Items {
+			qi := b.qi[k]
+			if item.Status != http.StatusOK {
+				itemErrs[qi][c.shard] = &remoteError{status: item.Status, msg: item.Error}
+				continue
+			}
+			part, err := decodePartial(item.Partial)
+			if err != nil {
+				return err
+			}
+			partials[qi][c.shard] = part
+		}
+		return nil
+	})
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+
+	out := make([]api.BatchAggregateItem, numQ)
+	hadErr := false
+	for qi := range req.Queries {
+		if err := parseErrs[qi]; err != nil {
+			status, _ := api.Classify(err)
+			if status == http.StatusInternalServerError {
+				status = http.StatusBadRequest // parse errors are the client's
+			}
+			out[qi] = api.BatchAggregateItem{Status: status, Error: err.Error()}
+			hadErr = true
+			continue
+		}
+		pa := parsed[qi]
+		for _, re := range itemErrs[qi] {
+			if re != nil {
+				out[qi] = api.BatchAggregateItem{Status: re.status, Error: re.msg}
+				hadErr = true
+				break
+			}
+		}
+		if out[qi].Status != 0 {
+			continue
+		}
+		it := api.BatchAggregateItem{
+			Status: http.StatusOK,
+			F:      pa.f,
+			Rows:   len(pa.sel.Rows),
+			Cols:   len(pa.sel.Cols),
+		}
+		var v float64
+		var err error
+		if pa.agg == query.Count {
+			v = float64(pa.sel.NumCells())
+		} else {
+			v, err = query.MergePartials(pa.agg, partials[qi])
+		}
+		if err != nil {
+			status, _ := api.Classify(err)
+			out[qi] = api.BatchAggregateItem{Status: status, Error: err.Error()}
+			hadErr = true
+			continue
+		}
+		it.Value, it.Nonfinite = api.Float(v)
+		out[qi] = it
+	}
+	api.WriteJSON(w, http.StatusOK, api.BatchAggregateResponse{
+		Took:   time.Since(start).Milliseconds(),
+		Errors: hadErr,
+		Items:  out,
+	})
+}
+
+// --- Writes ------------------------------------------------------------------
+
+// handleBulk forwards the NDJSON append to the open-ended shard — the one
+// whose range absorbs new rows — and re-maps the assigned row indices to
+// global. Appends are not idempotent, so they are never hedged.
+func (p *Proxy) handleBulk(w http.ResponseWriter, r *http.Request) {
+	topo, shards := p.view()
+	open := topo.OpenShard()
+	if open < 0 {
+		api.WriteErrorDetail(w, http.StatusForbidden, api.ErrorDetail{
+			Code:      api.CodeNotWritable,
+			Message:   "topology has no open-ended shard: every row range is closed, so the cluster cannot absorb appends",
+			RequestID: trace.FromContext(r.Context()).ID(),
+		})
+		return
+	}
+	bodyBytes, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBulkBody))
+	if err != nil {
+		api.WriteInvalid(w, r, fmt.Sprintf("bulk: reading body: %v", err))
+		return
+	}
+	c := shards[open]
+	resp, err := c.do(r.Context(), http.MethodPost, "/v1/bulk", bodyBytes, false)
+	if err != nil {
+		p.failShard(w, r, c, err)
+		return
+	}
+	if resp.status/100 != 2 {
+		p.failShard(w, r, c, decodeRemote(resp))
+		return
+	}
+	var body api.BulkResponse
+	if err := json.Unmarshal(resp.body, &body); err != nil {
+		p.failShard(w, r, c, fmt.Errorf("shard %d (%s): undecodable bulk response: %v", c.shard, c.addr, err))
+		return
+	}
+	lo := topo.Shards[open].Lo
+	for k := range body.Items {
+		if body.Items[k].Create.Status == http.StatusCreated {
+			body.Items[k].Create.Row += lo
+		}
+	}
+	p.markDimsStale()
+	api.WriteJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seqstore/internal/matio"
+)
+
+// TestSliceRowsBitIdentical pins the shard-store invariant the distributed
+// tier depends on: a row slice of an SVDD store (and of its SVD base)
+// reconstructs every cell bit-identically to the parent, because σ and V
+// are shared rather than refactored and deltas/zero flags are re-keyed,
+// not recomputed.
+func TestSliceRowsBitIdentical(t *testing.T) {
+	x, zeros := matrixWithZeroRows(t)
+	n, m := x.Dims()
+	s, err := Compress(matio.NewMem(x), Options{Budget: 0.10, FlagZeroRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumOutliers() == 0 {
+		t.Fatal("fixture stored no outliers; slice test would be vacuous")
+	}
+	bounds := []int{0, n / 4, n / 2, n}
+	for b := 0; b+1 < len(bounds); b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		slice, err := s.SliceRows(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn, sm := slice.Dims(); sn != hi-lo || sm != m {
+			t.Fatalf("slice [%d,%d) dims = %d×%d, want %d×%d", lo, hi, sn, sm, hi-lo, m)
+		}
+		for i := lo; i < hi; i++ {
+			for j := 0; j < m; j++ {
+				want, err := s.Cell(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := slice.Cell(i-lo, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("slice [%d,%d) cell (%d,%d): %v != parent %v", lo, hi, i, j, got, want)
+				}
+			}
+		}
+		// Zero-row flags survive the shift.
+		for _, z := range zeros {
+			if z >= lo && z < hi && !slice.IsZeroRow(z-lo) {
+				t.Errorf("slice [%d,%d): zero row %d lost its flag", lo, hi, z)
+			}
+		}
+	}
+	// Base (plain SVD) slices too, sharing σ and V bitwise.
+	base := s.Base()
+	bs, err := base.SliceRows(n/3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := n / 3; i < n; i++ {
+		for j := 0; j < m; j++ {
+			want, err := base.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := bs.Cell(i-n/3, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("base slice cell (%d,%d): %v != %v", i, j, got, want)
+			}
+		}
+	}
+	for i, sv := range base.Sigma() {
+		if bs.Sigma()[i] != sv {
+			t.Fatalf("sigma[%d] differs: slice must share the factorization", i)
+		}
+	}
+	// Out-of-range slices are typed errors, not panics.
+	if _, err := s.SliceRows(-1, 2); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := s.SliceRows(0, n+1); err == nil {
+		t.Error("hi beyond rows accepted")
+	}
+}

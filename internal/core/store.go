@@ -159,6 +159,39 @@ func (s *Store) Diagnostics() Diagnostics { return s.diag }
 // query package uses it for factored aggregation.
 func (s *Store) Base() *svd.Store { return s.base }
 
+// SliceRows returns a store over rows [lo, hi) of the same compression:
+// the SVD base is sliced (shared σ/V, copied U rows), the deltas falling in
+// the range are re-keyed to local row indices, and zero-row flags are
+// shifted likewise. Reconstruction of slice cell (i−lo, j) is bit-identical
+// to the parent's cell (i, j); this is how the distributed tier builds
+// shard stores that are exact row partitions of one factorization.
+func (s *Store) SliceRows(lo, hi int) (*Store, error) {
+	base, err := s.base.SliceRows(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var items []pqueue.Item
+	s.Deltas(func(row, col int, delta float64) {
+		if row >= lo && row < hi {
+			items = append(items, pqueue.Item{Row: row - lo, Col: col, Delta: delta})
+		}
+	})
+	var zeroRows []int32
+	for _, zr := range s.zeroList {
+		if int(zr) >= lo && int(zr) < hi {
+			zeroRows = append(zeroRows, zr-int32(lo))
+		}
+	}
+	bloomFP := -1.0
+	if s.filter != nil || s.zeroFilter != nil {
+		bloomFP = DefaultBloomFP
+	}
+	return newStore(base, items, zeroRows, Options{
+		BloomFP:     bloomFP,
+		OutlierCost: s.outlierCost,
+	}, s.diag)
+}
+
 // Deltas iterates over all stored outliers in unspecified order.
 func (s *Store) Deltas(fn func(row, col int, delta float64)) {
 	_, m := s.base.Dims()

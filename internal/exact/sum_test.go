@@ -1,0 +1,314 @@
+package exact
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigSum folds vs into an arbitrary-precision accumulator and rounds the
+// true sum to float64 (ties to even) — the reference for Value().
+func bigSum(vs []float64) float64 {
+	acc := new(big.Float).SetPrec(3000).SetMode(big.ToNearestEven)
+	t := new(big.Float).SetPrec(3000)
+	for _, v := range vs {
+		acc.Add(acc, t.SetFloat64(v))
+	}
+	f, _ := acc.Float64()
+	return f
+}
+
+// randFloats draws values spanning the full finite exponent range,
+// including subnormals, exact powers of two, and harsh cancellation pairs.
+func randFloats(rng *rand.Rand, n int) []float64 {
+	vs := make([]float64, 0, n)
+	for len(vs) < n {
+		switch rng.Intn(6) {
+		case 0: // uniform bits over finite doubles
+			b := rng.Uint64()
+			if b>>52&0x7ff == 0x7ff {
+				continue
+			}
+			vs = append(vs, math.Float64frombits(b))
+		case 1: // moderate magnitudes
+			vs = append(vs, (rng.Float64()-0.5)*math.Ldexp(1, rng.Intn(40)-20))
+		case 2: // subnormals
+			vs = append(vs, math.Float64frombits(uint64(rng.Int63n(1<<52))))
+		case 3: // large magnitudes (max 2^1019, still finite after ±0.5 scale)
+			vs = append(vs, (rng.Float64()-0.5)*math.Ldexp(1, 960+rng.Intn(60)))
+		case 4: // cancellation pair
+			v := (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(600)-300)
+			vs = append(vs, v, -v)
+		default: // powers of two, both signs
+			v := math.Ldexp(1, rng.Intn(2092)-1070)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			vs = append(vs, v)
+		}
+	}
+	return vs[:n]
+}
+
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestValueMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		vs := randFloats(rng, 1+rng.Intn(200))
+		var s Sum
+		for _, v := range vs {
+			s.Add(v)
+		}
+		got, want := s.Value(), bigSum(vs)
+		if !sameFloat(got, want) {
+			t.Fatalf("trial %d (%d values): got %v (%#x), big.Float says %v (%#x)",
+				trial, len(vs), got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestSingleValueRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	specials := []float64{0, math.Copysign(0, -1), 1, -1, math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.Ldexp(1, -1022), math.Ldexp(1, -1023), math.Ldexp(1.5, -1074)}
+	for _, v := range specials {
+		s := Of(v)
+		want := v
+		if v == 0 {
+			want = 0 // Add drops ±0; empty sum is +0, like 0.0 + v
+		}
+		if !sameFloat(s.Value(), want) {
+			t.Fatalf("Of(%v).Value() = %v", v, s.Value())
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		b := rng.Uint64()
+		if b>>52&0x7ff == 0x7ff {
+			continue
+		}
+		v := math.Float64frombits(b)
+		if v == 0 {
+			continue
+		}
+		s := Of(v)
+		if !sameFloat(s.Value(), v) {
+			t.Fatalf("Of(%v).Value() = %v (bits %#x vs %#x)", v, s.Value(), b, math.Float64bits(s.Value()))
+		}
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		vs := randFloats(rng, 100)
+		var ref Sum
+		for _, v := range vs {
+			ref.Add(v)
+		}
+		for p := 0; p < 10; p++ {
+			rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+			var s Sum
+			for _, v := range vs {
+				s.Add(v)
+			}
+			if !s.Equal(&ref) {
+				t.Fatalf("trial %d perm %d: register differs", trial, p)
+			}
+		}
+	}
+}
+
+func TestMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		vs := randFloats(rng, 200)
+		var ref Sum
+		for _, v := range vs {
+			ref.Add(v)
+		}
+		for _, parts := range []int{1, 2, 3, 4, 7} {
+			shards := make([]Sum, parts)
+			for i, v := range vs {
+				shards[i%parts].Add(v)
+			}
+			// Merge in reverse order to stress order-independence.
+			var m Sum
+			for i := parts - 1; i >= 0; i-- {
+				m.Merge(&shards[i])
+			}
+			if !m.Equal(&ref) {
+				t.Fatalf("trial %d parts %d: merged register differs", trial, parts)
+			}
+		}
+	}
+}
+
+func TestNonfiniteSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		vs   []float64
+		want float64
+	}{
+		{"posinf", []float64{1, math.Inf(1), 2}, math.Inf(1)},
+		{"neginf", []float64{math.Inf(-1), 5}, math.Inf(-1)},
+		{"bothinf", []float64{math.Inf(1), math.Inf(-1)}, math.NaN()},
+		{"nan", []float64{1, math.NaN(), 2}, math.NaN()},
+		{"naninf", []float64{math.Inf(1), math.NaN()}, math.NaN()},
+	}
+	for _, tc := range cases {
+		var s Sum
+		for _, v := range tc.vs {
+			s.Add(v)
+		}
+		got := s.Value()
+		if math.IsNaN(tc.want) != math.IsNaN(got) || (!math.IsNaN(tc.want) && got != tc.want) {
+			t.Errorf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFiniteOverflowRoundsToInf(t *testing.T) {
+	var s Sum
+	for i := 0; i < 4; i++ {
+		s.Add(math.MaxFloat64)
+	}
+	if !math.IsInf(s.Value(), 1) {
+		t.Fatalf("4×MaxFloat64 = %v, want +Inf", s.Value())
+	}
+	s.Reset()
+	for i := 0; i < 4; i++ {
+		s.Add(-math.MaxFloat64)
+	}
+	if !math.IsInf(s.Value(), -1) {
+		t.Fatalf("-4×MaxFloat64 = %v, want -Inf", s.Value())
+	}
+	// Just under the boundary stays finite and exact.
+	s.Reset()
+	s.Add(math.MaxFloat64)
+	s.Add(-math.Ldexp(1, 1000))
+	want := bigSum([]float64{math.MaxFloat64, -math.Ldexp(1, 1000)})
+	if !sameFloat(s.Value(), want) {
+		t.Fatalf("near-max: got %v want %v", s.Value(), want)
+	}
+}
+
+func TestTieRounding(t *testing.T) {
+	// 1 + 2^-53 is an exact tie → rounds to 1 (even mantissa).
+	var s Sum
+	s.Add(1)
+	s.Add(math.Ldexp(1, -53))
+	if !sameFloat(s.Value(), 1) {
+		t.Fatalf("1 + 2^-53 = %v, want 1", s.Value())
+	}
+	// Any sticky bit below breaks the tie upward.
+	s.Add(math.Ldexp(1, -200))
+	if !sameFloat(s.Value(), math.Nextafter(1, 2)) {
+		t.Fatalf("1 + 2^-53 + 2^-200 = %v, want %v", s.Value(), math.Nextafter(1, 2))
+	}
+	// 1.5 + 2^-53: odd mantissa tie → rounds up.
+	s.Reset()
+	s.Add(1 + math.Ldexp(1, -52))
+	s.Add(math.Ldexp(1, -53))
+	want := bigSum([]float64{1 + math.Ldexp(1, -52), math.Ldexp(1, -53)})
+	if !sameFloat(s.Value(), want) {
+		t.Fatalf("odd tie: got %v want %v", s.Value(), want)
+	}
+}
+
+func TestExactCancellationIsPositiveZero(t *testing.T) {
+	var s Sum
+	s.Add(5.5)
+	s.Add(-5.5)
+	if !sameFloat(s.Value(), 0) {
+		t.Fatalf("5.5 - 5.5 = %v (bits %#x), want +0", s.Value(), math.Float64bits(s.Value()))
+	}
+	if !s.IsZero() {
+		t.Fatal("IsZero false after exact cancellation")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var s Sum
+		for _, v := range randFloats(rng, 50) {
+			s.Add(v)
+		}
+		if trial%3 == 0 {
+			s.Add(math.Inf(1))
+		}
+		if trial%5 == 0 {
+			s.Add(math.NaN())
+		}
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Sum
+		if err := d.UnmarshalBinary(enc); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Equal(&s) {
+			t.Fatalf("trial %d: decode differs", trial)
+		}
+	}
+	var d Sum
+	if err := d.UnmarshalBinary(make([]byte, 10)); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+	bad := make([]byte, binarySize)
+	bad[0] = 0x80
+	if err := d.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+}
+
+func TestSubnormalAccumulation(t *testing.T) {
+	// 2^20 copies of the smallest subnormal sum to an exactly
+	// representable subnormal; plain folding would round each step.
+	var s Sum
+	vs := make([]float64, 1<<20)
+	for i := range vs {
+		vs[i] = math.SmallestNonzeroFloat64
+	}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	want := bigSum(vs)
+	if !sameFloat(s.Value(), want) {
+		t.Fatalf("subnormal pileup: got %v want %v", s.Value(), want)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	vs := randFloats(rng, 4096)
+	var s Sum
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(vs[i&4095])
+	}
+	if math.IsNaN(s.Value()) {
+		b.Log("nan")
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var a, c Sum
+	for _, v := range randFloats(rng, 100) {
+		a.Add(v)
+		c.Add(v * 0.5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(&c)
+	}
+}

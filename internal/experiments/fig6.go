@@ -6,12 +6,12 @@ import (
 	"io"
 	"math"
 
-	"seqstore/internal/cluster"
 	"seqstore/internal/core"
 	"seqstore/internal/dct"
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
 	"seqstore/internal/svd"
+	"seqstore/internal/vq"
 )
 
 // Fig6Row is one storage point of the accuracy-vs-space trade-off.
@@ -47,7 +47,7 @@ func Fig6(x *linalg.Matrix, name string, budgets []float64, w io.Writer) (*Fig6R
 	if err != nil {
 		return nil, err
 	}
-	hier, err := cluster.Build(x)
+	hier, err := vq.Build(x)
 	if err != nil {
 		return nil, err
 	}
@@ -59,8 +59,8 @@ func Fig6(x *linalg.Matrix, name string, budgets []float64, w io.Writer) (*Fig6R
 	for _, b := range budgets {
 		row := Fig6Row{S: b, Cluster: math.NaN()}
 
-		if c := cluster.CForBudget(n, m, b); c >= 1 {
-			cs, err := cluster.NewStore(x, hier.Cut(c), c)
+		if c := vq.CForBudget(n, m, b); c >= 1 {
+			cs, err := vq.NewStore(x, hier.Cut(c), c)
 			if err != nil {
 				return nil, err
 			}

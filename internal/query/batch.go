@@ -70,15 +70,8 @@ func EvaluateBatch(s store.Store, items []BatchItem, opts Options) ([]BatchResul
 			results[idx].Err = err
 		}
 	}
-	var base *svd.Store
-	switch t := s.(type) {
-	case *svd.Store:
-		base = t
-	case *core.Store:
-		base = t.Base()
-	}
-	if base != nil {
-		env.buf = prefetchUnion(base, n, items, results, env.led)
+	if base := factoredBase(s); base != nil {
+		env.buf = prefetchBatchUnion(base, n, items, func(idx int) bool { return results[idx].Err != nil }, env.led)
 	}
 	for idx := range items {
 		if results[idx].Err != nil {
@@ -116,17 +109,29 @@ func (b *uBuf) row(i int) []float64 {
 	return b.data[o*b.k : (o+1)*b.k : (o+1)*b.k]
 }
 
-// prefetchUnion reads the union of the valid items' selected rows into a
-// shared buffer with one coalesced pass over U, charging the ledger for
-// the actual reads. It returns nil — falling back to unshared per-item
-// reads — when the batch has no row overlap to exploit, when the union
-// would exceed the memory cap, or when a read fails (the per-item
-// evaluation will then surface the store error with context).
-func prefetchUnion(base *svd.Store, n int, items []BatchItem, results []BatchResult, led *trace.Ledger) *uBuf {
+// factoredBase returns the SVD backing of an SVD-family store, or nil.
+func factoredBase(s store.Store) *svd.Store {
+	switch t := s.(type) {
+	case *svd.Store:
+		return t
+	case *core.Store:
+		return t.Base()
+	}
+	return nil
+}
+
+// prefetchBatchUnion reads the union of the valid items' selected rows
+// into a shared buffer with one coalesced pass over U, charging the
+// ledger for the actual reads. skip(idx) marks items excluded from the
+// union (already failed validation). It returns nil — falling back to
+// unshared per-item reads — when the batch has no row overlap to exploit,
+// when the union would exceed the memory cap, or when a read fails (the
+// per-item evaluation will then surface the store error with context).
+func prefetchBatchUnion(base *svd.Store, n int, items []BatchItem, skip func(idx int) bool, led *trace.Ledger) *uBuf {
 	need := make([]bool, n)
 	total, distinct := 0, 0
 	for idx := range items {
-		if results[idx].Err != nil || items[idx].Agg == Count {
+		if skip(idx) || items[idx].Agg == Count {
 			continue
 		}
 		for _, r := range items[idx].Sel.Rows {

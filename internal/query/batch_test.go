@@ -118,7 +118,7 @@ func TestBatchPerItemErrors(t *testing.T) {
 		{Agg: Sum, Sel: Selection{Rows: seq(0, n), Cols: seq(0, m)}},
 		{Agg: Min, Sel: Selection{Rows: []int{n + 5}, Cols: seq(0, m)}}, // out of range
 		{Agg: Max, Sel: Selection{Rows: nil, Cols: seq(0, m)}},          // empty
-		{Agg: Avg, Sel: Selection{Rows: seq(0, n / 2), Cols: seq(0, m)}},
+		{Agg: Avg, Sel: Selection{Rows: seq(0, n/2), Cols: seq(0, m)}},
 	}
 	results, err := EvaluateBatch(s, items, Options{Workers: 1})
 	if err != nil {
@@ -154,7 +154,7 @@ func TestBatchEmptyAndCountOnly(t *testing.T) {
 	}
 	items := []BatchItem{
 		{Agg: Count, Sel: Selection{Rows: seq(0, n), Cols: seq(0, m)}},
-		{Agg: Count, Sel: Selection{Rows: seq(0, n / 2), Cols: seq(0, m)}},
+		{Agg: Count, Sel: Selection{Rows: seq(0, n/2), Cols: seq(0, m)}},
 	}
 	tr := trace.New("t", "/test")
 	ctx := trace.NewContext(context.Background(), tr)

@@ -7,7 +7,6 @@ import (
 	"sync"
 	"testing"
 
-	"seqstore/internal/cluster"
 	"seqstore/internal/core"
 	"seqstore/internal/dataset"
 	"seqstore/internal/dct"
@@ -15,6 +14,7 @@ import (
 	"seqstore/internal/matio"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
+	"seqstore/internal/vq"
 	"seqstore/internal/wavelet"
 )
 
@@ -43,7 +43,7 @@ func engineStores(t *testing.T) map[string]store.Store {
 		t.Fatal(err)
 	}
 	out["dct"] = dc
-	cl, err := cluster.Compress(x, 6)
+	cl, err := vq.Compress(x, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"seqstore/internal/core"
+	"seqstore/internal/exact"
 	"seqstore/internal/linalg"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
@@ -87,18 +88,61 @@ func factoredSumPlan(ctx context.Context, pl *plan, sel Selection, env evalEnv) 
 		return 0, err
 	}
 	colMomentsInto(pl.base.V(), pl.cols, pl.base.K(), false, &fs.vm)
-	var total float64
-	for m, sig := range pl.sigma {
-		total += sig * fs.um.acc[m] * fs.vm.acc[m]
-	}
+	var corr corrections
 	if pl.svdd != nil {
-		corr, err := deltaCorrections(ctx, pl.svdd, sel, false, env)
+		var err error
+		corr, err = deltaCorrections(ctx, pl.svdd, sel, false, env)
 		if err != nil {
 			return 0, err
 		}
-		total += corr.sum
 	}
-	return total, nil
+	return finalizeFactoredSum(pl.sigma, fs.um.acc, fs.vm.acc, &corr, pl.svdd != nil), nil
+}
+
+// finalizeFactoredSum rounds the exact row/column moments and contracts
+// them with σ. It is the single finalization code path shared by the
+// local factored evaluation and the distributed gather (MergePartials),
+// so a merged result is bit-identical to single-node by construction.
+func finalizeFactoredSum(sigma []float64, rowSum, colSum []exact.Sum, corr *corrections, hasCorr bool) float64 {
+	var total float64
+	for m, sig := range sigma {
+		total += sig * rowSum[m].Value() * colSum[m].Value()
+	}
+	if hasCorr {
+		total += corr.sum.Value()
+	}
+	return total
+}
+
+// finalizeFactoredStdDev computes the standard deviation from exact
+// factored first/second moments over nc cells — shared between the local
+// evaluation and the distributed gather, like finalizeFactoredSum.
+func finalizeFactoredStdDev(k int, sigma []float64, um, vm *uMoments, corr *corrections, hasCorr bool, nc float64) float64 {
+	var sum, sumSq float64
+	for a := 0; a < k; a++ {
+		sum += sigma[a] * um.acc[a].Value() * vm.acc[a].Value()
+		sumSq += sigma[a] * sigma[a] * um.g[a*k+a].Value() * vm.g[a*k+a].Value()
+		for b := a + 1; b < k; b++ {
+			// Off-diagonal terms appear twice ((a,b) and (b,a)); both Gram
+			// matrices are symmetric, so fold the lower triangle in here.
+			sumSq += 2 * sigma[a] * sigma[b] * um.g[a*k+b].Value() * vm.g[a*k+b].Value()
+		}
+	}
+	if hasCorr {
+		sum += corr.sum.Value()
+		sumSq += corr.sumSq.Value()
+	}
+	mean := sum / nc
+	variance := sumSq/nc - mean*mean
+	// Cancellation floor: the subtraction cannot resolve a variance below
+	// ~machine-ε of the magnitudes being subtracted (the factored Σx̂² sums
+	// k² products, so the residual of a constant selection is not exactly
+	// zero the way the naive per-cell accumulator's is). Anything under the
+	// floor is noise — report 0, as a singleton selection must.
+	if floor := 1e-12 * (sumSq/nc + mean*mean); variance < floor {
+		variance = 0
+	}
+	return math.Sqrt(variance)
 }
 
 // factoredStdDevPlan computes the factored standard deviation over the
@@ -110,50 +154,29 @@ func factoredStdDevPlan(ctx context.Context, pl *plan, sel Selection, env evalEn
 		return 0, err
 	}
 	colMomentsInto(pl.base.V(), pl.cols, pl.base.K(), true, &fs.vm)
-	sigma := pl.sigma
-	k := pl.base.K()
-	um, vm := &fs.um, &fs.vm
-	var sum, sumSq float64
-	for a := 0; a < k; a++ {
-		sum += sigma[a] * um.acc[a] * vm.acc[a]
-		sumSq += sigma[a] * sigma[a] * um.g[a*k+a] * vm.g[a*k+a]
-		for b := a + 1; b < k; b++ {
-			// Off-diagonal terms appear twice ((a,b) and (b,a)); both Gram
-			// matrices are symmetric, so fold the lower triangle in here.
-			sumSq += 2 * sigma[a] * sigma[b] * um.g[a*k+b] * vm.g[a*k+b]
-		}
-	}
+	var corr corrections
 	if pl.svdd != nil {
-		corr, err := deltaCorrections(ctx, pl.svdd, sel, true, env)
+		var err error
+		corr, err = deltaCorrections(ctx, pl.svdd, sel, true, env)
 		if err != nil {
 			return 0, err
 		}
-		sum += corr.sum
-		sumSq += corr.sumSq
 	}
 	nc := float64(sel.NumCells())
-	mean := sum / nc
-	variance := sumSq/nc - mean*mean
-	// Cancellation floor: the subtraction cannot resolve a variance below
-	// ~machine-ε of the magnitudes being subtracted (the factored Σx̂² sums
-	// k² products, so the residual of a constant selection is not exactly
-	// zero the way the naive per-cell accumulator's is). Anything under the
-	// floor is noise — report 0, as a singleton selection must.
-	if floor := 1e-12 * (sumSq/nc + mean*mean); variance < floor {
-		variance = 0
-	}
-	return math.Sqrt(variance), nil
+	return finalizeFactoredStdDev(pl.base.K(), pl.sigma, &fs.um, &fs.vm, &corr, pl.svdd != nil, nc), nil
 }
 
 // uMoments accumulates the row-side (or column-side) factors: acc[m] is
-// the plain component sum over the index set and, when wantSq, g holds the
+// the exact component sum over the index set and, when wantSq, g holds the
 // k×k Gram matrix of the set's factor rows (upper triangle filled; the
-// matrix is symmetric).
+// matrix is symmetric). The exact superaccumulators make the moments
+// independent of accumulation order, so per-worker (and per-shard)
+// partials merge to the identical bit pattern as a serial pass.
 type uMoments struct {
 	k      int
 	wantSq bool
-	acc    []float64
-	g      []float64 // k×k row-major, upper triangle
+	acc    []exact.Sum
+	g      []exact.Sum // k×k row-major, upper triangle
 
 	// Cached ScanURows sink (see engineScratch.scanSink): built once per
 	// accumulator, rebuilt if the struct has moved (growMoments copies
@@ -178,36 +201,56 @@ func (um *uMoments) scanSink() func(i int, urow []float64) error {
 // reusing its backing arrays when the capacity allows.
 func (um *uMoments) reset(k int, wantSq bool) {
 	um.k, um.wantSq = k, wantSq
-	um.acc = ensureFloats(um.acc, k)
+	um.acc = ensureSums(um.acc, k)
 	for i := range um.acc {
-		um.acc[i] = 0
+		um.acc[i].Reset()
 	}
 	if wantSq {
-		um.g = ensureFloats(um.g, k*k)
+		um.g = ensureSums(um.g, k*k)
 		for i := range um.g {
-			um.g[i] = 0
+			um.g[i].Reset()
 		}
 	}
 }
 
 func (um *uMoments) add(row []float64) {
-	linalg.Axpy(1, row, um.acc)
+	for m, x := range row {
+		um.acc[m].Add(x)
+	}
 	if !um.wantSq {
 		return
 	}
 	k := um.k
 	for a := 0; a < k; a++ {
-		if ra := row[a]; ra != 0 {
-			linalg.Axpy(ra, row[a:k], um.g[a*k+a:a*k+k])
+		ra := row[a]
+		if ra == 0 {
+			continue
+		}
+		base := a * k
+		for b := a; b < k; b++ {
+			um.g[base+b].Add(ra * row[b])
 		}
 	}
 }
 
 func (um *uMoments) merge(o *uMoments) {
-	linalg.Axpy(1, o.acc, um.acc)
-	if um.wantSq {
-		linalg.Axpy(1, o.g, um.g)
+	for i := range um.acc {
+		um.acc[i].Merge(&o.acc[i])
 	}
+	if um.wantSq {
+		for i := range um.g {
+			um.g[i].Merge(&o.g[i])
+		}
+	}
+}
+
+// ensureSums returns s resized to n, reusing its backing array when the
+// capacity allows. Contents are unspecified; callers reset.
+func ensureSums(s []exact.Sum, n int) []exact.Sum {
+	if cap(s) < n {
+		return make([]exact.Sum, n)
+	}
+	return s[:n]
 }
 
 // growMoments resizes the per-worker accumulator pool to workers entries,
@@ -335,9 +378,10 @@ func forURows(led *trace.Ledger, pl *plan, buf *uBuf, urow []float64, lo, hi int
 	return nil
 }
 
-// corrections are the SVDD delta contributions to the factored moments.
+// corrections are the SVDD delta contributions to the factored moments,
+// held exactly so shard partials merge order-independently.
 type corrections struct {
-	sum, sumSq float64
+	sum, sumSq exact.Sum
 }
 
 // deltaCorrections folds the outlier deltas lying inside the selection
@@ -385,7 +429,7 @@ func deltaCorrections(ctx context.Context, s *core.Store, sel Selection, wantSq 
 				return
 			}
 			w := float64(ri * cj)
-			c.sum += w * delta
+			c.sum.Add(w * delta)
 			if !wantSq {
 				return
 			}
@@ -407,7 +451,7 @@ func deltaCorrections(ctx context.Context, s *core.Store, sel Selection, wantSq 
 				haveU = true
 			}
 			b := linalg.Dot(urow, v.Row(col))
-			c.sumSq += w * (2*b*delta + delta*delta)
+			c.sumSq.Add(w * (2*b*delta + delta*delta))
 		})
 		led.AddDeltasProbed(nd)
 		if readErr != nil {

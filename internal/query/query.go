@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"seqstore/internal/core"
+	"seqstore/internal/exact"
 	"seqstore/internal/linalg"
 	"seqstore/internal/matio"
 	"seqstore/internal/seqerr"
@@ -222,14 +223,20 @@ func sampleDistinct(rng *rand.Rand, n, k int) []int {
 // accum folds cells into any aggregate.
 //
 // NaN propagation: a NaN cell anywhere in the selection poisons every
-// aggregate over it. Sum/Avg/StdDev propagate arithmetically; Min/Max need
-// the explicit IsNaN check below, because every float comparison against
-// NaN is false and the plain update would silently skip the cell. This
-// matches EvaluateMatrix on raw data (same accumulator) and survives the
-// parallel engine's Merge.
+// aggregate over it. Sum/Avg/StdDev propagate arithmetically (the exact
+// accumulators carry a sticky NaN flag); Min/Max need the explicit IsNaN
+// check below, because every float comparison against NaN is false and the
+// plain update would silently skip the cell. This matches EvaluateMatrix
+// on raw data (same accumulator) and survives the parallel engine's Merge.
+//
+// The running sums are exact.Sum superaccumulators, so folding is
+// associative and commutative at the bit level: the merged result is
+// independent of worker count, chunking, and — for the distributed tier —
+// of how the selection was split across shards. Value() is the correctly
+// rounded float64 of the true sum, not of some grouping of it.
 type accum struct {
 	n          int64
-	sum, sumSq float64
+	sum, sumSq exact.Sum
 	min, max   float64
 }
 
@@ -241,8 +248,8 @@ func (a *accum) reset() { *a = accum{min: math.Inf(1), max: math.Inf(-1)} }
 
 func (a *accum) add(v float64) {
 	a.n++
-	a.sum += v
-	a.sumSq += v * v
+	a.sum.Add(v)
+	a.sumSq.Add(v * v)
 	if math.IsNaN(v) || v < a.min {
 		a.min = v
 	}
@@ -251,14 +258,17 @@ func (a *accum) add(v float64) {
 	}
 }
 
-// Merge folds b into a — the parallel engine's reduction. Every aggregate
-// merges exactly: counts and sums add, min/max take the extremum, and NaN
-// propagates across workers the same way add propagates it within one
-// (an empty accumulator merges as the identity).
+// Merge folds b into a — the parallel engine's (and the distributed
+// gather's) reduction. Every aggregate merges exactly: counts and exact
+// sums add, min/max take the extremum, and NaN propagates across workers
+// the same way add propagates it within one (an empty accumulator merges
+// as the identity). Because the sums are exact, merging is bit-identical
+// regardless of how cells were partitioned or in what order partials
+// arrive.
 func (a *accum) Merge(b *accum) {
 	a.n += b.n
-	a.sum += b.sum
-	a.sumSq += b.sumSq
+	a.sum.Merge(&b.sum)
+	a.sumSq.Merge(&b.sumSq)
 	if math.IsNaN(b.min) || b.min < a.min {
 		a.min = b.min
 	}
@@ -273,9 +283,9 @@ func (a *accum) result(agg Aggregate) (float64, error) {
 	}
 	switch agg {
 	case Sum:
-		return a.sum, nil
+		return a.sum.Value(), nil
 	case Avg:
-		return a.sum / float64(a.n), nil
+		return a.sum.Value() / float64(a.n), nil
 	case Count:
 		return float64(a.n), nil
 	case Min:
@@ -283,8 +293,8 @@ func (a *accum) result(agg Aggregate) (float64, error) {
 	case Max:
 		return a.max, nil
 	case StdDev:
-		mean := a.sum / float64(a.n)
-		v := a.sumSq/float64(a.n) - mean*mean
+		mean := a.sum.Value() / float64(a.n)
+		v := a.sumSq.Value()/float64(a.n) - mean*mean
 		if v < 0 {
 			v = 0
 		}

@@ -1,13 +1,14 @@
 // Package seqerr defines the error taxonomy shared by every seqstore layer.
 //
-// The public facade re-exports the four sentinels below, so callers anywhere
-// in the stack — facade, CLI, HTTP handler — can classify failures with
-// errors.Is instead of string matching:
+// The public facade re-exports the first four sentinels below, so callers
+// anywhere in the stack — facade, CLI, HTTP handler — can classify failures
+// with errors.Is instead of string matching:
 //
 //	ErrOutOfRange     the request addressed a cell/row/column that does not exist
 //	ErrEmptySelection the request selected zero cells
 //	ErrBadVersion     the file is a seqstore file, but a version this build cannot read
 //	ErrCorrupt        the file is damaged (checksum mismatch, truncation, bad structure)
+//	ErrUnavailable    a backend (a distributed store node) is temporarily unreachable
 //
 // Internal packages never return the sentinels bare; they wrap them with
 // package- and site-specific context (path, page, offset) via %w or
@@ -26,6 +27,12 @@ var (
 	ErrEmptySelection = errors.New("seqstore: empty selection")
 	ErrBadVersion     = errors.New("seqstore: unsupported format version")
 	ErrCorrupt        = errors.New("seqstore: corrupt data")
+
+	// ErrUnavailable marks a dependency that is temporarily unreachable —
+	// in the distributed tier, a store node that failed its health check or
+	// timed out mid-scatter. HTTP layers map it to 503 so clients retry,
+	// distinguishing it from ErrCorrupt's "damaged at rest".
+	ErrUnavailable = errors.New("seqstore: backend unavailable")
 )
 
 // CorruptError reports damaged on-disk data with its location: which file,

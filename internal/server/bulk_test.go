@@ -190,7 +190,7 @@ func TestBulkPerItemErrors(t *testing.T) {
 func TestBulkOnReadOnlyStoreIs403(t *testing.T) {
 	srv, _, _ := newTestServer(t, Options{})
 	out, _ := postBulk(t, srv.URL, bulkLine(t, "x", rampRow(366, 1)), http.StatusForbidden)
-	if !strings.Contains(out["error"].(string), "read-only") {
+	if !strings.Contains(errMessage(t, out), "read-only") {
 		t.Errorf("error = %v", out["error"])
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"seqstore/internal/api"
 	"seqstore/internal/core"
 	"seqstore/internal/ingest"
 	"seqstore/internal/query"
@@ -183,15 +185,31 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	h.route("cells", h.handleCells)
 	h.route("row", h.handleRow)
 	h.route("rows", h.handleRows)
-	h.route("agg", h.handleAgg)
+	// The GET query-param aggregate form is kept for existing clients but
+	// deprecated in favor of POST /v1/aggregate (same JSON item schema as
+	// the batch endpoint), following the /agg → /v1/agg precedent.
+	h.handle("/v1/agg", deprecatedBy("/v1/aggregate", h.handleAgg))
+	h.handle("/agg", deprecatedBy("/v1/aggregate", h.handleAgg))
 	h.route("metrics", h.handleMetrics)
 	h.route("healthz", h.handleHealthz)
 	h.handle(tracesPattern, h.handleTraces)
 	// The write endpoint has no legacy alias; it is registered even on a
 	// read-only store so clients get a clear 403 instead of a 404.
 	h.handleMethod("/v1/bulk", http.MethodPost, h.handleBulk)
+	h.handleMethod("/v1/aggregate", http.MethodPost, h.handleAggregate)
 	h.handleMethod("/v1/aggregate/batch", http.MethodPost, h.handleAggBatch)
 	return h
+}
+
+// deprecatedBy wraps an endpoint that still works but has a preferred
+// successor, advertising it with the standard Deprecation and Link headers.
+func deprecatedBy(successor string, fn http.HandlerFunc) http.HandlerFunc {
+	link := fmt.Sprintf("<%s>; rel=\"successor-version\"", successor)
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", link)
+		fn(w, r)
+	}
 }
 
 // tracesPattern is the trace-ring endpoint; it is excluded from its own
@@ -309,12 +327,7 @@ func (h *Handler) registerGauges() {
 // while new ones are steered to /v1/.
 func (h *Handler) route(name string, fn http.HandlerFunc) {
 	h.handle("/v1/"+name, fn)
-	successor := fmt.Sprintf("</v1/%s>; rel=\"successor-version\"", name)
-	h.handle("/"+name, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", successor)
-		fn(w, r)
-	})
+	h.handle("/"+name, deprecatedBy("/v1/"+name, fn))
 }
 
 // ServeHTTP dispatches to the instrumented endpoint handlers.
@@ -373,19 +386,22 @@ func (h *Handler) handleMethod(pattern, method string, fn http.HandlerFunc) {
 
 		sw := &statusWriter{ResponseWriter: w}
 		// Cost headers must precede the body. Handlers buffer their JSON and
-		// commit in one WriteHeader (writeJSON), so the ledger is final by
-		// the time the first byte is committed.
+		// commit in one WriteHeader (api.WriteJSON), so the ledger is final
+		// by the time the first byte is committed. The full X-Cost-* set is
+		// emitted so a proxy can fold this node's ledger into its own.
 		sw.beforeHeader = func() {
 			hdr := sw.Header()
-			hdr.Set("X-Request-Id", id)
-			hdr.Set("X-Cost-Disk-Accesses",
-				strconv.FormatInt(tr.Ledger.DiskAccesses(), 10))
+			hdr.Set(trace.HeaderRequestID, id)
+			trace.EncodeCostHeaders(hdr, tr.Ledger.Snapshot())
 		}
 
 		if r.Method != method {
 			sw.Header().Set("Allow", method)
-			writeError(sw, http.StatusMethodNotAllowed,
-				fmt.Sprintf("method %s not allowed; use %s", r.Method, method))
+			api.WriteErrorDetail(sw, http.StatusMethodNotAllowed, api.ErrorDetail{
+				Code:      api.CodeMethodNotAllowed,
+				Message:   fmt.Sprintf("method %s not allowed; use %s", r.Method, method),
+				RequestID: id,
+			})
 		} else {
 			fn(sw, r)
 		}
@@ -566,22 +582,22 @@ func (h *Handler) cell(ctx context.Context, i, j int) (float64, error) {
 
 func (h *Handler) handleInfo(w http.ResponseWriter, r *http.Request) {
 	rows, cols := h.st.Dims()
-	body := map[string]interface{}{
-		"method":        h.st.Method().String(),
-		"rows":          rows,
-		"cols":          cols,
-		"spaceRatio":    store.SpaceRatio(h.st),
-		"storedNumbers": h.st.StoredNumbers(),
-		"rowLabels":     h.rowIndex != nil,
-		"colLabels":     h.colIndex != nil,
-		"cacheRows":     h.opts.CacheRows,
-		"writable":      h.writable != nil,
+	body := api.InfoResponse{
+		Method:        h.st.Method().String(),
+		Rows:          rows,
+		Cols:          cols,
+		SpaceRatio:    store.SpaceRatio(h.st),
+		StoredNumbers: h.st.StoredNumbers(),
+		RowLabels:     h.rowIndex != nil,
+		ColLabels:     h.colIndex != nil,
+		CacheRows:     h.opts.CacheRows,
+		Writable:      h.writable != nil,
 	}
 	if h.writable != nil {
-		body["hotRows"] = h.writable.HotRows()
-		body["coldRows"] = h.writable.ColdRows()
+		body.HotRows = h.writable.HotRows()
+		body.ColdRows = h.writable.ColdRows()
 	}
-	writeJSON(w, http.StatusOK, body)
+	api.WriteJSON(w, http.StatusOK, body)
 }
 
 func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
@@ -590,32 +606,39 @@ func (h *Handler) handleCell(w http.ResponseWriter, r *http.Request) {
 	if rl, cl := q.Get("row"), q.Get("col"); rl != "" || cl != "" {
 		i, j, err := h.resolveLabels(rl, cl)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			api.WriteInvalid(w, r, err.Error())
 			return
 		}
 		v, err := h.cell(r.Context(), i, j)
 		if err != nil {
-			writeError(w, h.status(err), err.Error())
+			h.fail(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, withValue(map[string]interface{}{
-			"row": rl, "col": cl, "i": i, "j": j,
-		}, v))
+		api.WriteJSON(w, http.StatusOK, cellBody(i, j, rl, cl, v))
 		return
 	}
 	i, err1 := strconv.Atoi(q.Get("i"))
 	j, err2 := strconv.Atoi(q.Get("j"))
 	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest,
+		api.WriteInvalid(w, r,
 			"cell needs integer i and j (or label row and col) parameters")
 		return
 	}
 	v, err := h.cell(r.Context(), i, j)
 	if err != nil {
-		writeError(w, h.status(err), err.Error())
+		h.fail(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, withValue(map[string]interface{}{"i": i, "j": j}, v))
+	api.WriteJSON(w, http.StatusOK, cellBody(i, j, "", "", v))
+}
+
+// cellBody renders one cell lookup result in the shared wire form.
+func cellBody(i, j int, rowLabel, colLabel string, v float64) api.CellResponse {
+	val, marker := api.Float(v)
+	return api.CellResponse{
+		I: i, J: j, Row: rowLabel, Col: colLabel,
+		Value: val, Nonfinite: marker,
+	}
 }
 
 // handleCells answers a batch of cell lookups in one request:
@@ -629,56 +652,57 @@ func (h *Handler) handleCells(w http.ResponseWriter, r *http.Request) {
 			part = strings.TrimSpace(part)
 			is, js, ok := strings.Cut(part, ":")
 			if !ok {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("bad cell %q: want i:j", part))
+				api.WriteInvalid(w, r, fmt.Sprintf("bad cell %q: want i:j", part))
 				return
 			}
 			i, err1 := strconv.Atoi(strings.TrimSpace(is))
 			j, err2 := strconv.Atoi(strings.TrimSpace(js))
 			if err1 != nil || err2 != nil {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("bad cell %q: want integer i:j", part))
+				api.WriteInvalid(w, r, fmt.Sprintf("bad cell %q: want integer i:j", part))
 				return
 			}
 			coords = append(coords, [2]int{i, j})
 		}
 	}
 	if len(coords) == 0 {
-		writeError(w, http.StatusBadRequest, "cells needs at=i:j[,i:j...] parameters")
+		api.WriteInvalid(w, r, "cells needs at=i:j[,i:j...] parameters")
 		return
 	}
 	if len(coords) > h.opts.MaxBatchCells {
-		writeError(w, http.StatusBadRequest,
+		api.WriteInvalid(w, r,
 			fmt.Sprintf("batch of %d cells exceeds limit %d", len(coords), h.opts.MaxBatchCells))
 		return
 	}
-	cells := make([]map[string]interface{}, 0, len(coords))
+	cells := make([]api.CellResponse, 0, len(coords))
 	for _, c := range coords {
 		v, err := h.cell(r.Context(), c[0], c[1])
 		if err != nil {
-			writeError(w, h.status(err),
-				fmt.Sprintf("cell %d:%d: %v", c[0], c[1], err))
+			h.fail(w, r, fmt.Errorf("cell %d:%d: %w", c[0], c[1], err))
 			return
 		}
-		cells = append(cells, withValue(map[string]interface{}{"i": c[0], "j": c[1]}, v))
+		cells = append(cells, cellBody(c[0], c[1], "", "", v))
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"count": len(cells), "cells": cells,
-	})
+	api.WriteJSON(w, http.StatusOK, api.CellsResponse{Count: len(cells), Cells: cells})
 }
 
 func (h *Handler) handleRow(w http.ResponseWriter, r *http.Request) {
 	i, err := strconv.Atoi(r.URL.Query().Get("i"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "row needs an integer i parameter")
+		api.WriteInvalid(w, r, "row needs an integer i parameter")
 		return
 	}
 	row, err := h.row(r.Context(), i)
 	if err != nil {
-		writeError(w, h.status(err), err.Error())
+		h.fail(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rowBody(i, row))
+	api.WriteJSON(w, http.StatusOK, rowBody(i, row))
+}
+
+// rowBody renders one reconstructed row in the shared wire form.
+func rowBody(i int, row []float64) api.RowResponse {
+	vals, nonfinite := api.RowValues(row)
+	return api.RowResponse{I: i, Values: vals, Nonfinite: nonfinite}
 }
 
 // handleRows reconstructs a batch of rows: /rows?i=0:8,17 with the same
@@ -688,81 +712,142 @@ func (h *Handler) handleRows(w http.ResponseWriter, r *http.Request) {
 	n, _ := h.st.Dims()
 	spec := r.URL.Query().Get("i")
 	if strings.TrimSpace(spec) == "" {
-		writeError(w, http.StatusBadRequest, "rows needs an i index spec, e.g. i=0:8,17")
+		api.WriteInvalid(w, r, "rows needs an i index spec, e.g. i=0:8,17")
 		return
 	}
 	idx, err := query.ParseIndexSpec(spec, n)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		api.WriteInvalid(w, r, err.Error())
 		return
 	}
 	if len(idx) == 0 {
-		writeError(w, http.StatusBadRequest, "rows selection is empty")
+		api.WriteInvalid(w, r, "rows selection is empty")
 		return
 	}
 	if len(idx) > h.opts.MaxBatchRows {
-		writeError(w, http.StatusBadRequest,
+		api.WriteInvalid(w, r,
 			fmt.Sprintf("batch of %d rows exceeds limit %d", len(idx), h.opts.MaxBatchRows))
 		return
 	}
-	rows := make([]map[string]interface{}, 0, len(idx))
+	rows := make([]api.RowResponse, 0, len(idx))
 	for _, i := range idx {
 		row, err := h.row(r.Context(), i)
 		if err != nil {
-			writeError(w, h.status(err), fmt.Sprintf("row %d: %v", i, err))
+			h.fail(w, r, fmt.Errorf("row %d: %w", i, err))
 			return
 		}
 		rows = append(rows, rowBody(i, row))
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"count": len(rows), "rows": rows,
-	})
+	api.WriteJSON(w, http.StatusOK, api.RowsResponse{Count: len(rows), Rows: rows})
 }
 
-func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
+// parsedAgg is one aggregate query after parsing: the aggregate, the
+// resolved selection, and the canonical function name echoed in responses.
+type parsedAgg struct {
+	f   string
+	agg query.Aggregate
+	sel query.Selection
+}
+
+// parseAggQuery resolves an AggregateRequest's (f, rows, cols) against the
+// store's dimensions. F defaults to "avg"; empty specs select full axes.
+func (h *Handler) parseAggQuery(req api.AggregateRequest) (parsedAgg, error) {
 	n, m := h.st.Dims()
-	q := r.URL.Query()
-	f := q.Get("f")
+	f := req.F
 	if f == "" {
 		f = "avg"
 	}
 	agg, err := query.ParseAggregate(f)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		return parsedAgg{}, err
+	}
+	rows, err := query.ParseIndexSpec(req.Rows, n)
+	if err != nil {
+		return parsedAgg{}, fmt.Errorf("rows: %w", err)
+	}
+	cols, err := query.ParseIndexSpec(req.Cols, m)
+	if err != nil {
+		return parsedAgg{}, fmt.Errorf("cols: %w", err)
+	}
+	return parsedAgg{f: f, agg: agg, sel: query.Selection{Rows: rows, Cols: cols}}, nil
+}
+
+// queryOptions is the evaluation configuration shared by every aggregate
+// endpoint.
+func (h *Handler) queryOptions(ctx context.Context) query.Options {
+	return query.Options{Workers: h.opts.QueryWorkers, Ctx: ctx, Plans: h.plans}
+}
+
+// handleAgg is the deprecated GET query-param aggregate form; it shares
+// the evaluation path of POST /v1/aggregate.
+func (h *Handler) handleAgg(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	h.serveAggregate(w, r, api.AggregateRequest{
+		F: q.Get("f"), Rows: q.Get("rows"), Cols: q.Get("cols"),
+	})
+}
+
+// handleAggregate is the typed aggregate endpoint: POST /v1/aggregate with
+// one AggregateRequest body — the same item schema /v1/aggregate/batch
+// takes — replacing the query-param form. With "partial": true the
+// response carries the mergeable partial state instead of a value (the
+// scatter/gather form used between proxy and store nodes).
+func (h *Handler) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req api.AggregateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAggBatchBody))
+	if err := dec.Decode(&req); err != nil {
+		api.WriteInvalid(w, r, fmt.Sprintf("aggregate: malformed JSON body: %v", err))
 		return
 	}
-	rows, err := query.ParseIndexSpec(q.Get("rows"), n)
+	h.serveAggregate(w, r, req)
+}
+
+func (h *Handler) serveAggregate(w http.ResponseWriter, r *http.Request, req api.AggregateRequest) {
+	pa, err := h.parseAggQuery(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "rows: "+err.Error())
-		return
-	}
-	cols, err := query.ParseIndexSpec(q.Get("cols"), m)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "cols: "+err.Error())
+		api.WriteInvalid(w, r, err.Error())
 		return
 	}
 	sp := trace.StartSpan(r.Context(), "evaluate")
-	sp.SetAttr("f", f)
-	sp.SetAttr("rows", len(rows))
-	sp.SetAttr("cols", len(cols))
-	v, err := query.EvaluateOpts(h.st, agg, query.Selection{Rows: rows, Cols: cols},
-		query.Options{Workers: h.opts.QueryWorkers, Ctx: r.Context(), Plans: h.plans})
-	sp.End()
-	if err != nil {
-		writeError(w, h.status(err), err.Error())
-		return
+	sp.SetAttr("f", pa.f)
+	sp.SetAttr("rows", len(pa.sel.Rows))
+	sp.SetAttr("cols", len(pa.sel.Cols))
+	body := api.AggregateResponse{F: pa.f, Rows: len(pa.sel.Rows), Cols: len(pa.sel.Cols)}
+	if req.Partial {
+		p, err := query.EvaluatePartial(h.st, pa.agg, pa.sel, h.queryOptions(r.Context()))
+		sp.End()
+		if err != nil {
+			h.fail(w, r, err)
+			return
+		}
+		enc, err := encodePartial(p)
+		if err != nil {
+			h.fail(w, r, err)
+			return
+		}
+		body.Partial = enc
+	} else {
+		v, err := query.EvaluateOpts(h.st, pa.agg, pa.sel, h.queryOptions(r.Context()))
+		sp.End()
+		if err != nil {
+			h.fail(w, r, err)
+			return
+		}
+		body.Value, body.Nonfinite = api.Float(v)
 	}
-	writeJSON(w, http.StatusOK, withValue(map[string]interface{}{
-		"f": f, "rows": len(rows), "cols": len(cols),
-	}, v))
+	api.WriteJSON(w, http.StatusOK, body)
 }
 
-// aggBatchQuery is one query of a /v1/aggregate/batch request: the same
-// (f, rows, cols) triple /v1/agg takes as URL parameters.
-type aggBatchQuery struct {
-	F    string `json:"f"`
-	Rows string `json:"rows"`
-	Cols string `json:"cols"`
+// encodePartial renders a mergeable partial in its wire form: the
+// versioned binary frame, base64-wrapped so it can ride inside JSON
+// (partials carry exact accumulators and possibly-NaN extrema, which JSON
+// numbers cannot).
+func encodePartial(p *query.Partial) (string, error) {
+	raw, err := p.MarshalBinary()
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(raw), nil
 }
 
 // maxAggBatchBody bounds a /v1/aggregate/batch request body. Index specs
@@ -780,88 +865,101 @@ const maxAggBatchBody = 1 << 20
 // {"took":<ms>,"errors":<bool>,"items":[{"status":200,"f":"sum",...,"value":V},...]}.
 func (h *Handler) handleAggBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	n, m := h.st.Dims()
-	var req struct {
-		Queries []aggBatchQuery `json:"queries"`
-	}
+	var req api.BatchAggregateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAggBatchBody))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest,
+		api.WriteInvalid(w, r,
 			fmt.Sprintf("aggregate/batch: malformed JSON body: %v", err))
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest,
-			`aggregate/batch needs a non-empty "queries" array`)
+		api.WriteInvalid(w, r, `aggregate/batch needs a non-empty "queries" array`)
 		return
 	}
 	if len(req.Queries) > h.opts.MaxBatchQueries {
-		writeError(w, http.StatusBadRequest,
+		api.WriteInvalid(w, r,
 			fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), h.opts.MaxBatchQueries))
 		return
 	}
 
 	items := make([]query.BatchItem, len(req.Queries))
+	parsed := make([]parsedAgg, len(req.Queries))
 	parseErrs := make([]string, len(req.Queries))
 	hadErr := false
 	for qi, bq := range req.Queries {
-		f := bq.F
-		if f == "" {
-			f = "avg"
-		}
-		agg, err := query.ParseAggregate(f)
+		pa, err := h.parseAggQuery(bq)
 		if err != nil {
 			parseErrs[qi], hadErr = err.Error(), true
 			continue
 		}
-		rows, err := query.ParseIndexSpec(bq.Rows, n)
-		if err != nil {
-			parseErrs[qi], hadErr = "rows: "+err.Error(), true
-			continue
-		}
-		cols, err := query.ParseIndexSpec(bq.Cols, m)
-		if err != nil {
-			parseErrs[qi], hadErr = "cols: "+err.Error(), true
-			continue
-		}
-		items[qi] = query.BatchItem{Agg: agg, Sel: query.Selection{Rows: rows, Cols: cols}}
+		parsed[qi] = pa
+		items[qi] = query.BatchItem{Agg: pa.agg, Sel: pa.sel}
 	}
 
 	sp := trace.StartSpan(r.Context(), "evaluate_batch")
 	sp.SetAttr("queries", len(items))
-	results, err := query.EvaluateBatch(h.st, items,
-		query.Options{Workers: h.opts.QueryWorkers, Ctx: r.Context(), Plans: h.plans})
-	sp.End()
-	if err != nil {
-		// Only a batch-level failure (context cancellation) lands here;
-		// per-query errors come back in results.
-		writeError(w, h.status(err), err.Error())
-		return
-	}
-
-	type aggBatchItem = map[string]interface{}
-	out := make([]aggBatchItem, len(req.Queries))
-	for qi := range req.Queries {
+	sp.SetAttr("partial", req.Partial)
+	out := make([]api.BatchAggregateItem, len(req.Queries))
+	render := func(qi int, rerr error, fill func(it *api.BatchAggregateItem) error) {
 		if parseErrs[qi] != "" {
-			out[qi] = aggBatchItem{"status": http.StatusBadRequest, "error": parseErrs[qi]}
-			continue
+			out[qi] = api.BatchAggregateItem{Status: http.StatusBadRequest, Error: parseErrs[qi]}
+			return
 		}
-		if rerr := results[qi].Err; rerr != nil {
-			hadErr = true
-			out[qi] = aggBatchItem{"status": h.status(rerr), "error": rerr.Error()}
-			continue
+		if rerr == nil {
+			it := api.BatchAggregateItem{
+				Status: http.StatusOK,
+				F:      parsed[qi].f,
+				Rows:   len(parsed[qi].sel.Rows),
+				Cols:   len(parsed[qi].sel.Cols),
+			}
+			rerr = fill(&it)
+			if rerr == nil {
+				out[qi] = it
+				return
+			}
 		}
-		out[qi] = withValue(aggBatchItem{
-			"status": http.StatusOK,
-			"f":      items[qi].Agg.String(),
-			"rows":   len(items[qi].Sel.Rows),
-			"cols":   len(items[qi].Sel.Cols),
-		}, results[qi].Value)
+		hadErr = true
+		status, _ := api.Classify(rerr)
+		out[qi] = api.BatchAggregateItem{Status: h.accountStatus(status), Error: rerr.Error()}
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"took":   time.Since(start).Milliseconds(),
-		"errors": hadErr,
-		"items":  out,
+	if req.Partial {
+		// The scatter/gather form: every query returns mergeable partial
+		// state through the same scan-sharing pass the value form uses.
+		results, err := query.EvaluateBatchPartial(h.st, items, h.queryOptions(r.Context()))
+		sp.End()
+		if err != nil {
+			h.fail(w, r, err)
+			return
+		}
+		for qi := range req.Queries {
+			pr := results[qi]
+			render(qi, pr.Err, func(it *api.BatchAggregateItem) error {
+				enc, err := encodePartial(pr.Partial)
+				it.Partial = enc
+				return err
+			})
+		}
+	} else {
+		results, err := query.EvaluateBatch(h.st, items, h.queryOptions(r.Context()))
+		sp.End()
+		if err != nil {
+			// Only a batch-level failure (context cancellation) lands here;
+			// per-query errors come back in results.
+			h.fail(w, r, err)
+			return
+		}
+		for qi := range req.Queries {
+			v := results[qi].Value
+			render(qi, results[qi].Err, func(it *api.BatchAggregateItem) error {
+				it.Value, it.Nonfinite = api.Float(v)
+				return nil
+			})
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, api.BatchAggregateResponse{
+		Took:   time.Since(start).Milliseconds(),
+		Errors: hadErr,
+		Items:  out,
 	})
 }
 
@@ -870,27 +968,6 @@ func (h *Handler) handleAggBatch(w http.ResponseWriter, r *http.Request) {
 // maxBulkLine bounds one NDJSON line of a /v1/bulk body; a longer line is a
 // malformed request, not a server fault.
 const maxBulkLine = 1 << 20
-
-// bulkItem is one per-document outcome in a /v1/bulk response, keyed under
-// "create" to match the Elasticsearch-style bulk contract (every document
-// here creates a new row; there is no update or delete).
-type bulkItem struct {
-	Create bulkResult `json:"create"`
-}
-
-type bulkResult struct {
-	Status int    `json:"status"`
-	Row    int    `json:"row,omitempty"`
-	Label  string `json:"label,omitempty"`
-	Error  string `json:"error,omitempty"`
-}
-
-// bulkDoc is one NDJSON document line: the row's values plus an optional
-// label registered for /v1/cell?row=<label> addressing.
-type bulkDoc struct {
-	Label  string    `json:"label"`
-	Values []float64 `json:"values"`
-}
 
 // handleBulk ingests rows through the NDJSON bulk idiom: optional action
 // lines ({"create":{}} or {"index":{}}) interleaved with document lines
@@ -907,17 +984,20 @@ type bulkDoc struct {
 // document boundary is.
 func (h *Handler) handleBulk(w http.ResponseWriter, r *http.Request) {
 	if h.writable == nil {
-		writeError(w, http.StatusForbidden,
-			"store is read-only: start the server on a writable (tiered) store to enable /v1/bulk")
+		api.WriteErrorDetail(w, http.StatusForbidden, api.ErrorDetail{
+			Code:      api.CodeNotWritable,
+			Message:   "store is read-only: start the server on a writable (tiered) store to enable /v1/bulk",
+			RequestID: trace.FromContext(r.Context()).ID(),
+		})
 		return
 	}
 	start := time.Now()
 	_, cols := h.st.Dims()
 
 	var (
-		items   []bulkItem
-		pending []bulkDoc // validated documents awaiting the batch append
-		slot    []int     // items index for each pending document
+		items   []api.BulkItem
+		pending []api.BulkDoc // validated documents awaiting the batch append
+		slot    []int         // items index for each pending document
 		hadErr  bool
 	)
 	sc := bufio.NewScanner(r.Body)
@@ -931,7 +1011,7 @@ func (h *Handler) handleBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		var obj map[string]json.RawMessage
 		if err := json.Unmarshal(line, &obj); err != nil {
-			writeError(w, http.StatusBadRequest,
+			api.WriteInvalid(w, r,
 				fmt.Sprintf("bulk line %d: malformed JSON: %v", lineNo, err))
 			return
 		}
@@ -943,13 +1023,13 @@ func (h *Handler) handleBulk(w http.ResponseWriter, r *http.Request) {
 				// operation, so the action carries no information.
 				continue
 			}
-			writeError(w, http.StatusBadRequest,
+			api.WriteInvalid(w, r,
 				fmt.Sprintf("bulk line %d: neither an action ({\"create\":{}}) nor a document with \"values\"", lineNo))
 			return
 		}
-		var d bulkDoc
+		var d api.BulkDoc
 		if err := json.Unmarshal(line, &d); err != nil {
-			writeError(w, http.StatusBadRequest,
+			api.WriteInvalid(w, r,
 				fmt.Sprintf("bulk line %d: malformed document: %v", lineNo, err))
 			return
 		}
@@ -968,27 +1048,26 @@ func (h *Handler) handleBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		if reason != "" {
 			hadErr = true
-			items = append(items, bulkItem{Create: bulkResult{
+			items = append(items, api.BulkItem{Create: api.BulkResult{
 				Status: http.StatusBadRequest, Label: d.Label, Error: reason,
 			}})
 			continue
 		}
 		slot = append(slot, len(items))
-		items = append(items, bulkItem{}) // filled in after the append
+		items = append(items, api.BulkItem{}) // filled in after the append
 		pending = append(pending, d)
 	}
 	if err := sc.Err(); err != nil {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("bulk line %d: %v", lineNo+1, err))
+		api.WriteInvalid(w, r, fmt.Sprintf("bulk line %d: %v", lineNo+1, err))
 		return
 	}
 	if len(items) == 0 {
-		writeError(w, http.StatusBadRequest,
+		api.WriteInvalid(w, r,
 			"bulk body has no documents; send NDJSON lines like {\"label\":\"x\",\"values\":[...]}")
 		return
 	}
 	if len(pending) > h.opts.MaxBatchRows {
-		writeError(w, http.StatusBadRequest,
+		api.WriteInvalid(w, r,
 			fmt.Sprintf("batch of %d rows exceeds limit %d", len(pending), h.opts.MaxBatchRows))
 		return
 	}
@@ -1002,19 +1081,19 @@ func (h *Handler) handleBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		first, err := h.writable.AppendBatch(r.Context(), labels, rows)
 		if err != nil {
-			writeError(w, h.status(err), err.Error())
+			h.fail(w, r, err)
 			return
 		}
 		for k := range pending {
-			items[slot[k]].Create = bulkResult{
+			items[slot[k]].Create = api.BulkResult{
 				Status: http.StatusCreated, Row: first + k, Label: pending[k].Label,
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"took":   time.Since(start).Milliseconds(),
-		"errors": hadErr,
-		"items":  items,
+	api.WriteJSON(w, http.StatusOK, api.BulkResponse{
+		Took:   time.Since(start).Milliseconds(),
+		Errors: hadErr,
+		Items:  items,
 	})
 }
 
@@ -1094,7 +1173,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if h.writable != nil {
 		body["ingest"] = h.writable.Stats()
 	}
-	writeJSON(w, http.StatusOK, body)
+	api.WriteJSON(w, http.StatusOK, body)
 }
 
 // handleTraces serves the ring of recently completed traces, newest first.
@@ -1102,7 +1181,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // so nothing here can leak a query string or customer label.
 func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
 	traces := h.ring.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	api.WriteJSON(w, http.StatusOK, map[string]interface{}{
 		"count":    len(traces),
 		"capacity": h.ring.Cap(),
 		"total":    h.ring.Total(),
@@ -1111,7 +1190,7 @@ func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	api.WriteJSON(w, http.StatusOK, api.HealthzResponse{Status: "ok"})
 }
 
 // --- Helpers ---------------------------------------------------------------
@@ -1152,110 +1231,28 @@ func indexLabels(ss []string) map[string]int {
 	return m
 }
 
-// StatusClientClosedRequest is the nginx-convention status for a request
-// abandoned by the client (context.Canceled); no standard code exists.
-const StatusClientClosedRequest = 499
+// StatusClientClosedRequest is re-exported from the shared wire contract
+// for existing callers; see api.StatusClientClosedRequest.
+const StatusClientClosedRequest = api.StatusClientClosedRequest
 
-// errStatus is the single error → HTTP status table, driven by the shared
-// seqerr taxonomy instead of string matching. First match wins.
-var errStatus = []struct {
-	class  error
-	status int
-}{
-	{seqerr.ErrOutOfRange, http.StatusBadRequest},      // caller's indices are bad
-	{seqerr.ErrEmptySelection, http.StatusBadRequest},  // caller selected zero cells
-	{ingest.ErrNotFinite, http.StatusBadRequest},       // caller sent NaN/Inf values
-	{ingest.ErrNotWritable, http.StatusForbidden},      // store cannot absorb writes
-	{seqerr.ErrCorrupt, http.StatusServiceUnavailable}, // store damaged: fail loud, stay up
-	{seqerr.ErrBadVersion, http.StatusInternalServerError},
-	{context.Canceled, StatusClientClosedRequest},
-	{context.DeadlineExceeded, http.StatusGatewayTimeout},
+// fail classifies err through the shared api taxonomy, accounts
+// store-corruption surfacing, and writes the unified error envelope.
+func (h *Handler) fail(w http.ResponseWriter, r *http.Request, err error) {
+	status, code := api.Classify(err)
+	api.WriteErrorDetail(w, h.accountStatus(status), api.ErrorDetail{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: trace.FromContext(r.Context()).ID(),
+	})
 }
 
-// statusFor classifies an error via the taxonomy table. Unrecognized errors
-// — a failing disk read, an encoding bug — are internal failures (500).
-func statusFor(err error) int {
-	for _, e := range errStatus {
-		if errors.Is(err, e.class) {
-			return e.status
-		}
-	}
-	return http.StatusInternalServerError
-}
-
-// status is statusFor plus accounting: every corruption surfaced to a
-// client increments the store_corruptions counter on /metrics, so a
-// damaged store is visible to monitoring even while healthy endpoints keep
-// serving.
-func (h *Handler) status(err error) int {
-	s := statusFor(err)
-	if s == http.StatusServiceUnavailable {
+// accountStatus is the monitoring side channel of error classification:
+// every corruption surfaced to a client increments the store_corruptions
+// counter on /metrics, so a damaged store is visible to monitoring even
+// while healthy endpoints keep serving.
+func (h *Handler) accountStatus(status int) int {
+	if status == http.StatusServiceUnavailable {
 		h.corruptions.Inc()
 	}
-	return s
-}
-
-// jsonValue maps a float to a JSON-encodable value: finite numbers pass
-// through; NaN/±Inf (which encoding/json rejects) become nil — rendered as
-// JSON null — plus a marker naming the non-finite class.
-func jsonValue(v float64) (val interface{}, marker string) {
-	switch {
-	case math.IsNaN(v):
-		return nil, "NaN"
-	case math.IsInf(v, 1):
-		return nil, "+Inf"
-	case math.IsInf(v, -1):
-		return nil, "-Inf"
-	}
-	return v, ""
-}
-
-// withValue sets body["value"] to the JSON-safe form of v, adding a
-// "nonfinite" marker when v is NaN or ±Inf.
-func withValue(body map[string]interface{}, v float64) map[string]interface{} {
-	val, marker := jsonValue(v)
-	body["value"] = val
-	if marker != "" {
-		body["nonfinite"] = marker
-	}
-	return body
-}
-
-// rowBody renders one reconstructed row, mapping non-finite cells to null
-// and counting them in a "nonfinite" field.
-func rowBody(i int, row []float64) map[string]interface{} {
-	vals := make([]interface{}, len(row))
-	nonfinite := 0
-	for j, v := range row {
-		val, marker := jsonValue(v)
-		vals[j] = val
-		if marker != "" {
-			nonfinite++
-		}
-	}
-	body := map[string]interface{}{"i": i, "values": vals}
-	if nonfinite > 0 {
-		body["nonfinite"] = nonfinite
-	}
-	return body
-}
-
-// writeJSON encodes body to a buffer first and only then commits the
-// status line, so an encoding failure yields a clean 500 instead of a
-// truncated 200 (the prototype's bug).
-func writeJSON(w http.ResponseWriter, status int, body interface{}) {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintln(w, `{"error":"internal: response encoding failed"}`)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(append(buf, '\n'))
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	return status
 }

@@ -80,6 +80,24 @@ func phoneStore(t *testing.T, n int) (*core.Store, *linalg.Matrix) {
 	return pair[0].(*core.Store), pair[1].(*linalg.Matrix)
 }
 
+// errMessage digs the human-readable message out of the unified error
+// envelope {"error": {"code", "message", "request_id"}}.
+func errMessage(t *testing.T, body map[string]interface{}) string {
+	t.Helper()
+	env, ok := body["error"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("body has no error envelope: %v", body)
+	}
+	msg, _ := env["message"].(string)
+	if msg == "" {
+		t.Fatalf("error envelope has no message: %v", env)
+	}
+	if code, _ := env["code"].(string); code == "" {
+		t.Fatalf("error envelope has no code: %v", env)
+	}
+	return msg
+}
+
 func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Handler, *linalg.Matrix) {
 	t.Helper()
 	st, x := phoneStore(t, 120)
@@ -191,7 +209,7 @@ func TestAggEndpoint(t *testing.T) {
 func TestEmptySelectionIs400(t *testing.T) {
 	srv, _, _ := newTestServer(t, Options{})
 	body := getJSON(t, srv.URL+"/agg?rows=5:5", http.StatusBadRequest)
-	if !strings.Contains(body["error"].(string), "empty selection") {
+	if !strings.Contains(errMessage(t, body), "empty selection") {
 		t.Errorf("error = %v, want mention of empty selection", body["error"])
 	}
 }
@@ -322,7 +340,7 @@ func TestCellsBatchLimit(t *testing.T) {
 	srv, _, _ := newTestServer(t, Options{MaxBatchCells: 2})
 	getJSON(t, srv.URL+"/cells?at=0:0,0:1", http.StatusOK)
 	body := getJSON(t, srv.URL+"/cells?at=0:0,0:1,0:2", http.StatusBadRequest)
-	if !strings.Contains(body["error"].(string), "exceeds limit") {
+	if !strings.Contains(errMessage(t, body), "exceeds limit") {
 		t.Errorf("error = %v", body["error"])
 	}
 }
@@ -352,7 +370,7 @@ func TestRowsBatchLimit(t *testing.T) {
 	srv, _, _ := newTestServer(t, Options{MaxBatchRows: 3})
 	getJSON(t, srv.URL+"/rows?i=0:3", http.StatusOK)
 	body := getJSON(t, srv.URL+"/rows?i=0:4", http.StatusBadRequest)
-	if !strings.Contains(body["error"].(string), "exceeds limit") {
+	if !strings.Contains(errMessage(t, body), "exceeds limit") {
 		t.Errorf("error = %v", body["error"])
 	}
 }
@@ -479,7 +497,7 @@ func TestCorruptStoreReturns503(t *testing.T) {
 	defer srv.Close()
 
 	body := getJSON(t, srv.URL+"/cell?i=0&j=0", http.StatusServiceUnavailable)
-	if !strings.Contains(body["error"].(string), "checksum") {
+	if !strings.Contains(errMessage(t, body), "checksum") {
 		t.Errorf("error = %v", body["error"])
 	}
 	getJSON(t, srv.URL+"/row?i=1", http.StatusServiceUnavailable)

@@ -5,7 +5,6 @@ import (
 	"math"
 	"testing"
 
-	"seqstore/internal/cluster"
 	"seqstore/internal/core"
 	"seqstore/internal/dataset"
 	"seqstore/internal/dct"
@@ -13,6 +12,7 @@ import (
 	"seqstore/internal/matio"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
+	"seqstore/internal/vq"
 	"seqstore/internal/wavelet"
 )
 
@@ -137,7 +137,7 @@ func TestAllStoresConform(t *testing.T) {
 	}
 	conformance(t, "dct", dctStore, x)
 
-	clStore, err := cluster.Compress(x, 12)
+	clStore, err := vq.Compress(x, 12)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,6 +69,26 @@ func New(f *Factors, k int, u matio.RowReader) (*Store, error) {
 // Dims returns the dimensions of the represented matrix.
 func (s *Store) Dims() (int, int) { return s.rows, s.cols }
 
+// SliceRows returns a store over rows [lo, hi) of the same factorization:
+// σ and V are shared (bitwise identical, not recomputed), and the slice's
+// U holds copies of the parent's rows lo…hi−1, re-indexed from 0. Because
+// nothing is refactored, slice.Cell(i−lo, j) reconstructs bit-identically
+// to parent.Cell(i, j) — the property the distributed tier's shard stores
+// rely on for exact scatter/gather.
+func (s *Store) SliceRows(lo, hi int) (*Store, error) {
+	if lo < 0 || hi < lo || hi > s.rows {
+		return nil, fmt.Errorf("svd: slice [%d, %d) outside %d rows (%w)", lo, hi, s.rows, seqerr.ErrOutOfRange)
+	}
+	k := len(s.sigma)
+	u := linalg.NewMatrix(hi-lo, k)
+	for i := lo; i < hi; i++ {
+		if err := s.u.ReadRow(i, u.Row(i-lo)); err != nil {
+			return nil, fmt.Errorf("svd: slice U row %d: %w", i, err)
+		}
+	}
+	return &Store{rows: hi - lo, cols: s.cols, sigma: s.sigma, v: s.v, u: matio.NewMem(u), prec: s.prec}, nil
+}
+
 // SetPrecision selects b, the bytes per stored number used when the store
 // is serialized: 8 (exact) or 4 (float32; values round-trip with ~1e-7
 // relative rounding). The in-memory store always computes in float64.

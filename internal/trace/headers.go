@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Cost-ledger response headers. Every /v1 response carries the request's
+// full ledger in these headers, so a client — and in particular the
+// distributed proxy, which folds each shard's headers into its own ledger —
+// can account for work without parsing the body. The header set is the
+// wire form of LedgerSnapshot.
+const (
+	HeaderRequestID    = "X-Request-Id"
+	HeaderDiskAccesses = "X-Cost-Disk-Accesses"
+	HeaderRowsRead     = "X-Cost-Rows-Read"
+	HeaderPagesTouched = "X-Cost-Pages-Touched"
+	HeaderCacheHits    = "X-Cost-Cache-Hits"
+	HeaderCacheMisses  = "X-Cost-Cache-Misses"
+	HeaderDeltasProbed = "X-Cost-Deltas-Probed"
+	HeaderWorkerChunks = "X-Cost-Worker-Chunks"
+	HeaderRowsWritten  = "X-Cost-Rows-Written"
+	HeaderPlanHits     = "X-Cost-Plan-Hits"
+	HeaderPlanMisses   = "X-Cost-Plan-Misses"
+)
+
+// costHeaders pairs each header name with its LedgerSnapshot accessor, in
+// one place, so Encode and Parse can never drift apart.
+var costHeaders = []struct {
+	name string
+	get  func(*LedgerSnapshot) *int64
+}{
+	{HeaderDiskAccesses, func(s *LedgerSnapshot) *int64 { return &s.DiskAccesses }},
+	{HeaderRowsRead, func(s *LedgerSnapshot) *int64 { return &s.RowsRead }},
+	{HeaderPagesTouched, func(s *LedgerSnapshot) *int64 { return &s.PagesTouched }},
+	{HeaderCacheHits, func(s *LedgerSnapshot) *int64 { return &s.CacheHits }},
+	{HeaderCacheMisses, func(s *LedgerSnapshot) *int64 { return &s.CacheMisses }},
+	{HeaderDeltasProbed, func(s *LedgerSnapshot) *int64 { return &s.DeltasProbed }},
+	{HeaderWorkerChunks, func(s *LedgerSnapshot) *int64 { return &s.WorkerChunks }},
+	{HeaderRowsWritten, func(s *LedgerSnapshot) *int64 { return &s.RowsWritten }},
+	{HeaderPlanHits, func(s *LedgerSnapshot) *int64 { return &s.PlanHits }},
+	{HeaderPlanMisses, func(s *LedgerSnapshot) *int64 { return &s.PlanMisses }},
+}
+
+// EncodeCostHeaders writes the snapshot into h. Every header is always set
+// (zeros included), so a reader can distinguish "cost was zero" from "the
+// peer predates cost headers".
+func EncodeCostHeaders(h http.Header, snap LedgerSnapshot) {
+	for _, ch := range costHeaders {
+		h.Set(ch.name, strconv.FormatInt(*ch.get(&snap), 10))
+	}
+}
+
+// ParseCostHeaders reads a snapshot back out of h. Missing or malformed
+// headers parse as zero — a proxy summing shard costs degrades gracefully
+// when a shard under-reports rather than failing the request.
+func ParseCostHeaders(h http.Header) LedgerSnapshot {
+	var snap LedgerSnapshot
+	for _, ch := range costHeaders {
+		if v := h.Get(ch.name); v != "" {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				*ch.get(&snap) = n
+			}
+		}
+	}
+	return snap
+}
+
+// AddSnapshot folds a remote ledger snapshot into l — the proxy's gather
+// step, making the front-door ledger the exact sum of the shard ledgers
+// (plus the proxy's own charges). Nil-safe like the other Ledger methods.
+func (l *Ledger) AddSnapshot(s LedgerSnapshot) {
+	if l == nil {
+		return
+	}
+	l.rowsRead.Add(s.RowsRead)
+	l.pagesTouched.Add(s.PagesTouched)
+	l.cacheHits.Add(s.CacheHits)
+	l.cacheMisses.Add(s.CacheMisses)
+	l.deltasProbed.Add(s.DeltasProbed)
+	l.workerChunks.Add(s.WorkerChunks)
+	l.diskAccesses.Add(s.DiskAccesses)
+	l.rowsWritten.Add(s.RowsWritten)
+	l.planHits.Add(s.PlanHits)
+	l.planMisses.Add(s.PlanMisses)
+}

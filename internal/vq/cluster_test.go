@@ -1,0 +1,390 @@
+package vq
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seqstore/internal/dataset"
+	"seqstore/internal/linalg"
+	"seqstore/internal/store"
+)
+
+// twoBlobs builds points in two well-separated groups.
+func twoBlobs(r *rand.Rand, nPer int) *linalg.Matrix {
+	x := linalg.NewMatrix(2*nPer, 3)
+	for i := 0; i < nPer; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, r.NormFloat64()*0.1)
+			x.Set(nPer+i, j, 10+r.NormFloat64()*0.1)
+		}
+	}
+	return x
+}
+
+func TestBuildSingleItem(t *testing.T) {
+	h, err := Build(linalg.NewMatrix(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 1 || len(h.Merges()) != 0 {
+		t.Error("single item should produce an empty dendrogram")
+	}
+	labels := h.Cut(1)
+	if len(labels) != 1 || labels[0] != 0 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	if _, err := Build(linalg.NewMatrix(0, 2)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestBuildMergeCount(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := twoBlobs(r, 8)
+	h, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Merges()); got != 15 {
+		t.Errorf("merges = %d, want n-1 = 15", got)
+	}
+}
+
+func TestCutSeparatesBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := twoBlobs(r, 10)
+	h, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := h.Cut(2)
+	// All of blob 1 must share one label, blob 2 the other.
+	for i := 1; i < 10; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("blob 1 split: labels[%d]=%d vs %d", i, labels[i], labels[0])
+		}
+	}
+	for i := 11; i < 20; i++ {
+		if labels[i] != labels[10] {
+			t.Fatalf("blob 2 split")
+		}
+	}
+	if labels[0] == labels[10] {
+		t.Error("blobs merged at c=2")
+	}
+}
+
+func TestCutLabelCount(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x := twoBlobs(r, 12)
+	h, _ := Build(x)
+	for _, c := range []int{1, 2, 3, 5, 24} {
+		labels := h.Cut(c)
+		distinct := map[int32]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if len(distinct) != c {
+			t.Errorf("Cut(%d) produced %d distinct labels", c, len(distinct))
+		}
+		for _, l := range labels {
+			if l < 0 || int(l) >= c {
+				t.Fatalf("label %d out of range at c=%d", l, c)
+			}
+		}
+	}
+	// Clamping.
+	if got := h.Cut(0); len(got) != 24 {
+		t.Error("Cut(0) should clamp to 1 cluster")
+	}
+	if got := h.Cut(100); len(got) != 24 {
+		t.Error("Cut(100) should clamp to n clusters")
+	}
+}
+
+func TestCutMonotoneRefinement(t *testing.T) {
+	// Cutting at more clusters must refine (never merge) the coarser cut.
+	r := rand.New(rand.NewSource(4))
+	x := twoBlobs(r, 10)
+	h, _ := Build(x)
+	coarse := h.Cut(3)
+	fine := h.Cut(6)
+	// Two items in the same fine cluster must share a coarse cluster.
+	for i := range fine {
+		for j := i + 1; j < len(fine); j++ {
+			if fine[i] == fine[j] && coarse[i] != coarse[j] {
+				t.Fatalf("refinement violated for items %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestToyMatrixClusters(t *testing.T) {
+	// The toy matrix has 4 weekday and 3 weekend customers; cutting at 2
+	// should recover exactly that split... except the weekday callers have
+	// very different volumes (1,2,1,5). Complete linkage on raw distances
+	// groups by magnitude, so just check determinism and label validity.
+	x := dataset.Toy()
+	h, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.Cut(2)
+	b := h.Cut(2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("Cut not deterministic")
+		}
+	}
+}
+
+func TestNewStoreCentroids(t *testing.T) {
+	x := linalg.FromRows([][]float64{{0, 0}, {2, 2}, {10, 10}})
+	s, err := NewStore(x, []int32{0, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Cell(0, 0)
+	if v != 1 {
+		t.Errorf("centroid of {0,2} = %v, want 1", v)
+	}
+	v, _ = s.Cell(2, 1)
+	if v != 10 {
+		t.Errorf("singleton centroid = %v, want 10", v)
+	}
+	if s.Clusters() != 2 {
+		t.Errorf("Clusters = %d", s.Clusters())
+	}
+	if l, _ := s.Assignment(1); l != 0 {
+		t.Errorf("Assignment(1) = %d", l)
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	x := linalg.NewMatrix(2, 2)
+	if _, err := NewStore(x, []int32{0}, 1); err == nil {
+		t.Error("wrong label count accepted")
+	}
+	if _, err := NewStore(x, []int32{0, 5}, 2); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := NewStore(x, []int32{0, 0}, 0); err == nil {
+		t.Error("zero clusters accepted")
+	}
+}
+
+func TestStoreRowAndErrors(t *testing.T) {
+	x := linalg.FromRows([][]float64{{1, 2}, {3, 4}})
+	s, _ := NewStore(x, []int32{0, 1}, 2)
+	row, err := s.Row(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 3 || row[1] != 4 {
+		t.Errorf("Row = %v", row)
+	}
+	if _, err := s.Row(5, nil); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := s.Cell(0, 9); err == nil {
+		t.Error("col out of range accepted")
+	}
+	if _, err := s.Assignment(-1); err == nil {
+		t.Error("Assignment out of range accepted")
+	}
+}
+
+func TestStoredNumbers(t *testing.T) {
+	x := linalg.NewMatrix(10, 4)
+	s, _ := NewStore(x, make([]int32, 10), 3)
+	if got := s.StoredNumbers(); got != 3*4+10 {
+		t.Errorf("StoredNumbers = %d, want 22", got)
+	}
+}
+
+func TestCForBudget(t *testing.T) {
+	// n=100, m=10, budget 0.5 → numbers 500; minus N=100 → 400/10 = 40.
+	if got := CForBudget(100, 10, 0.5); got != 40 {
+		t.Errorf("CForBudget = %d, want 40", got)
+	}
+	if CForBudget(100, 10, 0.0) != 0 {
+		t.Error("zero budget")
+	}
+	if got := CForBudget(10, 10, 1.0); got != 9 {
+		t.Errorf("full budget c = %d, want 9", got)
+	}
+}
+
+func TestCompressReconstructionImproves(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := twoBlobs(r, 15)
+	sse := func(c int) float64 {
+		s, err := Compress(x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for i := 0; i < x.Rows(); i++ {
+			row, _ := s.Row(i, nil)
+			for j := range row {
+				d := row[j] - x.At(i, j)
+				total += d * d
+			}
+		}
+		return total
+	}
+	if sse(2) >= sse(1) {
+		t.Error("2 clusters should fit better than 1")
+	}
+	if full := sse(30); full > 1e-18 {
+		t.Errorf("n clusters should be exact, SSE = %g", full)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	x := twoBlobs(r, 6)
+	s, err := Compress(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method() != store.MethodCluster {
+		t.Errorf("method = %v", got.Method())
+	}
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			a, _ := s.Cell(i, j)
+			b, err := got.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatal("cell differs after round trip")
+			}
+		}
+	}
+}
+
+func TestKMeansBasic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x := twoBlobs(r, 20)
+	labels, err := KMeans(x, 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 20; i++ {
+		if labels[i] != labels[0] {
+			t.Fatal("k-means split blob 1")
+		}
+	}
+	if labels[20] == labels[0] {
+		t.Error("k-means merged the blobs")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	x := linalg.NewMatrix(3, 2)
+	if _, err := KMeans(x, 0, 10, 1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := KMeans(x, 4, 10, 1); err == nil {
+		t.Error("c>n accepted")
+	}
+	if _, err := KMeans(linalg.NewMatrix(0, 2), 1, 10, 1); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	x := twoBlobs(r, 10)
+	a, _ := KMeans(x, 3, 50, 42)
+	b, _ := KMeans(x, 3, 50, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("k-means not deterministic for fixed seed")
+		}
+	}
+}
+
+// Property: cutting at n clusters is the identity partition and yields
+// exact reconstruction.
+func TestCutAtNExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		x := linalg.NewMatrix(n, 3)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				x.Set(i, j, r.NormFloat64()*5)
+			}
+		}
+		h, err := Build(x)
+		if err != nil {
+			return false
+		}
+		labels := h.Cut(n)
+		s, err := NewStore(x, labels, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				v, _ := s.Cell(i, j)
+				if math.Abs(v-x.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge heights from the chain, when sorted, are the dendrogram
+// heights; every Cut level yields a valid partition.
+func TestAllCutsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		x := linalg.NewMatrix(n, 2)
+		for i := 0; i < n; i++ {
+			x.Set(i, 0, r.NormFloat64())
+			x.Set(i, 1, r.NormFloat64())
+		}
+		h, err := Build(x)
+		if err != nil {
+			return false
+		}
+		for c := 1; c <= n; c++ {
+			labels := h.Cut(c)
+			distinct := map[int32]bool{}
+			for _, l := range labels {
+				distinct[l] = true
+			}
+			if len(distinct) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,4 +1,4 @@
-// Package cluster implements the clustering baseline of the paper (§2.2):
+// Package vq implements the clustering baseline of the paper (§2.2):
 // agglomerative hierarchical clustering with the "maximum distance"
 // element-to-cluster rule (complete linkage) over Euclidean distances — the
 // same high-quality quadratic method the paper used from the 'S' package —
@@ -11,7 +11,7 @@
 // accuracy-vs-space sweep of Figure 6 evaluates many storage sizes without
 // re-clustering. As the paper observes, the quadratic cost is exactly why
 // clustering fails to scale past a few thousand rows (§5.3).
-package cluster
+package vq
 
 import (
 	"errors"

@@ -30,7 +30,6 @@ import (
 	"os"
 	"sync"
 
-	"seqstore/internal/cluster"
 	"seqstore/internal/core"
 	"seqstore/internal/dct"
 	"seqstore/internal/linalg"
@@ -39,6 +38,7 @@ import (
 	"seqstore/internal/seqerr"
 	"seqstore/internal/store"
 	"seqstore/internal/svd"
+	"seqstore/internal/vq"
 	"seqstore/internal/wavelet"
 )
 
@@ -359,20 +359,20 @@ func compress(ctx context.Context, src matio.RowSource, full *linalg.Matrix, opt
 		}
 		c := opts.K
 		if c <= 0 {
-			c = cluster.CForBudget(n, m, opts.Budget)
+			c = vq.CForBudget(n, m, opts.Budget)
 		}
 		if c < 1 {
 			return nil, fmt.Errorf("seqstore: budget %.4f cannot fit any cluster representative", opts.Budget)
 		}
 		if opts.Method == KMeans {
 			var labels []int32
-			labels, err = cluster.KMeans(full, c, 100, 1)
+			labels, err = vq.KMeans(full, c, 100, 1)
 			if err != nil {
 				return nil, err
 			}
-			s, err = cluster.NewStore(full, labels, c)
+			s, err = vq.NewStore(full, labels, c)
 		} else {
-			s, err = cluster.Compress(full, c)
+			s, err = vq.Compress(full, c)
 		}
 	default:
 		return nil, fmt.Errorf("seqstore: unknown method %q", opts.Method)
