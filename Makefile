@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke ingest-smoke load-smoke cluster-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench ingest-bench load-bench cluster-bench experiments
+.PHONY: build test vet race check fuzz-smoke golden-check metrics-golden randsvd-smoke ingest-smoke load-smoke cluster-smoke obs-smoke bench-parallel serve-bench query-bench trace-bench randsvd-bench ingest-bench load-bench cluster-bench obstrace-bench experiments
 
 build:
 	$(GO) build ./...
@@ -83,7 +83,22 @@ cluster-smoke:
 	@tmp=$$(mktemp -t bench_cluster_smoke.XXXXXX.json) && \
 	$(GO) run ./cmd/experiments -n 150 -cluster-requests 20 -cluster-out $$tmp cluster && rm -f $$tmp
 
-check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke ingest-smoke load-smoke cluster-smoke
+# obs-smoke pins the observability plane on every check run: the EXPLAIN
+# response schema and the proxy's ?scope=cluster&format=prom exposition are
+# golden-diffed (regenerate after an intentional change with
+# `go test ./internal/server ./internal/cluster -run Golden -update-golden`),
+# the scatter/gather trace, hedged-loser and SLO tests run, and the
+# obstrace harness asserts the cross-process tracing plane stays under its
+# 3% overhead target, writing to a throwaway temp file so the committed
+# full-scale results/bench_obstrace.json survives.
+obs-smoke:
+	$(GO) test -run 'TestExplain|TestBatchExplainHTTP|TestServerSLO' ./internal/server
+	$(GO) test -run 'TestClusterTraceScatterGather|TestHedgedLoserSpan|TestClusterExplain|TestClusterPromGolden|TestProxyPromGolden|TestProxySLOHealthz' -v ./internal/cluster
+	@tmp=$$(mktemp -t bench_obstrace_smoke.XXXXXX.json) && \
+	$(GO) run ./cmd/experiments -n 150 -obstrace-iters 30 -obstrace-assert \
+		-obstrace-out $$tmp obstrace && rm -f $$tmp
+
+check: vet race golden-check metrics-golden fuzz-smoke randsvd-smoke ingest-smoke load-smoke cluster-smoke obs-smoke
 
 # bench-parallel runs the worker-count sub-benchmarks for the three sharded
 # hot loops. The cmd/experiments "parallel" harness records the same loops
@@ -137,6 +152,14 @@ load-bench:
 # results/bench_cluster.json.
 cluster-bench:
 	$(GO) run ./cmd/experiments cluster
+
+# obstrace-bench measures the distributed observability tax at full scale:
+# the same proxy-over-2-shards aggregate and point-read requests with the
+# cross-process tracing plane active vs suppressed, plus the explain
+# no-extra-IO and estimate-exactness invariants, recorded to
+# results/bench_obstrace.json (target: < 3% overhead).
+obstrace-bench:
+	$(GO) run ./cmd/experiments -obstrace-assert obstrace
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -24,17 +24,29 @@
 //	                         an exact mergeable partial, and the proxy
 //	                         gathers in shard order — the merged value is
 //	                         bit-identical to a single node evaluating the
-//	                         unsplit selection
+//	                         unsplit selection; "explain": true returns the
+//	                         per-shard plans and cost estimates merged under
+//	                         one block
 //	/v1/bulk                 forwarded to the open-ended shard, row indices
 //	                         re-mapped to global
 //	/v1/info                 composed from per-shard infos
-//	/v1/healthz              per-shard liveness
+//	/v1/healthz              per-shard liveness; with -slo-objective, the
+//	                         per-endpoint attainment and burn-rate report
 //	/v1/metrics              proxy endpoint histograms + per-shard gauges
-//	                         (inflight, errors, hedges, p99)
+//	                         (inflight, errors, hedges, p99); ?format=prom
+//	                         renders Prometheus text; ?scope=cluster scrapes
+//	                         and merges every store node's registry, each
+//	                         sample labeled shard="N"
+//	/v1/debug/traces         ring of completed request traces: the full
+//	                         scatter/gather tree, per-attempt hedge outcomes
+//	                         and per-shard ledger splits under one trace id
 //
 // Every response carries X-Request-Id and the full X-Cost-* ledger, where
 // the proxy's counts are the sums of the per-shard ledgers it gathered —
-// the paper's disk-access cost model survives the network hop.
+// the paper's disk-access cost model survives the network hop. The proxy
+// propagates a W3C-style traceparent on every shard call; store nodes
+// adopt it and return compact span summaries that are folded into the
+// proxy's trace.
 //
 // A dead or stalled store node turns into a typed 503 with the failing
 // shards named in the error detail, within -shard-timeout; idempotent
@@ -95,6 +107,12 @@ func main() {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	traceBuffer := fs.Int("trace-buffer", 0,
 		"request traces kept for /v1/debug/traces (0 = default)")
+	slowQuery := fs.Duration("slow-query", 0,
+		"log requests at least this slow at Warn with cost ledger, trace id and winning shards (0 disables)")
+	sloObjective := fs.Duration("slo-objective", 0,
+		"per-endpoint latency objective reported by /v1/metrics and /v1/healthz (0 disables)")
+	sloTarget := fs.Float64("slo-target", 0.99,
+		"fraction of requests that must meet -slo-objective")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
 		"max time to drain in-flight requests on SIGINT/SIGTERM")
 	fs.Parse(os.Args[1:])
@@ -110,10 +128,13 @@ func main() {
 	slog.SetDefault(logger)
 
 	proxy, err := cluster.New(*topoPath, cluster.Options{
-		Timeout:     *shardTimeout,
-		HedgeAfter:  *hedgeAfter,
-		Logger:      logger,
-		TraceBuffer: *traceBuffer,
+		Timeout:      *shardTimeout,
+		HedgeAfter:   *hedgeAfter,
+		Logger:       logger,
+		SlowQuery:    *slowQuery,
+		TraceBuffer:  *traceBuffer,
+		SLOObjective: *sloObjective,
+		SLOTarget:    *sloTarget,
 	})
 	if err != nil {
 		log.Fatalf("seqproxy: %v", err)

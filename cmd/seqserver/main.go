@@ -21,11 +21,17 @@
 //	                              default to "all"; plans (V panel + row-run
 //	                              schedule) are memoized in a plan cache
 //	                              sized by -plan-cache
+//	/v1/aggregate                 POST form of /v1/agg; "explain": true adds
+//	                              the chosen plan, plan-cache outcome,
+//	                              row-run schedule and cost estimates next
+//	                              to the executed ledger (no extra disk
+//	                              accesses; exact on a cold store)
 //	/v1/aggregate/batch           POST: N aggregates in one request sharing
 //	                              one pass over the selections' U-row union;
 //	                              body {"queries":[{"f":"sum","rows":"0:64",
 //	                              "cols":"0:24"},...]}, per-item status in
-//	                              the response like /v1/bulk
+//	                              the response like /v1/bulk; "explain"
+//	                              per query or batch-wide
 //	/v1/metrics                   per-endpoint latency histograms, row-cache
 //	                              hit rate, disk-access counters, corruption
 //	                              count; ?format=prom renders the same
@@ -143,6 +149,10 @@ func main() {
 		"log requests slower than this at Warn with their cost ledger (0 disables)")
 	traceBuffer := fs.Int("trace-buffer", 0,
 		"request traces kept for /v1/debug/traces (0 = default)")
+	sloObjective := fs.Duration("slo-objective", 0,
+		"per-endpoint latency objective reported by /v1/metrics and /v1/healthz (0 disables)")
+	sloTarget := fs.Float64("slo-target", 0.99,
+		"fraction of requests that must meet -slo-objective")
 	debugAddr := fs.String("debug-addr", "",
 		"serve net/http/pprof on this separate address (empty disables)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "request read timeout")
@@ -202,6 +212,8 @@ func main() {
 		Logger:          logger,
 		SlowQuery:       *slowQuery,
 		TraceBuffer:     *traceBuffer,
+		SLOObjective:    *sloObjective,
+		SLOTarget:       *sloTarget,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
 		IdleTimeout:     *idleTimeout,

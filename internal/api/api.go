@@ -11,7 +11,12 @@
 // RowValues build that form, NumValue reads it back.
 package api
 
-import "math"
+import (
+	"math"
+
+	"seqstore/internal/telemetry"
+	"seqstore/internal/trace"
+)
 
 // --- Cells and rows --------------------------------------------------------
 
@@ -60,6 +65,57 @@ type AggregateRequest struct {
 	Rows    string `json:"rows,omitempty"`
 	Cols    string `json:"cols,omitempty"`
 	Partial bool   `json:"partial,omitempty"`
+	// Explain asks for the query's plan and predicted costs alongside the
+	// result — see Explain.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// Explain is the introspection block returned when an aggregate request
+// sets "explain": true: the plan the dispatch chose, the row-run schedule
+// it would execute, the predicted ledger charges (modelling a cold store —
+// deriving them performs no store reads), and the actual post-execution
+// ledger, so estimated vs. actual cost is one response. Through the proxy,
+// the top-level numbers are the sums over shards and Shards carries each
+// store node's own block.
+type Explain struct {
+	// Plan names the dispatch arm: "count", "factored", "projected" or
+	// "generic". PlanCache reports whether the executed plan came from the
+	// plan cache ("hit", "miss", or "uncached" when no cache applied).
+	Plan      string `json:"plan"`
+	PlanCache string `json:"plan_cache,omitempty"`
+
+	Workers int   `json:"workers"`
+	Cells   int64 `json:"cells"`
+
+	// Row-run schedule stats after clipping to worker chunks: see
+	// query.Explain for the precise semantics of each.
+	ChunkRows      int `json:"chunk_rows"`
+	Chunks         int `json:"chunks"`
+	Runs           int `json:"runs"`
+	CoalescedScans int `json:"coalesced_scans"`
+	ScanRows       int `json:"scan_rows"`
+	PointRows      int `json:"point_rows"`
+	ZeroRows       int `json:"zero_rows"`
+
+	EstRowsRead     int64 `json:"est_rows_read"`
+	EstDiskAccesses int64 `json:"est_disk_accesses"`
+	EstPagesTouched int64 `json:"est_pages_touched"`
+	EstDeltasProbed int64 `json:"est_deltas_probed"`
+
+	// Cost is the request's executed ledger at response time (the same
+	// numbers the X-Cost-* headers carry). For batch requests it covers the
+	// whole shared-scan batch, not the single item.
+	Cost trace.LedgerSnapshot `json:"cost"`
+
+	// Shards carries the per-shard explain blocks when the query was
+	// scattered by the proxy.
+	Shards []ShardExplain `json:"shards,omitempty"`
+}
+
+// ShardExplain is one store node's explain block inside a proxied explain.
+type ShardExplain struct {
+	Shard int `json:"shard"`
+	Explain
 }
 
 // AggregateResponse is the /v1/agg and POST /v1/aggregate body. Rows/Cols
@@ -72,13 +128,16 @@ type AggregateResponse struct {
 	Value     *float64 `json:"value,omitempty"`
 	Nonfinite string   `json:"nonfinite,omitempty"`
 	Partial   string   `json:"partial,omitempty"`
+	Explain   *Explain `json:"explain,omitempty"`
 }
 
-// BatchAggregateRequest is the POST /v1/aggregate/batch body. Partial
-// applies to every query (the proxy scatters whole batches).
+// BatchAggregateRequest is the POST /v1/aggregate/batch body. Partial and
+// Explain apply to every query (the proxy scatters whole batches); a single
+// item can also opt into explain by itself.
 type BatchAggregateRequest struct {
 	Queries []AggregateRequest `json:"queries"`
 	Partial bool               `json:"partial,omitempty"`
+	Explain bool               `json:"explain,omitempty"`
 }
 
 // BatchAggregateItem is one query's outcome inside a batch response;
@@ -92,6 +151,7 @@ type BatchAggregateItem struct {
 	Value     *float64 `json:"value,omitempty"`
 	Nonfinite string   `json:"nonfinite,omitempty"`
 	Partial   string   `json:"partial,omitempty"`
+	Explain   *Explain `json:"explain,omitempty"`
 	Error     string   `json:"error,omitempty"`
 }
 
@@ -160,10 +220,13 @@ type ShardInfo struct {
 }
 
 // HealthzResponse is the /v1/healthz body. Single nodes report just
-// Status; the proxy adds per-shard health.
+// Status; the proxy adds per-shard health. SLO is present when the process
+// has a latency objective configured: per-endpoint attainment and burn
+// rate against it, derived from the same histograms /v1/metrics serves.
 type HealthzResponse struct {
-	Status string        `json:"status"`
-	Shards []ShardHealth `json:"shards,omitempty"`
+	Status string               `json:"status"`
+	SLO    *telemetry.SLOReport `json:"slo,omitempty"`
+	Shards []ShardHealth        `json:"shards,omitempty"`
 }
 
 // ShardHealth is one store node's liveness as seen from the proxy.

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +84,18 @@ func (c *shardClient) once(ctx context.Context, method, path string, body []byte
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the proxy request's identity to the shard: the request ID
+	// (so shard logs and trace rings join to the front-door request) and the
+	// traceparent (so the shard adopts our trace id instead of minting its
+	// own root, and answers with its span summary).
+	if tr := trace.FromContext(ctx); tr != nil {
+		if id := tr.ID(); id != "" {
+			req.Header.Set(trace.HeaderRequestID, id)
+		}
+		if tp := trace.Traceparent(tr.SpanContext()); tp != "" {
+			req.Header.Set(trace.HeaderTraceparent, tp)
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -119,11 +133,46 @@ func (c *shardClient) do(ctx context.Context, method, path string, body []byte, 
 		err  error
 	}
 	ch := make(chan result, 2)
-	attempt := func() {
+	// Each attempt is one span on the caller's trace, tagged with its
+	// outcome: "winner" (first successful response, carrying the shard's
+	// ledger split), "loser" (a raced-out hedge duplicate), or "failed"
+	// (transport error before any winner). Spans end inside the attempt
+	// goroutine, so a hedged loser that limps in after the winner is still
+	// recorded on the trace.
+	tr := trace.FromContext(ctx)
+	spanName := "shard" + strconv.Itoa(c.shard) + pathOnly(path)
+	var won atomic.Bool
+	attempt := func(n int) {
+		sp := tr.StartSpan(spanName)
+		sp.SetAttr("shard", c.shard)
+		sp.SetAttr("addr", c.addr)
+		sp.SetAttr("attempt", n)
 		r, err := c.once(ctx, method, path, body)
+		switch {
+		case err != nil && won.Load():
+			sp.SetAttr("outcome", "loser")
+		case err != nil:
+			sp.SetAttr("outcome", "failed")
+			sp.SetAttr("error", err.Error())
+		case won.CompareAndSwap(false, true):
+			sp.SetAttr("outcome", "winner")
+			sp.SetAttr("status", r.status)
+			// The shard's ledger split rides on the winning span: summing
+			// disk_accesses over winner spans reproduces the proxy's
+			// X-Cost-Disk-Accesses header exactly.
+			cost := trace.ParseCostHeaders(r.header)
+			sp.SetAttr("disk_accesses", cost.DiskAccesses)
+			sp.SetAttr("rows_read", cost.RowsRead)
+			sp.SetAttr("cache_hits", cost.CacheHits)
+			sp.SetAttr("deltas_probed", cost.DeltasProbed)
+		default:
+			sp.SetAttr("outcome", "loser")
+			sp.SetAttr("status", r.status)
+		}
+		sp.End()
 		ch <- result{r, err}
 	}
-	go attempt()
+	go attempt(1)
 
 	maxAttempts := 1
 	var hedgeC <-chan time.Time
@@ -153,7 +202,7 @@ func (c *shardClient) do(ctx context.Context, method, path string, body []byte, 
 				hedgeC = nil
 				c.hedges.Add(1)
 				launched++
-				go attempt()
+				go attempt(launched)
 				continue
 			}
 			if failed == launched {
@@ -164,7 +213,7 @@ func (c *shardClient) do(ctx context.Context, method, path string, body []byte, 
 			hedgeC = nil
 			c.hedges.Add(1)
 			launched++
-			go attempt()
+			go attempt(launched)
 		case <-ctx.Done():
 			c.fail(ctx.Err())
 			return nil, c.unavailable(ctx.Err())
@@ -172,8 +221,11 @@ func (c *shardClient) do(ctx context.Context, method, path string, body []byte, 
 	}
 }
 
-// finish records a successful exchange: the shard is healthy, and its
-// reported cost snapshot folds into the proxy request's ledger.
+// finish records a successful exchange: the shard is healthy, its reported
+// cost snapshot folds into the proxy request's ledger, and its span summary
+// (X-Trace-Spans, bounded) lands on the trace as shard-prefixed child spans
+// — queue/eval timing from inside the store node, joined under the one
+// distributed trace id.
 func (c *shardClient) finish(ctx context.Context, resp *shardResp) {
 	c.healthy.Store(true)
 	c.lastErr.Store("")
@@ -183,6 +235,33 @@ func (c *shardClient) finish(ctx context.Context, resp *shardResp) {
 	if led := trace.LedgerFrom(ctx); led != nil {
 		led.AddSnapshot(trace.ParseCostHeaders(resp.header))
 	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		prefix := "shard" + strconv.Itoa(c.shard) + "."
+		for _, sp := range trace.ParseSpanHeader(resp.header.Get(trace.HeaderSpans)) {
+			// Remote offsets are relative to the shard's own trace start;
+			// keep them as a remote_offset attribute rather than pretending
+			// they share this trace's clock.
+			tr.AddSpan(trace.SpanSnapshot{
+				Name:       prefix + sp.Name,
+				DurationUs: sp.DurationUs,
+				Attrs: []trace.Attr{
+					{Key: "shard", Value: c.shard},
+					{Key: "remote", Value: true},
+					{Key: "remote_offset_us", Value: sp.StartOffsetUs},
+				},
+			})
+		}
+	}
+}
+
+// pathOnly strips the query string from a request path: span names are
+// served verbatim on /v1/debug/traces, and query strings can carry customer
+// labels that must not leak into debug output.
+func pathOnly(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		return path[:i]
+	}
+	return path
 }
 
 // fail records a transport-level failure.

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -12,6 +14,7 @@ import (
 
 	"seqstore/internal/api"
 	"seqstore/internal/query"
+	"seqstore/internal/telemetry"
 	"seqstore/internal/trace"
 )
 
@@ -131,13 +134,38 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			status = "degraded"
 		}
 	}
-	api.WriteJSON(w, http.StatusOK, api.HealthzResponse{Status: status, Shards: health})
+	body := api.HealthzResponse{Status: status, Shards: health}
+	if p.opts.SLOObjective > 0 {
+		body.SLO = p.tel.Snapshot().SLO
+	}
+	api.WriteJSON(w, http.StatusOK, body)
 }
 
-// handleMetrics serves the proxy's own endpoint histograms plus the
-// per-shard gauges: inflight, errors, hedges, and latency (p99 included)
-// as seen from this proxy.
+// handleMetrics serves the proxy's metrics plane. The default body is the
+// proxy's own registry (endpoint histograms, runtime, per-shard client
+// gauges) as JSON; ?format=prom renders the same snapshot in the Prometheus
+// text format, matching the store nodes' endpoint. ?scope=cluster widens
+// the view to the store nodes themselves: the proxy scrapes every shard's
+// /v1/metrics and fans the registries in, labelled per shard — one scrape
+// for the whole cluster.
 func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cluster := q.Get("scope") == "cluster"
+	prom := q.Get("format") == "prom"
+	switch {
+	case cluster && prom:
+		p.serveClusterProm(w, r)
+	case cluster:
+		p.serveClusterJSON(w, r)
+	case prom:
+		p.serveProxyProm(w, r)
+	default:
+		p.serveProxyJSON(w, r)
+	}
+}
+
+// serveProxyJSON is the proxy-scope JSON metrics body.
+func (p *Proxy) serveProxyJSON(w http.ResponseWriter, r *http.Request) {
 	topo, shards := p.view()
 	snap := p.tel.Snapshot()
 	perShard := make([]map[string]interface{}, len(shards))
@@ -156,7 +184,7 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"latency":        lat,
 		}
 	}
-	api.WriteJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"uptime_seconds": snap.UptimeSeconds,
 		"endpoints":      snap.Endpoints,
 		"runtime":        snap.Runtime,
@@ -170,6 +198,142 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"capacity": p.ring.Cap(),
 			"total":    p.ring.Total(),
 		},
+	}
+	if snap.SLO != nil {
+		body["slo"] = snap.SLO
+	}
+	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// serveProxyProm renders the proxy's own registry plus the per-shard client
+// gauges in the Prometheus text format.
+func (p *Proxy) serveProxyProm(w http.ResponseWriter, r *http.Request) {
+	topo, shards := p.view()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := telemetry.WritePrometheus(w, p.tel.Snapshot()); err != nil {
+		trace.LoggerFrom(r.Context()).Error("prometheus render failed", "err", err)
+		return
+	}
+	if err := writeShardGauges(w, topo, shards); err != nil {
+		trace.LoggerFrom(r.Context()).Error("prometheus render failed", "err", err)
+	}
+}
+
+// writeShardGauges renders the proxy's per-shard client view — health,
+// inflight, request/error/hedge totals and observed p99 — one family per
+// metric with shard/addr labels.
+func writeShardGauges(w io.Writer, topo *Topology, shards []*shardClient) error {
+	type fam struct {
+		name, typ, help string
+		value           func(c *shardClient) float64
+	}
+	boolGauge := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	fams := []fam{
+		{"seqstore_shard_healthy", "gauge", "Whether the last exchange with the shard succeeded.",
+			func(c *shardClient) float64 { return boolGauge(c.healthy.Load()) }},
+		{"seqstore_shard_inflight", "gauge", "Requests currently in flight to the shard.",
+			func(c *shardClient) float64 { return float64(c.inflight.Load()) }},
+		{"seqstore_shard_requests_total", "counter", "Requests sent to the shard.",
+			func(c *shardClient) float64 { return float64(c.requests.Load()) }},
+		{"seqstore_shard_errors_total", "counter", "Failed exchanges with the shard.",
+			func(c *shardClient) float64 { return float64(c.errors.Load()) }},
+		{"seqstore_shard_hedges_total", "counter", "Hedged attempts launched against the shard.",
+			func(c *shardClient) float64 { return float64(c.hedges.Load()) }},
+		{"seqstore_shard_latency_p99_seconds", "gauge", "Observed p99 latency of the shard from this proxy.",
+			func(c *shardClient) float64 { return c.lat.Snapshot().P99Ms / 1e3 }},
+	}
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for s, c := range shards {
+			if _, err := fmt.Fprintf(w, "%s{shard=\"%d\",addr=%q} %g\n",
+				f.name, s, topo.Shards[s].Addr, f.value(c)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// serveClusterProm scrapes every shard's /v1/metrics?format=prom, parses
+// the expositions (structural validation included) and re-renders them as
+// one merged exposition with a shard label on every sample. A scrape
+// pointed at the proxy therefore sees the whole cluster's registries
+// without knowing the store nodes exist.
+func (p *Proxy) serveClusterProm(w http.ResponseWriter, r *http.Request) {
+	_, shards := p.view()
+	parts := make([]telemetry.LabeledMetrics, len(shards))
+	fails := scatter(shards, allShards(shards), func(c *shardClient) error {
+		resp, err := c.do(r.Context(), http.MethodGet, "/v1/metrics?format=prom", nil, true)
+		if err != nil {
+			return err
+		}
+		if resp.status != http.StatusOK {
+			return fmt.Errorf("shard %d: metrics scrape returned %d", c.shard, resp.status)
+		}
+		m, err := telemetry.ParsePrometheus(bytes.NewReader(resp.body))
+		if err != nil {
+			return fmt.Errorf("shard %d: unparseable exposition: %v", c.shard, err)
+		}
+		parts[c.shard] = telemetry.LabeledMetrics{
+			Labels: map[string]string{"shard": strconv.Itoa(c.shard)},
+			M:      m,
+		}
+		return nil
+	})
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := telemetry.WriteMergedPrometheus(w, parts); err != nil {
+		trace.LoggerFrom(r.Context()).Error("prometheus render failed", "err", err)
+	}
+}
+
+// serveClusterJSON scrapes every shard's JSON metrics body and embeds them
+// verbatim under per-shard entries.
+func (p *Proxy) serveClusterJSON(w http.ResponseWriter, r *http.Request) {
+	topo, shards := p.view()
+	type shardMetrics struct {
+		Shard   int             `json:"shard"`
+		Addr    string          `json:"addr"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	out := make([]shardMetrics, len(shards))
+	fails := scatter(shards, allShards(shards), func(c *shardClient) error {
+		resp, err := c.do(r.Context(), http.MethodGet, "/v1/metrics", nil, true)
+		if err != nil {
+			return err
+		}
+		if resp.status != http.StatusOK {
+			return fmt.Errorf("shard %d: metrics scrape returned %d", c.shard, resp.status)
+		}
+		if !json.Valid(resp.body) {
+			return fmt.Errorf("shard %d: metrics body is not valid JSON", c.shard)
+		}
+		out[c.shard] = shardMetrics{
+			Shard:   c.shard,
+			Addr:    topo.Shards[c.shard].Addr,
+			Metrics: json.RawMessage(resp.body),
+		}
+		return nil
+	})
+	if len(fails) > 0 {
+		p.failScatter(w, r, fails)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]interface{}{
+		"scope":  "cluster",
+		"shards": out,
 	})
 }
 
@@ -497,10 +661,17 @@ func (p *Proxy) serveAggregate(w http.ResponseWriter, r *http.Request, req api.A
 		// Count is selection arithmetic; the validated selection already
 		// answers it without touching a shard.
 		body.Value, body.Nonfinite = api.Float(float64(pa.sel.NumCells()))
+		if req.Explain {
+			body.Explain = &api.Explain{
+				Plan:  query.PlanCount,
+				Cells: int64(pa.sel.NumCells()),
+				Cost:  trace.LedgerFrom(r.Context()).Snapshot(),
+			}
+		}
 		api.WriteJSON(w, http.StatusOK, body)
 		return
 	}
-	v, gerr, fails := p.gather(r, pa)
+	v, shardEx, gerr, fails := p.gather(r, pa, req.Explain)
 	if len(fails) > 0 {
 		p.failScatter(w, r, fails)
 		return
@@ -510,15 +681,61 @@ func (p *Proxy) serveAggregate(w http.ResponseWriter, r *http.Request, req api.A
 		return
 	}
 	body.Value, body.Nonfinite = api.Float(v)
+	if req.Explain {
+		body.Explain = mergeShardExplains(r.Context(), shardEx)
+	}
 	api.WriteJSON(w, http.StatusOK, body)
 }
 
+// mergeShardExplains folds per-shard explain blocks into the proxy's
+// top-level view: numeric fields sum across shards (the scattered fragments
+// partition the selection, so the sums describe the whole query), the plan
+// and plan-cache labels survive when the shards agree and degrade to
+// "mixed" otherwise, Workers reports the widest shard, and Cost is the
+// proxy's own ledger — the fold of every winning attempt's cost headers.
+func mergeShardExplains(ctx context.Context, shards []api.ShardExplain) *api.Explain {
+	e := &api.Explain{Shards: shards}
+	for k, se := range shards {
+		if k == 0 {
+			e.Plan, e.PlanCache, e.ChunkRows = se.Plan, se.PlanCache, se.ChunkRows
+		} else {
+			if se.Plan != e.Plan {
+				e.Plan = "mixed"
+			}
+			if se.PlanCache != e.PlanCache {
+				e.PlanCache = "mixed"
+			}
+			if se.ChunkRows != e.ChunkRows {
+				e.ChunkRows = 0 // per-shard; see Shards
+			}
+		}
+		if se.Workers > e.Workers {
+			e.Workers = se.Workers
+		}
+		e.Cells += se.Cells
+		e.Chunks += se.Chunks
+		e.Runs += se.Runs
+		e.CoalescedScans += se.CoalescedScans
+		e.ScanRows += se.ScanRows
+		e.PointRows += se.PointRows
+		e.ZeroRows += se.ZeroRows
+		e.EstRowsRead += se.EstRowsRead
+		e.EstDiskAccesses += se.EstDiskAccesses
+		e.EstPagesTouched += se.EstPagesTouched
+		e.EstDeltasProbed += se.EstDeltasProbed
+	}
+	e.Cost = trace.LedgerFrom(ctx).Snapshot()
+	return e
+}
+
 // gather scatters one parsed aggregate and merges the shard partials.
-func (p *Proxy) gather(r *http.Request, pa parsedAgg) (float64, error, []shardFailure) {
+// With explain set, each fragment request also asks its shard for an
+// explain block; the blocks come back in shard order.
+func (p *Proxy) gather(r *http.Request, pa parsedAgg, explain bool) (float64, []api.ShardExplain, error, []shardFailure) {
 	topo, shards := p.view()
 	frags, err := query.SplitSelection(pa.sel, topo.Ranges())
 	if err != nil {
-		return 0, err, nil
+		return 0, nil, err, nil
 	}
 	var targets []int
 	for s := range frags {
@@ -527,6 +744,7 @@ func (p *Proxy) gather(r *http.Request, pa parsedAgg) (float64, error, []shardFa
 		}
 	}
 	parts := make([]*query.Partial, len(shards))
+	exs := make([]*api.Explain, len(shards))
 	fails := scatter(shards, targets, func(c *shardClient) error {
 		frag := frags[c.shard]
 		reqBody := api.AggregateRequest{
@@ -534,6 +752,7 @@ func (p *Proxy) gather(r *http.Request, pa parsedAgg) (float64, error, []shardFa
 			Rows:    renderSpec(frag.Rows),
 			Cols:    renderSpec(frag.Cols),
 			Partial: true,
+			Explain: explain,
 		}
 		var resp api.AggregateResponse
 		if err := c.doJSON(r.Context(), http.MethodPost, "/v1/aggregate", reqBody, &resp, true); err != nil {
@@ -544,17 +763,26 @@ func (p *Proxy) gather(r *http.Request, pa parsedAgg) (float64, error, []shardFa
 			return err
 		}
 		parts[c.shard] = part
+		exs[c.shard] = resp.Explain
 		return nil
 	})
 	if len(fails) > 0 {
-		return 0, nil, fails
+		return 0, nil, nil, fails
+	}
+	var shardEx []api.ShardExplain
+	if explain {
+		for s, ex := range exs {
+			if ex != nil {
+				shardEx = append(shardEx, api.ShardExplain{Shard: s, Explain: *ex})
+			}
+		}
 	}
 	// parts is indexed by shard, so the merge order is the deterministic
 	// shard order regardless of response arrival (merge order doesn't
 	// change the bits — the accumulators are exact — but determinism makes
 	// that property testable).
 	v, err := query.MergePartials(pa.agg, parts)
-	return v, err, nil
+	return v, shardEx, err, nil
 }
 
 // handleAggBatch scatters a whole aggregate batch: each shard receives
@@ -623,9 +851,10 @@ func (p *Proxy) handleAggBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			batches[s].queries = append(batches[s].queries, api.AggregateRequest{
-				F:    pa.f,
-				Rows: renderSpec(frags[s].Rows),
-				Cols: renderSpec(frags[s].Cols),
+				F:       pa.f,
+				Rows:    renderSpec(frags[s].Rows),
+				Cols:    renderSpec(frags[s].Cols),
+				Explain: req.Explain || bq.Explain,
 			})
 			batches[s].qi = append(batches[s].qi, qi)
 		}
@@ -644,6 +873,10 @@ func (p *Proxy) handleAggBatch(w http.ResponseWriter, r *http.Request) {
 	partials := make([][]*query.Partial, numQ)
 	for qi := range partials {
 		partials[qi] = make([]*query.Partial, len(shards))
+	}
+	explains := make([][]*api.Explain, numQ)
+	for qi := range explains {
+		explains[qi] = make([]*api.Explain, len(shards))
 	}
 	itemErrs := make([][]*remoteError, numQ)
 	for qi := range itemErrs {
@@ -671,6 +904,7 @@ func (p *Proxy) handleAggBatch(w http.ResponseWriter, r *http.Request) {
 				return err
 			}
 			partials[qi][c.shard] = part
+			explains[qi][c.shard] = item.Explain
 		}
 		return nil
 	})
@@ -722,6 +956,23 @@ func (p *Proxy) handleAggBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		it.Value, it.Nonfinite = api.Float(v)
+		if req.Explain || req.Queries[qi].Explain {
+			if pa.agg == query.Count {
+				it.Explain = &api.Explain{
+					Plan:  query.PlanCount,
+					Cells: int64(pa.sel.NumCells()),
+					Cost:  trace.LedgerFrom(r.Context()).Snapshot(),
+				}
+			} else {
+				var shardEx []api.ShardExplain
+				for s, ex := range explains[qi] {
+					if ex != nil {
+						shardEx = append(shardEx, api.ShardExplain{Shard: s, Explain: *ex})
+					}
+				}
+				it.Explain = mergeShardExplains(r.Context(), shardEx)
+			}
+		}
 		out[qi] = it
 	}
 	api.WriteJSON(w, http.StatusOK, api.BatchAggregateResponse{

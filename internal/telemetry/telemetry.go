@@ -202,6 +202,10 @@ type Registry struct {
 	endpoints map[string]*Endpoint
 	counters  map[string]*Counter
 	gauges    map[string]func() float64
+
+	// Latency objective (see SetSLO); 0 means no SLO configured.
+	sloObjectiveMs float64
+	sloTarget      float64
 }
 
 // NewRegistry creates an empty registry; uptime is measured from now.
@@ -281,6 +285,8 @@ type Snapshot struct {
 	Counters      map[string]int64            `json:"counters,omitempty"`
 	Gauges        map[string]float64          `json:"gauges,omitempty"`
 	Runtime       RuntimeSnapshot             `json:"runtime"`
+	// SLO is present when the registry has a latency objective (SetSLO).
+	SLO *SLOReport `json:"slo,omitempty"`
 }
 
 // Snapshot captures every metric in the registry.
@@ -299,6 +305,7 @@ func (r *Registry) Snapshot() Snapshot {
 		gauges[k] = v
 	}
 	start := r.start
+	sloMs, sloTarget := r.sloObjectiveMs, r.sloTarget
 	r.mu.Unlock()
 
 	s := Snapshot{
@@ -325,6 +332,7 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[name] = fn()
 		}
 	}
+	s.SLO = sloReport(sloMs, sloTarget, s.Endpoints)
 	return s
 }
 

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentTable(t *testing.T) {
+	const (
+		tid = "0123456789abcdef0123456789abcdef"
+		sid = "0123456789abcdef"
+	)
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"valid", "00-" + tid + "-" + sid + "-01", true},
+		{"valid flags 00", "00-" + tid + "-" + sid + "-00", true},
+		{"empty", "", false},
+		{"wrong version", "01-" + tid + "-" + sid + "-01", false},
+		{"version ff", "ff-" + tid + "-" + sid + "-01", false},
+		{"uppercase hex", "00-" + strings.ToUpper(tid) + "-" + sid + "-01", false},
+		{"truncated trace id", "00-" + tid[:31] + "-" + sid + "-01", false},
+		{"truncated span id", "00-" + tid + "-" + sid[:15] + "-01", false},
+		{"missing flags", "00-" + tid + "-" + sid, false},
+		{"oversized", "00-" + tid + tid + "-" + sid + "-01", false},
+		{"trailing junk", "00-" + tid + "-" + sid + "-01-extra", false},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + sid + "-01", false},
+		{"all-zero span id", "00-" + tid + "-" + strings.Repeat("0", 16) + "-01", false},
+		{"bad hex in trace id", "00-" + tid[:30] + "zz" + "-" + sid + "-01", false},
+		{"crlf injection", "00-" + tid + "-" + sid + "\r\n-1", false},
+		{"embedded nul", "00-" + tid + "-" + sid + "-0\x00", false},
+		{"spaces", "00 " + tid + " " + sid + " 01", false},
+	}
+	for _, tc := range cases {
+		sc, ok := ParseTraceparent(tc.in)
+		if ok != tc.ok {
+			t.Errorf("%s: ParseTraceparent(%q) ok = %v, want %v", tc.name, tc.in, ok, tc.ok)
+		}
+		if ok && (sc.TraceID != tid || sc.SpanID != sid) {
+			t.Errorf("%s: parsed %+v", tc.name, sc)
+		}
+		if !ok && (sc != SpanContext{}) {
+			t.Errorf("%s: failed parse leaked a non-zero SpanContext %+v", tc.name, sc)
+		}
+	}
+}
+
+// TestMalformedParentDegradesToRoot pins the satellite requirement: hostile
+// or malformed inbound trace context must yield a fresh root trace, never an
+// error and never adoption of a bogus id.
+func TestMalformedParentDegradesToRoot(t *testing.T) {
+	for _, bad := range []string{
+		"", "garbage", strings.Repeat("a", 4096),
+		"00-" + strings.Repeat("0", 32) + "-0123456789abcdef-01",
+	} {
+		sc, _ := ParseTraceparent(bad)
+		tr := NewChild("req", "/v1/aggregate", sc)
+		if !isLowerHex(tr.TraceID(), 32) {
+			t.Fatalf("NewChild(%q) trace id %q is not a fresh 32-hex root", bad, tr.TraceID())
+		}
+		if snap := tr.Finish(200); snap.ParentSpanID != "" {
+			t.Errorf("NewChild(%q) kept a parent span id %q", bad, snap.ParentSpanID)
+		}
+	}
+}
+
+func TestChildAdoptsParent(t *testing.T) {
+	parent := New("front", "/v1/aggregate")
+	sc, ok := ParseTraceparent(Traceparent(parent.SpanContext()))
+	if !ok {
+		t.Fatalf("round-trip of %q failed", Traceparent(parent.SpanContext()))
+	}
+	child := NewChild("shard", "/v1/aggregate", sc)
+	if child.TraceID() != parent.TraceID() {
+		t.Errorf("child trace id %q, want parent's %q", child.TraceID(), parent.TraceID())
+	}
+	snap := child.Finish(200)
+	if snap.ParentSpanID != parent.SpanContext().SpanID {
+		t.Errorf("child parent span id %q, want %q", snap.ParentSpanID, parent.SpanContext().SpanID)
+	}
+	if snap.SpanID == parent.SpanContext().SpanID {
+		t.Error("child reused the parent's span id")
+	}
+}
+
+func TestSpanHeaderRoundTrip(t *testing.T) {
+	in := []SpanSnapshot{
+		{Name: "evaluate", StartOffsetUs: 12, DurationUs: 340},
+		{Name: "/v1/aggregate", StartOffsetUs: 0, DurationUs: 999},
+	}
+	got := ParseSpanHeader(EncodeSpanHeader(in))
+	if len(got) != 2 {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+	for i := range in {
+		if got[i].Name != in[i].Name || got[i].StartOffsetUs != in[i].StartOffsetUs ||
+			got[i].DurationUs != in[i].DurationUs {
+			t.Fatalf("round trip[%d] = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestSpanHeaderBounds(t *testing.T) {
+	// Entry cap: 100 spans encode to at most maxSpanHeaderEntries.
+	many := make([]SpanSnapshot, 100)
+	for i := range many {
+		many[i] = SpanSnapshot{Name: "s", StartOffsetUs: int64(i), DurationUs: 1}
+	}
+	enc := EncodeSpanHeader(many)
+	if len(enc) > maxSpanHeaderLen {
+		t.Fatalf("encoded header is %d bytes, cap %d", len(enc), maxSpanHeaderLen)
+	}
+	if got := ParseSpanHeader(enc); len(got) != maxSpanHeaderEntries {
+		t.Fatalf("parsed %d entries, want cap %d", len(got), maxSpanHeaderEntries)
+	}
+
+	// Byte cap: long names stop encoding before maxSpanHeaderLen.
+	long := make([]SpanSnapshot, 64)
+	for i := range long {
+		long[i] = SpanSnapshot{Name: strings.Repeat("x", 60), DurationUs: 1}
+	}
+	if enc := EncodeSpanHeader(long); len(enc) > maxSpanHeaderLen {
+		t.Fatalf("long-name encoding is %d bytes, cap %d", len(enc), maxSpanHeaderLen)
+	}
+
+	// Oversized inbound values are dropped wholesale.
+	if got := ParseSpanHeader(strings.Repeat("a:1:1,", 400)); got != nil {
+		t.Fatalf("oversized header parsed to %d entries, want nil", len(got))
+	}
+}
+
+func TestSpanHeaderHostileEntries(t *testing.T) {
+	cases := []string{
+		"evil\r\nX-Cost-Disk-Accesses 99:1:2",
+		"name:1",                      // too few fields
+		"name:1:2:3",                  // too many fields
+		"name:-1:2",                   // negative offset
+		"name:1:-2",                   // negative duration
+		"name:1e3:2",                  // non-integer
+		":1:2",                        // empty name
+		"bad name:1:2",                // space in name
+		"näme:1:2",                    // non-ASCII
+		"name:99999999999999999999:1", // int64 overflow
+	}
+	for _, c := range cases {
+		if got := ParseSpanHeader(c); len(got) != 0 {
+			t.Errorf("ParseSpanHeader(%q) = %+v, want no entries", c, got)
+		}
+	}
+	// One bad entry must not take down its neighbours.
+	got := ParseSpanHeader("ok:1:2,bad entry,also.ok:3:4")
+	if len(got) != 2 || got[0].Name != "ok" || got[1].Name != "also.ok" {
+		t.Errorf("mixed header parsed to %+v, want the two valid entries", got)
+	}
+}
+
+func TestParseCostHeadersHostile(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := make(http.Header)
+		h[HeaderDiskAccesses] = []string{v}
+		return h
+	}
+	cases := []struct {
+		name string
+		val  string
+		want int64
+	}{
+		{"valid", "42", 42},
+		{"zero", "0", 0},
+		{"empty", "", 0},
+		{"not a number", "abc", 0},
+		{"hex prefix", "0x10", 0},
+		{"float", "4.2", 0},
+		{"overflow", "9223372036854775808", 0},
+		{"oversized", strings.Repeat("9", 4096), 0},
+		{"crlf injection", "1\r\nX-Other: 2", 0},
+		{"plus sign", "+7", 7}, // strconv accepts an explicit sign
+		{"negative", "-3", -3},
+	}
+	for _, tc := range cases {
+		if got := ParseCostHeaders(mk(tc.val)).DiskAccesses; got != tc.want {
+			t.Errorf("%s: DiskAccesses = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Missing headers parse as a zero snapshot.
+	if snap := ParseCostHeaders(make(http.Header)); snap != (LedgerSnapshot{}) {
+		t.Errorf("empty headers parsed to %+v", snap)
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("")
+	f.Add("00-\r\n-\r\n-01")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, ok := ParseTraceparent(s)
+		if !ok {
+			if (sc != SpanContext{}) {
+				t.Fatalf("failed parse returned %+v", sc)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted invalid span context %+v from %q", sc, s)
+		}
+		// Anything accepted must re-render and re-parse to itself.
+		sc2, ok2 := ParseTraceparent(Traceparent(sc))
+		if !ok2 || sc2 != sc {
+			t.Fatalf("round trip of %q: %+v ok=%v", s, sc2, ok2)
+		}
+	})
+}
+
+func FuzzParseCostHeaders(f *testing.F) {
+	f.Add("42", "0")
+	f.Add(strings.Repeat("9", 1000), "-1")
+	f.Add("1\r\nInjected: yes", "nan")
+	f.Fuzz(func(t *testing.T, disk, rows string) {
+		h := make(http.Header)
+		h[HeaderDiskAccesses] = []string{disk}
+		h[HeaderRowsRead] = []string{rows}
+		snap := ParseCostHeaders(h) // must never panic
+		var l Ledger
+		l.AddSnapshot(snap)
+		if l.DiskAccesses() != snap.DiskAccesses {
+			t.Fatalf("AddSnapshot drifted: %d vs %d", l.DiskAccesses(), snap.DiskAccesses)
+		}
+	})
+}
+
+func FuzzParseSpanHeader(f *testing.F) {
+	f.Add("evaluate:1:2")
+	f.Add(strings.Repeat("a:1:1,", 300))
+	f.Add("x\r\ny:1:2,:::,a:b:c")
+	f.Fuzz(func(t *testing.T, s string) {
+		spans := ParseSpanHeader(s) // must never panic
+		if len(spans) > maxSpanHeaderEntries {
+			t.Fatalf("parser returned %d entries, cap %d", len(spans), maxSpanHeaderEntries)
+		}
+		for _, sp := range spans {
+			if !spanNameOK(sp.Name) || sp.StartOffsetUs < 0 || sp.DurationUs < 0 {
+				t.Fatalf("parser admitted unsafe span %+v", sp)
+			}
+		}
+	})
+}

@@ -261,19 +261,43 @@ type Trace struct {
 	// Ledger accumulates the request's costs; reachable via LedgerFrom.
 	Ledger Ledger
 
-	id    string
-	name  string
-	start time.Time
+	id           string
+	name         string
+	traceID      string // 32 hex: shared by every hop of a distributed request
+	spanID       string // 16 hex: this process's span within the trace
+	parentSpanID string // 16 hex when adopted from an inbound traceparent
+	start        time.Time
 
 	mu    sync.Mutex
 	spans []SpanSnapshot
 }
 
-// New starts a trace. name is the endpoint pattern (never the raw URL: the
-// traces endpoint serves these verbatim, and query strings can carry
-// customer labels that must not leak into debug output).
+// New starts a root trace with a fresh trace id. name is the endpoint
+// pattern (never the raw URL: the traces endpoint serves these verbatim, and
+// query strings can carry customer labels that must not leak into debug
+// output).
 func New(id, name string) *Trace {
-	return &Trace{id: id, name: name, start: time.Now()}
+	return &Trace{
+		id: id, name: name,
+		traceID: NewTraceID(), spanID: NewRequestID(),
+		start: time.Now(),
+	}
+}
+
+// NewChild starts a trace that joins an existing distributed trace: it
+// adopts the parent's trace id, records the parent span id, and mints a
+// fresh span id for this process. The server uses this when a request
+// arrives with a valid traceparent header (typically from the proxy), so
+// shard-side spans and ledger splits land under the caller's trace id.
+func NewChild(id, name string, parent SpanContext) *Trace {
+	if !parent.Valid() {
+		return New(id, name)
+	}
+	return &Trace{
+		id: id, name: name,
+		traceID: parent.TraceID, spanID: NewRequestID(), parentSpanID: parent.SpanID,
+		start: time.Now(),
+	}
 }
 
 // ID returns the request ID ("" on nil).
@@ -282,6 +306,23 @@ func (t *Trace) ID() string {
 		return ""
 	}
 	return t.id
+}
+
+// TraceID returns the distributed trace id ("" on nil).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// SpanContext returns this trace's position in the distributed trace — the
+// value a client propagates downstream as the parent of outbound calls.
+func (t *Trace) SpanContext() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: t.traceID, SpanID: t.spanID}
 }
 
 // StartSpan opens a named child span. Nil-safe: a nil trace returns a nil
@@ -293,6 +334,30 @@ func (t *Trace) StartSpan(name string) *Span {
 	return &Span{tr: t, name: name, start: time.Now()}
 }
 
+// AddSpan records an already-completed span on the trace — the proxy uses
+// this to fold a shard's decoded X-Trace-Spans summary into the front-door
+// trace. Nil-safe.
+func (t *Trace) AddSpan(s SpanSnapshot) {
+	if t == nil {
+		return
+	}
+	t.record(s)
+}
+
+// Spans returns a copy of the spans completed so far. The server uses this
+// at header-commit time to render the X-Trace-Spans summary while the trace
+// is still open.
+func (t *Trace) Spans() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSnapshot, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
 func (t *Trace) record(s SpanSnapshot) {
 	t.mu.Lock()
 	t.spans = append(t.spans, s)
@@ -301,13 +366,16 @@ func (t *Trace) record(s SpanSnapshot) {
 
 // TraceSnapshot is one finished request on /v1/debug/traces.
 type TraceSnapshot struct {
-	RequestID  string         `json:"request_id"`
-	Name       string         `json:"name"`
-	Start      time.Time      `json:"start"`
-	DurationUs int64          `json:"duration_us"`
-	Status     int            `json:"status"`
-	Cost       LedgerSnapshot `json:"cost"`
-	Spans      []SpanSnapshot `json:"spans,omitempty"`
+	RequestID    string         `json:"request_id"`
+	TraceID      string         `json:"trace_id"`
+	SpanID       string         `json:"span_id"`
+	ParentSpanID string         `json:"parent_span_id,omitempty"`
+	Name         string         `json:"name"`
+	Start        time.Time      `json:"start"`
+	DurationUs   int64          `json:"duration_us"`
+	Status       int            `json:"status"`
+	Cost         LedgerSnapshot `json:"cost"`
+	Spans        []SpanSnapshot `json:"spans,omitempty"`
 }
 
 // Finish seals the trace with the response status and returns its snapshot
@@ -321,13 +389,16 @@ func (t *Trace) Finish(status int) *TraceSnapshot {
 	copy(spans, t.spans)
 	t.mu.Unlock()
 	return &TraceSnapshot{
-		RequestID:  t.id,
-		Name:       t.name,
-		Start:      t.start,
-		DurationUs: time.Since(t.start).Microseconds(),
-		Status:     status,
-		Cost:       t.Ledger.Snapshot(),
-		Spans:      spans,
+		RequestID:    t.id,
+		TraceID:      t.traceID,
+		SpanID:       t.spanID,
+		ParentSpanID: t.parentSpanID,
+		Name:         t.name,
+		Start:        t.start,
+		DurationUs:   time.Since(t.start).Microseconds(),
+		Status:       status,
+		Cost:         t.Ledger.Snapshot(),
+		Spans:        spans,
 	}
 }
 
